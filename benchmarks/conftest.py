@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Default scales keep the whole suite laptop-friendly (a few minutes);
+``REPRO_BENCH_FULL=1`` switches every figure to the paper's instance counts
+(157,000 AND-trees, the full 216/324-cell DNF grids — expect hours for the
+exhaustive Figure 5 optimum search).
+
+Each figure module writes its regenerated "figure" (summary table + ASCII
+profile plot) to ``benchmarks/results/<name>.txt`` and echoes it to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def bench_workers() -> int | None:
+    value = os.environ.get("REPRO_WORKERS")
+    return int(value) if value else None
+
+
+def emit_report(name: str, text: str) -> None:
+    """Persist and echo a regenerated figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n===== (saved to {path}) =====")

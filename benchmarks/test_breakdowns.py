@@ -1,0 +1,59 @@
+"""Win-rate breakdown bench: where does the best heuristic's edge live?
+
+Slices the Figure 6 comparison by per-AND leaf count and sharing ratio.
+The paper's aggregate "best in 94.5% of cases" depends on the grid mix:
+small / low-sharing cells are tie-heavy, large shared cells are where the
+dynamic C/p ordering pulls away. The emitted matrix makes that visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import breakdown_matrix, win_rate_breakdown
+
+from benchmarks.conftest import emit_report, full_scale
+
+
+@pytest.fixture(scope="module")
+def cells():
+    n = 60 if full_scale() else 25
+    return win_rate_breakdown(
+        leaves_per_and_values=(2, 5, 10, 15),
+        rhos=(1.0, 2.0, 5.0, 10.0),
+        instances_per_cell=n,
+        n_ands=6,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def breakdown_report(cells):
+    emit_report("win_rate_breakdown", breakdown_matrix(cells))
+    return cells
+
+
+class TestBreakdownBench:
+    def test_reference_strong_at_moderate_sharing(self, benchmark, breakdown_report):
+        cells = breakdown_report
+        # non-trivial win rate in every cell...
+        for cell in cells:
+            assert cell.win_rate >= 0.1, (cell.leaves_per_and, cell.rho)
+        # ...dominant at the paper's moderate sharing ratios, and measurably
+        # eroded at extreme sharing (a finding of this reproduction: with
+        # rho = 10 the cache flattens every heuristic's cost, so near-ties
+        # and upsets multiply)
+        moderate = [c for c in cells if c.rho <= 2.0]
+        extreme = [c for c in cells if c.rho >= 10.0]
+        mean_moderate = sum(c.win_rate for c in moderate) / len(moderate)
+        mean_extreme = sum(c.win_rate for c in extreme) / len(extreme)
+        assert mean_moderate >= 0.6
+        assert mean_extreme <= mean_moderate
+        benchmark(
+            win_rate_breakdown,
+            leaves_per_and_values=(2,),
+            rhos=(2.0,),
+            instances_per_cell=5,
+            n_ands=3,
+            seed=1,
+        )

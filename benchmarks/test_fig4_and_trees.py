@@ -1,0 +1,99 @@
+"""Figure 4 regeneration: read-once greedy vs Algorithm 1 on shared AND-trees.
+
+Paper's in-text numbers (157,000 instances):
+
+* max read-once/optimal ratio 1.86;
+* >10% worse on 19.54% of instances;
+* >1% worse on 60.20%;
+* exactly equal on 11.29%.
+
+The default bench runs 100 trees per (m, rho) cell (15,700 instances) —
+enough to land within a few points of every statistic; ``REPRO_BENCH_FULL=1``
+restores the paper's 1,000 per cell. Also times the two scheduling
+algorithms themselves (Algorithm 1 is O(m^2) vs Smith's O(m log m)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.andtree_optimal import algorithm1_order, read_once_order
+from repro.experiments import ascii_table, run_fig4
+from repro.experiments.report import ascii_cost_scatter
+from repro.generators import random_and_tree
+
+from benchmarks.conftest import bench_workers, emit_report, full_scale
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    trees_per_config = 1000 if full_scale() else 100
+    return run_fig4(trees_per_config=trees_per_config, seed=0, workers=bench_workers())
+
+
+@pytest.fixture(scope="module")
+def fig4_report(fig4_result):
+    summary = fig4_result.summary()
+    paper = {
+        "instances": 157000,
+        "max ratio read-once/optimal": 1.86,
+        "% instances >10% worse": 19.54,
+        "% instances >1% worse": 60.20,
+        "% instances equal": 11.29,
+        "mean ratio": float("nan"),
+    }
+    rows = [
+        (label, value, paper.get(label, float("nan")))
+        for label, value in summary.rows()
+    ]
+    table = ascii_table(("statistic", "measured", "paper"), rows)
+    by_rho = fig4_result.by_rho()
+    rho_rows = [
+        (f"rho={rho:g}", s.mean_ratio, s.max_ratio, s.pct_equal)
+        for rho, s in sorted(by_rho.items())
+    ]
+    rho_table = ascii_table(("sharing ratio", "mean ratio", "max ratio", "% equal"), rho_rows)
+    optimal, read_once = fig4_result.sorted_series()
+    scatter = ascii_cost_scatter(optimal, read_once)
+    report = (
+        f"{table}\n\nper-sharing-ratio breakdown:\n{rho_table}\n\n"
+        f"the figure (paper Fig. 4 rendering):\n{scatter}"
+    )
+    emit_report("fig4_and_trees", report)
+    return summary
+
+
+class TestFigure4:
+    def test_sweep_shape_and_statistics(self, benchmark, fig4_result, fig4_report):
+        """Headline shape: Algorithm 1 dominates; suboptimality is widespread."""
+        summary = fig4_report
+        ratios = fig4_result.ratios()
+        assert np.all(ratios >= 1.0 - 1e-9)
+        # Shape bands around the paper's numbers (sampling tolerance).
+        assert 1.5 <= summary.max_ratio <= 2.6
+        assert 12.0 <= summary.pct_over_10pct <= 30.0
+        assert 45.0 <= summary.pct_over_1pct <= 75.0
+        assert 5.0 <= summary.pct_equal <= 25.0
+        # Benchmark the per-instance work of the sweep's hot loop.
+        rng = np.random.default_rng(1)
+        trees = [random_and_tree(rng, 12, 3.0) for _ in range(20)]
+
+        def schedule_batch():
+            return [algorithm1_order(tree) for tree in trees]
+
+        orders = benchmark(schedule_batch)
+        assert len(orders) == 20
+
+    def test_smith_baseline_speed(self, benchmark):
+        rng = np.random.default_rng(2)
+        trees = [random_and_tree(rng, 12, 3.0) for _ in range(20)]
+        orders = benchmark(lambda: [read_once_order(tree) for tree in trees])
+        assert len(orders) == 20
+
+    def test_algorithm1_scaling_m20(self, benchmark):
+        """The paper's largest Figure 4 trees (m = 20)."""
+        rng = np.random.default_rng(3)
+        trees = [random_and_tree(rng, 20, 5.0) for _ in range(10)]
+        orders = benchmark(lambda: [algorithm1_order(tree) for tree in trees])
+        assert all(len(order) == 20 for order in orders)

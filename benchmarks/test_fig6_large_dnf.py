@@ -1,0 +1,89 @@
+"""Figure 6 regeneration: heuristics on large DNF trees vs the best heuristic.
+
+Paper findings (32,400 instances): the small-instance observations carry
+over; "AND-ordered, inc. C/p, dynamic" is the best heuristic on 94.5% of the
+instances. Optima are intractable at this size, so ratios are to that
+reference heuristic.
+
+Default: a 300-instance trim of the grid; ``REPRO_BENCH_FULL=1`` runs the
+full 324-cell grid at 100 instances per cell. Benchmarks the reference
+heuristic at the paper's largest size (N=10, m=20).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import get_scheduler
+from repro.experiments import REFERENCE_HEURISTIC, ascii_profile_plot, ascii_table, run_fig6
+from repro.generators import fig6_configs, random_dnf_tree
+
+from benchmarks.conftest import bench_workers, emit_report, full_scale
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    if full_scale():
+        return run_fig6(
+            instances_per_config=100,
+            configs=list(fig6_configs()),
+            seed=0,
+            workers=bench_workers(),
+        )
+    return run_fig6(instances_per_config=10, seed=0, workers=bench_workers())
+
+
+@pytest.fixture(scope="module")
+def fig6_report(fig6_result):
+    table = ascii_table(fig6_result.summary_headers(), fig6_result.summary_rows())
+    plot = ascii_profile_plot(fig6_result.profiles(), width=64, height=16)
+    wins = fig6_result.best_fractions()
+    best_line = (
+        f"reference ({REFERENCE_HEURISTIC}) best-or-tied on "
+        f"{wins[REFERENCE_HEURISTIC] * 100:.1f}% of instances (paper: 94.5%)"
+    )
+    report = (
+        f"{fig6_result.n_instances} instances\n\n{table}\n\n{best_line}\n\n"
+        f"ratio-to-reference profiles (paper Figure 6):\n{plot}"
+    )
+    emit_report("fig6_large_dnf", report)
+    return fig6_result
+
+
+class TestFigure6:
+    def test_reference_dominates(self, benchmark, fig6_report):
+        result = fig6_report
+        wins = result.best_fractions()
+        # The reference wins the large-instance comparison outright.
+        assert wins[REFERENCE_HEURISTIC] == max(wins.values())
+        assert wins[REFERENCE_HEURISTIC] >= 0.5
+        profiles = result.profiles()
+        # Ranking shape of the paper: AND-ordered C/p static is the runner-up
+        # family; leaf-random is the worst curve.
+        assert profiles["and-inc-c-over-p-static"].fraction_within(1.1) >= 0.9
+        worst_at_2 = min(p.fraction_within(2.0) for p in profiles.values())
+        assert profiles["leaf-random"].fraction_within(2.0) == worst_at_2
+        # benchmark: the reference heuristic at the paper's largest size
+        rng = np.random.default_rng(7)
+        tree = random_dnf_tree(rng, 10, 20, 2.0)
+        heuristic = get_scheduler(REFERENCE_HEURISTIC)
+        schedule = benchmark(heuristic.schedule, tree)
+        assert len(schedule) == 200
+
+    def test_stream_ordered_speed_large(self, benchmark):
+        rng = np.random.default_rng(8)
+        tree = random_dnf_tree(rng, 10, 20, 2.0)
+        heuristic = get_scheduler("stream-ordered")
+        schedule = benchmark(heuristic.schedule, tree)
+        assert len(schedule) == 200
+
+    def test_cost_evaluation_speed_large(self, benchmark):
+        """Proposition 2 evaluation at |L|=200, the sweep's inner loop."""
+        from repro.core.cost import dnf_schedule_cost
+
+        rng = np.random.default_rng(9)
+        tree = random_dnf_tree(rng, 10, 20, 2.0)
+        schedule = tuple(range(tree.size))
+        cost = benchmark(dnf_schedule_cost, tree, schedule)
+        assert cost > 0.0

@@ -1,0 +1,71 @@
+"""Runtime-scaling benchmarks (paper §IV-D closing claim).
+
+The paper: the best heuristic "runs in less than 5 seconds on a 1.86 GHz
+core when processing a tree with 10 AND nodes with each 20 leaves". This
+module reproduces that claim point and benchmarks the scaling of every
+algorithmic component (Algorithm 1, Proposition 2 evaluation, the dynamic
+heuristic, the exhaustive search at small sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.andtree_optimal import algorithm1_order
+from repro.core.cost import dnf_schedule_cost
+from repro.core.dnf_optimal import optimal_depth_first
+from repro.core.heuristics import get_scheduler
+from repro.experiments import ascii_table, paper_runtime_claim, runtime_grid
+from repro.generators import random_and_tree, random_dnf_tree
+
+from benchmarks.conftest import emit_report
+
+
+@pytest.fixture(scope="module")
+def runtime_report():
+    points = runtime_grid(trees_per_cell=2, repeats=2)
+    claim = paper_runtime_claim(repeats=2)
+    rows = [
+        (p.heuristic, p.n_ands, p.leaves_per_and, p.seconds * 1000.0) for p in points
+    ]
+    table = ascii_table(("heuristic", "N", "m", "ms per tree"), rows)
+    report = (
+        f"{table}\n\npaper claim point (N=10, m=20, best heuristic): "
+        f"{claim.seconds * 1000:.2f} ms per tree (paper: < 5000 ms on 1.86 GHz)"
+    )
+    emit_report("runtime_scaling", report)
+    return claim
+
+
+class TestRuntime:
+    def test_paper_claim_holds(self, benchmark, runtime_report):
+        assert runtime_report.seconds < 5.0
+        rng = np.random.default_rng(0)
+        tree = random_dnf_tree(rng, 10, 20, 2.0)
+        heuristic = get_scheduler("and-inc-c-over-p-dynamic")
+        benchmark(heuristic.schedule, tree)
+
+    @pytest.mark.parametrize("m", [10, 50, 100])
+    def test_algorithm1_scaling(self, benchmark, m):
+        """O(m^2) growth of Algorithm 1 over leaf count."""
+        rng = np.random.default_rng(m)
+        tree = random_and_tree(rng, m, 3.0)
+        order = benchmark(algorithm1_order, tree)
+        assert len(order) == m
+
+    @pytest.mark.parametrize("n_ands", [2, 6, 10])
+    def test_prop2_evaluation_scaling(self, benchmark, n_ands):
+        """O(|L| D N) growth of the Proposition 2 evaluator."""
+        rng = np.random.default_rng(n_ands)
+        tree = random_dnf_tree(rng, n_ands, 10, 2.0)
+        schedule = tuple(range(tree.size))
+        benchmark(dnf_schedule_cost, tree, schedule)
+
+    @pytest.mark.parametrize("n_ands", [2, 3])
+    def test_exhaustive_search_scaling(self, benchmark, n_ands):
+        """Exponential blowup of the exhaustive optimum (why Fig 5 is 'small')."""
+        rng = np.random.default_rng(40 + n_ands)
+        tree = random_dnf_tree(rng, n_ands, 3, 2.0)
+        result = benchmark(optimal_depth_first, tree)
+        assert result.complete

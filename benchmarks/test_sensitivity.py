@@ -1,0 +1,84 @@
+"""Sensitivity bench: how robust are the paper's conclusions to noisy
+probability estimates?
+
+The schedulers consume estimated leaf probabilities; this bench perturbs
+them (truncated Gaussian, scale epsilon), plans on the noisy tree, pays on
+the true tree, and reports mean/worst regret per heuristic — plus whether
+the paper's heuristic *ranking* survives the noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_table, probability_sensitivity
+from repro.experiments.sensitivity import perturb_probabilities
+from repro.core.cost import dnf_schedule_cost
+from repro.core.heuristics import get_scheduler
+from repro.generators import random_dnf_tree
+
+from benchmarks.conftest import emit_report, full_scale
+
+HEURISTICS = (
+    "and-inc-c-over-p-dynamic",
+    "and-inc-c-over-p-static",
+    "leaf-inc-c",
+    "stream-ordered",
+)
+
+
+@pytest.fixture(scope="module")
+def sensitivity_points():
+    n = 300 if full_scale() else 80
+    return probability_sensitivity(
+        heuristics=HEURISTICS,
+        epsilons=(0.0, 0.05, 0.1, 0.2, 0.4),
+        n_instances=n,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sensitivity_report(sensitivity_points):
+    rows = [
+        (p.heuristic, p.epsilon, p.mean_regret * 100.0, p.worst_regret * 100.0)
+        for p in sensitivity_points
+    ]
+    table = ascii_table(
+        ("heuristic", "epsilon", "mean regret %", "worst regret %"), rows
+    )
+    emit_report("sensitivity", table)
+    return sensitivity_points
+
+
+class TestSensitivity:
+    def test_regret_monotone_and_bounded(self, benchmark, sensitivity_report):
+        points = sensitivity_report
+        for name in HEURISTICS:
+            series = sorted(
+                (p.epsilon, p.mean_regret) for p in points if p.heuristic == name
+            )
+            assert series[0] == (0.0, pytest.approx(0.0, abs=1e-12))
+            # regret at the largest noise dominates the noiseless case
+            assert series[-1][1] >= series[0][1]
+            # and stays within a sane envelope at epsilon=0.4
+            assert series[-1][1] < 2.0
+        rng = np.random.default_rng(1)
+        tree = random_dnf_tree(rng, 4, 5, 2.0)
+        benchmark(perturb_probabilities, tree, 0.2, rng)
+
+    def test_ranking_stable_under_realistic_noise(self, sensitivity_report):
+        """Under epsilon = 0.1 noise, the paper's winner still beats the
+        stream-ordered prior art on true (realized) cost."""
+        rng = np.random.default_rng(2)
+        winner = get_scheduler("and-inc-c-over-p-dynamic")
+        prior = get_scheduler("stream-ordered")
+        winner_costs = []
+        prior_costs = []
+        for _ in range(120):
+            tree = random_dnf_tree(rng, int(rng.integers(2, 7)), int(rng.integers(2, 7)), 2.0)
+            noisy = perturb_probabilities(tree, 0.1, rng)
+            winner_costs.append(dnf_schedule_cost(tree, winner.schedule(noisy), validate=False))
+            prior_costs.append(dnf_schedule_cost(tree, prior.schedule(noisy), validate=False))
+        assert float(np.mean(winner_costs)) < float(np.mean(prior_costs))

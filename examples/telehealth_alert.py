@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Telehealth alerting — the paper's §I motivating scenario, end to end.
+
+"An alert may be generated either if the heart rate is high and the
+accelerometer is stationary, or if the heart rate is low and SPO2 (blood
+oxygen saturation) is low." The HR stream appears in both conjunctions —
+a *shared* query.
+
+Pipeline demonstrated:
+1. synthetic wearable sensors (random-walk HR, periodic accelerometer,
+   Gaussian SPO2) behind a stream registry with BLE energy costs;
+2. predicate success probabilities estimated by profiling historical data
+   (the paper's "historical traces");
+3. schedules from three schedulers (prior art stream-ordered [4], the
+   paper's best heuristic, and the exhaustive optimum);
+4. continuous query sessions measuring *actual* energy over 500 rounds on
+   the same data, plus battery-life projections.
+
+Run: python examples/telehealth_alert.py
+"""
+
+import numpy as np
+
+from repro import DnfTree, dnf_schedule_cost
+from repro.core.dnf_optimal import optimal_depth_first
+from repro.core.heuristics import get_scheduler
+from repro.core.heuristics.base import Scheduler
+from repro.core.schedule import Schedule
+from repro.core.tree import DnfTree as _DnfTree
+from repro.engine import Battery, ContinuousQuerySession
+from repro.predicates import Predicate, leaves_from_predicates
+from repro.streams import (
+    BLUETOOTH_LE,
+    EnergyCost,
+    GaussianSource,
+    PeriodicSource,
+    RandomWalkSource,
+    StreamRegistry,
+    StreamSpec,
+    cost_table,
+)
+
+
+class FixedSchedule(Scheduler):
+    """Adapter: wrap a precomputed schedule as a Scheduler."""
+
+    name = "fixed"
+    paper_label = "fixed"
+
+    def __init__(self, schedule: Schedule) -> None:
+        self._schedule = schedule
+
+    def schedule(self, tree: _DnfTree) -> Schedule:
+        return self._schedule
+
+
+def build_environment() -> tuple[StreamRegistry, dict[str, float]]:
+    # Energy model: BLE radio, per-item payload sizes per sensor.
+    energy = EnergyCost({"HR": 16, "ACC": 64, "SPO2": 24}, BLUETOOTH_LE)
+    costs = cost_table(energy, ["HR", "ACC", "SPO2"])
+    registry = StreamRegistry()
+    registry.add(
+        StreamSpec("HR", costs["HR"], description="heart rate, bpm", medium="ble"),
+        RandomWalkSource(start=78, step_std=3.0, seed=101, low=40, high=185),
+    )
+    registry.add(
+        StreamSpec("ACC", costs["ACC"], description="accelerometer magnitude", medium="ble"),
+        PeriodicSource(amplitude=0.8, period=30, noise_std=0.35, offset=1.0, seed=102),
+    )
+    registry.add(
+        StreamSpec("SPO2", costs["SPO2"], description="blood oxygen saturation, %", medium="ble"),
+        GaussianSource(mean=96.5, std=1.6, seed=103),
+    )
+    return registry, costs
+
+
+def main() -> None:
+    registry, costs = build_environment()
+
+    predicates = [
+        Predicate("HR", "AVG", 5, ">", 95),      # heart rate high
+        Predicate("ACC", "STD", 10, "<", 0.55),  # stationary
+        Predicate("HR", "AVG", 5, "<", 70),      # heart rate low
+        Predicate("SPO2", "MIN", 3, "<", 94),    # SPO2 low
+    ]
+    print("predicates and their per-item energy costs (joules):")
+    for predicate in predicates:
+        print(f"  {predicate.text():<22} stream cost {costs[predicate.stream]:.2e} J/item")
+
+    # Profile historical data to estimate success probabilities (§I).
+    leaves = leaves_from_predicates(predicates, registry, n_windows=512)
+    print("\nestimated success probabilities from historical traces:")
+    for leaf in leaves:
+        print(f"  {leaf.label:<22} p = {leaf.prob:.3f}")
+
+    # Alert = (HR high AND stationary) OR (HR low AND SPO2 low) — HR shared.
+    tree = DnfTree([[leaves[0], leaves[1]], [leaves[2], leaves[3]]], costs)
+    print(f"\nquery sharing ratio: {tree.sharing_ratio:.2f} (HR in both AND nodes)")
+
+    schedulers: dict[str, Scheduler] = {
+        "stream-ordered (prior art [4])": get_scheduler("stream-ordered"),
+        "AND-ord. inc C/p dynamic (paper)": get_scheduler("and-inc-c-over-p-dynamic"),
+    }
+    optimum = optimal_depth_first(tree)
+    schedulers["exhaustive optimum"] = FixedSchedule(optimum.schedule)
+
+    predicate_bindings = dict(enumerate(predicates))
+    rounds = 500
+    print(f"\nexpected (analytic) vs measured energy over {rounds} rounds:")
+    print(f"{'scheduler':<34} {'E[cost]/query':>14} {'measured/round':>15} {'battery life':>13}")
+    for name, scheduler in schedulers.items():
+        expected = dnf_schedule_cost(tree, scheduler.schedule(tree))
+        battery = Battery(capacity_joules=0.5)  # sensing budget share
+        session = ContinuousQuerySession(
+            tree,
+            build_environment()[0],  # fresh sources -> identical data per scheduler
+            scheduler,
+            predicates=predicate_bindings,
+            battery=battery,
+        )
+        report = session.run(rounds)
+        projected = battery.rounds_until_empty(report.mean_cost)
+        print(
+            f"{name:<34} {expected:>14.6f} {report.mean_cost:>15.6f} "
+            f"{projected:>10.0f} rds"
+        )
+    print(
+        "\nNote: measured per-round energy is below the one-shot expectation "
+        "because consecutive rounds also share cached items (the analytic "
+        "model is per-query; the session adds cross-round reuse)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The offline build environment lacks the `wheel` package, so PEP 517/660
+editable installs cannot build a wheel; this shim lets
+``pip install -e . --no-build-isolation`` (and plain ``pip install -e .``)
+fall back to the classic ``setup.py develop`` path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — Cost-optimal execution of boolean query trees with shared streams.
+
+A production-quality reproduction of Casanova, Lim, Robert, Vivien, Zaidouni,
+*Cost-Optimal Execution of Boolean Query Trees with Shared Streams*,
+IPDPS 2014. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    from repro import Leaf, AndTree, algorithm1_order, and_tree_cost
+
+    tree = AndTree(
+        [Leaf("A", 1, 0.75), Leaf("A", 2, 0.1), Leaf("B", 1, 0.5)],
+        costs={"A": 1.0, "B": 1.0},
+    )
+    order = algorithm1_order(tree)          # the paper's Algorithm 1
+    print(and_tree_cost(tree, order))       # 1.825 (paper §II-A)
+"""
+
+from repro.core import (
+    AndNode,
+    AndTree,
+    DnfPrefixCost,
+    DnfTree,
+    Leaf,
+    LeafNode,
+    MonteCarloResult,
+    OrNode,
+    QueryTree,
+    Schedule,
+    algorithm1_order,
+    and_tree_cost,
+    brute_force_and_tree,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+    identity_schedule,
+    is_depth_first,
+    make_depth_first,
+    monte_carlo_cost,
+    random_schedule,
+    read_once_order,
+    schedule_cost,
+    validate_schedule,
+)
+from repro.errors import (
+    BudgetExceededError,
+    InvalidLeafError,
+    InvalidScheduleError,
+    InvalidTreeError,
+    ParseError,
+    ReproError,
+    StreamError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data model
+    "Leaf",
+    "AndTree",
+    "DnfTree",
+    "QueryTree",
+    "AndNode",
+    "OrNode",
+    "LeafNode",
+    "Schedule",
+    # evaluators
+    "and_tree_cost",
+    "dnf_schedule_cost",
+    "schedule_cost",
+    "DnfPrefixCost",
+    "exact_schedule_cost",
+    "monte_carlo_cost",
+    "MonteCarloResult",
+    # schedules
+    "validate_schedule",
+    "identity_schedule",
+    "random_schedule",
+    "is_depth_first",
+    "make_depth_first",
+    # optimal algorithms
+    "algorithm1_order",
+    "read_once_order",
+    "brute_force_and_tree",
+    # errors
+    "ReproError",
+    "InvalidLeafError",
+    "InvalidTreeError",
+    "InvalidScheduleError",
+    "BudgetExceededError",
+    "ParseError",
+    "StreamError",
+]

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``schedule``
+    Parse a query (DSL text or JSON file), run one or all schedulers, print
+    each schedule with its expected cost.
+``evaluate``
+    Expected cost (Proposition 2) of an explicit schedule, with optional
+    Monte-Carlo verification.
+``optimal``
+    Exhaustive optimum (budget-guarded) with search statistics.
+``decide``
+    The NP-complete DNF-Decision problem: is there a schedule with cost <= K?
+``experiment``
+    Regenerate a figure (fig4 / fig5 / fig6) at a chosen scale; prints the
+    summary table and optionally writes per-instance CSV.
+
+Examples
+--------
+
+::
+
+    python -m repro schedule "(A[2] p=0.3 AND B[1] p=0.5) OR C[1] p=0.2"
+    python -m repro schedule query.json --scheduler and-inc-c-over-p-dynamic
+    python -m repro evaluate "A[2] p=0.3 AND A[3] p=0.5" --order 1,0 --monte-carlo
+    python -m repro optimal "(A[1] p=0.5 AND B[2] p=0.1) OR B[1] p=0.9"
+    python -m repro decide "A[5] p=0.5" --bound 4.9
+    python -m repro experiment fig4 --scale 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.cost import dnf_schedule_cost
+from repro.core.dnf_optimal import dnf_decision, optimal_depth_first
+from repro.core.heuristics import (
+    get_scheduler,
+    make_paper_heuristics,
+    paper_heuristic_names,
+)
+from repro.core.montecarlo import monte_carlo_cost
+from repro.core.tree import DnfTree
+from repro.errors import ReproError
+from repro.experiments import ascii_table, run_fig4, run_fig5, run_fig6, write_csv
+from repro.lang import parse_query, tree_from_json
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_tree(spec: str) -> DnfTree:
+    """Load a DNF tree from a DSL string or a JSON file path."""
+    path = Path(spec)
+    if path.suffix == ".json" and path.exists():
+        tree = tree_from_json(path.read_text())
+        if isinstance(tree, DnfTree):
+            return tree
+        if hasattr(tree, "to_dnf"):
+            return tree.to_dnf()  # type: ignore[union-attr]
+        return tree.as_dnf()  # type: ignore[union-attr]
+    return parse_query(spec).as_dnf()
+
+
+def _parse_order(text: str, size: int) -> tuple[int, ...]:
+    try:
+        order = tuple(int(part) for part in text.replace(" ", "").split(","))
+    except ValueError:
+        raise ReproError(f"cannot parse schedule {text!r}; expected e.g. '0,2,1'") from None
+    if sorted(order) != list(range(size)):
+        raise ReproError(f"schedule {order} is not a permutation of 0..{size - 1}")
+    return order
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.query)
+    if args.scheduler == "all":
+        schedulers = make_paper_heuristics(seed=args.seed)
+        schedulers["optimal"] = get_scheduler("optimal")
+    else:
+        schedulers = {
+            args.scheduler: (
+                get_scheduler(args.scheduler, seed=args.seed)
+                if args.scheduler == "leaf-random"
+                else get_scheduler(args.scheduler)
+            )
+        }
+    rows = []
+    for name, scheduler in schedulers.items():
+        schedule = scheduler.schedule(tree)
+        cost = dnf_schedule_cost(tree, schedule, validate=False)
+        rows.append((name, cost, ",".join(map(str, schedule))))
+    rows.sort(key=lambda row: row[1])
+    print(ascii_table(("scheduler", "expected cost", "schedule"), rows))
+    if args.explain:
+        from repro.core.explain import ScheduleExplanation, explain_schedule
+
+        best_name = rows[0][0]
+        scheduler = (
+            get_scheduler(best_name, seed=args.seed)
+            if best_name == "leaf-random"
+            else get_scheduler(best_name)
+        )
+        explanation = explain_schedule(tree, scheduler.schedule(tree))
+        print(f"\nbreakdown of {best_name}'s schedule:")
+        print(
+            ascii_table(
+                ScheduleExplanation.table_headers(), explanation.to_table_rows()
+            )
+        )
+        print(f"dominant stream: {explanation.dominant_stream()}")
+        per_stream = [
+            (stream, explanation.stream_items.get(stream, 0.0), cost)
+            for stream, cost in sorted(explanation.stream_cost.items())
+        ]
+        print(ascii_table(("stream", "E[items]", "E[cost]"), per_stream))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.query)
+    order = _parse_order(args.order, tree.size)
+    cost = dnf_schedule_cost(tree, order)
+    print(f"expected cost (Proposition 2): {cost:.6g}")
+    if args.monte_carlo:
+        result = monte_carlo_cost(tree, order, n_samples=args.samples, seed=args.seed)
+        print(
+            f"Monte-Carlo ({result.n_samples} runs): {result.mean:.6g} "
+            f"+/- {result.std_error:.2g}"
+        )
+    return 0
+
+
+def cmd_optimal(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.query)
+    result = optimal_depth_first(tree, node_budget=args.budget)
+    print(f"optimal schedule: {','.join(map(str, result.schedule))}")
+    print(f"expected cost:    {result.cost:.6g}")
+    print(f"search nodes:     {result.nodes_explored}")
+    return 0
+
+
+def cmd_decide(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.query)
+    answer = dnf_decision(tree, args.bound, node_budget=args.budget)
+    print("YES" if answer else "NO")
+    return 0 if answer else 1
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.figure == "fig4":
+        result = run_fig4(trees_per_config=args.scale, seed=args.seed, workers=args.workers)
+        rows = result.summary().rows()
+        print(ascii_table(("statistic", "value"), rows))
+        if args.csv:
+            write_csv(
+                args.csv,
+                ("optimal_cost", "read_once_cost", "m", "rho"),
+                zip(result.optimal_costs, result.read_once_costs, result.leaf_counts, result.rhos),
+            )
+    elif args.figure == "fig5":
+        result = run_fig5(instances_per_config=args.scale, seed=args.seed, workers=args.workers)
+        print(ascii_table(result.summary_headers(), result.summary_rows()))
+        if args.csv:
+            names = list(result.heuristic_costs)
+            write_csv(
+                args.csv,
+                ["optimal", *names],
+                zip(result.optimal_costs, *(result.heuristic_costs[n] for n in names)),
+            )
+    elif args.figure == "fig6":
+        result = run_fig6(instances_per_config=args.scale, seed=args.seed, workers=args.workers)
+        print(ascii_table(result.summary_headers(), result.summary_rows()))
+        if args.csv:
+            names = list(result.heuristic_costs)
+            write_csv(args.csv, names, zip(*(result.heuristic_costs[n] for n in names)))
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown figure {args.figure!r}")
+    if args.csv:
+        print(f"per-instance data written to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-optimal execution of boolean query trees with shared streams "
+        "(Casanova et al., IPDPS 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    names = ", ".join(["all", *paper_heuristic_names(), "optimal"])
+    p_schedule = sub.add_parser("schedule", help="order a query's leaves")
+    p_schedule.add_argument("query", help="DSL text or path to a tree .json")
+    p_schedule.add_argument(
+        "--scheduler", default="all", help=f"one of: {names} (default: all)"
+    )
+    p_schedule.add_argument("--seed", type=int, default=0)
+    p_schedule.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the best schedule's per-leaf cost breakdown",
+    )
+    p_schedule.set_defaults(func=cmd_schedule)
+
+    p_eval = sub.add_parser("evaluate", help="expected cost of an explicit schedule")
+    p_eval.add_argument("query")
+    p_eval.add_argument("--order", required=True, help="comma-separated leaf indices")
+    p_eval.add_argument("--monte-carlo", action="store_true")
+    p_eval.add_argument("--samples", type=int, default=20_000)
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_opt = sub.add_parser("optimal", help="exhaustive optimum (exponential)")
+    p_opt.add_argument("query")
+    p_opt.add_argument("--budget", type=int, default=5_000_000)
+    p_opt.set_defaults(func=cmd_optimal)
+
+    p_dec = sub.add_parser("decide", help="DNF-Decision: schedule with cost <= bound?")
+    p_dec.add_argument("query")
+    p_dec.add_argument("--bound", type=float, required=True)
+    p_dec.add_argument("--budget", type=int, default=5_000_000)
+    p_dec.set_defaults(func=cmd_decide)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a figure")
+    p_exp.add_argument("figure", choices=("fig4", "fig5", "fig6"))
+    p_exp.add_argument("--scale", type=int, default=20, help="instances per grid cell")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--workers", type=int, default=None)
+    p_exp.add_argument("--csv", type=Path, default=None, help="write per-instance CSV")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

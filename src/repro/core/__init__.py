@@ -1,0 +1,67 @@
+"""Core PAOTR machinery: trees, schedules, cost evaluators, optimal algorithms.
+
+This subpackage implements the paper's primary contribution. See
+:mod:`repro.core.tree` for the data model, :mod:`repro.core.cost` for the
+analytic evaluators, :mod:`repro.core.andtree_optimal` /
+:mod:`repro.core.dnf_optimal` for the optimal algorithms, and
+:mod:`repro.core.heuristics` for the polynomial heuristics of §IV-D.
+"""
+
+from repro.core.cost import (
+    DnfPrefixCost,
+    and_tree_cost,
+    dnf_schedule_cost,
+    expected_stream_items,
+    item_acquisition_probabilities,
+    schedule_cost,
+)
+from repro.core.exact import exact_schedule_cost
+from repro.core.leaf import Leaf
+from repro.core.montecarlo import MonteCarloResult, monte_carlo_cost
+from repro.core.schedule import (
+    Schedule,
+    depth_first_blocks,
+    identity_schedule,
+    is_depth_first,
+    make_depth_first,
+    random_schedule,
+    validate_schedule,
+)
+from repro.core.tree import AndNode, AndTree, DnfTree, LeafNode, Node, OrNode, QueryTree
+from repro.core.andtree_optimal import (
+    algorithm1_order,
+    brute_force_and_tree,
+    read_once_order,
+    smith_ratio,
+)
+
+__all__ = [
+    "Leaf",
+    "AndTree",
+    "DnfTree",
+    "QueryTree",
+    "AndNode",
+    "OrNode",
+    "LeafNode",
+    "Node",
+    "Schedule",
+    "validate_schedule",
+    "identity_schedule",
+    "random_schedule",
+    "is_depth_first",
+    "depth_first_blocks",
+    "make_depth_first",
+    "and_tree_cost",
+    "dnf_schedule_cost",
+    "schedule_cost",
+    "DnfPrefixCost",
+    "item_acquisition_probabilities",
+    "expected_stream_items",
+    "exact_schedule_cost",
+    "monte_carlo_cost",
+    "MonteCarloResult",
+    "algorithm1_order",
+    "read_once_order",
+    "smith_ratio",
+    "brute_force_and_tree",
+]

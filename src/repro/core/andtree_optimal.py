@@ -1,0 +1,169 @@
+"""Optimal scheduling of AND-trees (paper §III).
+
+Three schedulers:
+
+* :func:`read_once_order` — Smith's greedy for the *read-once* model
+  (sort leaves by non-decreasing ``d * c / q``; Smith 1989, [7] in the
+  paper). Optimal when every stream occurs in a single leaf, but suboptimal
+  in the shared model (paper §II-A, Figure 4).
+* :func:`algorithm1_order` — the paper's **Algorithm 1**, optimal for the
+  shared model. A greedy over *stream prefixes*: repeatedly pick, over all
+  streams and over all prefixes of each stream's remaining leaves taken by
+  increasing ``d``, the prefix minimizing (expected marginal cost) /
+  (probability the prefix fails), and schedule it.
+* :func:`brute_force_and_tree` — exact reference by enumeration of all
+  ``m!`` schedules (with identical-leaf deduplication), used to validate
+  Algorithm 1's optimality on small instances.
+
+All return schedules as tuples of leaf indices (see
+:mod:`repro.core.schedule`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Mapping
+
+from repro.core.cost import and_tree_cost
+from repro.core.leaf import Leaf
+from repro.core.schedule import Schedule
+from repro.core.tree import AndTree
+from repro.errors import BudgetExceededError
+
+__all__ = [
+    "smith_ratio",
+    "read_once_order",
+    "algorithm1_order",
+    "brute_force_and_tree",
+]
+
+
+def smith_ratio(leaf: Leaf, costs: Mapping[str, float]) -> float:
+    """Smith's index ``d * c / q`` (infinite for leaves that cannot fail)."""
+    q = leaf.fail
+    full_cost = leaf.items * costs[leaf.stream]
+    if q <= 0.0:
+        return math.inf if full_cost > 0.0 else 0.0
+    return full_cost / q
+
+def read_once_order(tree: AndTree) -> Schedule:
+    """Smith's rule: sort leaves by non-decreasing ``d*c/q`` (ties: index order).
+
+    Optimal for read-once AND-trees; used as the baseline of Figure 4.
+    """
+    keys = [(smith_ratio(leaf, tree.costs), idx) for idx, leaf in enumerate(tree.leaves)]
+    keys.sort()
+    return tuple(idx for _, idx in keys)
+
+
+def algorithm1_order(
+    tree: AndTree,
+    *,
+    initial_items: Mapping[str, int] | None = None,
+) -> Schedule:
+    """The paper's Algorithm 1: optimal schedule for a shared AND-tree.
+
+    Parameters
+    ----------
+    initial_items:
+        Optional pre-acquired item counts per stream (the ``NItems`` array).
+        Defaults to zero everywhere; non-zero values let callers schedule an
+        AND node given items already fetched deterministically.
+
+    Notes
+    -----
+    Each round scans, for every stream, its remaining leaves by increasing
+    ``d`` and computes after each leaf the ratio of the prefix's expected
+    marginal cost to its failure probability; the globally minimal ratio
+    designates the stream prefix to append next. Complexity ``O(m^2)``.
+    """
+    leaves = tree.leaves
+    costs = tree.costs
+    by_stream = tree.leaves_by_stream()  # stream -> indices sorted by (d, idx)
+    n_items = {stream: 0 for stream in by_stream}
+    if initial_items:
+        for stream, count in initial_items.items():
+            if stream in n_items:
+                n_items[stream] = int(count)
+    # Drop leaves already covered by initial items? No: they still must be
+    # *evaluated* (their truth value matters) — they are simply free, ratio 0,
+    # and the scan below schedules them first naturally.
+    schedule: list[int] = []
+    while any(by_stream.values()):
+        best_ratio = math.inf
+        best_stream: str | None = None
+        best_cut = -1  # position of l_{j0} within its stream list
+        for stream, indices in by_stream.items():
+            if not indices:
+                continue
+            cost_per_item = costs[stream]
+            acc_cost = 0.0
+            proba = 1.0
+            num = n_items[stream]
+            for pos, idx in enumerate(indices):
+                leaf = leaves[idx]
+                acc_cost += proba * max(0, leaf.items - num) * cost_per_item
+                proba *= leaf.prob
+                num = max(num, leaf.items)
+                denom = 1.0 - proba
+                if denom > 0.0:
+                    ratio = acc_cost / denom
+                elif acc_cost == 0.0:
+                    ratio = 0.0  # free, unfailing prefix: schedule immediately
+                else:
+                    ratio = math.inf
+                if ratio < best_ratio:
+                    best_ratio = ratio
+                    best_stream = stream
+                    best_cut = pos
+        if best_stream is None:
+            # Every remaining prefix has ratio +inf (certain-success leaves
+            # with positive cost). Any order is optimal; flush in scan order.
+            for stream, indices in by_stream.items():
+                for idx in indices:
+                    schedule.append(idx)
+                    n_items[stream] = max(n_items[stream], leaves[idx].items)
+                indices.clear()
+            break
+        chosen = by_stream[best_stream]
+        cut_items = leaves[chosen[best_cut]].items
+        # Schedule every remaining leaf of the stream with d <= d_{j0},
+        # in increasing (d, index) order (Proposition 1).
+        taken = [idx for idx in chosen if leaves[idx].items <= cut_items]
+        schedule.extend(taken)
+        by_stream[best_stream] = [idx for idx in chosen if leaves[idx].items > cut_items]
+        n_items[best_stream] = max(n_items[best_stream], cut_items)
+    return tuple(schedule)
+
+
+def brute_force_and_tree(
+    tree: AndTree,
+    *,
+    max_leaves: int = 9,
+) -> tuple[Schedule, float]:
+    """Exact optimum by enumerating all leaf permutations (small trees only).
+
+    Permutations that only swap *identical* leaves (same stream, items and
+    probability) are enumerated once. Raises
+    :class:`~repro.errors.BudgetExceededError` beyond ``max_leaves`` leaves.
+    """
+    m = tree.m
+    if m > max_leaves:
+        raise BudgetExceededError(
+            f"brute force limited to {max_leaves} leaves, tree has {m}"
+        )
+    signature = [(leaf.stream, leaf.items, leaf.prob) for leaf in tree.leaves]
+    best_cost = math.inf
+    best: Schedule = tuple(range(m))
+    seen: set[tuple] = set()
+    for perm in itertools.permutations(range(m)):
+        sig = tuple(signature[idx] for idx in perm)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        cost = and_tree_cost(tree, perm, validate=False)
+        if cost < best_cost - 1e-15:
+            best_cost = cost
+            best = perm
+    return best, best_cost

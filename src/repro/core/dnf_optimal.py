@@ -1,0 +1,262 @@
+"""Exhaustive optimal scheduling for DNF trees (paper §IV-B/C).
+
+Finding an optimal schedule for a shared DNF tree is NP-complete (Theorem 3),
+but Theorem 2 shows some optimal schedule is *depth-first*, so exhaustive
+search only has to explore AND-block orders times within-AND leaf orders.
+:func:`optimal_depth_first` does exactly that, as a depth-first search with
+
+* **branch-and-bound pruning** — the incremental Proposition 2 evaluator
+  (:class:`~repro.core.cost.DnfPrefixCost`) gives the exact expected cost of
+  a schedule prefix, which (all cost terms being non-negative) lower-bounds
+  every completion;
+* a **heuristic warm start** — the best paper heuristic seeds the incumbent;
+* **symmetry elimination** — identical leaves within an AND, and identical
+  AND nodes, are expanded once per decision point;
+* an explicit **node budget** — the search is exponential in the worst case.
+
+:func:`optimal_any_order` removes the depth-first restriction (used to
+validate Theorem 2 empirically), and :func:`dnf_decision` answers the
+NP-complete decision problem "is there a schedule of cost at most K?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cost import DnfPrefixCost, dnf_schedule_cost
+from repro.core.heuristics.and_ordered import AndOrderedIncreasingCOverPDynamic
+from repro.core.schedule import Schedule
+from repro.core.tree import DnfTree
+from repro.errors import BudgetExceededError
+
+__all__ = ["SearchResult", "optimal_depth_first", "optimal_any_order", "dnf_decision"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """Outcome of an exhaustive schedule search."""
+
+    schedule: Schedule
+    cost: float
+    nodes_explored: int
+    complete: bool
+
+    def __iter__(self):
+        # Allow ``schedule, cost = optimal_depth_first(tree)`` unpacking while
+        # keeping the richer fields available.
+        yield self.schedule
+        yield self.cost
+
+
+def _leaf_signature(tree: DnfTree, gindex: int) -> tuple[str, int, float]:
+    leaf = tree.leaves[gindex]
+    return (leaf.stream, leaf.items, leaf.prob)
+
+
+def _and_signature(tree: DnfTree, and_index: int) -> tuple:
+    return tuple(sorted(_leaf_signature(tree, g) for g in tree.and_leaf_gindices(and_index)))
+
+
+class _Search:
+    """Shared DFS machinery for the depth-first and any-order searches."""
+
+    def __init__(
+        self,
+        tree: DnfTree,
+        *,
+        depth_first: bool,
+        node_budget: int,
+        upper_bound: float | None,
+        stop_at: float | None,
+        warm_start: Sequence[int] | None,
+    ) -> None:
+        self.tree = tree
+        self.depth_first = depth_first
+        self.node_budget = node_budget
+        self.stop_at = stop_at
+        self.nodes = 0
+        self.state = DnfPrefixCost(tree)
+        self.remaining: list[list[int]] = [
+            list(tree.and_leaf_gindices(i)) for i in range(tree.n_ands)
+        ]
+        self.current_and: int = -1
+        self.prefix: list[int] = []
+        self.best: Schedule | None = None
+        self.best_cost = math.inf
+        if warm_start is not None:
+            self.best = tuple(warm_start)
+            self.best_cost = dnf_schedule_cost(tree, self.best, validate=False)
+        if upper_bound is not None and upper_bound < self.best_cost:
+            # A bound tighter than the warm start: prune below it, but only a
+            # found schedule may become the incumbent.
+            self.best_cost = upper_bound
+            self.best = None
+        self.done = False
+
+    # -- candidate generation with symmetry elimination -----------------
+
+    def _candidates(self) -> list[int]:
+        tree = self.tree
+        if self.depth_first and self.current_and >= 0 and self.remaining[self.current_and]:
+            pool_ands = [self.current_and]
+        else:
+            pool_ands = [i for i in range(tree.n_ands) if self.remaining[i]]
+            if self.depth_first:
+                # Starting a fresh AND: identical untouched ANDs are interchangeable.
+                seen_and: set[tuple] = set()
+                deduped = []
+                for i in pool_ands:
+                    sig = _and_signature(tree, i)
+                    if sig in seen_and:
+                        continue
+                    seen_and.add(sig)
+                    deduped.append(i)
+                pool_ands = deduped
+        out: list[int] = []
+        for i in pool_ands:
+            seen_leaf: set[tuple] = set()
+            for g in self.remaining[i]:
+                sig = _leaf_signature(tree, g)
+                if sig in seen_leaf:
+                    continue
+                seen_leaf.add(sig)
+                out.append(g)
+        return out
+
+    # -- DFS -------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        self._dfs()
+        if self.best is None:
+            # Upper bound excluded every schedule; report the bound-free best
+            # by falling back to the warm-start heuristic.
+            fallback = AndOrderedIncreasingCOverPDynamic().schedule(self.tree)
+            return SearchResult(
+                schedule=fallback,
+                cost=dnf_schedule_cost(self.tree, fallback, validate=False),
+                nodes_explored=self.nodes,
+                complete=False,
+            )
+        return SearchResult(
+            schedule=self.best,
+            cost=self.best_cost,
+            nodes_explored=self.nodes,
+            complete=True,
+        )
+
+    def _dfs(self) -> None:
+        if self.done:
+            return
+        self.nodes += 1
+        if self.nodes > self.node_budget:
+            raise BudgetExceededError(
+                f"exhaustive search exceeded node budget {self.node_budget}"
+            )
+        if self.state.total >= self.best_cost - _EPS:
+            return  # no completion can beat the incumbent
+        if len(self.prefix) == self.tree.size:
+            self.best = tuple(self.prefix)
+            self.best_cost = self.state.total
+            if self.stop_at is not None and self.best_cost <= self.stop_at + _EPS:
+                self.done = True
+            return
+        for g in self._candidates():
+            i, _ = self.tree.ref(g)
+            previous_and = self.current_and
+            self.remaining[i].remove(g)
+            self.prefix.append(g)
+            self.current_and = i
+            token = self.state.push(g)
+            self._dfs()
+            self.state.undo(token)
+            self.current_and = previous_and
+            self.prefix.pop()
+            self.remaining[i].append(g)
+            self.remaining[i].sort()
+            if self.done:
+                return
+
+
+def optimal_depth_first(
+    tree: DnfTree,
+    *,
+    node_budget: int = 5_000_000,
+    warm_start: bool = True,
+) -> SearchResult:
+    """Optimal schedule over all depth-first schedules (optimal overall, Thm. 2).
+
+    Parameters
+    ----------
+    node_budget:
+        Maximum DFS nodes before raising
+        :class:`~repro.errors.BudgetExceededError`.
+    warm_start:
+        Seed the incumbent with the best paper heuristic
+        (AND-ordered, increasing C/p, dynamic) to tighten pruning.
+    """
+    start = AndOrderedIncreasingCOverPDynamic().schedule(tree) if warm_start else None
+    search = _Search(
+        tree,
+        depth_first=True,
+        node_budget=node_budget,
+        upper_bound=None,
+        stop_at=None,
+        warm_start=start,
+    )
+    return search.run()
+
+
+def optimal_any_order(
+    tree: DnfTree,
+    *,
+    node_budget: int = 5_000_000,
+    warm_start: bool = True,
+) -> SearchResult:
+    """Optimal schedule over *all* leaf permutations (Theorem 2 validation).
+
+    Exponentially more expensive than :func:`optimal_depth_first`; only for
+    small instances.
+    """
+    start = AndOrderedIncreasingCOverPDynamic().schedule(tree) if warm_start else None
+    search = _Search(
+        tree,
+        depth_first=False,
+        node_budget=node_budget,
+        upper_bound=None,
+        stop_at=None,
+        warm_start=start,
+    )
+    return search.run()
+
+
+def dnf_decision(
+    tree: DnfTree,
+    bound: float,
+    *,
+    node_budget: int = 5_000_000,
+) -> bool:
+    """The NP-complete DNF-Decision problem: exists a schedule of cost <= bound?
+
+    Searches depth-first schedules only, which is sound by Theorem 2 (if any
+    schedule meets the bound, a depth-first one does).
+    """
+    search = _Search(
+        tree,
+        depth_first=True,
+        node_budget=node_budget,
+        # Strictly above ``bound`` so a schedule with cost == bound survives
+        # the ``>= best_cost - eps`` prune and becomes the incumbent.
+        upper_bound=bound + 2.0 * _EPS,
+        stop_at=bound,
+        warm_start=None,
+    )
+    # Cheap accept: the heuristic itself may already meet the bound.
+    heuristic = AndOrderedIncreasingCOverPDynamic().schedule(tree)
+    if dnf_schedule_cost(tree, heuristic, validate=False) <= bound + _EPS:
+        return True
+    result = search.run()
+    return search.best is not None and search.best_cost <= bound + _EPS

@@ -1,0 +1,101 @@
+"""Exact reference evaluator for arbitrary trees and schedules.
+
+This is the *ground truth* the analytic evaluators are validated against: a
+memoized recursion over execution states that computes the exact expected
+cost of any linear schedule on any AND-OR tree, including the shared-stream
+cache. It is exponential in the worst case (the state space keys on the
+tree's resolution state and the cache content) and is therefore only used on
+small instances — tests, counter-example searches, and cross-validation.
+
+Semantics (matching the paper and :mod:`repro.engine`):
+
+* leaves are processed in schedule order;
+* a leaf whose ancestors include a resolved node is skipped at zero cost;
+* evaluating a leaf first fetches its missing items (deterministic cost given
+  the cache), then branches TRUE with probability ``p`` / FALSE with ``1-p``;
+* the recursion stops when the root resolves or the schedule is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.resolution import TreeIndex
+from repro.core.schedule import validate_schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
+from repro.errors import BudgetExceededError
+
+__all__ = ["exact_schedule_cost"]
+
+
+def exact_schedule_cost(
+    tree: Union[QueryTree, AndTree, DnfTree],
+    schedule: Sequence[int],
+    *,
+    max_states: int = 2_000_000,
+) -> float:
+    """Exact expected cost of ``schedule`` on ``tree`` (exponential time).
+
+    Parameters
+    ----------
+    max_states:
+        Guard on the number of memoized states; exceeded ->
+        :class:`~repro.errors.BudgetExceededError`.
+    """
+    schedule = validate_schedule(tree, schedule)
+    index = TreeIndex(tree)
+    leaves = index.tree.leaves
+    costs = index.tree.costs
+
+    stream_slots: dict[str, int] = {}
+    for leaf in leaves:
+        stream_slots.setdefault(leaf.stream, len(stream_slots))
+    leaf_slot = [stream_slots[leaf.stream] for leaf in leaves]
+    leaf_cost = [costs[leaf.stream] for leaf in leaves]
+
+    memo: dict[tuple[int, bytes, tuple[int, ...]], float] = {}
+
+    def rec(idx: int, state, mem: tuple[int, ...]) -> float:
+        # Advance over resolved/skipped leaves; stops are deterministic here.
+        while idx < len(schedule):
+            if state.root_value is not None:
+                return 0.0
+            if not state.is_skipped(schedule[idx]):
+                break
+            idx += 1
+        else:
+            return 0.0
+
+        key = (idx, state.signature(), mem)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if len(memo) >= max_states:
+            raise BudgetExceededError(f"exact evaluator exceeded {max_states} states")
+
+        g = schedule[idx]
+        leaf = leaves[g]
+        slot = leaf_slot[g]
+        have = mem[slot]
+        if leaf.items > have:
+            fetch = (leaf.items - have) * leaf_cost[g]
+            mem2 = mem[:slot] + (leaf.items,) + mem[slot + 1 :]
+        else:
+            fetch = 0.0
+            mem2 = mem
+
+        total = fetch
+        if leaf.prob > 0.0:
+            state_true = state.copy()
+            state_true.set_leaf(g, True)
+            total += leaf.prob * rec(idx + 1, state_true, mem2)
+        if leaf.prob < 1.0:
+            state_false = state.copy()
+            state_false.set_leaf(g, False)
+            total += (1.0 - leaf.prob) * rec(idx + 1, state_false, mem2)
+
+        memo[key] = total
+        return total
+
+    initial_mem = tuple([0] * len(stream_slots))
+    return rec(0, index.new_state(), initial_mem)

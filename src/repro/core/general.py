@@ -1,0 +1,124 @@
+"""Scheduling general AND-OR trees (beyond the paper's AND/DNF classes).
+
+The complexity of PAOTR on general AND-OR trees is open even in the
+read-once model (paper §II); this module provides the tooling to explore it:
+
+* :func:`recursive_ratio_order` — the classical bottom-up heuristic: each
+  internal node aggregates its children's (expected cost, success
+  probability) pairs, ordering children by ``C/q`` under AND nodes and
+  ``C/p`` under OR nodes; the schedule is the induced depth-first leaf
+  order. Exact on read-once depth-2 trees, a heuristic otherwise (and
+  sharing-oblivious).
+* :func:`optimal_general` — exact optimum over all leaf permutations using
+  the exact shared-cost evaluator; exponential, budget-guarded, for small
+  trees and ground-truthing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Union
+
+from repro.core.exact import exact_schedule_cost
+from repro.core.schedule import Schedule
+from repro.core.tree import AndNode, AndTree, DnfTree, LeafNode, Node, OrNode, QueryTree
+from repro.errors import BudgetExceededError
+
+__all__ = ["recursive_ratio_order", "optimal_general"]
+
+
+def _as_query_tree(tree: Union[QueryTree, AndTree, DnfTree]) -> QueryTree:
+    if isinstance(tree, QueryTree):
+        return tree
+    if isinstance(tree, AndTree):
+        return tree.to_dnf().to_query_tree()
+    return tree.to_query_tree()
+
+
+def recursive_ratio_order(tree: Union[QueryTree, AndTree, DnfTree]) -> Schedule:
+    """Bottom-up ratio heuristic for arbitrary AND-OR trees.
+
+    Returns a leaf order (global indices). Aggregation per node, assuming
+    children are evaluated in the chosen order and treating subtrees as
+    independent (read-once reasoning):
+
+    * AND: children by increasing ``C/q``; ``C = sum C_i * prod_{j<i} p_j``;
+      ``p = prod p_i``;
+    * OR: children by increasing ``C/p``; ``C = sum C_i * prod_{j<i} q_j``;
+      ``p = 1 - prod q_i``.
+    """
+    qtree = _as_query_tree(tree)
+    costs = qtree.costs
+
+    leaf_counter = itertools.count()
+
+    def ratio(cost: float, denom: float) -> float:
+        if denom <= 0.0:
+            return math.inf if cost > 0.0 else 0.0
+        return cost / denom
+
+    def visit(node: Node) -> tuple[float, float, list[int]]:
+        """Returns (expected cost, success prob, leaf order)."""
+        if isinstance(node, LeafNode):
+            index = next(leaf_counter)
+            leaf = node.leaf
+            return leaf.items * costs[leaf.stream], leaf.prob, [index]
+        children = [visit(child) for child in node.children]  # type: ignore[attr-defined]
+        if isinstance(node, AndNode):
+            children.sort(key=lambda entry: ratio(entry[0], 1.0 - entry[1]))
+            cost = 0.0
+            carry = 1.0
+            prob = 1.0
+            order: list[int] = []
+            for child_cost, child_prob, child_order in children:
+                cost += carry * child_cost
+                carry *= child_prob
+                prob *= child_prob
+                order.extend(child_order)
+            return cost, prob, order
+        children.sort(key=lambda entry: ratio(entry[0], entry[1]))
+        cost = 0.0
+        carry = 1.0
+        fail = 1.0
+        order = []
+        for child_cost, child_prob, child_order in children:
+            cost += carry * child_cost
+            carry *= 1.0 - child_prob
+            fail *= 1.0 - child_prob
+            order.extend(child_order)
+        return cost, 1.0 - fail, order
+
+    _, _, order = visit(qtree.root)
+    return tuple(order)
+
+
+def optimal_general(
+    tree: Union[QueryTree, AndTree, DnfTree],
+    *,
+    max_leaves: int = 8,
+    max_states: int = 2_000_000,
+) -> tuple[Schedule, float]:
+    """Exact optimum over all leaf permutations of a general tree.
+
+    Uses the exact shared-cost evaluator per permutation; ``O(m! * 2^m)``
+    worst case — ground truth for small instances only.
+    """
+    qtree = _as_query_tree(tree)
+    m = len(qtree.leaves)
+    if m > max_leaves:
+        raise BudgetExceededError(f"general optimum limited to {max_leaves} leaves, tree has {m}")
+    signature = [(leaf.stream, leaf.items, leaf.prob) for leaf in qtree.leaves]
+    best: Schedule = tuple(range(m))
+    best_cost = math.inf
+    seen: set[tuple] = set()
+    for perm in itertools.permutations(range(m)):
+        sig = tuple(signature[idx] for idx in perm)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        cost = exact_schedule_cost(qtree, perm, max_states=max_states)
+        if cost < best_cost - 1e-15:
+            best_cost = cost
+            best = perm
+    return best, best_cost

@@ -1,0 +1,55 @@
+"""Polynomial-time scheduling heuristics for DNF trees (paper §IV-D).
+
+Three families — leaf-ordered, AND-ordered and stream-ordered — behind a
+common :class:`~repro.core.heuristics.base.Scheduler` interface and a name
+registry. Importing this package registers all built-in heuristics.
+"""
+
+from repro.core.heuristics.base import (
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    make_paper_heuristics,
+    paper_heuristic_names,
+    register_scheduler,
+)
+from repro.core.heuristics.leaf_ordered import (
+    LeafOrderedDecreasingQ,
+    LeafOrderedIncreasingCost,
+    LeafOrderedIncreasingCostOverQ,
+    LeafOrderedRandom,
+    leaf_full_cost,
+)
+from repro.core.heuristics.and_ordered import (
+    AndOrderedDecreasingP,
+    AndOrderedIncreasingCDynamic,
+    AndOrderedIncreasingCOverPDynamic,
+    AndOrderedIncreasingCOverPStatic,
+    AndOrderedIncreasingCStatic,
+    and_block_plan,
+)
+from repro.core.heuristics.stream_ordered import StreamOrdered, stream_metric
+from repro.core.heuristics.exhaustive import ExhaustiveOptimal
+
+__all__ = [
+    "Scheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "paper_heuristic_names",
+    "make_paper_heuristics",
+    "leaf_full_cost",
+    "and_block_plan",
+    "stream_metric",
+    "LeafOrderedRandom",
+    "LeafOrderedDecreasingQ",
+    "LeafOrderedIncreasingCost",
+    "LeafOrderedIncreasingCostOverQ",
+    "AndOrderedDecreasingP",
+    "AndOrderedIncreasingCStatic",
+    "AndOrderedIncreasingCDynamic",
+    "AndOrderedIncreasingCOverPStatic",
+    "AndOrderedIncreasingCOverPDynamic",
+    "StreamOrdered",
+    "ExhaustiveOptimal",
+]

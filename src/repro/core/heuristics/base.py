@@ -1,0 +1,110 @@
+"""Scheduler interface and registry for the DNF heuristics of paper §IV-D.
+
+Every heuristic is a :class:`Scheduler`: a (usually stateless) object that
+maps a :class:`~repro.core.tree.DnfTree` to a schedule. Heuristics register
+themselves by name so experiment drivers and user code can instantiate them
+uniformly::
+
+    from repro.core.heuristics import get_scheduler
+
+    sched = get_scheduler("and-inc-c-over-p-dynamic").schedule(tree)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, ClassVar, Iterable
+
+from repro.core.cost import dnf_schedule_cost
+from repro.core.schedule import Schedule
+from repro.core.tree import DnfTree
+from repro.errors import ReproError
+
+__all__ = [
+    "Scheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "paper_heuristic_names",
+]
+
+_REGISTRY: dict[str, Callable[..., "Scheduler"]] = {}
+
+#: Registry names of the 10 heuristics evaluated in the paper's Figure 5,
+#: in the figure's legend order.
+_PAPER_HEURISTICS: tuple[str, ...] = (
+    "stream-ordered",
+    "leaf-random",
+    "leaf-dec-q",
+    "leaf-inc-c",
+    "leaf-inc-c-over-q",
+    "and-dec-p",
+    "and-inc-c-static",
+    "and-inc-c-over-p-static",
+    "and-inc-c-dynamic",
+    "and-inc-c-over-p-dynamic",
+)
+
+
+class Scheduler(abc.ABC):
+    """A schedule-producing strategy for DNF trees.
+
+    Attributes
+    ----------
+    name:
+        Registry identifier (kebab-case).
+    paper_label:
+        The label used in the paper's figures (e.g. ``"AND-ord., inc. C/p, dyn"``).
+    """
+
+    name: ClassVar[str] = ""
+    paper_label: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def schedule(self, tree: DnfTree) -> Schedule:
+        """Compute an evaluation order for the leaves of ``tree``."""
+
+    def cost(self, tree: DnfTree) -> float:
+        """Expected cost of this scheduler's schedule on ``tree`` (Prop. 2)."""
+        return dnf_schedule_cost(tree, self.schedule(tree), validate=False)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+    """Class decorator: add a scheduler class to the registry under ``cls.name``."""
+    if not cls.name:
+        raise ReproError(f"{cls.__name__} has no registry name")
+    if cls.name in _REGISTRY:
+        raise ReproError(f"duplicate scheduler name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name (kwargs go to its constructor)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ReproError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """All registered scheduler names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def paper_heuristic_names() -> tuple[str, ...]:
+    """The 10 heuristics of the paper's Figure 5, in legend order."""
+    return _PAPER_HEURISTICS
+
+
+def make_paper_heuristics(seed: int | None = 0) -> dict[str, Scheduler]:
+    """Instantiate the paper's 10 heuristics (``seed`` feeds the random baseline)."""
+    out: dict[str, Scheduler] = {}
+    for name in _PAPER_HEURISTICS:
+        out[name] = get_scheduler(name, seed=seed) if name == "leaf-random" else get_scheduler(name)
+    return out

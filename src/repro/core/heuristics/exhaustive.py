@@ -1,0 +1,43 @@
+"""The exhaustive optimum wrapped as a registry scheduler.
+
+Lets sessions, the CLI and comparison harnesses treat "solve to optimality"
+as just another named scheduler (``"optimal"``) — with the usual caveat that
+it is exponential and budget-guarded.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.heuristics.base import Scheduler, register_scheduler
+from repro.core.schedule import Schedule
+from repro.core.tree import DnfTree
+
+__all__ = ["ExhaustiveOptimal"]
+
+
+@register_scheduler
+class ExhaustiveOptimal(Scheduler):
+    """Branch-and-bound exhaustive search over depth-first schedules.
+
+    Optimal overall by Theorem 2. Exponential: use on small trees or with a
+    generous ``node_budget`` and patience.
+    """
+
+    name: ClassVar[str] = "optimal"
+    paper_label: ClassVar[str] = "Optimal (exhaustive)"
+
+    def __init__(self, node_budget: int = 5_000_000, warm_start: bool = True) -> None:
+        self.node_budget = node_budget
+        self.warm_start = warm_start
+
+    def schedule(self, tree: DnfTree) -> Schedule:
+        from repro.core.dnf_optimal import optimal_depth_first  # avoid import cycle
+
+        result = optimal_depth_first(
+            tree, node_budget=self.node_budget, warm_start=self.warm_start
+        )
+        return result.schedule
+
+    def __repr__(self) -> str:
+        return f"ExhaustiveOptimal(node_budget={self.node_budget})"

@@ -1,0 +1,104 @@
+"""Leaf-ordered heuristics (paper §IV-D, first family).
+
+These ignore the tree structure entirely and simply sort the leaves by a
+per-leaf key:
+
+* *decreasing q* — prioritize leaves likely to short-circuit their AND;
+* *increasing C* (``C = d * c``) — prioritize cheap leaves;
+* *increasing C/q* — cheap per unit of short-circuit power;
+* *random* — the baseline.
+
+Ties break by global leaf index, making every heuristic deterministic (the
+random one is deterministic given its seed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro.core.heuristics.base import Scheduler, register_scheduler
+from repro.core.leaf import Leaf
+from repro.core.schedule import Schedule
+from repro.core.tree import DnfTree
+
+__all__ = [
+    "LeafOrderedRandom",
+    "LeafOrderedDecreasingQ",
+    "LeafOrderedIncreasingCost",
+    "LeafOrderedIncreasingCostOverQ",
+    "leaf_full_cost",
+]
+
+
+def leaf_full_cost(leaf: Leaf, costs) -> float:
+    """The leaf-ordered heuristics' cost metric ``C = d * c(S)``."""
+    return leaf.items * costs[leaf.stream]
+
+
+class _KeySortedScheduler(Scheduler):
+    """Common machinery: sort global leaf indices by a per-leaf key."""
+
+    def _key(self, leaf: Leaf, tree: DnfTree) -> float:
+        raise NotImplementedError
+
+    def schedule(self, tree: DnfTree) -> Schedule:
+        keyed = sorted(
+            range(tree.size), key=lambda g: (self._key(tree.leaves[g], tree), g)
+        )
+        return tuple(keyed)
+
+
+@register_scheduler
+class LeafOrderedRandom(Scheduler):
+    """Uniformly random leaf order — the baseline of Figure 5."""
+
+    name: ClassVar[str] = "leaf-random"
+    paper_label: ClassVar[str] = "Leaf-ord., random"
+
+    def __init__(self, seed: int | None = None, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def schedule(self, tree: DnfTree) -> Schedule:
+        return tuple(int(g) for g in self._rng.permutation(tree.size))
+
+    def __repr__(self) -> str:  # rng state is not meaningfully printable
+        return "LeafOrderedRandom()"
+
+
+@register_scheduler
+class LeafOrderedDecreasingQ(_KeySortedScheduler):
+    """Sort by decreasing failure probability ``q = 1 - p``."""
+
+    name: ClassVar[str] = "leaf-dec-q"
+    paper_label: ClassVar[str] = "Leaf-ord., dec. q"
+
+    def _key(self, leaf: Leaf, tree: DnfTree) -> float:
+        return -leaf.fail
+
+
+@register_scheduler
+class LeafOrderedIncreasingCost(_KeySortedScheduler):
+    """Sort by increasing full acquisition cost ``C = d * c``."""
+
+    name: ClassVar[str] = "leaf-inc-c"
+    paper_label: ClassVar[str] = "Leaf-ord., inc. C"
+
+    def _key(self, leaf: Leaf, tree: DnfTree) -> float:
+        return leaf_full_cost(leaf, tree.costs)
+
+
+@register_scheduler
+class LeafOrderedIncreasingCostOverQ(_KeySortedScheduler):
+    """Sort by increasing ``C/q`` (the read-once Smith index, applied blindly)."""
+
+    name: ClassVar[str] = "leaf-inc-c-over-q"
+    paper_label: ClassVar[str] = "Leaf-ord., inc. C/q"
+
+    def _key(self, leaf: Leaf, tree: DnfTree) -> float:
+        cost = leaf_full_cost(leaf, tree.costs)
+        if leaf.fail <= 0.0:
+            return math.inf if cost > 0.0 else 0.0
+        return cost / leaf.fail

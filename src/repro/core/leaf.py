@@ -1,0 +1,86 @@
+"""Leaf predicates of a boolean query tree.
+
+A leaf is the atomic unit of the PAOTR problem (Casanova et al., IPDPS 2014):
+a probabilistic boolean predicate that reads the ``items`` most recent data
+items of a single sensor ``stream`` and evaluates to TRUE with probability
+``prob``, independently of every other leaf.
+
+The *shared* cost model of the paper is captured at the tree/evaluator level:
+a leaf itself only declares *what* it needs (``stream``, ``items``); how much
+acquiring those items costs depends on what earlier leaves already fetched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.errors import InvalidLeafError
+
+__all__ = ["Leaf"]
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf:
+    """A probabilistic single-stream predicate leaf.
+
+    Parameters
+    ----------
+    stream:
+        Name of the data stream the predicate reads (e.g. ``"A"``).
+    items:
+        Number of most-recent data items required, ``d_j >= 1`` in the paper's
+        notation. The leaf needs items ``1..items`` (item 1 is the newest).
+    prob:
+        Success probability ``p_j`` in ``[0, 1]`` — the probability that the
+        predicate evaluates to TRUE.
+    label:
+        Optional human-readable name (``"l1"``, ``"AVG(A,5) < 70"``, ...).
+
+    Examples
+    --------
+    >>> leaf = Leaf("A", items=5, prob=0.75, label="AVG(A,5) < 70")
+    >>> leaf.fail
+    0.25
+    >>> leaf.acquisition_cost({"A": 2.0})
+    10.0
+    """
+
+    stream: str
+    items: int
+    prob: float
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stream, str) or not self.stream:
+            raise InvalidLeafError(f"leaf stream must be a non-empty string, got {self.stream!r}")
+        if not isinstance(self.items, int) or isinstance(self.items, bool) or self.items < 1:
+            raise InvalidLeafError(f"leaf items must be an int >= 1, got {self.items!r}")
+        if not isinstance(self.prob, (int, float)) or isinstance(self.prob, bool):
+            raise InvalidLeafError(f"leaf prob must be a float, got {self.prob!r}")
+        if math.isnan(self.prob) or not 0.0 <= self.prob <= 1.0:
+            raise InvalidLeafError(f"leaf prob must be in [0, 1], got {self.prob!r}")
+        object.__setattr__(self, "prob", float(self.prob))
+
+    @property
+    def fail(self) -> float:
+        """Failure probability ``q_j = 1 - p_j``."""
+        return 1.0 - self.prob
+
+    def acquisition_cost(self, costs: Mapping[str, float]) -> float:
+        """Full cost ``d_j * c(S(j))`` of evaluating this leaf from an empty cache."""
+        return self.items * costs[self.stream]
+
+    def marginal_cost(self, costs: Mapping[str, float], cached_items: int) -> float:
+        """Cost of evaluating this leaf when ``cached_items`` items of its stream are cached."""
+        return max(0, self.items - cached_items) * costs[self.stream]
+
+    def with_prob(self, prob: float) -> "Leaf":
+        """Return a copy of this leaf with a different success probability."""
+        return replace(self, prob=prob)
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``A[5] p=0.75 (AVG(A,5) < 70)``."""
+        base = f"{self.stream}[{self.items}] p={self.prob:g}"
+        return f"{base} ({self.label})" if self.label else base

@@ -1,0 +1,92 @@
+"""Monte-Carlo estimation of schedule costs.
+
+An independent line of validation for the analytic evaluators: sample leaf
+outcomes, *simulate* the short-circuited execution with the shared item
+cache, and average the incurred acquisition costs. Sampling is vectorized
+with NumPy; the per-sample walk mirrors :mod:`repro.engine.executor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.resolution import TreeIndex
+from repro.core.schedule import validate_schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
+
+__all__ = ["MonteCarloResult", "monte_carlo_cost"]
+
+
+@dataclass(frozen=True, slots=True)
+class MonteCarloResult:
+    """Summary statistics of a Monte-Carlo cost estimation run."""
+
+    mean: float
+    std_error: float
+    n_samples: int
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the expected cost."""
+        half = 1.96 * self.std_error
+        return (self.mean - half, self.mean + half)
+
+    def compatible_with(self, expected: float, *, z: float = 4.0) -> bool:
+        """True when ``expected`` lies within ``z`` standard errors of the mean."""
+        if self.std_error == 0.0:
+            return math.isclose(self.mean, expected, rel_tol=1e-9, abs_tol=1e-9)
+        return abs(self.mean - expected) <= z * self.std_error
+
+
+def monte_carlo_cost(
+    tree: Union[QueryTree, AndTree, DnfTree],
+    schedule: Sequence[int],
+    *,
+    n_samples: int = 10_000,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> MonteCarloResult:
+    """Estimate the expected cost of ``schedule`` by simulated execution."""
+    schedule = validate_schedule(tree, schedule)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    index = TreeIndex(tree)
+    leaves = index.tree.leaves
+    costs = index.tree.costs
+
+    stream_slots: dict[str, int] = {}
+    for leaf in leaves:
+        stream_slots.setdefault(leaf.stream, len(stream_slots))
+    leaf_slot = [stream_slots[leaf.stream] for leaf in leaves]
+    leaf_items = [leaf.items for leaf in leaves]
+    leaf_cost = [costs[leaf.stream] for leaf in leaves]
+    probs = np.array([leaf.prob for leaf in leaves])
+
+    outcomes = rng.random((n_samples, len(leaves))) < probs  # vectorized draws
+    sample_costs = np.empty(n_samples)
+    n_slots = len(stream_slots)
+    for row in range(n_samples):
+        state = index.new_state()
+        mem = [0] * n_slots
+        cost = 0.0
+        row_outcomes = outcomes[row]
+        for g in schedule:
+            if state.root_value is not None:
+                break
+            if state.is_skipped(g):
+                continue
+            slot = leaf_slot[g]
+            missing = leaf_items[g] - mem[slot]
+            if missing > 0:
+                cost += missing * leaf_cost[g]
+                mem[slot] = leaf_items[g]
+            state.set_leaf(g, bool(row_outcomes[g]))
+        sample_costs[row] = cost
+
+    mean = float(sample_costs.mean())
+    std_error = float(sample_costs.std(ddof=1) / math.sqrt(n_samples)) if n_samples > 1 else 0.0
+    return MonteCarloResult(mean=mean, std_error=std_error, n_samples=n_samples)

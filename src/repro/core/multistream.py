@@ -1,0 +1,228 @@
+"""Multi-stream predicates — paper §V future work.
+
+The paper closes by asking what happens when a single leaf predicate reads
+*several* streams (e.g. ``AVG(X,10) < MIN(Y,20)``) and whether AND-tree
+scheduling stays polynomial. This module provides the machinery to study the
+question empirically:
+
+* :class:`MultiLeaf` — a leaf with per-stream item requirements;
+* :class:`MultiStreamAndTree` — an AND-tree over such leaves;
+* :func:`multi_and_tree_cost` — exact expected schedule cost (the cache is
+  still deterministic along an AND-tree's prefix, so the closed form
+  generalizes directly);
+* :func:`brute_force_multi` — exact optimum by enumeration;
+* :func:`adaptive_greedy_multi` — the natural generalization of the greedy
+  idea: repeatedly evaluate the leaf minimizing (marginal cost given the
+  current cache) / (failure probability);
+* :func:`smith_multi_order` — the static Smith-style baseline (full
+  acquisition cost / failure probability, no cache awareness).
+
+On single-stream instances all of this reduces exactly to the classical
+machinery (property-tested); on genuinely multi-stream instances the greedy
+is *not* always optimal — evidence that the paper's open question is not
+trivially polynomial (see ``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.leaf import Leaf
+from repro.errors import BudgetExceededError, InvalidLeafError, InvalidTreeError
+
+__all__ = [
+    "MultiLeaf",
+    "MultiStreamAndTree",
+    "multi_and_tree_cost",
+    "brute_force_multi",
+    "adaptive_greedy_multi",
+    "smith_multi_order",
+]
+
+
+@dataclass(frozen=True)
+class MultiLeaf:
+    """A predicate reading several streams: ``requirements[stream] = items``."""
+
+    requirements: tuple[tuple[str, int], ...]
+    prob: float
+    label: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        requirements: Mapping[str, int] | Sequence[tuple[str, int]],
+        prob: float,
+        label: str = "",
+    ) -> None:
+        if isinstance(requirements, Mapping):
+            pairs = tuple(sorted(requirements.items()))
+        else:
+            pairs = tuple(sorted(requirements))
+        if not pairs:
+            raise InvalidLeafError("a multi-stream leaf needs at least one stream")
+        seen = set()
+        for stream, items in pairs:
+            if not isinstance(stream, str) or not stream:
+                raise InvalidLeafError(f"invalid stream name {stream!r}")
+            if stream in seen:
+                raise InvalidLeafError(f"duplicate stream {stream!r} in one leaf")
+            seen.add(stream)
+            if not isinstance(items, int) or items < 1:
+                raise InvalidLeafError(f"items for {stream!r} must be an int >= 1, got {items!r}")
+        if not 0.0 <= prob <= 1.0 or math.isnan(prob):
+            raise InvalidLeafError(f"prob must be in [0, 1], got {prob!r}")
+        object.__setattr__(self, "requirements", pairs)
+        object.__setattr__(self, "prob", float(prob))
+        object.__setattr__(self, "label", label)
+
+    @classmethod
+    def from_leaf(cls, leaf: Leaf) -> "MultiLeaf":
+        """Wrap a classical single-stream leaf."""
+        return cls({leaf.stream: leaf.items}, leaf.prob, leaf.label)
+
+    @property
+    def fail(self) -> float:
+        return 1.0 - self.prob
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        return tuple(stream for stream, _ in self.requirements)
+
+    def marginal_cost(self, costs: Mapping[str, float], cached: Mapping[str, int]) -> float:
+        """Acquisition cost given per-stream cached item counts."""
+        total = 0.0
+        for stream, items in self.requirements:
+            missing = items - cached.get(stream, 0)
+            if missing > 0:
+                total += missing * costs[stream]
+        return total
+
+    def full_cost(self, costs: Mapping[str, float]) -> float:
+        return self.marginal_cost(costs, {})
+
+
+@dataclass(frozen=True)
+class MultiStreamAndTree:
+    """AND of multi-stream leaves (the open problem's setting)."""
+
+    leaves: tuple[MultiLeaf, ...]
+    costs: Mapping[str, float]
+
+    def __init__(
+        self, leaves: Sequence[MultiLeaf], costs: Mapping[str, float] | None = None,
+        *, default_cost: float = 1.0,
+    ) -> None:
+        leaves = tuple(leaves)
+        if not leaves:
+            raise InvalidTreeError("an AND-tree needs at least one leaf")
+        table = dict(costs) if costs is not None else {}
+        for leaf in leaves:
+            for stream, _ in leaf.requirements:
+                if stream not in table:
+                    if costs is not None:
+                        raise InvalidTreeError(f"no cost given for stream {stream!r}")
+                    table[stream] = default_cost
+        object.__setattr__(self, "leaves", leaves)
+        object.__setattr__(self, "costs", table)
+
+    @property
+    def m(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for leaf in self.leaves:
+            for stream, _ in leaf.requirements:
+                seen.setdefault(stream, None)
+        return tuple(seen)
+
+
+def multi_and_tree_cost(tree: MultiStreamAndTree, schedule: Sequence[int]) -> float:
+    """Expected cost of a schedule: same shape as the single-stream closed form.
+
+    Along an AND-tree schedule every earlier leaf was evaluated, so the cache
+    is deterministic and the expectation telescopes.
+    """
+    order = tuple(schedule)
+    if sorted(order) != list(range(tree.m)):
+        raise InvalidTreeError(f"schedule {order!r} is not a permutation of the leaves")
+    cached: dict[str, int] = {}
+    prob_prefix = 1.0
+    total = 0.0
+    for idx in order:
+        leaf = tree.leaves[idx]
+        total += prob_prefix * leaf.marginal_cost(tree.costs, cached)
+        for stream, items in leaf.requirements:
+            if items > cached.get(stream, 0):
+                cached[stream] = items
+        prob_prefix *= leaf.prob
+    return total
+
+
+def brute_force_multi(
+    tree: MultiStreamAndTree, *, max_leaves: int = 9
+) -> tuple[tuple[int, ...], float]:
+    """Exact optimum by enumerating all schedules (identical leaves deduped)."""
+    if tree.m > max_leaves:
+        raise BudgetExceededError(f"brute force limited to {max_leaves} leaves, tree has {tree.m}")
+    signature = [(leaf.requirements, leaf.prob) for leaf in tree.leaves]
+    best_cost = math.inf
+    best: tuple[int, ...] = tuple(range(tree.m))
+    seen: set[tuple] = set()
+    for perm in itertools.permutations(range(tree.m)):
+        sig = tuple(signature[idx] for idx in perm)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        cost = multi_and_tree_cost(tree, perm)
+        if cost < best_cost - 1e-15:
+            best_cost = cost
+            best = perm
+    return best, best_cost
+
+
+def adaptive_greedy_multi(tree: MultiStreamAndTree) -> tuple[int, ...]:
+    """Cache-aware greedy: next = argmin marginal_cost(cache) / q.
+
+    Reduces to a Smith-like rule on read-once instances; *not* optimal in
+    general (which is the empirical content of the paper's open question).
+    """
+    remaining = list(range(tree.m))
+    cached: dict[str, int] = {}
+    schedule: list[int] = []
+    while remaining:
+        best_idx = remaining[0]
+        best_key = math.inf
+        for idx in remaining:
+            leaf = tree.leaves[idx]
+            marginal = leaf.marginal_cost(tree.costs, cached)
+            if leaf.fail <= 0.0:
+                key = math.inf if marginal > 0.0 else 0.0
+            else:
+                key = marginal / leaf.fail
+            if key < best_key:
+                best_key = key
+                best_idx = idx
+        remaining.remove(best_idx)
+        schedule.append(best_idx)
+        for stream, items in tree.leaves[best_idx].requirements:
+            if items > cached.get(stream, 0):
+                cached[stream] = items
+    return tuple(schedule)
+
+
+def smith_multi_order(tree: MultiStreamAndTree) -> tuple[int, ...]:
+    """Static Smith baseline: sort by full acquisition cost / q (no cache)."""
+
+    def key(idx: int) -> tuple[float, int]:
+        leaf = tree.leaves[idx]
+        cost = leaf.full_cost(tree.costs)
+        if leaf.fail <= 0.0:
+            return (math.inf if cost > 0.0 else 0.0, idx)
+        return (cost / leaf.fail, idx)
+
+    return tuple(sorted(range(tree.m), key=key))

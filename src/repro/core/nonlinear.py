@@ -1,0 +1,315 @@
+"""Non-linear (decision-tree) strategies — paper §V future work.
+
+A *linear* strategy fixes one leaf order up front; a *non-linear* strategy
+chooses the next leaf based on the truth values observed so far. In the
+read-once case linear strategies are dominant for DNF trees (Greiner et al.),
+but the paper notes this is **no longer true in the shared case** — which
+motivates this module:
+
+* :class:`StrategyNode` — an explicit decision tree over leaf evaluations;
+* :func:`linear_as_strategy` — embed a schedule as the equivalent strategy
+  (skipping short-circuited leaves), a correctness bridge to Prop. 2 costs;
+* :func:`strategy_cost` — exact expected cost of any strategy;
+* :func:`optimal_nonlinear` — exact optimal strategy by memoized dynamic
+  programming over (per-AND remaining leaves, cache content) states
+  (exponential; small instances only);
+* :func:`find_nonlinear_gap` — random search for instances where the optimal
+  non-linear strategy strictly beats the optimal linear schedule,
+  demonstrating the paper's §V claim constructively.
+
+Note the DP state does not need observed truth values beyond "which leaves
+remain in which alive AND": leaves are independent and an alive AND's
+evaluated leaves were necessarily all TRUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.dnf_optimal import optimal_any_order
+from repro.core.schedule import validate_schedule
+from repro.core.tree import DnfTree
+from repro.errors import BudgetExceededError
+
+__all__ = [
+    "StrategyNode",
+    "strategy_cost",
+    "strategy_size",
+    "linear_as_strategy",
+    "optimal_nonlinear",
+    "find_nonlinear_gap",
+    "NonlinearGap",
+]
+
+
+@dataclass(frozen=True)
+class StrategyNode:
+    """Evaluate ``leaf`` (a global index); branch on its truth value.
+
+    ``on_true`` / ``on_false`` are either the next :class:`StrategyNode` or
+    ``None``, meaning the query is resolved at that point (the tree's
+    resolution semantics imply the value; no further leaf is evaluated).
+    """
+
+    leaf: int
+    on_true: Union["StrategyNode", None]
+    on_false: Union["StrategyNode", None]
+
+
+def strategy_size(strategy: StrategyNode | None) -> int:
+    """Number of decision nodes (the paper notes this can be exponential)."""
+    if strategy is None:
+        return 0
+    return 1 + strategy_size(strategy.on_true) + strategy_size(strategy.on_false)
+
+
+# ---------------------------------------------------------------------------
+# Execution-state helpers shared by cost evaluation and the DP
+# ---------------------------------------------------------------------------
+
+
+def _initial_state(tree: DnfTree) -> tuple[frozenset[int] | None, ...]:
+    """Per-AND state: frozenset of remaining leaf gindices, or None if dead."""
+    return tuple(frozenset(tree.and_leaf_gindices(i)) for i in range(tree.n_ands))
+
+
+def _resolved(state: tuple[frozenset[int] | None, ...]) -> bool | None:
+    """Query value implied by the state, or None while open."""
+    all_dead = True
+    for remaining in state:
+        if remaining is None:
+            continue
+        if not remaining:
+            return True  # an alive AND ran out of leaves: all its leaves were TRUE
+        all_dead = False
+    return False if all_dead else None
+
+
+def _apply(
+    state: tuple[frozenset[int] | None, ...],
+    and_index: int,
+    leaf: int,
+    outcome: bool,
+) -> tuple[frozenset[int] | None, ...]:
+    updated = list(state)
+    if outcome:
+        remaining = state[and_index]
+        assert remaining is not None
+        updated[and_index] = remaining - {leaf}
+    else:
+        updated[and_index] = None
+    return tuple(updated)
+
+
+class _Memory:
+    """Stream slot bookkeeping shared by the evaluators."""
+
+    def __init__(self, tree: DnfTree) -> None:
+        slots: dict[str, int] = {}
+        for leaf in tree.leaves:
+            slots.setdefault(leaf.stream, len(slots))
+        self.slots = slots
+        self.leaf_slot = [slots[leaf.stream] for leaf in tree.leaves]
+        self.leaf_items = [leaf.items for leaf in tree.leaves]
+        self.leaf_cost = [tree.costs[leaf.stream] for leaf in tree.leaves]
+        self.initial = tuple([0] * len(slots))
+
+    def fetch(self, mem: tuple[int, ...], g: int) -> tuple[float, tuple[int, ...]]:
+        slot = self.leaf_slot[g]
+        have = mem[slot]
+        items = self.leaf_items[g]
+        if items <= have:
+            return 0.0, mem
+        cost = (items - have) * self.leaf_cost[g]
+        return cost, mem[:slot] + (items,) + mem[slot + 1 :]
+
+
+# ---------------------------------------------------------------------------
+# Strategy cost and linear embedding
+# ---------------------------------------------------------------------------
+
+
+def strategy_cost(tree: DnfTree, strategy: StrategyNode | None) -> float:
+    """Exact expected cost of executing ``strategy`` on ``tree``.
+
+    Raises if the strategy evaluates a leaf that is already short-circuited
+    or re-evaluates a leaf (both would be ill-formed strategies).
+    """
+    memory = _Memory(tree)
+
+    def walk(
+        node: StrategyNode | None,
+        state: tuple[frozenset[int] | None, ...],
+        mem: tuple[int, ...],
+    ) -> float:
+        resolved = _resolved(state)
+        if node is None:
+            if resolved is None:
+                raise ValueError("strategy terminates before the query is resolved")
+            return 0.0
+        if resolved is not None:
+            raise ValueError("strategy keeps evaluating after the query resolved")
+        g = node.leaf
+        i, _ = tree.ref(g)
+        remaining = state[i]
+        if remaining is None or g not in remaining:
+            raise ValueError(f"strategy evaluates unavailable leaf {g}")
+        fetch, mem2 = memory.fetch(mem, g)
+        leaf = tree.leaves[g]
+        total = fetch
+        if leaf.prob > 0.0:
+            total += leaf.prob * walk(node.on_true, _apply(state, i, g, True), mem2)
+        if leaf.prob < 1.0:
+            total += (1.0 - leaf.prob) * walk(node.on_false, _apply(state, i, g, False), mem2)
+        return total
+
+    return walk(strategy, _initial_state(tree), memory.initial)
+
+
+def linear_as_strategy(tree: DnfTree, schedule: Sequence[int]) -> StrategyNode | None:
+    """The decision tree equivalent to executing ``schedule`` linearly.
+
+    Short-circuited leaves are skipped exactly as the linear executor skips
+    them, so ``strategy_cost(tree, linear_as_strategy(tree, s))`` equals
+    ``dnf_schedule_cost(tree, s)`` (a test-suite invariant).
+    """
+    schedule = validate_schedule(tree, schedule)
+
+    def build(
+        idx: int, state: tuple[frozenset[int] | None, ...]
+    ) -> StrategyNode | None:
+        while idx < len(schedule):
+            if _resolved(state) is not None:
+                return None
+            g = schedule[idx]
+            i, _ = tree.ref(g)
+            remaining = state[i]
+            if remaining is None or g not in remaining:
+                idx += 1
+                continue
+            return StrategyNode(
+                leaf=g,
+                on_true=build(idx + 1, _apply(state, i, g, True)),
+                on_false=build(idx + 1, _apply(state, i, g, False)),
+            )
+        return None
+
+    return build(0, _initial_state(tree))
+
+
+# ---------------------------------------------------------------------------
+# Optimal non-linear strategy (exact DP)
+# ---------------------------------------------------------------------------
+
+
+def optimal_nonlinear(
+    tree: DnfTree, *, max_states: int = 500_000
+) -> tuple[StrategyNode | None, float]:
+    """Exact optimal decision-tree strategy by memoized DP.
+
+    Returns ``(strategy, expected_cost)``. State space is exponential in the
+    number of leaves; guarded by ``max_states``.
+    """
+    memory = _Memory(tree)
+    value_memo: dict[tuple, tuple[float, tuple[int, int] | None]] = {}
+
+    def solve(
+        state: tuple[frozenset[int] | None, ...], mem: tuple[int, ...]
+    ) -> float:
+        if _resolved(state) is not None:
+            return 0.0
+        key = (state, mem)
+        hit = value_memo.get(key)
+        if hit is not None:
+            return hit[0]
+        if len(value_memo) >= max_states:
+            raise BudgetExceededError(f"non-linear DP exceeded {max_states} states")
+        best = float("inf")
+        best_action: tuple[int, int] | None = None
+        for i, remaining in enumerate(state):
+            if not remaining:
+                continue
+            for g in remaining:
+                fetch, mem2 = memory.fetch(mem, g)
+                leaf = tree.leaves[g]
+                total = fetch
+                if leaf.prob > 0.0:
+                    total += leaf.prob * solve(_apply(state, i, g, True), mem2)
+                if leaf.prob < 1.0:
+                    total += (1.0 - leaf.prob) * solve(_apply(state, i, g, False), mem2)
+                if total < best:
+                    best = total
+                    best_action = (i, g)
+        value_memo[key] = (best, best_action)
+        return best
+
+    def build(
+        state: tuple[frozenset[int] | None, ...], mem: tuple[int, ...]
+    ) -> StrategyNode | None:
+        if _resolved(state) is not None:
+            return None
+        _, action = value_memo[(state, mem)]
+        assert action is not None
+        i, g = action
+        _, mem2 = memory.fetch(mem, g)
+        return StrategyNode(
+            leaf=g,
+            on_true=build(_apply(state, i, g, True), mem2),
+            on_false=build(_apply(state, i, g, False), mem2),
+        )
+
+    initial = _initial_state(tree)
+    cost = solve(initial, memory.initial)
+    return build(initial, memory.initial), cost
+
+
+@dataclass(frozen=True)
+class NonlinearGap:
+    """An instance where non-linear strictly beats every linear schedule."""
+
+    tree: DnfTree
+    linear_cost: float
+    nonlinear_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative saving of the optimal strategy over the optimal schedule."""
+        if self.linear_cost <= 0.0:
+            return 0.0
+        return 1.0 - self.nonlinear_cost / self.linear_cost
+
+
+def find_nonlinear_gap(
+    *,
+    n_trials: int = 200,
+    seed: int | None = 0,
+    min_gap: float = 1e-6,
+    node_budget: int = 500_000,
+) -> list[NonlinearGap]:
+    """Random search for shared DNF instances with a linear/non-linear gap.
+
+    In the read-once case the result of [6] says this list must stay empty
+    (a property test checks that); in the shared case gaps exist (§V).
+    """
+    from repro.generators.random_trees import random_dnf_tree  # local: avoid cycle
+
+    rng = np.random.default_rng(seed)
+    gaps: list[NonlinearGap] = []
+    for _ in range(n_trials):
+        n_ands = int(rng.integers(2, 4))
+        tree = random_dnf_tree(rng, n_ands, int(rng.integers(1, 4)), 1.5, sampled=True, d_range=(1, 3))
+        if tree.size > 7:
+            continue
+        try:
+            linear = optimal_any_order(tree, node_budget=node_budget)
+            _, nonlinear_cost = optimal_nonlinear(tree)
+        except BudgetExceededError:
+            continue
+        if nonlinear_cost < linear.cost - min_gap * max(1.0, linear.cost):
+            gaps.append(
+                NonlinearGap(tree=tree, linear_cost=linear.cost, nonlinear_cost=nonlinear_cost)
+            )
+    return gaps

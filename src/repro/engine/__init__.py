@@ -1,0 +1,28 @@
+"""Execution engine: pull-model executor, continuous sessions, battery model."""
+
+from repro.engine.battery import Battery
+from repro.engine.executor import (
+    BernoulliOracle,
+    ExecutionResult,
+    LeafOracle,
+    PredicateOracle,
+    ScheduleExecutor,
+)
+from repro.engine.nonlinear_executor import StrategyExecutor
+from repro.engine.session import ContinuousQuerySession, SessionReport
+from repro.engine.workload import QueryWorkload, WorkloadQuery, WorkloadReport
+
+__all__ = [
+    "ScheduleExecutor",
+    "StrategyExecutor",
+    "ExecutionResult",
+    "LeafOracle",
+    "BernoulliOracle",
+    "PredicateOracle",
+    "ContinuousQuerySession",
+    "SessionReport",
+    "Battery",
+    "QueryWorkload",
+    "WorkloadQuery",
+    "WorkloadReport",
+]

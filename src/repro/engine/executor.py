@@ -1,0 +1,135 @@
+"""Pull-model schedule execution.
+
+:class:`ScheduleExecutor` runs a linear schedule against a cache, with the
+paper's semantics: evaluate leaves in order, skip any leaf whose AND (or any
+ancestor) is already resolved, stop when the root resolves, and charge only
+for data items not already cached.
+
+Leaf truth values come from a :class:`LeafOracle`:
+
+* :class:`BernoulliOracle` — draw each outcome from the leaf's probability
+  (pure simulation; measured mean cost converges to the analytic expected
+  cost, which the test-suite verifies);
+* :class:`PredicateOracle` — evaluate a real
+  :class:`~repro.predicates.predicate.Predicate` on the fetched window
+  values (the full data path; probabilities are emergent from the data).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.core.leaf import Leaf
+from repro.core.resolution import TreeIndex
+from repro.core.schedule import validate_schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
+from repro.errors import StreamError
+from repro.predicates.predicate import Predicate
+from repro.streams.cache import CountingCache, DataItemCache
+
+__all__ = [
+    "ExecutionResult",
+    "LeafOracle",
+    "BernoulliOracle",
+    "PredicateOracle",
+    "ScheduleExecutor",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionResult:
+    """Outcome of one query execution."""
+
+    value: bool
+    cost: float
+    evaluated: tuple[int, ...]
+    skipped: tuple[int, ...]
+    outcomes: Mapping[int, bool] = field(default_factory=dict)
+
+    @property
+    def n_evaluated(self) -> int:
+        return len(self.evaluated)
+
+
+class LeafOracle(abc.ABC):
+    """Supplies the truth value of an evaluated leaf."""
+
+    @abc.abstractmethod
+    def outcome(self, gindex: int, leaf: Leaf, values: np.ndarray | None) -> bool:
+        """Truth value of leaf ``gindex``; ``values`` is its fetched window (may be None)."""
+
+
+class BernoulliOracle(LeafOracle):
+    """Independent draws from each leaf's success probability."""
+
+    def __init__(self, rng: np.random.Generator | None = None, seed: int | None = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def outcome(self, gindex: int, leaf: Leaf, values: np.ndarray | None) -> bool:
+        return bool(self.rng.random() < leaf.prob)
+
+
+class PredicateOracle(LeafOracle):
+    """Evaluate real predicates on the fetched window values."""
+
+    def __init__(self, predicates: Mapping[int, Predicate]) -> None:
+        self.predicates = dict(predicates)
+
+    def outcome(self, gindex: int, leaf: Leaf, values: np.ndarray | None) -> bool:
+        predicate = self.predicates.get(gindex)
+        if predicate is None:
+            raise StreamError(f"no predicate bound to leaf {gindex}")
+        if values is None:
+            raise StreamError(
+                "PredicateOracle needs data values; use a DataItemCache, not a CountingCache"
+            )
+        return predicate.evaluate(values)
+
+
+class ScheduleExecutor:
+    """Executes linear schedules on a tree with short-circuiting and caching."""
+
+    def __init__(
+        self,
+        tree: Union[QueryTree, AndTree, DnfTree],
+        cache: Union[DataItemCache, CountingCache],
+        oracle: LeafOracle,
+    ) -> None:
+        self.tree = tree
+        self.cache = cache
+        self.oracle = oracle
+        self._index = TreeIndex(tree)
+        self._leaves = self._index.tree.leaves
+
+    def run(self, schedule) -> ExecutionResult:
+        """Execute one query evaluation along ``schedule``."""
+        schedule = validate_schedule(self.tree, schedule)
+        state = self._index.new_state()
+        cost = 0.0
+        evaluated: list[int] = []
+        skipped: list[int] = []
+        outcomes: dict[int, bool] = {}
+        for g in schedule:
+            if state.root_value is not None or state.is_skipped(g):
+                skipped.append(g)
+                continue
+            leaf = self._leaves[g]
+            fetch = self.cache.fetch_window(leaf.stream, leaf.items)
+            cost += fetch.cost
+            outcome = self.oracle.outcome(g, leaf, fetch.values)
+            outcomes[g] = outcome
+            evaluated.append(g)
+            state.set_leaf(g, outcome)
+        value = state.root_value
+        assert value is not None, "a full schedule always resolves the root"
+        return ExecutionResult(
+            value=value,
+            cost=cost,
+            evaluated=tuple(evaluated),
+            skipped=tuple(skipped),
+            outcomes=outcomes,
+        )

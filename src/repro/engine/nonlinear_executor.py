@@ -1,0 +1,73 @@
+"""Executing non-linear (decision-tree) strategies against live streams.
+
+The §V extension's runtime counterpart: where
+:class:`~repro.engine.executor.ScheduleExecutor` walks a fixed leaf order,
+:class:`StrategyExecutor` walks a :class:`~repro.core.nonlinear.StrategyNode`
+decision tree — the next leaf depends on the truth values observed so far.
+Costs are charged through the same caches, so measured energy is directly
+comparable between linear and non-linear execution (the test-suite checks
+the measured means against `strategy_cost`).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.nonlinear import StrategyNode, _initial_state, _apply, _resolved
+from repro.core.tree import DnfTree
+from repro.engine.executor import ExecutionResult, LeafOracle
+from repro.errors import StreamError
+from repro.streams.cache import CountingCache, DataItemCache
+
+__all__ = ["StrategyExecutor"]
+
+
+class StrategyExecutor:
+    """Executes decision-tree strategies with short-circuiting and caching."""
+
+    def __init__(
+        self,
+        tree: DnfTree,
+        cache: Union[DataItemCache, CountingCache],
+        oracle: LeafOracle,
+    ) -> None:
+        self.tree = tree
+        self.cache = cache
+        self.oracle = oracle
+
+    def run(self, strategy: StrategyNode | None) -> ExecutionResult:
+        """Execute one query evaluation following ``strategy``."""
+        tree = self.tree
+        state = _initial_state(tree)
+        node = strategy
+        cost = 0.0
+        evaluated: list[int] = []
+        outcomes: dict[int, bool] = {}
+        while node is not None:
+            resolved = _resolved(state)
+            if resolved is not None:
+                raise StreamError("strategy keeps evaluating after the query resolved")
+            g = node.leaf
+            i, _ = tree.ref(g)
+            remaining = state[i]
+            if remaining is None or g not in remaining:
+                raise StreamError(f"strategy evaluates unavailable leaf {g}")
+            leaf = tree.leaves[g]
+            fetch = self.cache.fetch_window(leaf.stream, leaf.items)
+            cost += fetch.cost
+            outcome = self.oracle.outcome(g, leaf, fetch.values)
+            outcomes[g] = outcome
+            evaluated.append(g)
+            state = _apply(state, i, g, outcome)
+            node = node.on_true if outcome else node.on_false
+        value = _resolved(state)
+        if value is None:
+            raise StreamError("strategy terminated before the query was resolved")
+        skipped = tuple(g for g in range(tree.size) if g not in outcomes)
+        return ExecutionResult(
+            value=value,
+            cost=cost,
+            evaluated=tuple(evaluated),
+            skipped=skipped,
+            outcomes=outcomes,
+        )

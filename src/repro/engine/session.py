@@ -1,0 +1,183 @@
+"""Continuous query processing sessions.
+
+The paper's setting is *continuous*: the same boolean query is re-evaluated
+round after round as sensors produce new data, and the scheduler's job is to
+minimize the cumulative acquisition energy. :class:`ContinuousQuerySession`
+wires the pieces together:
+
+1. each round, device time advances and stale items are evicted (the cache
+   keeps items still inside their stream's maximum window — so consecutive
+   rounds also share items, an effect the one-shot analytic model ignores);
+2. the configured scheduler orders the leaves (optionally re-planning every
+   round from re-estimated probabilities);
+3. the executor runs the schedule, charging only missing items;
+4. outcomes and costs are recorded into a trace, from which leaf
+   probabilities are (re-)estimated.
+
+The session reports per-round costs, total energy, trace-based probability
+estimates, and optional battery projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.heuristics.base import Scheduler
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.tree import DnfTree
+from repro.core.leaf import Leaf
+from repro.engine.battery import Battery
+from repro.engine.executor import ExecutionResult, LeafOracle, PredicateOracle, ScheduleExecutor
+from repro.errors import StreamError
+from repro.predicates.predicate import Predicate
+from repro.streams.registry import StreamRegistry
+from repro.streams.traces import TraceRecorder
+
+__all__ = ["SessionReport", "ContinuousQuerySession"]
+
+
+@dataclass(slots=True)
+class SessionReport:
+    """Aggregate results of a session run."""
+
+    rounds: int
+    round_costs: list[float]
+    true_rate: float
+    total_cost: float
+    mean_cost: float
+    estimated_probs: dict[int, float]
+    battery: Battery | None = None
+
+    def summary(self) -> str:
+        lines = [
+            f"rounds:      {self.rounds}",
+            f"total cost:  {self.total_cost:.6g}",
+            f"mean cost:   {self.mean_cost:.6g} per round",
+            f"TRUE rate:   {self.true_rate:.3f}",
+        ]
+        if self.battery is not None:
+            lines.append(
+                f"battery:     {self.battery.fraction_remaining * 100:.1f}% remaining"
+            )
+        return "\n".join(lines)
+
+
+class ContinuousQuerySession:
+    """Repeated evaluation of one DNF query over live (simulated) streams.
+
+    Parameters
+    ----------
+    tree:
+        The query. Leaf probabilities are *planning estimates*; real outcomes
+        come from the oracle.
+    registry:
+        Stream specs + sources for every stream the tree references.
+    scheduler:
+        Any :class:`~repro.core.heuristics.base.Scheduler`; used to (re)plan.
+    predicates:
+        Optional mapping of global leaf index -> :class:`Predicate`. When
+        given, outcomes are computed from the data (PredicateOracle);
+        otherwise an explicit ``oracle`` must be supplied.
+    oracle:
+        Alternative oracle (e.g. Bernoulli) when no predicates are bound.
+    replan_every:
+        Re-run the scheduler every k rounds with trace-updated probability
+        estimates (0 = plan once with the tree's probabilities).
+    battery:
+        Optional battery to drain with each round's acquisition energy.
+    """
+
+    def __init__(
+        self,
+        tree: DnfTree,
+        registry: StreamRegistry,
+        scheduler: Scheduler,
+        *,
+        predicates: Mapping[int, Predicate] | None = None,
+        oracle: LeafOracle | None = None,
+        replan_every: int = 0,
+        battery: Battery | None = None,
+        warmup: int | None = None,
+    ) -> None:
+        registry.validate_tree_streams(tree.streams)
+        if predicates is None and oracle is None:
+            raise StreamError("need either bound predicates or an explicit oracle")
+        self.tree = tree
+        self.registry = registry
+        self.scheduler = scheduler
+        self.replan_every = replan_every
+        self.battery = battery
+        self.trace = TraceRecorder()
+        max_window = max(leaf.items for leaf in tree.leaves)
+        self._max_windows = self._per_stream_windows(tree)
+        now = warmup if warmup is not None else max(64, max_window)
+        self.cache = registry.build_cache(now=now)
+        self.oracle: LeafOracle = (
+            PredicateOracle(predicates) if predicates is not None else oracle  # type: ignore[arg-type]
+        )
+        self.executor = ScheduleExecutor(tree, self.cache, self.oracle)
+        self._schedule: Schedule = validate_schedule(tree, scheduler.schedule(tree))
+        self._round = 0
+
+    @staticmethod
+    def _per_stream_windows(tree: DnfTree) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for leaf in tree.leaves:
+            out[leaf.stream] = max(out.get(leaf.stream, 0), leaf.items)
+        return out
+
+    @property
+    def current_schedule(self) -> Schedule:
+        return self._schedule
+
+    def _replan(self) -> None:
+        estimates = self.trace.estimates()
+        groups: list[list[Leaf]] = []
+        for i, group in enumerate(self.tree.ands):
+            new_group = []
+            for j, leaf in enumerate(group):
+                g = self.tree.gindex(i, j)
+                prob = estimates.get(g, leaf.prob)
+                new_group.append(leaf.with_prob(prob))
+            groups.append(new_group)
+        updated = DnfTree(groups, self.tree.costs)
+        self._schedule = validate_schedule(updated, self.scheduler.schedule(updated))
+
+    def step(self) -> ExecutionResult:
+        """Run one round: advance time, (maybe) replan, execute, record."""
+        self.cache.advance(1, max_windows=self._max_windows)
+        if self.replan_every and self._round > 0 and self._round % self.replan_every == 0:
+            self._replan()
+        result = self.executor.run(self._schedule)
+        for g, outcome in result.outcomes.items():
+            self.trace.record_outcome(g, outcome)
+        self.trace.end_round()
+        if self.battery is not None:
+            self.battery.drain(result.cost)
+        self._round += 1
+        return result
+
+    def run(self, rounds: int) -> SessionReport:
+        """Run ``rounds`` rounds and aggregate."""
+        if rounds < 1:
+            raise StreamError(f"need at least one round, got {rounds}")
+        costs: list[float] = []
+        true_count = 0
+        for _ in range(rounds):
+            result = self.step()
+            costs.append(result.cost)
+            if result.value:
+                true_count += 1
+        total = float(np.sum(costs))
+        return SessionReport(
+            rounds=rounds,
+            round_costs=costs,
+            true_rate=true_count / rounds,
+            total_cost=total,
+            mean_cost=total / rounds,
+            estimated_probs=self.trace.estimates(),
+            battery=self.battery,
+        )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Specific subclasses distinguish malformed inputs from
+resource-budget violations (the exhaustive optimizers are exponential and
+guard themselves with explicit budgets).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidLeafError",
+    "InvalidTreeError",
+    "InvalidScheduleError",
+    "BudgetExceededError",
+    "ParseError",
+    "StreamError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidLeafError(ReproError, ValueError):
+    """A leaf was constructed with invalid parameters (items < 1, p outside [0,1], ...)."""
+
+
+class InvalidTreeError(ReproError, ValueError):
+    """A query tree is structurally invalid (empty operator, missing stream cost, ...)."""
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A schedule is not a permutation of the tree's leaves."""
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """An exponential-time search exceeded its configured node budget."""
+
+
+class ParseError(ReproError, ValueError):
+    """The query-language parser rejected its input."""
+
+
+class StreamError(ReproError, ValueError):
+    """A stream operation failed (unknown stream, bad window, ...)."""

@@ -1,0 +1,60 @@
+"""Experiment drivers regenerating the paper's figures and statistics."""
+
+from repro.experiments.ablations import (
+    PairwiseComparison,
+    compare_dynamic_vs_static,
+    compare_stream_ordered_d_direction,
+    compare_stream_ordered_r_direction,
+    shared_cache_savings,
+)
+from repro.experiments.fig4 import Fig4Result, Fig4Summary, run_fig4
+from repro.experiments.fig5 import Fig5Result, default_small_configs, run_fig5
+from repro.experiments.fig6 import REFERENCE_HEURISTIC, Fig6Result, default_large_configs, run_fig6
+from repro.experiments.profiles import (
+    PerformanceProfile,
+    best_fractions,
+    fraction_within,
+    performance_profile,
+)
+from repro.experiments.report import ascii_profile_plot, ascii_table, write_csv
+from repro.experiments.runtime import RuntimePoint, paper_runtime_claim, runtime_grid
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    perturb_probabilities,
+    probability_sensitivity,
+)
+from repro.experiments.breakdowns import BreakdownCell, breakdown_matrix, win_rate_breakdown
+
+__all__ = [
+    "run_fig4",
+    "Fig4Result",
+    "Fig4Summary",
+    "run_fig5",
+    "Fig5Result",
+    "default_small_configs",
+    "run_fig6",
+    "Fig6Result",
+    "default_large_configs",
+    "REFERENCE_HEURISTIC",
+    "PerformanceProfile",
+    "performance_profile",
+    "fraction_within",
+    "best_fractions",
+    "ascii_table",
+    "ascii_profile_plot",
+    "write_csv",
+    "runtime_grid",
+    "paper_runtime_claim",
+    "RuntimePoint",
+    "PairwiseComparison",
+    "compare_stream_ordered_d_direction",
+    "compare_stream_ordered_r_direction",
+    "compare_dynamic_vs_static",
+    "shared_cache_savings",
+    "SensitivityPoint",
+    "perturb_probabilities",
+    "probability_sensitivity",
+    "BreakdownCell",
+    "win_rate_breakdown",
+    "breakdown_matrix",
+]

@@ -1,0 +1,145 @@
+"""Ablation studies of the design choices called out in DESIGN.md.
+
+Four questions the paper raises but does not quantify (or that our
+reproduction had to decide):
+
+1. **Proposition 1 in stream-ordered** — how much does evaluating a stream's
+   leaves by increasing ``d`` (the paper's improvement) gain over the
+   original decreasing-``d`` heuristic of [4]? The paper only says the
+   improved version wins "in the vast majority of the cases".
+2. **Stream-ordered sort direction** — the paper's text says increasing
+   ``R``, its rationale implies decreasing ``R``; which is right?
+3. **Dynamic vs static AND-ordering** — the paper says dynamic is
+   "marginally better"; quantify the gap.
+4. **Shared cache value** — how much does item reuse save at all, i.e. the
+   gap between the shared cost of Algorithm 1's schedule and the cache-less
+   cost of the same schedule (AND-trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.andtree_optimal import algorithm1_order
+from repro.core.cost import and_tree_cost, dnf_schedule_cost
+from repro.core.heuristics.and_ordered import (
+    AndOrderedIncreasingCOverPDynamic,
+    AndOrderedIncreasingCOverPStatic,
+)
+from repro.core.heuristics.stream_ordered import StreamOrdered
+from repro.generators.random_trees import random_and_tree, random_dnf_tree
+
+__all__ = [
+    "PairwiseComparison",
+    "compare_stream_ordered_d_direction",
+    "compare_stream_ordered_r_direction",
+    "compare_dynamic_vs_static",
+    "shared_cache_savings",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseComparison:
+    """A-vs-B cost comparison over random instances."""
+
+    label_a: str
+    label_b: str
+    n_instances: int
+    a_wins: int
+    b_wins: int
+    ties: int
+    mean_ratio_b_over_a: float
+
+    def rows(self) -> list[tuple[object, ...]]:
+        n = self.n_instances
+        return [
+            (f"{self.label_a} strictly better", 100.0 * self.a_wins / n),
+            (f"{self.label_b} strictly better", 100.0 * self.b_wins / n),
+            ("ties", 100.0 * self.ties / n),
+            (f"mean cost({self.label_b}) / cost({self.label_a})", self.mean_ratio_b_over_a),
+        ]
+
+
+def _compare(label_a, label_b, costs_a: np.ndarray, costs_b: np.ndarray, rel_tol=1e-9):
+    close = np.isclose(costs_a, costs_b, rtol=rel_tol, atol=1e-12)
+    a_wins = int(np.count_nonzero(~close & (costs_a < costs_b)))
+    b_wins = int(np.count_nonzero(~close & (costs_b < costs_a)))
+    positive = costs_a > 0
+    ratios = np.ones_like(costs_a)
+    ratios[positive] = costs_b[positive] / costs_a[positive]
+    return PairwiseComparison(
+        label_a=label_a,
+        label_b=label_b,
+        n_instances=int(costs_a.size),
+        a_wins=a_wins,
+        b_wins=b_wins,
+        ties=int(np.count_nonzero(close)),
+        mean_ratio_b_over_a=float(ratios.mean()),
+    )
+
+
+def _random_dnfs(n_instances: int, seed: int | None):
+    rng = np.random.default_rng(seed)
+    trees = []
+    for _ in range(n_instances):
+        n = int(rng.integers(2, 7))
+        m = int(rng.integers(2, 7))
+        rho = float(rng.choice([1.0, 1.5, 2.0, 3.0, 5.0]))
+        trees.append(random_dnf_tree(rng, n, m, rho))
+    return trees
+
+
+def compare_stream_ordered_d_direction(
+    *, n_instances: int = 300, seed: int | None = 0
+) -> PairwiseComparison:
+    """Proposition 1's improvement: increasing-``d`` vs original decreasing-``d``."""
+    improved = StreamOrdered()
+    original = StreamOrdered(original_decreasing_d=True)
+    trees = _random_dnfs(n_instances, seed)
+    a = np.array([improved.cost(tree) for tree in trees])
+    b = np.array([original.cost(tree) for tree in trees])
+    return _compare("increasing-d (paper)", "decreasing-d (original [4])", a, b)
+
+
+def compare_stream_ordered_r_direction(
+    *, n_instances: int = 300, seed: int | None = 0
+) -> PairwiseComparison:
+    """Decreasing-``R`` (rationale) vs increasing-``R`` (literal text)."""
+    rationale = StreamOrdered()
+    literal = StreamOrdered(literal_increasing_r=True)
+    trees = _random_dnfs(n_instances, seed)
+    a = np.array([rationale.cost(tree) for tree in trees])
+    b = np.array([literal.cost(tree) for tree in trees])
+    return _compare("decreasing-R (rationale)", "increasing-R (literal)", a, b)
+
+
+def compare_dynamic_vs_static(
+    *, n_instances: int = 300, seed: int | None = 0
+) -> PairwiseComparison:
+    """Paper's "dynamic is marginally better" claim, quantified."""
+    dynamic = AndOrderedIncreasingCOverPDynamic()
+    static = AndOrderedIncreasingCOverPStatic()
+    trees = _random_dnfs(n_instances, seed)
+    a = np.array([dynamic.cost(tree) for tree in trees])
+    b = np.array([static.cost(tree) for tree in trees])
+    return _compare("dynamic", "static", a, b)
+
+
+def shared_cache_savings(
+    *, n_instances: int = 500, m: int = 12, rho: float = 3.0, seed: int | None = 0
+) -> PairwiseComparison:
+    """Value of the shared-item cache itself on AND-trees: the same
+    Algorithm 1 schedule costed with and without item reuse."""
+    rng = np.random.default_rng(seed)
+    shared = []
+    unshared = []
+    for _ in range(n_instances):
+        tree = random_and_tree(rng, m, rho)
+        order = algorithm1_order(tree)
+        shared.append(and_tree_cost(tree, order, validate=False))
+        unshared.append(and_tree_cost(tree, order, shared=False, validate=False))
+    return _compare(
+        "shared cache", "no cache", np.asarray(shared), np.asarray(unshared)
+    )

@@ -1,0 +1,145 @@
+"""Plain-text reporting: tables, ASCII profile plots, CSV output.
+
+The offline environment has no plotting stack, so the figure benchmarks
+render their results as aligned text tables and ASCII curve plots — enough
+to read off the *shape* the paper reports (who wins, by what factor, where
+curves cross).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.profiles import PerformanceProfile
+
+__all__ = ["ascii_table", "ascii_profile_plot", "ascii_cost_scatter", "write_csv"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    sep = "  ".join("-" * widths[i] for i in range(len(headers)))
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rendered
+    ]
+    return "\n".join([line, sep, *body])
+
+
+def ascii_profile_plot(
+    profiles: Mapping[str, PerformanceProfile],
+    *,
+    width: int = 72,
+    height: int = 18,
+    max_ratio: float = 10.0,
+) -> str:
+    """Ratio-vs-fraction curves as an ASCII grid (mirrors Figures 5/6).
+
+    The x axis is the percentage of instances, the y axis the ratio (clamped
+    at ``max_ratio`` like the paper's plots). Each heuristic gets a letter;
+    later heuristics overwrite earlier ones where curves overlap.
+    """
+    grid = [[" "] * width for _ in range(height)]
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    legend: list[str] = []
+    for idx, (name, profile) in enumerate(profiles.items()):
+        symbol = letters[idx % len(letters)]
+        legend.append(f"  {symbol} = {name}")
+        for col in range(width):
+            fraction = (col + 1) / width
+            ratio = min(profile.ratio_at_fraction(fraction), max_ratio)
+            # ratio 1 -> bottom row, max_ratio -> top row
+            rel = (ratio - 1.0) / max(max_ratio - 1.0, 1e-9)
+            row = height - 1 - int(round(rel * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = symbol
+    lines = []
+    for row in range(height):
+        ratio_label = max_ratio - (max_ratio - 1.0) * row / (height - 1)
+        lines.append(f"{ratio_label:5.1f} |" + "".join(grid[row]))
+    lines.append("      +" + "-" * width)
+    ticks = "       "
+    for pct in (0, 25, 50, 75, 100):
+        pos = int(pct / 100 * (width - 1))
+        ticks = ticks[: 7 + pos] + f"{pct}".ljust(4)
+    lines.append(f"       0%{' ' * (width // 4 - 4)}25%{' ' * (width // 4 - 4)}50%"
+                 f"{' ' * (width // 4 - 4)}75%{' ' * (width // 4 - 5)}100%")
+    lines.append("       (fraction of instances with ratio below the curve's y)")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def ascii_cost_scatter(
+    baseline: np.ndarray,
+    comparison: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 18,
+    baseline_symbol: str = ".",
+    comparison_symbol: str = "x",
+) -> str:
+    """The Figure 4 rendering: both cost series over instances sorted by the
+    baseline (the baseline appears as a curve, the comparison as a cloud)."""
+    baseline = np.asarray(baseline, dtype=float)
+    comparison = np.asarray(comparison, dtype=float)
+    if baseline.shape != comparison.shape or baseline.size == 0:
+        raise ValueError("need two equal-length non-empty cost arrays")
+    order = np.argsort(baseline, kind="stable")
+    baseline = baseline[order]
+    comparison = comparison[order]
+    top = max(float(comparison.max()), float(baseline.max()), 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+
+    def mark(col: int, value: float, symbol: str) -> None:
+        rel = min(value / top, 1.0)
+        row = height - 1 - int(round(rel * (height - 1)))
+        grid[row][col] = symbol
+
+    n = baseline.size
+    for col in range(width):
+        # bucket of instances mapped to this column
+        lo = col * n // width
+        hi = max(lo + 1, (col + 1) * n // width)
+        mark(col, float(comparison[lo:hi].max()), comparison_symbol)
+        mark(col, float(baseline[lo:hi].mean()), baseline_symbol)
+    lines = []
+    for row in range(height):
+        value = top * (height - 1 - row) / (height - 1)
+        lines.append(f"{value:9.3g} |" + "".join(grid[row]))
+    lines.append("          +" + "-" * width)
+    lines.append("           instances sorted by increasing optimal cost ->")
+    lines.append(f"           {baseline_symbol} = optimal   {comparison_symbol} = read-once greedy (bucket max)")
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> Path:
+    """Write rows to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path

@@ -1,0 +1,88 @@
+"""Runtime-scaling experiment (paper §IV-D, closing claim).
+
+The paper reports that the best heuristic "runs in less than 5 seconds on a
+1.86 GHz core when processing a tree with 10 AND nodes with each 20 leaves".
+This module times the heuristics across a (N, m) grid and checks that claim
+on the reproduction hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.heuristics.base import Scheduler, get_scheduler
+from repro.generators.random_trees import random_dnf_tree
+
+__all__ = ["RuntimePoint", "runtime_grid", "paper_runtime_claim"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimePoint:
+    """Mean scheduling wall time for one (heuristic, N, m) cell."""
+
+    heuristic: str
+    n_ands: int
+    leaves_per_and: int
+    seconds: float
+    repeats: int
+
+
+def _time_heuristic(scheduler: Scheduler, trees, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for tree in trees:
+            scheduler.schedule(tree)
+    elapsed = time.perf_counter() - start
+    return elapsed / (repeats * len(trees))
+
+
+def runtime_grid(
+    *,
+    heuristics: Sequence[str] = ("and-inc-c-over-p-dynamic", "and-inc-c-over-p-static", "stream-ordered"),
+    n_ands_values: Sequence[int] = (2, 4, 6, 8, 10),
+    leaves_per_and_values: Sequence[int] = (5, 10, 20),
+    rho: float = 2.0,
+    trees_per_cell: int = 3,
+    repeats: int = 3,
+    seed: int | None = 0,
+) -> list[RuntimePoint]:
+    """Mean per-tree scheduling time over the grid."""
+    rng = np.random.default_rng(seed)
+    points: list[RuntimePoint] = []
+    for name in heuristics:
+        scheduler = get_scheduler(name, seed=0) if name == "leaf-random" else get_scheduler(name)
+        for n in n_ands_values:
+            for m in leaves_per_and_values:
+                trees = [
+                    random_dnf_tree(rng, n, m, rho) for _ in range(trees_per_cell)
+                ]
+                seconds = _time_heuristic(scheduler, trees, repeats)
+                points.append(
+                    RuntimePoint(
+                        heuristic=name,
+                        n_ands=n,
+                        leaves_per_and=m,
+                        seconds=seconds,
+                        repeats=repeats,
+                    )
+                )
+    return points
+
+
+def paper_runtime_claim(*, seed: int | None = 0, repeats: int = 3) -> RuntimePoint:
+    """Time the best heuristic on the paper's N=10, m=20 benchmark point."""
+    rng = np.random.default_rng(seed)
+    scheduler = get_scheduler("and-inc-c-over-p-dynamic")
+    trees = [random_dnf_tree(rng, 10, 20, 2.0) for _ in range(3)]
+    seconds = _time_heuristic(scheduler, trees, repeats)
+    return RuntimePoint(
+        heuristic="and-inc-c-over-p-dynamic",
+        n_ands=10,
+        leaves_per_and=20,
+        seconds=seconds,
+        repeats=repeats,
+    )

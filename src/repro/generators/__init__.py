@@ -1,0 +1,45 @@
+"""Random PAOTR instance generators reproducing the paper's workloads."""
+
+from repro.generators.configs import (
+    FIG4_LEAF_COUNTS,
+    FIG4_SHARING_RATIOS,
+    FIG5_MAX_LEAVES,
+    FIG5_MAX_PER_AND_CHOICES,
+    FIG5_N_ANDS,
+    FIG6_LEAVES_PER_AND,
+    FIG6_N_ANDS,
+    AndTreeConfig,
+    DnfConfig,
+    fig4_configs,
+    fig5_configs,
+    fig6_configs,
+)
+from repro.generators.random_trees import (
+    random_and_tree,
+    random_dnf_tree,
+    random_query_tree,
+    sample_and_tree,
+    sample_dnf_tree,
+    stream_names,
+)
+
+__all__ = [
+    "AndTreeConfig",
+    "DnfConfig",
+    "fig4_configs",
+    "fig5_configs",
+    "fig6_configs",
+    "FIG4_LEAF_COUNTS",
+    "FIG4_SHARING_RATIOS",
+    "FIG5_N_ANDS",
+    "FIG5_MAX_PER_AND_CHOICES",
+    "FIG5_MAX_LEAVES",
+    "FIG6_N_ANDS",
+    "FIG6_LEAVES_PER_AND",
+    "random_and_tree",
+    "random_dnf_tree",
+    "random_query_tree",
+    "sample_and_tree",
+    "sample_dnf_tree",
+    "stream_names",
+]

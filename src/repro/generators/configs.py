@@ -1,0 +1,141 @@
+"""Experiment configuration grids matching the paper's instance families.
+
+The paper's random instances (§III-B for AND-trees, §IV-D for DNF trees) are
+parameterized by:
+
+* ``m`` — number of leaves (AND-trees) / per-AND leaf counts (DNF trees);
+* ``rho`` — the *sharing ratio*: expected number of leaves per stream
+  (``rho = 1`` is the classical read-once case);
+* per-leaf distributions: success probability ~ U[0, 1], items needed
+  ~ U{1..5}, per-item stream cost ~ U[1, 10].
+
+Figure 4 uses m = 2..20 and rho in {1, 5/4, 4/3, 3/2, 2, 3, 4, 5, 10}
+(1,000 trees per valid combination -> 157,000 instances).
+
+Figure 5 uses "small" DNF trees: N = 2..9 AND nodes, at most 20 leaves and at
+most 8 leaves per AND, 21,600 instances = 216 configurations x 100. The paper
+does not spell the 216 out; 216 = 8 (N) x 9 (rho) x 3 factors exactly, so we
+interpret the third axis as a per-AND size cap in {2, 5, 8} with per-instance
+AND sizes ~ U{1..cap}, total clipped at 20 (documented in EXPERIMENTS.md).
+
+Figure 6 uses "large" DNF trees: N = 2..10 and m in {5, 10, 15, 20} leaves
+per AND; 32,400 instances = 9 (N) x 4 (m) x 9 (rho) x 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "AndTreeConfig",
+    "DnfConfig",
+    "FIG4_LEAF_COUNTS",
+    "FIG4_SHARING_RATIOS",
+    "FIG5_N_ANDS",
+    "FIG5_MAX_PER_AND_CHOICES",
+    "FIG5_MAX_LEAVES",
+    "FIG6_N_ANDS",
+    "FIG6_LEAVES_PER_AND",
+    "fig4_configs",
+    "fig5_configs",
+    "fig6_configs",
+]
+
+#: Paper §III-B leaf counts for Figure 4.
+FIG4_LEAF_COUNTS: tuple[int, ...] = tuple(range(2, 21))
+#: Paper §III-B sharing ratios (shared by all three figures).
+FIG4_SHARING_RATIOS: tuple[float, ...] = (1.0, 5 / 4, 4 / 3, 3 / 2, 2.0, 3.0, 4.0, 5.0, 10.0)
+
+#: Paper §IV-D "small" DNF grid (Figure 5).
+FIG5_N_ANDS: tuple[int, ...] = tuple(range(2, 10))
+FIG5_MAX_PER_AND_CHOICES: tuple[int, ...] = (2, 5, 8)
+FIG5_MAX_LEAVES: int = 20
+
+#: Paper §IV-D "large" DNF grid (Figure 6).
+FIG6_N_ANDS: tuple[int, ...] = tuple(range(2, 11))
+FIG6_LEAVES_PER_AND: tuple[int, ...] = (5, 10, 15, 20)
+
+
+@dataclass(frozen=True, slots=True)
+class AndTreeConfig:
+    """One (m, rho) cell of the Figure 4 sweep."""
+
+    m: int
+    rho: float
+    d_range: tuple[int, int] = (1, 5)
+    c_range: tuple[float, float] = (1.0, 10.0)
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+        if self.rho < 1.0:
+            raise ValueError(f"sharing ratio must be >= 1, got {self.rho}")
+
+
+@dataclass(frozen=True, slots=True)
+class DnfConfig:
+    """One cell of the Figure 5 / Figure 6 DNF sweeps.
+
+    ``leaves_per_and`` is either an exact per-AND leaf count (Figure 6) or,
+    when ``sampled=True``, the *cap* of a U{1..cap} per-AND draw (Figure 5).
+    """
+
+    n_ands: int
+    leaves_per_and: int
+    rho: float
+    sampled: bool = False
+    max_leaves: int | None = None
+    d_range: tuple[int, int] = (1, 5)
+    c_range: tuple[float, float] = (1.0, 10.0)
+
+    def __post_init__(self) -> None:
+        if self.n_ands < 1:
+            raise ValueError(f"n_ands must be >= 1, got {self.n_ands}")
+        if self.leaves_per_and < 1:
+            raise ValueError(f"leaves_per_and must be >= 1, got {self.leaves_per_and}")
+        if self.rho < 1.0:
+            raise ValueError(f"sharing ratio must be >= 1, got {self.rho}")
+
+
+def fig4_configs(
+    leaf_counts: Sequence[int] = FIG4_LEAF_COUNTS,
+    rhos: Sequence[float] = FIG4_SHARING_RATIOS,
+) -> Iterator[AndTreeConfig]:
+    """The Figure 4 grid, skipping cells where rho exceeds the leaf count."""
+    for m in leaf_counts:
+        for rho in rhos:
+            if rho > m:
+                continue
+            yield AndTreeConfig(m=m, rho=rho)
+
+
+def fig5_configs(
+    n_ands: Sequence[int] = FIG5_N_ANDS,
+    caps: Sequence[int] = FIG5_MAX_PER_AND_CHOICES,
+    rhos: Sequence[float] = FIG4_SHARING_RATIOS,
+    max_leaves: int = FIG5_MAX_LEAVES,
+) -> Iterator[DnfConfig]:
+    """The "small" DNF grid of Figure 5 (216 cells at paper scale)."""
+    for n in n_ands:
+        for cap in caps:
+            for rho in rhos:
+                yield DnfConfig(
+                    n_ands=n,
+                    leaves_per_and=cap,
+                    rho=rho,
+                    sampled=True,
+                    max_leaves=max_leaves,
+                )
+
+
+def fig6_configs(
+    n_ands: Sequence[int] = FIG6_N_ANDS,
+    leaves_per_and: Sequence[int] = FIG6_LEAVES_PER_AND,
+    rhos: Sequence[float] = FIG4_SHARING_RATIOS,
+) -> Iterator[DnfConfig]:
+    """The "large" DNF grid of Figure 6 (324 cells at paper scale)."""
+    for n in n_ands:
+        for m in leaves_per_and:
+            for rho in rhos:
+                yield DnfConfig(n_ands=n, leaves_per_and=m, rho=rho, sampled=False)

@@ -1,0 +1,192 @@
+"""Random tree generators implementing the paper's instance distributions.
+
+All generators are deterministic given a :class:`numpy.random.Generator`.
+Per the paper (§III-B): leaf success probabilities ~ U[0, 1], items needed
+per leaf ~ U{d_min..d_max} (paper: 1..5), per-item stream costs
+~ U[c_min, c_max] (paper: 1..10). The *sharing ratio* rho controls how many
+streams exist: ``s = max(1, round(m / rho))`` streams, each leaf drawing its
+stream uniformly, so the expected number of leaves per stream is ~rho.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.leaf import Leaf
+from repro.core.tree import AndNode, AndTree, DnfTree, LeafNode, OrNode, QueryTree
+from repro.generators.configs import AndTreeConfig, DnfConfig
+
+__all__ = [
+    "stream_names",
+    "random_and_tree",
+    "random_dnf_tree",
+    "random_query_tree",
+    "sample_and_tree",
+    "sample_dnf_tree",
+]
+
+
+def stream_names(count: int) -> list[str]:
+    """Canonical stream names ``S1..S<count>``."""
+    return [f"S{i + 1}" for i in range(count)]
+
+
+def _stream_table(
+    rng: np.random.Generator, n_streams: int, c_range: tuple[float, float]
+) -> dict[str, float]:
+    lo, hi = c_range
+    return {name: float(rng.uniform(lo, hi)) for name in stream_names(n_streams)}
+
+
+def _random_leaf(
+    rng: np.random.Generator,
+    streams: Sequence[str],
+    d_range: tuple[int, int],
+) -> Leaf:
+    stream = streams[int(rng.integers(0, len(streams)))]
+    items = int(rng.integers(d_range[0], d_range[1] + 1))
+    prob = float(rng.random())
+    return Leaf(stream=stream, items=items, prob=prob)
+
+
+def random_and_tree(
+    rng: np.random.Generator,
+    m: int,
+    rho: float,
+    *,
+    d_range: tuple[int, int] = (1, 5),
+    c_range: tuple[float, float] = (1.0, 10.0),
+) -> AndTree:
+    """A random shared AND-tree with ``m`` leaves and sharing ratio ``rho``."""
+    n_streams = max(1, round(m / rho))
+    costs = _stream_table(rng, n_streams, c_range)
+    names = list(costs)
+    leaves = [_random_leaf(rng, names, d_range) for _ in range(m)]
+    used = {leaf.stream for leaf in leaves}
+    return AndTree(leaves, {name: costs[name] for name in used})
+
+
+def random_dnf_tree(
+    rng: np.random.Generator,
+    n_ands: int,
+    leaves_per_and: int | Sequence[int],
+    rho: float,
+    *,
+    sampled: bool = False,
+    max_leaves: int | None = None,
+    d_range: tuple[int, int] = (1, 5),
+    c_range: tuple[float, float] = (1.0, 10.0),
+) -> DnfTree:
+    """A random shared DNF tree.
+
+    Parameters
+    ----------
+    leaves_per_and:
+        Either one int for every AND node, or a sequence of per-AND sizes.
+        With ``sampled=True`` (Figure 5 style) an int is treated as a *cap*:
+        each AND's size is drawn from U{1..cap}.
+    max_leaves:
+        Optional total-leaf cap; AND sizes are re-drawn (then clipped) so the
+        total never exceeds it, mirroring the paper's "up to at most 20
+        leaves" constraint.
+    rho:
+        Sharing ratio over the whole tree: the number of streams is
+        ``max(1, round(total_leaves / rho))``.
+    """
+    if isinstance(leaves_per_and, int):
+        if sampled:
+            sizes = _sample_sizes(rng, n_ands, leaves_per_and, max_leaves)
+        else:
+            sizes = [leaves_per_and] * n_ands
+    else:
+        sizes = [int(size) for size in leaves_per_and]
+        if len(sizes) != n_ands:
+            raise ValueError(f"expected {n_ands} AND sizes, got {len(sizes)}")
+    total = sum(sizes)
+    n_streams = max(1, round(total / rho))
+    costs = _stream_table(rng, n_streams, c_range)
+    names = list(costs)
+    groups = [[_random_leaf(rng, names, d_range) for _ in range(size)] for size in sizes]
+    used = {leaf.stream for group in groups for leaf in group}
+    return DnfTree(groups, {name: costs[name] for name in used})
+
+
+def _sample_sizes(
+    rng: np.random.Generator, n_ands: int, cap: int, max_leaves: int | None
+) -> list[int]:
+    """Per-AND sizes ~ U{1..cap}, re-drawn (bounded retries) to fit ``max_leaves``."""
+    for _ in range(64):
+        sizes = [int(rng.integers(1, cap + 1)) for _ in range(n_ands)]
+        if max_leaves is None or sum(sizes) <= max_leaves:
+            return sizes
+    # Infeasible-ish grid cell (e.g. 9 ANDs, cap 8, max 20): clip greedily.
+    sizes = [1] * n_ands
+    budget = (max_leaves or n_ands) - n_ands
+    while budget > 0:
+        i = int(rng.integers(0, n_ands))
+        if sizes[i] < cap:
+            sizes[i] += 1
+            budget -= 1
+        elif all(size >= cap for size in sizes):
+            break
+    return sizes
+
+
+def random_query_tree(
+    rng: np.random.Generator,
+    *,
+    depth: int = 3,
+    fanout: tuple[int, int] = (2, 3),
+    rho: float = 2.0,
+    leaf_prob: float = 0.4,
+    d_range: tuple[int, int] = (1, 5),
+    c_range: tuple[float, float] = (1.0, 10.0),
+    _estimated_leaves: int = 16,
+) -> QueryTree:
+    """A random general AND-OR tree (beyond the paper's AND/DNF scope).
+
+    Operators alternate AND/OR by level starting from a random root type;
+    each internal node has U{fanout} children, each child being a leaf with
+    probability ``leaf_prob`` (always a leaf at ``depth`` 0).
+    """
+    n_streams = max(1, round(_estimated_leaves / rho))
+    costs = _stream_table(rng, n_streams, c_range)
+    names = list(costs)
+
+    def build(level: int, want_and: bool):
+        if level == 0 or rng.random() < leaf_prob:
+            return LeafNode(_random_leaf(rng, names, d_range))
+        k = int(rng.integers(fanout[0], fanout[1] + 1))
+        children = [build(level - 1, not want_and) for _ in range(k)]
+        return AndNode(children) if want_and else OrNode(children)
+
+    root = build(depth, bool(rng.integers(0, 2)))
+    if isinstance(root, LeafNode):
+        root = AndNode([root])
+    tree_root = root.simplified()
+    leaves = tuple(tree_root.iter_leaves())
+    used = {leaf.stream for leaf in leaves}
+    return QueryTree(tree_root, {name: costs[name] for name in used})
+
+
+def sample_and_tree(rng: np.random.Generator, config: AndTreeConfig) -> AndTree:
+    """Draw one AND-tree instance from a Figure 4 grid cell."""
+    return random_and_tree(
+        rng, config.m, config.rho, d_range=config.d_range, c_range=config.c_range
+    )
+
+
+def sample_dnf_tree(rng: np.random.Generator, config: DnfConfig) -> DnfTree:
+    """Draw one DNF instance from a Figure 5 / Figure 6 grid cell."""
+    return random_dnf_tree(
+        rng,
+        config.n_ands,
+        config.leaves_per_and,
+        config.rho,
+        sampled=config.sampled,
+        max_leaves=config.max_leaves,
+        d_range=config.d_range,
+        c_range=config.c_range,
+    )

@@ -1,0 +1,24 @@
+"""Query language: DSL parser and tree serialization."""
+
+from repro.lang.parser import ParsedQuery, parse_query
+from repro.lang.serialize import (
+    leaf_from_dict,
+    leaf_to_dict,
+    to_expression,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_json,
+)
+
+__all__ = [
+    "parse_query",
+    "ParsedQuery",
+    "tree_to_dict",
+    "tree_from_dict",
+    "tree_to_json",
+    "tree_from_json",
+    "leaf_to_dict",
+    "leaf_from_dict",
+    "to_expression",
+]

@@ -1,0 +1,266 @@
+"""Text query language for building AND-OR trees.
+
+Grammar (case-insensitive keywords, ``OR`` binds loosest)::
+
+    query     := or_expr
+    or_expr   := and_expr ( OR and_expr )*
+    and_expr  := unit ( AND unit )*
+    unit      := '(' or_expr ')' | leaf
+    leaf      := predicate [ 'p' '=' NUMBER ]
+               | abstract  [ 'p' '=' NUMBER ]
+    predicate := IDENT '(' IDENT ',' INT ')' CMP NUMBER   -- AVG(A,5) < 70
+               | IDENT CMP NUMBER                          -- C < 3
+    abstract  := IDENT '[' INT ']'                         -- A[5]
+    CMP       := < | <= | > | >= | == | !=
+
+Two leaf forms:
+
+* **predicate leaves** carry real semantics (window operator + comparison)
+  and get a bound :class:`~repro.predicates.predicate.Predicate`;
+* **abstract leaves** (``A[5] p=0.75``) only carry the scheduling data
+  (stream, items, probability) — handy for writing paper instances directly.
+
+The optional ``p=<prob>`` annotation sets the leaf's success probability
+(default 0.5 — refine it later from traces or profiling).
+
+Example::
+
+    parse_query("(AVG(A,5) < 70 AND MAX(B,4) > 100) OR C < 3")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.leaf import Leaf
+from repro.core.tree import AndNode, DnfTree, LeafNode, Node, OrNode, QueryTree
+from repro.errors import ParseError
+from repro.predicates.predicate import COMPARATORS, Predicate
+from repro.predicates.windows import WINDOW_OPS
+
+__all__ = ["ParsedQuery", "parse_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<cmp><=|>=|==|!=|<|>)
+  | (?P<sym>[()\[\],=])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # "number" | "ident" | "cmp" | "sym" | "eof"
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind=kind, text=match.group(), pos=pos))
+        pos = match.end()
+    tokens.append(_Token(kind="eof", text="", pos=len(text)))
+    return tokens
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Result of :func:`parse_query`.
+
+    ``predicates`` maps global leaf indices (in :attr:`QueryTree.leaves`
+    order) to bound predicates; abstract leaves have no entry.
+    """
+
+    tree: QueryTree
+    predicates: Mapping[int, Predicate] = field(default_factory=dict)
+
+    def as_dnf(self) -> DnfTree:
+        """The query as a :class:`DnfTree` (raises if not in DNF shape)."""
+        return self.tree.as_dnf()
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], default_prob: float) -> None:
+        self.tokens = tokens
+        self.cursor = 0
+        self.default_prob = default_prob
+        self.leaf_predicates: list[Predicate | None] = []
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> _Token:
+        return self.tokens[min(self.cursor + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.cursor]
+        if token.kind != "eof":
+            self.cursor += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r} at position {token.pos}, got {token.text!r}")
+        return self.advance()
+
+    def _is_keyword(self, token: _Token, word: str) -> bool:
+        return token.kind == "ident" and token.text.upper() == word
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self.or_expr()
+        tail = self.peek()
+        if tail.kind != "eof":
+            raise ParseError(f"trailing input at position {tail.pos}: {tail.text!r}")
+        return node
+
+    def or_expr(self) -> Node:
+        terms = [self.and_expr()]
+        while self._is_keyword(self.peek(), "OR"):
+            self.advance()
+            terms.append(self.and_expr())
+        return terms[0] if len(terms) == 1 else OrNode(terms)
+
+    def and_expr(self) -> Node:
+        units = [self.unit()]
+        while self._is_keyword(self.peek(), "AND"):
+            self.advance()
+            units.append(self.unit())
+        return units[0] if len(units) == 1 else AndNode(units)
+
+    def unit(self) -> Node:
+        token = self.peek()
+        if token.kind == "sym" and token.text == "(":
+            self.advance()
+            node = self.or_expr()
+            self.expect("sym", ")")
+            return node
+        return self.leaf()
+
+    def leaf(self) -> Node:
+        head = self.expect("ident")
+        follow = self.peek()
+        if follow.kind == "sym" and follow.text == "(":
+            node = self._predicate_with_op(head)
+        elif follow.kind == "sym" and follow.text == "[":
+            node = self._abstract_leaf(head)
+        elif follow.kind == "cmp":
+            node = self._bare_predicate(head)
+        else:
+            raise ParseError(
+                f"expected '(', '[' or a comparator after {head.text!r} "
+                f"at position {follow.pos}"
+            )
+        return node
+
+    def _prob_annotation(self) -> float:
+        token = self.peek()
+        if (
+            token.kind == "ident"
+            and token.text.lower() == "p"
+            and self.peek(1).kind == "sym"
+            and self.peek(1).text == "="
+        ):
+            self.advance()  # p
+            self.advance()  # =
+            number = self.expect("number")
+            prob = float(number.text)
+            if not 0.0 <= prob <= 1.0:
+                raise ParseError(f"probability {prob} out of [0, 1] at position {number.pos}")
+            return prob
+        return self.default_prob
+
+    def _finish_predicate(self, predicate: Predicate) -> Node:
+        prob = self._prob_annotation()
+        self.leaf_predicates.append(predicate)
+        return LeafNode(predicate.to_leaf(prob))
+
+    def _predicate_with_op(self, head: _Token) -> Node:
+        op = head.text.upper()
+        if op not in WINDOW_OPS:
+            known = ", ".join(sorted(WINDOW_OPS))
+            raise ParseError(
+                f"unknown window operator {head.text!r} at position {head.pos}; known: {known}"
+            )
+        self.expect("sym", "(")
+        stream = self.expect("ident").text
+        self.expect("sym", ",")
+        window_token = self.expect("number")
+        window = self._as_int(window_token)
+        self.expect("sym", ")")
+        cmp_token = self.expect("cmp")
+        threshold = float(self.expect("number").text)
+        predicate = Predicate(
+            stream=stream, op=op, window=window, cmp=cmp_token.text, threshold=threshold
+        )
+        return self._finish_predicate(predicate)
+
+    def _bare_predicate(self, head: _Token) -> Node:
+        cmp_token = self.expect("cmp")
+        threshold = float(self.expect("number").text)
+        predicate = Predicate(
+            stream=head.text, op="LAST", window=1, cmp=cmp_token.text, threshold=threshold
+        )
+        return self._finish_predicate(predicate)
+
+    def _abstract_leaf(self, head: _Token) -> Node:
+        self.expect("sym", "[")
+        items = self._as_int(self.expect("number"))
+        self.expect("sym", "]")
+        prob = self._prob_annotation()
+        self.leaf_predicates.append(None)
+        return LeafNode(Leaf(stream=head.text, items=items, prob=prob))
+
+    @staticmethod
+    def _as_int(token: _Token) -> int:
+        value = float(token.text)
+        if value != int(value) or value < 1:
+            raise ParseError(f"expected a positive integer at position {token.pos}")
+        return int(value)
+
+    def __init_subclass__(cls) -> None:  # pragma: no cover - no subclasses expected
+        raise TypeError("_Parser is not designed for subclassing")
+
+
+def parse_query(
+    text: str,
+    *,
+    costs: Mapping[str, float] | None = None,
+    default_cost: float = 1.0,
+    default_prob: float = 0.5,
+) -> ParsedQuery:
+    """Parse a query expression into a :class:`ParsedQuery`.
+
+    Parameters
+    ----------
+    costs:
+        Per-item stream costs; defaults to ``default_cost`` everywhere.
+    default_prob:
+        Success probability for leaves without a ``p=`` annotation.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    parser = _Parser(_tokenize(text), default_prob)
+    root = parser.parse()
+    tree = QueryTree(root, costs, default_cost=default_cost)
+    predicates = {
+        g: predicate
+        for g, predicate in enumerate(parser.leaf_predicates)
+        if predicate is not None
+    }
+    return ParsedQuery(tree=tree, predicates=predicates)

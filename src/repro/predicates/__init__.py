@@ -1,0 +1,16 @@
+"""Predicate substrate: window operators, predicates, probability estimation."""
+
+from repro.predicates.estimation import estimate_from_source, leaves_from_predicates
+from repro.predicates.predicate import COMPARATORS, Comparator, Predicate
+from repro.predicates.windows import WINDOW_OPS, apply_window_op, register_window_op
+
+__all__ = [
+    "Predicate",
+    "Comparator",
+    "COMPARATORS",
+    "WINDOW_OPS",
+    "apply_window_op",
+    "register_window_op",
+    "estimate_from_source",
+    "leaves_from_predicates",
+]

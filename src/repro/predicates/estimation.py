@@ -1,0 +1,73 @@
+"""Estimating predicate success probabilities from data.
+
+The scheduling algorithms need each leaf's success probability ``p_j``; the
+paper assumes these "can be estimated based on historical traces obtained
+from previous query evaluations". Two estimators:
+
+* :func:`estimate_from_source` — offline profiling: slide the predicate's
+  window across a source tape and count successes (what a deployment would
+  do with recorded sensor logs);
+* :func:`leaves_from_predicates` — convenience: profile a set of predicates
+  against a registry and emit scheduling leaves.
+
+Both return Beta-smoothed estimates (see
+:func:`repro.streams.traces.estimate_probability`), keeping probabilities in
+the open interval (0, 1) as the ratio heuristics require.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.leaf import Leaf
+from repro.errors import StreamError
+from repro.predicates.predicate import Predicate
+from repro.streams.registry import StreamRegistry
+from repro.streams.sources import Source
+from repro.streams.traces import estimate_probability
+
+__all__ = ["estimate_from_source", "leaves_from_predicates"]
+
+
+def estimate_from_source(
+    predicate: Predicate,
+    source: Source,
+    *,
+    n_windows: int = 256,
+    start: int = 0,
+    stride: int = 1,
+    prior: tuple[float, float] = (1.0, 1.0),
+) -> float:
+    """Empirical success probability of ``predicate`` over a source tape.
+
+    Evaluates the predicate on ``n_windows`` windows ending at
+    ``start + window - 1 + k * stride`` for ``k = 0..n_windows-1``.
+    """
+    if n_windows < 1:
+        raise StreamError(f"need at least one window, got {n_windows}")
+    if stride < 1:
+        raise StreamError(f"stride must be >= 1, got {stride}")
+    successes = 0
+    end = start + predicate.window - 1
+    for _ in range(n_windows):
+        values = source.window(end, predicate.window)
+        if predicate.evaluate(values):
+            successes += 1
+        end += stride
+    return estimate_probability(successes, n_windows, prior=prior)
+
+
+def leaves_from_predicates(
+    predicates: Sequence[Predicate],
+    registry: StreamRegistry,
+    *,
+    n_windows: int = 256,
+    prior: tuple[float, float] = (1.0, 1.0),
+) -> list[Leaf]:
+    """Profile each predicate against its registered source; emit leaves."""
+    leaves = []
+    for predicate in predicates:
+        source = registry.source(predicate.stream)
+        prob = estimate_from_source(predicate, source, n_windows=n_windows, prior=prior)
+        leaves.append(predicate.to_leaf(prob))
+    return leaves

@@ -1,0 +1,99 @@
+"""Boolean predicates over stream windows.
+
+A :class:`Predicate` is the *semantic* counterpart of a scheduling
+:class:`~repro.core.leaf.Leaf`: ``AVG(HR, 5) > 100`` names the stream, the
+window operator, the window length and the comparison. The engine evaluates
+predicates on real (simulated) data; the scheduler only needs the derived
+``Leaf`` (stream, items = window, estimated probability), which
+:meth:`Predicate.to_leaf` produces.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.leaf import Leaf
+from repro.errors import StreamError
+from repro.predicates.windows import apply_window_op
+
+__all__ = ["Comparator", "Predicate", "COMPARATORS"]
+
+
+#: Comparator symbol -> binary predicate on floats.
+COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Comparator:
+    """Namespaced constants for the comparison symbols."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """``op(stream, window) cmp threshold``.
+
+    ``op="LAST"`` with ``window=1`` renders without the operator, matching
+    the paper's ``C < 3`` notation.
+    """
+
+    stream: str
+    op: str
+    window: int
+    cmp: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not self.stream:
+            raise StreamError("predicate stream must be non-empty")
+        if self.window < 1:
+            raise StreamError(f"window must be >= 1, got {self.window}")
+        if self.cmp not in COMPARATORS:
+            known = ", ".join(COMPARATORS)
+            raise StreamError(f"unknown comparator {self.cmp!r}; known: {known}")
+        object.__setattr__(self, "op", self.op.upper())
+        object.__setattr__(self, "threshold", float(self.threshold))
+
+    @property
+    def items_required(self) -> int:
+        """Number of newest items the predicate reads (the leaf's ``d``)."""
+        return self.window
+
+    def evaluate(self, values: np.ndarray) -> bool:
+        """Evaluate on a window of values (newest last, length >= window)."""
+        values = np.asarray(values, dtype=float)
+        if values.size < self.window:
+            raise StreamError(
+                f"predicate needs {self.window} items, got {values.size}"
+            )
+        score = apply_window_op(self.op, values[-self.window :])
+        return COMPARATORS[self.cmp](score, self.threshold)
+
+    def text(self) -> str:
+        """Render in the paper's / DSL's syntax, e.g. ``AVG(A,5) < 70``."""
+        if self.op == "LAST" and self.window == 1:
+            lhs = self.stream
+        else:
+            lhs = f"{self.op}({self.stream},{self.window})"
+        threshold = f"{self.threshold:g}"
+        return f"{lhs} {self.cmp} {threshold}"
+
+    def to_leaf(self, prob: float) -> Leaf:
+        """The scheduling leaf for this predicate with estimated probability ``prob``."""
+        return Leaf(stream=self.stream, items=self.window, prob=prob, label=self.text())

@@ -1,0 +1,61 @@
+"""Window aggregation operators applied to stream windows.
+
+The paper's leaf predicates apply an operator to a time-window of a stream —
+``AVG(A, 5) < 70``, ``MAX(B, 4) > 100`` — or read the latest item directly
+(``C < 3``). This module is the registry of those operators: each takes the
+window's values (newest last) and returns a scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import StreamError
+
+__all__ = ["WINDOW_OPS", "apply_window_op", "register_window_op"]
+
+
+def _last(values: np.ndarray) -> float:
+    return float(values[-1])
+
+
+def _range(values: np.ndarray) -> float:
+    return float(np.max(values) - np.min(values))
+
+
+#: Operator name -> aggregation function over a 1-D window array (newest last).
+WINDOW_OPS: dict[str, Callable[[np.ndarray], float]] = {
+    "LAST": _last,
+    "AVG": lambda v: float(np.mean(v)),
+    "MEAN": lambda v: float(np.mean(v)),
+    "MAX": lambda v: float(np.max(v)),
+    "MIN": lambda v: float(np.min(v)),
+    "SUM": lambda v: float(np.sum(v)),
+    "MEDIAN": lambda v: float(np.median(v)),
+    "STD": lambda v: float(np.std(v)),
+    "RANGE": _range,
+}
+
+
+def register_window_op(name: str, fn: Callable[[np.ndarray], float]) -> None:
+    """Add a custom aggregation operator (uppercase name)."""
+    key = name.upper()
+    if key in WINDOW_OPS:
+        raise StreamError(f"window operator {key!r} already registered")
+    WINDOW_OPS[key] = fn
+
+
+def apply_window_op(name: str, values: np.ndarray) -> float:
+    """Apply operator ``name`` to a window of values (newest last)."""
+    key = name.upper()
+    try:
+        fn = WINDOW_OPS[key]
+    except KeyError:
+        known = ", ".join(sorted(WINDOW_OPS))
+        raise StreamError(f"unknown window operator {name!r}; known: {known}") from None
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise StreamError("window values must be a non-empty 1-D array")
+    return fn(values)

@@ -1,0 +1,178 @@
+"""The device's data-item memory — the heart of the *shared* cost model.
+
+Paper §I: "The device that processes the query acquires data items from
+streams and holds each data item in memory until that data item is no longer
+relevant. A data item from a stream is no longer relevant when it is older
+than the maximum time-window used for that stream in the query."
+
+:class:`DataItemCache` implements exactly that pull model over
+:class:`~repro.streams.sources.Source` tapes:
+
+* time is discrete; at device time ``now``, the newest available item of a
+  stream is the one produced at absolute index ``now - 1``, and "the last
+  ``d`` items" are absolute indices ``now - d .. now - 1``;
+* :meth:`fetch_window` returns those ``d`` values, *charging only for items
+  not already cached* — this is what makes later same-stream leaves cheap;
+* :meth:`advance` moves time forward (new items get produced by the sources)
+  and evicts items older than each stream's maximum relevant window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.streams.sources import Source
+
+__all__ = ["DataItemCache", "CountingCache", "FetchResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class FetchResult:
+    """Outcome of one window fetch."""
+
+    values: np.ndarray | None
+    fetched_items: int
+    cost: float
+
+
+class CountingCache:
+    """Cost-accounting-only cache for pure simulations (no data values).
+
+    Tracks, per stream, how many of the newest items are held; charges for
+    the missing ones. This is the cache the analytic evaluators assume.
+    """
+
+    def __init__(self, costs: Mapping[str, float]) -> None:
+        self.costs = dict(costs)
+        self._held: dict[str, int] = {}
+        self.charged = 0.0
+        self.fetch_counts: dict[str, int] = {}
+
+    def items_cached(self, stream: str) -> int:
+        return self._held.get(stream, 0)
+
+    def fetch_window(self, stream: str, count: int) -> FetchResult:
+        if count < 1:
+            raise StreamError(f"window must be >= 1 item, got {count}")
+        if stream not in self.costs:
+            raise StreamError(f"unknown stream {stream!r}")
+        have = self._held.get(stream, 0)
+        missing = max(0, count - have)
+        cost = missing * self.costs[stream]
+        if missing:
+            self._held[stream] = count
+            self.fetch_counts[stream] = self.fetch_counts.get(stream, 0) + missing
+        self.charged += cost
+        return FetchResult(values=None, fetched_items=missing, cost=cost)
+
+    def clear(self) -> None:
+        """Drop all items (e.g. between independent query evaluations)."""
+        self._held.clear()
+
+    def reset_charges(self) -> None:
+        self.charged = 0.0
+        self.fetch_counts.clear()
+
+
+class DataItemCache:
+    """Pull-model cache over real (simulated) data sources.
+
+    Parameters
+    ----------
+    sources:
+        Stream name -> :class:`Source` tape.
+    costs:
+        Stream name -> cost per item, ``c(S_k)``.
+    now:
+        Initial device time = number of items each source has already
+        produced. Must be at least the largest window a query will ask for.
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, Source],
+        costs: Mapping[str, float],
+        *,
+        now: int = 64,
+    ) -> None:
+        missing = set(sources) - set(costs)
+        if missing:
+            raise StreamError(f"no cost configured for streams {sorted(missing)!r}")
+        self.sources = dict(sources)
+        self.costs = dict(costs)
+        if now < 0:
+            raise StreamError(f"now must be >= 0, got {now}")
+        self.now = now
+        self._store: dict[str, dict[int, float]] = {name: {} for name in sources}
+        self.charged = 0.0
+        self.fetch_counts: dict[str, int] = {}
+
+    def items_cached(self, stream: str) -> int:
+        """Length of the contiguous run of newest items currently held."""
+        store = self._store.get(stream)
+        if not store:
+            return 0
+        count = 0
+        tau = self.now - 1
+        while tau in store:
+            count += 1
+            tau -= 1
+        return count
+
+    def fetch_window(self, stream: str, count: int) -> FetchResult:
+        """Values of items ``1..count`` (newest last in the array), charging misses."""
+        if count < 1:
+            raise StreamError(f"window must be >= 1 item, got {count}")
+        source = self.sources.get(stream)
+        if source is None:
+            raise StreamError(f"unknown stream {stream!r}")
+        if count > self.now:
+            raise StreamError(
+                f"stream {stream!r} has only produced {self.now} items; window {count} too large"
+            )
+        store = self._store[stream]
+        fetched = 0
+        cost_per_item = self.costs[stream]
+        values = np.empty(count)
+        for offset, tau in enumerate(range(self.now - count, self.now)):
+            if tau not in store:
+                store[tau] = source.value_at(tau)
+                fetched += 1
+            values[offset] = store[tau]
+        cost = fetched * cost_per_item
+        self.charged += cost
+        if fetched:
+            self.fetch_counts[stream] = self.fetch_counts.get(stream, 0) + fetched
+        return FetchResult(values=values, fetched_items=fetched, cost=cost)
+
+    def advance(self, steps: int = 1, *, max_windows: Mapping[str, int] | None = None) -> None:
+        """Move time forward and evict items older than each stream's window.
+
+        ``max_windows[stream]`` is the largest window any leaf applies to the
+        stream (the paper's relevance horizon); omitted streams keep
+        everything (no eviction).
+        """
+        if steps < 0:
+            raise StreamError(f"cannot advance by {steps} steps")
+        self.now += steps
+        if max_windows:
+            for stream, window in max_windows.items():
+                store = self._store.get(stream)
+                if store is None:
+                    continue
+                horizon = self.now - window
+                stale = [tau for tau in store if tau < horizon]
+                for tau in stale:
+                    del store[tau]
+
+    def clear(self) -> None:
+        for store in self._store.values():
+            store.clear()
+
+    def reset_charges(self) -> None:
+        self.charged = 0.0
+        self.fetch_counts.clear()

@@ -1,0 +1,153 @@
+"""Acquisition-cost models, including a per-medium energy model.
+
+The paper abstracts data acquisition cost into a per-item constant
+``c(S_k)`` and motivates it as "the energy cost, in joules, of acquiring one
+data item based on the communication medium used for the stream and the data
+item size". This module provides exactly that family:
+
+* :class:`UniformCost` — every stream costs the same per item (the paper's
+  worked examples use unit cost);
+* :class:`TableCost` — explicit per-stream costs (the random experiments use
+  U[1, 10] draws);
+* :class:`EnergyCost` — joules per item derived from an item's payload size
+  and a :class:`Medium` energy profile (per-byte energy + per-transfer
+  overhead), with presets for common wearable-sensor radios.
+
+The magnitudes of the presets are representative, not measured: the
+scheduling algorithms only consume the resulting per-item constants.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import StreamError
+
+__all__ = [
+    "Medium",
+    "BLUETOOTH_LE",
+    "WIFI",
+    "ZIGBEE",
+    "CELLULAR",
+    "CostModel",
+    "UniformCost",
+    "TableCost",
+    "EnergyCost",
+    "cost_table",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Medium:
+    """Energy profile of a communication medium.
+
+    ``joules_per_byte`` covers payload transfer; ``joules_per_transfer``
+    covers fixed per-item overhead (radio wake-up, headers, ACKs).
+    """
+
+    name: str
+    joules_per_byte: float
+    joules_per_transfer: float = 0.0
+
+    def item_cost(self, item_bytes: int) -> float:
+        """Energy to acquire one item of ``item_bytes`` payload bytes."""
+        if item_bytes < 0:
+            raise StreamError(f"item size must be >= 0 bytes, got {item_bytes}")
+        return self.joules_per_byte * item_bytes + self.joules_per_transfer
+
+
+#: Representative radio profiles (orders of magnitude from wearable-platform
+#: datasheets; see DESIGN.md substitutions table).
+BLUETOOTH_LE = Medium("ble", joules_per_byte=1.0e-6, joules_per_transfer=5.0e-5)
+ZIGBEE = Medium("zigbee", joules_per_byte=2.0e-6, joules_per_transfer=8.0e-5)
+WIFI = Medium("wifi", joules_per_byte=5.0e-7, joules_per_transfer=1.0e-3)
+CELLULAR = Medium("cellular", joules_per_byte=2.5e-6, joules_per_transfer=5.0e-3)
+
+
+class CostModel(abc.ABC):
+    """Maps stream names to per-item acquisition costs."""
+
+    @abc.abstractmethod
+    def per_item(self, stream: str) -> float:
+        """Cost of one data item of ``stream``."""
+
+
+class UniformCost(CostModel):
+    """Every stream costs ``value`` per item (paper examples: 1.0)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if not value >= 0.0:
+            raise StreamError(f"uniform cost must be >= 0, got {value!r}")
+        self.value = float(value)
+
+    def per_item(self, stream: str) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"UniformCost({self.value!r})"
+
+
+class TableCost(CostModel):
+    """Explicit per-stream costs with an optional default."""
+
+    def __init__(self, table: Mapping[str, float], default: float | None = None) -> None:
+        self.table = {name: float(value) for name, value in table.items()}
+        for name, value in self.table.items():
+            if not value >= 0.0:
+                raise StreamError(f"cost of {name!r} must be >= 0, got {value!r}")
+        self.default = default if default is None else float(default)
+
+    def per_item(self, stream: str) -> float:
+        if stream in self.table:
+            return self.table[stream]
+        if self.default is not None:
+            return self.default
+        raise StreamError(f"no cost configured for stream {stream!r}")
+
+    def __repr__(self) -> str:
+        return f"TableCost({self.table!r}, default={self.default!r})"
+
+
+class EnergyCost(CostModel):
+    """Joules per item from payload size and medium profile.
+
+    Parameters
+    ----------
+    item_bytes:
+        Payload size per data item, per stream.
+    medium:
+        Either one :class:`Medium` for every stream or a per-stream mapping.
+    """
+
+    def __init__(
+        self,
+        item_bytes: Mapping[str, int],
+        medium: Medium | Mapping[str, Medium] = BLUETOOTH_LE,
+    ) -> None:
+        self.item_bytes = dict(item_bytes)
+        self.medium = medium
+
+    def medium_for(self, stream: str) -> Medium:
+        if isinstance(self.medium, Medium):
+            return self.medium
+        try:
+            return self.medium[stream]
+        except KeyError:
+            raise StreamError(f"no medium configured for stream {stream!r}") from None
+
+    def per_item(self, stream: str) -> float:
+        try:
+            size = self.item_bytes[stream]
+        except KeyError:
+            raise StreamError(f"no item size configured for stream {stream!r}") from None
+        return self.medium_for(stream).item_cost(size)
+
+    def __repr__(self) -> str:
+        return f"EnergyCost({self.item_bytes!r}, medium={self.medium!r})"
+
+
+def cost_table(model: CostModel, streams: Iterable[str]) -> dict[str, float]:
+    """Materialize a cost model into the plain dict the tree types consume."""
+    return {name: model.per_item(name) for name in streams}

@@ -1,0 +1,98 @@
+"""Failure injection for sensor sources.
+
+Real wearable links drop samples; these wrappers turn any
+:class:`~repro.streams.sources.Source` into a faulty one so the engine's
+behaviour under sensor failure can be tested and demonstrated:
+
+* :class:`DropoutSource` — each item is independently *lost* with
+  probability ``drop_prob``; a lost item is replaced by the last good value
+  (hold) or a fixed fill value, mirroring common firmware behaviour;
+* :class:`FailingSource` — reads raise :class:`~repro.errors.StreamError`
+  with some probability (radio outage); deterministic given the seed, and
+  deterministic per item: retrying the same item yields the same outcome
+  until :meth:`repair` is called.
+
+Both keep the tape-determinism contract of :class:`Source` (re-reading an
+index gives the same value/outcome), which the stateful cache tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.streams.sources import Source
+
+__all__ = ["DropoutSource", "FailingSource"]
+
+
+class DropoutSource(Source):
+    """Wraps a source; items are lost (and held/filled) with ``drop_prob``."""
+
+    def __init__(
+        self,
+        inner: Source,
+        drop_prob: float,
+        *,
+        seed: int | None = None,
+        fill: float | None = None,
+    ) -> None:
+        if not 0.0 <= drop_prob < 1.0:
+            raise StreamError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.inner = inner
+        self.drop_prob = float(drop_prob)
+        self.fill = fill
+        self._rng = np.random.default_rng(seed)
+        self._dropped: dict[int, bool] = {}
+        self.drop_count = 0
+
+    def _is_dropped(self, tau: int) -> bool:
+        if tau not in self._dropped:
+            # draw lazily but memoize: the tape must stay deterministic
+            dropped = bool(self._rng.random() < self.drop_prob)
+            self._dropped[tau] = dropped
+            if dropped:
+                self.drop_count += 1
+        return self._dropped[tau]
+
+    def value_at(self, tau: int) -> float:
+        if tau < 0:
+            raise StreamError(f"production index must be >= 0, got {tau}")
+        if not self._is_dropped(tau):
+            return self.inner.value_at(tau)
+        if self.fill is not None:
+            return self.fill
+        # hold the last good value; scan back (tau=0 falls through to inner)
+        cursor = tau - 1
+        while cursor >= 0:
+            if not self._is_dropped(cursor):
+                return self.inner.value_at(cursor)
+            cursor -= 1
+        return self.inner.value_at(tau)  # no good value yet: pass through
+
+
+class FailingSource(Source):
+    """Wraps a source; reads fail (raise StreamError) with ``fail_prob``."""
+
+    def __init__(self, inner: Source, fail_prob: float, *, seed: int | None = None) -> None:
+        if not 0.0 <= fail_prob < 1.0:
+            raise StreamError(f"fail_prob must be in [0, 1), got {fail_prob}")
+        self.inner = inner
+        self.fail_prob = float(fail_prob)
+        self._rng = np.random.default_rng(seed)
+        self._failed: dict[int, bool] = {}
+        self.failure_count = 0
+
+    def value_at(self, tau: int) -> float:
+        if tau < 0:
+            raise StreamError(f"production index must be >= 0, got {tau}")
+        if tau not in self._failed:
+            self._failed[tau] = bool(self._rng.random() < self.fail_prob)
+        if self._failed[tau]:
+            self.failure_count += 1
+            raise StreamError(f"simulated sensor outage reading item {tau}")
+        return self.inner.value_at(tau)
+
+    def repair(self) -> None:
+        """Clear recorded outages (the radio came back)."""
+        self._failed.clear()

@@ -1,0 +1,74 @@
+"""Registry binding stream specs to data sources.
+
+A :class:`StreamRegistry` is the one-stop description of the sensing
+environment: for each stream, its :class:`~repro.streams.stream.StreamSpec`
+(cost, period, metadata) and its :class:`~repro.streams.sources.Source`
+(the data tape). The execution engine builds its caches from a registry, and
+the scheduling core gets its cost table from :meth:`cost_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import StreamError
+from repro.streams.cache import DataItemCache
+from repro.streams.sources import Source
+from repro.streams.stream import StreamSpec
+
+__all__ = ["StreamRegistry"]
+
+
+class StreamRegistry:
+    """Named collection of (spec, source) pairs."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, StreamSpec] = {}
+        self._sources: dict[str, Source] = {}
+
+    def add(self, spec: StreamSpec, source: Source) -> "StreamRegistry":
+        """Register a stream; returns self for chaining."""
+        if spec.name in self._specs:
+            raise StreamError(f"stream {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        self._sources[spec.name] = source
+        return self
+
+    def spec(self, name: str) -> StreamSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise StreamError(f"unknown stream {name!r}") from None
+
+    def source(self, name: str) -> Source:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise StreamError(f"unknown stream {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def cost_table(self) -> dict[str, float]:
+        """Per-item costs for tree construction (``c(S_k)`` of the paper)."""
+        return {name: spec.cost_per_item for name, spec in self._specs.items()}
+
+    def build_cache(self, *, now: int = 64) -> DataItemCache:
+        """A fresh :class:`DataItemCache` over this registry's sources."""
+        return DataItemCache(dict(self._sources), self.cost_table(), now=now)
+
+    def validate_tree_streams(self, streams: Mapping[str, float] | tuple[str, ...]) -> None:
+        """Check that every stream a tree references is registered."""
+        for name in streams:
+            if name not in self._specs:
+                raise StreamError(f"tree references unregistered stream {name!r}")

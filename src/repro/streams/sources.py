@@ -1,0 +1,218 @@
+"""Synthetic data sources standing in for physical sensors.
+
+The paper's system pulls data items from real sensors (GPS, accelerometer,
+heart rate, SPO2, ...). Offline we substitute deterministic-by-seed
+generators that expose the same interface: ``value_at(tau)`` returns the item
+produced at absolute production index ``tau`` (0, 1, 2, ...). Values are
+generated lazily and memoized, so a source behaves like an append-only tape —
+re-reading history is cheap and consistent, which is exactly what the pull
+model's item cache relies on.
+
+Provided families: i.i.d. uniform/Gaussian noise, bounded random walks
+(heart-rate-like), periodic signals with noise (accelerometer-like), a
+discrete Markov chain (activity states), constants, and replay of recorded
+traces.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StreamError
+
+__all__ = [
+    "Source",
+    "UniformSource",
+    "GaussianSource",
+    "RandomWalkSource",
+    "PeriodicSource",
+    "MarkovChainSource",
+    "ConstantSource",
+    "ReplaySource",
+]
+
+
+class Source(abc.ABC):
+    """An append-only tape of data items indexed by production time."""
+
+    @abc.abstractmethod
+    def value_at(self, tau: int) -> float:
+        """The item produced at absolute index ``tau >= 0``."""
+
+    def window(self, end_tau: int, count: int) -> np.ndarray:
+        """Items ``end_tau - count + 1 .. end_tau``, newest last.
+
+        Raises :class:`~repro.errors.StreamError` when the window would reach
+        before the start of the tape.
+        """
+        start = end_tau - count + 1
+        if start < 0:
+            raise StreamError(
+                f"window of {count} items ending at tau={end_tau} precedes the tape start"
+            )
+        return np.array([self.value_at(tau) for tau in range(start, end_tau + 1)])
+
+
+class _SequentialSource(Source):
+    """Base for sources whose items must be generated in order (memoized)."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._values: list[float] = []
+
+    @abc.abstractmethod
+    def _next(self, tau: int, rng: np.random.Generator) -> float:
+        """Generate the item at index ``tau`` (called in strictly increasing order)."""
+
+    def value_at(self, tau: int) -> float:
+        if tau < 0:
+            raise StreamError(f"production index must be >= 0, got {tau}")
+        while len(self._values) <= tau:
+            self._values.append(float(self._next(len(self._values), self._rng)))
+        return self._values[tau]
+
+
+class UniformSource(_SequentialSource):
+    """I.i.d. uniform values in ``[low, high)``."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0, seed: int | None = None) -> None:
+        super().__init__(seed)
+        if not high > low:
+            raise StreamError(f"need high > low, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def _next(self, tau: int, rng: np.random.Generator) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class GaussianSource(_SequentialSource):
+    """I.i.d. Gaussian values."""
+
+    def __init__(self, mean: float = 0.0, std: float = 1.0, seed: int | None = None) -> None:
+        super().__init__(seed)
+        if not std >= 0.0:
+            raise StreamError(f"std must be >= 0, got {std}")
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def _next(self, tau: int, rng: np.random.Generator) -> float:
+        return rng.normal(self.mean, self.std)
+
+
+class RandomWalkSource(_SequentialSource):
+    """Bounded Gaussian random walk (heart-rate-like slow drift)."""
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        step_std: float = 1.0,
+        seed: int | None = None,
+        *,
+        low: float = -math.inf,
+        high: float = math.inf,
+    ) -> None:
+        super().__init__(seed)
+        if not high >= low:
+            raise StreamError(f"need high >= low, got [{low}, {high}]")
+        self.start = float(start)
+        self.step_std = float(step_std)
+        self.low = float(low)
+        self.high = float(high)
+        self._current = float(min(max(start, low), high))
+
+    def _next(self, tau: int, rng: np.random.Generator) -> float:
+        if tau > 0:
+            self._current += rng.normal(0.0, self.step_std)
+            self._current = min(max(self._current, self.low), self.high)
+        return self._current
+
+
+class PeriodicSource(_SequentialSource):
+    """Sinusoid plus Gaussian noise (accelerometer-like)."""
+
+    def __init__(
+        self,
+        amplitude: float = 1.0,
+        period: float = 20.0,
+        noise_std: float = 0.0,
+        offset: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed)
+        if not period > 0.0:
+            raise StreamError(f"period must be > 0, got {period}")
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.noise_std = float(noise_std)
+        self.offset = float(offset)
+
+    def _next(self, tau: int, rng: np.random.Generator) -> float:
+        value = self.offset + self.amplitude * math.sin(2.0 * math.pi * tau / self.period)
+        if self.noise_std > 0.0:
+            value += rng.normal(0.0, self.noise_std)
+        return value
+
+
+class MarkovChainSource(_SequentialSource):
+    """Discrete-state Markov chain emitting per-state values (activity modes)."""
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        transition: Sequence[Sequence[float]],
+        seed: int | None = None,
+        initial_state: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        self.values = [float(v) for v in values]
+        matrix = np.asarray(transition, dtype=float)
+        if matrix.shape != (len(self.values), len(self.values)):
+            raise StreamError(
+                f"transition matrix shape {matrix.shape} does not match {len(self.values)} states"
+            )
+        if np.any(matrix < 0) or not np.allclose(matrix.sum(axis=1), 1.0):
+            raise StreamError("transition matrix rows must be non-negative and sum to 1")
+        if not 0 <= initial_state < len(self.values):
+            raise StreamError(f"initial state {initial_state} out of range")
+        self.transition = matrix
+        self._state = initial_state
+
+    def _next(self, tau: int, rng: np.random.Generator) -> float:
+        if tau > 0:
+            self._state = int(rng.choice(len(self.values), p=self.transition[self._state]))
+        return self.values[self._state]
+
+
+class ConstantSource(Source):
+    """Always the same value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def value_at(self, tau: int) -> float:
+        if tau < 0:
+            raise StreamError(f"production index must be >= 0, got {tau}")
+        return self.value
+
+
+class ReplaySource(Source):
+    """Replay of a recorded trace; reading past the end raises."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self.values = [float(v) for v in values]
+        if not self.values:
+            raise StreamError("cannot replay an empty trace")
+
+    def value_at(self, tau: int) -> float:
+        if tau < 0:
+            raise StreamError(f"production index must be >= 0, got {tau}")
+        if tau >= len(self.values):
+            raise StreamError(
+                f"trace has {len(self.values)} items; index {tau} is past the end"
+            )
+        return self.values[tau]

@@ -1,0 +1,54 @@
+"""Stream specifications.
+
+A :class:`StreamSpec` describes one sensor data stream: its name, the cost of
+acquiring one data item (``c(S_k)`` in the paper — e.g. joules per item), the
+production period, and optional descriptive metadata. Specs are the bridge
+between the scheduling core (which only needs the cost table) and the
+execution engine (which also needs sources and periods).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import StreamError
+
+__all__ = ["StreamSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSpec:
+    """Description of one sensor data stream.
+
+    Parameters
+    ----------
+    name:
+        Stream identifier used by leaves (e.g. ``"HR"`` for heart rate).
+    cost_per_item:
+        Acquisition cost of one data item, ``c(S_k)``; any non-negative unit
+        (joules, bytes, abstract units).
+    period:
+        Time steps between two produced items (1.0 = one item per tick).
+    description:
+        Free-form human context (sensor type, units, ...).
+    medium:
+        Optional communication-medium tag (``"ble"``, ``"wifi"``, ...);
+        purely informational unless an energy model derives the cost.
+    """
+
+    name: str
+    cost_per_item: float
+    period: float = 1.0
+    description: str = field(default="", compare=False)
+    medium: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise StreamError(f"stream name must be a non-empty string, got {self.name!r}")
+        cost = float(self.cost_per_item)
+        if math.isnan(cost) or cost < 0.0:
+            raise StreamError(f"cost_per_item must be >= 0, got {self.cost_per_item!r}")
+        object.__setattr__(self, "cost_per_item", cost)
+        if not self.period > 0.0:
+            raise StreamError(f"period must be > 0, got {self.period!r}")

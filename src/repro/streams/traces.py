@@ -1,0 +1,80 @@
+"""Historical traces and probability estimation.
+
+Paper §I: leaf success probabilities and costs "can be inferred based on
+historical traces obtained for previous query executions". This module
+records per-leaf outcomes and per-stream acquisition counts across query
+rounds and turns them into the probability estimates the schedulers consume.
+
+Estimation uses a Beta(1, 1) (Laplace) posterior mean by default, so leaves
+that have never failed still get a probability strictly inside (0, 1) — the
+schedulers divide by both ``p`` and ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+__all__ = ["LeafTrace", "TraceRecorder", "estimate_probability"]
+
+
+def estimate_probability(
+    successes: int, trials: int, *, prior: tuple[float, float] = (1.0, 1.0)
+) -> float:
+    """Beta-posterior-mean estimate of a success probability.
+
+    ``prior=(1, 1)`` is Laplace smoothing; ``prior=(0.5, 0.5)`` is Jeffreys.
+    With zero trials this returns the prior mean.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"invalid counts: {successes} successes of {trials} trials")
+    alpha, beta = prior
+    return (successes + alpha) / (trials + alpha + beta)
+
+
+@dataclass(slots=True)
+class LeafTrace:
+    """Outcome counts for one leaf across recorded query rounds."""
+
+    evaluations: int = 0
+    successes: int = 0
+
+    def record(self, outcome: bool) -> None:
+        self.evaluations += 1
+        if outcome:
+            self.successes += 1
+
+    def estimate(self, *, prior: tuple[float, float] = (1.0, 1.0)) -> float:
+        return estimate_probability(self.successes, self.evaluations, prior=prior)
+
+
+@dataclass(slots=True)
+class TraceRecorder:
+    """Accumulates per-leaf outcomes and per-stream acquisition statistics."""
+
+    leaves: dict[Hashable, LeafTrace] = field(default_factory=dict)
+    stream_items: dict[str, int] = field(default_factory=dict)
+    stream_cost: dict[str, float] = field(default_factory=dict)
+    rounds: int = 0
+
+    def record_outcome(self, leaf_key: Hashable, outcome: bool) -> None:
+        self.leaves.setdefault(leaf_key, LeafTrace()).record(outcome)
+
+    def record_acquisition(self, stream: str, items: int, cost: float) -> None:
+        self.stream_items[stream] = self.stream_items.get(stream, 0) + items
+        self.stream_cost[stream] = self.stream_cost.get(stream, 0.0) + cost
+
+    def end_round(self) -> None:
+        self.rounds += 1
+
+    def estimates(self, *, prior: tuple[float, float] = (1.0, 1.0)) -> dict[Hashable, float]:
+        """Per-leaf success-probability estimates from the recorded outcomes."""
+        return {key: trace.estimate(prior=prior) for key, trace in self.leaves.items()}
+
+    def mean_cost_per_item(self) -> Mapping[str, float]:
+        """Empirical per-item cost per stream (sanity check against the model)."""
+        out: dict[str, float] = {}
+        for stream, items in self.stream_items.items():
+            if items > 0:
+                out[stream] = self.stream_cost.get(stream, 0.0) / items
+        return out

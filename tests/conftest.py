@@ -1,0 +1,117 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AndTree, DnfTree, Leaf
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def paper_and_tree() -> AndTree:
+    """The shared AND-tree of paper Figure 2 / §II-A.
+
+    l1 = A[1] p=0.75, l2 = A[2] p=0.1, l3 = B[1] p=0.5, unit costs.
+    Known costs: (l3,l1,l2) -> 1.875, (l3,l2,l1) -> 2.0, optimal
+    (l1,l2,l3) -> 1.825.
+    """
+    return AndTree(
+        [
+            Leaf("A", 1, 0.75, "l1"),
+            Leaf("A", 2, 0.1, "l2"),
+            Leaf("B", 1, 0.5, "l3"),
+        ],
+        costs={"A": 1.0, "B": 1.0},
+    )
+
+
+def make_paper_dnf(p: dict[int, float], costs: dict[str, float]) -> DnfTree:
+    """The DNF tree of paper Figure 3 / §II-B with parametric probabilities.
+
+    Leaves l1..l7 with paper indices; ``p[k]`` is leaf lk's probability.
+    Global indices: l1=0, l3=1, l4=2 (AND 1); l2=3, l5=4 (AND 2);
+    l6=5, l7=6 (AND 3). The schedule l1..l7 is (0, 3, 1, 2, 4, 5, 6).
+    """
+    return DnfTree(
+        [
+            [Leaf("A", 1, p[1], "l1"), Leaf("C", 1, p[3], "l3"), Leaf("D", 1, p[4], "l4")],
+            [Leaf("B", 1, p[2], "l2"), Leaf("C", 1, p[5], "l5")],
+            [Leaf("B", 1, p[6], "l6"), Leaf("D", 1, p[7], "l7")],
+        ],
+        costs=costs,
+    )
+
+
+PAPER_FIG3_SCHEDULE = (0, 3, 1, 2, 4, 5, 6)
+
+
+def fig3_paper_cost(p: dict[int, float], c: dict[str, float]) -> float:
+    """The closed-form cost the paper derives for the Figure 3 schedule."""
+    return (
+        c["A"]
+        + c["B"]
+        + (p[1] + (1 - p[1]) * p[2]) * c["C"]
+        + (p[1] * p[3] + (1 - p[1] * p[3]) * (1 - p[2] * p[5]) * p[6]) * c["D"]
+    )
+
+
+@pytest.fixture
+def nonlinear_gap_tree() -> DnfTree:
+    """Shared DNF instance where non-linear strictly beats linear (§V).
+
+    Found by exhaustive search: optimal linear cost 4.5, optimal non-linear
+    cost 4.176 (7.2% gap).
+    """
+    return DnfTree(
+        [
+            [Leaf("B", 2, 0.4), Leaf("A", 2, 0.1)],
+            [Leaf("A", 1, 0.6), Leaf("B", 2, 0.1)],
+        ],
+        costs={"A": 1.0, "B": 2.0},
+    )
+
+
+@pytest.fixture
+def alg1_within_and_counterexample() -> DnfTree:
+    """§IV-C counterexample: no optimal schedule uses Algorithm 1's
+    within-AND orders (best such schedule costs 10.297 vs optimum 6.537)."""
+    return DnfTree(
+        [
+            [Leaf("B", 1, 0.1), Leaf("B", 1, 0.5), Leaf("A", 1, 0.2)],
+            [Leaf("B", 2, 0.1), Leaf("A", 1, 0.3), Leaf("A", 1, 0.2)],
+        ],
+        costs={"A": 5.0, "B": 5.0},
+    )
+
+
+def random_small_dnf(
+    rng: np.random.Generator,
+    *,
+    max_ands: int = 3,
+    max_per_and: int = 3,
+    max_items: int = 3,
+    n_streams: int = 3,
+) -> DnfTree:
+    """Small random shared DNF for brute-force cross-validation."""
+    streams = [f"S{k}" for k in range(1, n_streams + 1)]
+    groups = []
+    for _ in range(int(rng.integers(1, max_ands + 1))):
+        group = [
+            Leaf(
+                streams[int(rng.integers(0, len(streams)))],
+                int(rng.integers(1, max_items + 1)),
+                float(rng.random()),
+            )
+            for _ in range(int(rng.integers(1, max_per_and + 1)))
+        ]
+        groups.append(group)
+    used = {leaf.stream for group in groups for leaf in group}
+    costs = {name: float(rng.uniform(0.5, 10.0)) for name in used}
+    return DnfTree(groups, costs)

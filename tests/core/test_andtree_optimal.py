@@ -1,0 +1,163 @@
+"""Tests for Algorithm 1, Smith's rule, and the AND-tree brute force."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    AndTree,
+    BudgetExceededError,
+    Leaf,
+    algorithm1_order,
+    and_tree_cost,
+    brute_force_and_tree,
+    read_once_order,
+)
+from repro.core.andtree_optimal import smith_ratio
+from tests.strategies import and_trees
+
+
+class TestSmithRule:
+    def test_ratio_formula(self):
+        assert smith_ratio(Leaf("A", 4, 0.5), {"A": 2.0}) == pytest.approx(16.0)
+
+    def test_certain_leaf_goes_last(self):
+        tree = AndTree([Leaf("A", 1, 1.0), Leaf("B", 1, 0.5)], {"A": 1.0, "B": 1.0})
+        assert read_once_order(tree) == (1, 0)
+
+    def test_certain_free_leaf_ratio_zero(self):
+        assert smith_ratio(Leaf("A", 1, 1.0), {"A": 0.0}) == 0.0
+
+    def test_sorted_by_ratio_then_index(self):
+        tree = AndTree(
+            [Leaf("A", 2, 0.5), Leaf("B", 1, 0.5), Leaf("C", 2, 0.5)],
+            {"A": 1.0, "B": 1.0, "C": 1.0},
+        )
+        # ratios: 4, 2, 4 -> B first, then A before C (index tie-break)
+        assert read_once_order(tree) == (1, 0, 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(tree=and_trees(min_leaves=2, max_leaves=6))
+    def test_optimal_on_read_once_trees(self, tree):
+        # Project the tree onto distinct synthetic streams (read-once view)
+        # while keeping each leaf's (d, c, p); Smith must be optimal there.
+        renamed = [
+            Leaf(f"S{idx}", leaf.items, leaf.prob)
+            for idx, leaf in enumerate(tree.leaves)
+        ]
+        costs = {f"S{idx}": tree.costs[leaf.stream] for idx, leaf in enumerate(tree.leaves)}
+        read_once = AndTree(renamed, costs)
+        order = read_once_order(read_once)
+        best = min(
+            and_tree_cost(read_once, perm)
+            for perm in itertools.permutations(range(read_once.m))
+        )
+        assert and_tree_cost(read_once, order) == pytest.approx(best, rel=1e-9)
+
+
+class TestAlgorithm1:
+    @settings(max_examples=120, deadline=None)
+    @given(tree=and_trees(min_leaves=2, max_leaves=6))
+    def test_optimal_on_shared_trees(self, tree):
+        """Theorem 1: Algorithm 1 matches the brute-force optimum."""
+        order = algorithm1_order(tree)
+        assert sorted(order) == list(range(tree.m))
+        _, best_cost = brute_force_and_tree(tree)
+        assert and_tree_cost(tree, order) == pytest.approx(best_cost, rel=1e-9, abs=1e-12)
+
+    def test_reduces_to_smith_on_read_once(self, rng):
+        for _ in range(30):
+            m = int(rng.integers(2, 7))
+            leaves = [
+                Leaf(f"S{k}", int(rng.integers(1, 5)), float(rng.random()))
+                for k in range(m)
+            ]
+            costs = {f"S{k}": float(rng.uniform(1, 10)) for k in range(m)}
+            tree = AndTree(leaves, costs)
+            alg1_cost = and_tree_cost(tree, algorithm1_order(tree))
+            smith_cost = and_tree_cost(tree, read_once_order(tree))
+            assert alg1_cost == pytest.approx(smith_cost, rel=1e-9)
+
+    def test_same_stream_leaves_scheduled_in_increasing_d(self, rng):
+        """Proposition 1 holds within Algorithm 1's output."""
+        for _ in range(30):
+            m = int(rng.integers(2, 8))
+            leaves = [
+                Leaf(
+                    f"S{int(rng.integers(0, 2)) + 1}",
+                    int(rng.integers(1, 5)),
+                    float(rng.random()),
+                )
+                for _ in range(m)
+            ]
+            tree = AndTree(leaves, {"S1": 1.0, "S2": 2.0})
+            order = algorithm1_order(tree)
+            position = {idx: pos for pos, idx in enumerate(order)}
+            for i, j in itertools.combinations(range(m), 2):
+                a, b = tree.leaves[i], tree.leaves[j]
+                if a.stream == b.stream and a.items < b.items:
+                    assert position[i] < position[j]
+
+    def test_paper_example_trace(self, paper_and_tree):
+        # Round 1 picks the A-prefix (l1, l2): ratio 1.75/0.925 < 2 (= B's).
+        assert algorithm1_order(paper_and_tree) == (0, 1, 2)
+
+    def test_initial_items_make_leaves_free(self):
+        tree = AndTree(
+            [Leaf("A", 2, 0.5), Leaf("B", 1, 0.1)], {"A": 1.0, "B": 1.0}
+        )
+        # With A fully cached, the A-leaf is free and must come first despite
+        # B's far better shortcut power.
+        order = algorithm1_order(tree, initial_items={"A": 2})
+        assert order == (0, 1)
+
+    def test_all_certain_leaves_still_scheduled(self):
+        tree = AndTree(
+            [Leaf("A", 2, 1.0), Leaf("B", 1, 1.0)], {"A": 1.0, "B": 1.0}
+        )
+        order = algorithm1_order(tree)
+        assert sorted(order) == [0, 1]
+
+    def test_zero_cost_stream_first(self):
+        tree = AndTree(
+            [Leaf("A", 5, 0.2), Leaf("B", 1, 0.9)], {"A": 0.0, "B": 10.0}
+        )
+        assert algorithm1_order(tree)[0] == 0
+
+    def test_single_leaf(self):
+        tree = AndTree([Leaf("A", 3, 0.5)])
+        assert algorithm1_order(tree) == (0,)
+
+    def test_beats_or_ties_smith_everywhere(self, rng):
+        """Figure 4's headline: Algorithm 1 <= read-once greedy, always."""
+        from repro.generators import random_and_tree
+
+        for _ in range(200):
+            tree = random_and_tree(rng, int(rng.integers(2, 12)), float(rng.choice([1, 1.5, 2, 3, 5])))
+            alg1 = and_tree_cost(tree, algorithm1_order(tree), validate=False)
+            smith = and_tree_cost(tree, read_once_order(tree), validate=False)
+            assert alg1 <= smith + 1e-9
+
+
+class TestBruteForce:
+    def test_budget_guard(self):
+        tree = AndTree([Leaf("A", 1, 0.5)] * 10)
+        with pytest.raises(BudgetExceededError):
+            brute_force_and_tree(tree, max_leaves=9)
+
+    def test_identical_leaf_dedup_is_sound(self):
+        # 5 identical leaves: only one distinct schedule cost.
+        tree = AndTree([Leaf("A", 2, 0.5)] * 5, {"A": 1.0})
+        schedule, cost = brute_force_and_tree(tree)
+        assert cost == pytest.approx(and_tree_cost(tree, tuple(range(5))))
+
+    def test_returns_valid_schedule(self):
+        tree = AndTree([Leaf("A", 1, 0.3), Leaf("B", 2, 0.6), Leaf("A", 2, 0.9)])
+        schedule, cost = brute_force_and_tree(tree)
+        assert sorted(schedule) == [0, 1, 2]
+        assert and_tree_cost(tree, schedule) == pytest.approx(cost)

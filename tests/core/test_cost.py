@@ -1,0 +1,208 @@
+"""Unit + property tests for the analytic cost evaluators (Prop. 2 etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    AndTree,
+    DnfPrefixCost,
+    DnfTree,
+    Leaf,
+    and_tree_cost,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+    schedule_cost,
+)
+from tests.strategies import and_trees, dnf_trees_with_schedule
+
+
+class TestAndTreeCost:
+    def test_single_leaf(self):
+        tree = AndTree([Leaf("A", 3, 0.5)], {"A": 2.0})
+        assert and_tree_cost(tree, (0,)) == pytest.approx(6.0)
+
+    def test_read_once_two_leaves(self):
+        tree = AndTree([Leaf("A", 1, 0.5), Leaf("B", 2, 0.3)], {"A": 1.0, "B": 2.0})
+        # evaluate A then B: 1 + 0.5 * 4
+        assert and_tree_cost(tree, (0, 1)) == pytest.approx(3.0)
+        assert and_tree_cost(tree, (1, 0)) == pytest.approx(4.0 + 0.3 * 1.0)
+
+    def test_shared_items_are_free(self):
+        tree = AndTree([Leaf("A", 3, 0.5), Leaf("A", 3, 0.9)], {"A": 1.0})
+        # second leaf reuses all three items
+        assert and_tree_cost(tree, (0, 1)) == pytest.approx(3.0)
+
+    def test_partial_share_pays_margin(self):
+        tree = AndTree([Leaf("A", 2, 0.5), Leaf("A", 5, 0.9)], {"A": 1.0})
+        assert and_tree_cost(tree, (0, 1)) == pytest.approx(2.0 + 0.5 * 3.0)
+
+    def test_shared_false_disables_cache(self):
+        tree = AndTree([Leaf("A", 2, 0.5), Leaf("A", 5, 0.9)], {"A": 1.0})
+        assert and_tree_cost(tree, (0, 1), shared=False) == pytest.approx(2.0 + 0.5 * 5.0)
+
+    def test_zero_probability_prefix_truncates(self):
+        tree = AndTree([Leaf("A", 1, 0.0), Leaf("B", 9, 0.5)], {"A": 1.0, "B": 1.0})
+        assert and_tree_cost(tree, (0, 1)) == pytest.approx(1.0)
+
+    def test_order_independent_total_when_all_certain(self):
+        leaves = [Leaf("A", 2, 1.0), Leaf("A", 4, 1.0), Leaf("B", 1, 1.0)]
+        tree = AndTree(leaves, {"A": 1.0, "B": 3.0})
+        costs = [and_tree_cost(tree, perm) for perm in [(0, 1, 2), (2, 1, 0), (1, 0, 2)]]
+        # all leaves always evaluated: total = max-d per stream = 4 + 3
+        assert costs == pytest.approx([7.0, 7.0, 7.0])
+
+    def test_validates_schedule(self):
+        tree = AndTree([Leaf("A", 1, 0.5)])
+        with pytest.raises(Exception):
+            and_tree_cost(tree, (0, 1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree=and_trees(max_leaves=5))
+    def test_matches_exact_evaluator(self, tree):
+        schedule = tuple(range(tree.m))
+        assert and_tree_cost(tree, schedule) == pytest.approx(
+            exact_schedule_cost(tree, schedule), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=and_trees(min_leaves=2, max_leaves=5))
+    def test_nonnegative_and_bounded(self, tree):
+        schedule = tuple(range(tree.m))
+        cost = and_tree_cost(tree, schedule)
+        upper = sum(leaf.items * tree.costs[leaf.stream] for leaf in tree.leaves)
+        assert 0.0 <= cost <= upper + 1e-9
+
+
+class TestDnfScheduleCost:
+    def test_single_and_equals_and_tree_cost(self):
+        leaves = [Leaf("A", 2, 0.4), Leaf("A", 3, 0.6), Leaf("B", 1, 0.7)]
+        and_tree = AndTree(leaves, {"A": 1.5, "B": 2.0})
+        dnf = and_tree.to_dnf()
+        for perm in [(0, 1, 2), (2, 0, 1), (1, 2, 0)]:
+            assert dnf_schedule_cost(dnf, perm) == pytest.approx(
+                and_tree_cost(and_tree, perm)
+            )
+
+    def test_read_once_dnf_closed_form(self):
+        # Two independent single-leaf ANDs: cost = c1 + q1 * c2.
+        dnf = DnfTree(
+            [[Leaf("A", 2, 0.3)], [Leaf("B", 1, 0.8)]], {"A": 1.0, "B": 5.0}
+        )
+        assert dnf_schedule_cost(dnf, (0, 1)) == pytest.approx(2.0 + 0.7 * 5.0)
+        assert dnf_schedule_cost(dnf, (1, 0)) == pytest.approx(5.0 + 0.2 * 2.0)
+
+    def test_second_and_reuses_first_ands_items(self):
+        # Same stream+depth in both ANDs: the second AND's leaf is free when
+        # the first AND evaluated its leaf.
+        dnf = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("A", 1, 0.5)]], {"A": 4.0})
+        # first leaf always costs 4; second evaluated only if AND0 FALSE but
+        # the item is then already cached -> free.
+        assert dnf_schedule_cost(dnf, (0, 1)) == pytest.approx(4.0)
+
+    def test_deeper_window_pays_difference(self):
+        dnf = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("A", 3, 0.5)]], {"A": 1.0})
+        # AND1 evaluated only when AND0 fails (prob 0.5); 2 more items needed.
+        assert dnf_schedule_cost(dnf, (0, 1)) == pytest.approx(1.0 + 0.5 * 2.0)
+
+    def test_validate_flag(self):
+        dnf = DnfTree([[Leaf("A", 1, 0.5)]])
+        with pytest.raises(Exception):
+            dnf_schedule_cost(dnf, (0, 0))
+
+    @settings(max_examples=100, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=3, max_per_and=3))
+    def test_matches_exact_evaluator(self, pair):
+        tree, schedule = pair
+        analytic = dnf_schedule_cost(tree, schedule)
+        reference = exact_schedule_cost(tree, schedule)
+        assert analytic == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=3, max_per_and=2))
+    def test_nonnegative(self, pair):
+        tree, schedule = pair
+        assert dnf_schedule_cost(tree, schedule) >= 0.0
+
+
+class TestDnfPrefixCost:
+    def test_incremental_total_matches_full_eval(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(30):
+            tree = random_small_dnf(rng)
+            schedule = tuple(int(x) for x in rng.permutation(tree.size))
+            state = DnfPrefixCost(tree)
+            partial_totals = []
+            for g in schedule:
+                state.push(g)
+                partial_totals.append(state.total)
+            assert partial_totals[-1] == pytest.approx(dnf_schedule_cost(tree, schedule))
+            # prefix totals are monotone (non-negative marginal costs)
+            assert all(b >= a - 1e-12 for a, b in zip(partial_totals, partial_totals[1:]))
+
+    def test_push_undo_restores_state(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(20):
+            tree = random_small_dnf(rng)
+            schedule = list(rng.permutation(tree.size))
+            state = DnfPrefixCost(tree)
+            cut = len(schedule) // 2
+            for g in schedule[:cut]:
+                state.push(g)
+            snapshot = (
+                state.total,
+                list(state.placed_count),
+                list(state.prefix_prob),
+                dict(state.not_acquired),
+                {k: set(v) for k, v in state.claimed.items()},
+                [dict(d) for d in state.claim_depth],
+                list(state.completed),
+            )
+            tokens = [state.push(g) for g in schedule[cut:]]
+            for token in reversed(tokens):
+                state.undo(token)
+            assert state.total == pytest.approx(snapshot[0])
+            assert list(state.placed_count) == snapshot[1]
+            assert state.prefix_prob == pytest.approx(snapshot[2])
+            got_not_acq = {k: v for k, v in state.not_acquired.items()}
+            for key in set(snapshot[3]) | set(got_not_acq):
+                assert got_not_acq.get(key, 1.0) == pytest.approx(snapshot[3].get(key, 1.0))
+            got_claimed = {k: v for k, v in state.claimed.items() if v}
+            want_claimed = {k: v for k, v in snapshot[4].items() if v}
+            assert got_claimed == want_claimed
+            assert state.claim_depth == snapshot[5]
+            assert state.completed == snapshot[6]
+
+    def test_peek_block_leaves_state_unchanged(self):
+        tree = DnfTree(
+            [[Leaf("A", 2, 0.5), Leaf("B", 1, 0.4)], [Leaf("A", 3, 0.7)]],
+            {"A": 1.0, "B": 2.0},
+        )
+        state = DnfPrefixCost(tree)
+        state.push(0)
+        before = state.total
+        marginal = state.peek_block([1, 2])
+        assert state.total == pytest.approx(before)
+        assert state.pushed == 1
+        # pushing for real adds exactly the peeked marginal
+        state.push(1)
+        state.push(2)
+        assert state.total == pytest.approx(before + marginal)
+
+
+class TestScheduleCostDispatch:
+    def test_dispatches_and_tree(self):
+        tree = AndTree([Leaf("A", 1, 0.5)])
+        assert schedule_cost(tree, (0,)) == pytest.approx(1.0)
+
+    def test_dispatches_dnf(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        assert schedule_cost(tree, (0,)) == pytest.approx(1.0)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            schedule_cost("nope", (0,))  # type: ignore[arg-type]

@@ -1,0 +1,123 @@
+"""Tests for the exhaustive DNF optimizer and the decision problem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import BudgetExceededError, DnfTree, Leaf, dnf_schedule_cost, is_depth_first
+from repro.core.dnf_optimal import dnf_decision, optimal_any_order, optimal_depth_first
+from repro.core.heuristics import make_paper_heuristics
+from tests.strategies import dnf_trees
+
+
+class TestOptimalDepthFirst:
+    def test_returns_depth_first_schedule(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(20):
+            tree = random_small_dnf(rng)
+            result = optimal_depth_first(tree)
+            assert is_depth_first(tree, result.schedule)
+            assert result.complete
+            assert dnf_schedule_cost(tree, result.schedule) == pytest.approx(result.cost)
+
+    def test_unpacking_convenience(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        schedule, cost = optimal_depth_first(tree)
+        assert schedule == (0,)
+        assert cost == pytest.approx(1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree=dnf_trees(max_ands=3, max_per_and=2))
+    def test_theorem2_depth_first_matches_any_order(self, tree):
+        """Theorem 2: the depth-first optimum is the global optimum."""
+        df = optimal_depth_first(tree)
+        any_order = optimal_any_order(tree)
+        assert df.cost == pytest.approx(any_order.cost, rel=1e-9, abs=1e-12)
+
+    def test_never_above_heuristics(self, rng):
+        from tests.conftest import random_small_dnf
+
+        heuristics = make_paper_heuristics(seed=3)
+        for _ in range(25):
+            tree = random_small_dnf(rng)
+            optimum = optimal_depth_first(tree)
+            for heuristic in heuristics.values():
+                assert optimum.cost <= heuristic.cost(tree) + 1e-9
+
+    def test_warm_start_prunes(self, rng):
+        from tests.conftest import random_small_dnf
+
+        tree = random_small_dnf(rng, max_ands=3, max_per_and=3)
+        warm = optimal_depth_first(tree, warm_start=True)
+        cold = optimal_depth_first(tree, warm_start=False)
+        assert warm.cost == pytest.approx(cold.cost)
+        assert warm.nodes_explored <= cold.nodes_explored
+
+    def test_node_budget(self):
+        groups = [
+            [Leaf(f"S{k}", k + 1, 0.3 + 0.05 * k) for k in range(4)] for _ in range(4)
+        ]
+        tree = DnfTree(groups)
+        with pytest.raises(BudgetExceededError):
+            optimal_depth_first(tree, node_budget=10)
+
+    def test_identical_and_dedup_sound(self):
+        group = [Leaf("A", 1, 0.4), Leaf("B", 2, 0.6)]
+        tree = DnfTree([list(group), list(group), list(group)], {"A": 1.0, "B": 2.0})
+        result = optimal_depth_first(tree)
+        # identical ANDs: the identity depth-first order is optimal
+        reference = min(
+            dnf_schedule_cost(tree, (0, 1, 2, 3, 4, 5)),
+            dnf_schedule_cost(tree, (1, 0, 3, 2, 5, 4)),
+        )
+        assert result.cost == pytest.approx(reference)
+
+    def test_single_and_matches_algorithm1(self, rng):
+        from repro import AndTree, algorithm1_order, and_tree_cost
+
+        for _ in range(20):
+            m = int(rng.integers(1, 6))
+            leaves = [
+                Leaf(f"S{int(rng.integers(1, 3))}", int(rng.integers(1, 4)), float(rng.random()))
+                for _ in range(m)
+            ]
+            used = {leaf.stream for leaf in leaves}
+            costs = {name: float(rng.uniform(1, 5)) for name in used}
+            and_tree = AndTree(leaves, costs)
+            dnf = and_tree.to_dnf()
+            result = optimal_depth_first(dnf)
+            assert result.cost == pytest.approx(
+                and_tree_cost(and_tree, algorithm1_order(and_tree)), rel=1e-9
+            )
+
+
+class TestDnfDecision:
+    @pytest.fixture
+    def tree(self, rng):
+        from tests.conftest import random_small_dnf
+
+        return random_small_dnf(rng)
+
+    def test_accepts_at_optimum(self, tree):
+        optimum = optimal_depth_first(tree)
+        assert dnf_decision(tree, optimum.cost) is True
+
+    def test_accepts_above_optimum(self, tree):
+        optimum = optimal_depth_first(tree)
+        assert dnf_decision(tree, optimum.cost * 1.25 + 1.0) is True
+
+    def test_rejects_below_optimum(self, tree):
+        optimum = optimal_depth_first(tree)
+        if optimum.cost > 0:
+            assert dnf_decision(tree, optimum.cost * 0.99) is False
+
+    def test_rejects_zero_when_positive(self, tree):
+        optimum = optimal_depth_first(tree)
+        if optimum.cost > 0:
+            assert dnf_decision(tree, 0.0) is False
+
+    def test_zero_bound_with_free_tree(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]], {"A": 0.0})
+        assert dnf_decision(tree, 0.0) is True

@@ -1,0 +1,187 @@
+"""Edge-case and adversarial-instance tests across the core algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AndTree,
+    DnfPrefixCost,
+    DnfTree,
+    Leaf,
+    algorithm1_order,
+    and_tree_cost,
+    brute_force_and_tree,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+)
+from repro.core.dnf_optimal import optimal_any_order, optimal_depth_first
+
+
+class TestDegenerateTrees:
+    def test_single_leaf_everything_agrees(self):
+        tree = DnfTree([[Leaf("A", 4, 0.37)]], {"A": 2.5})
+        assert dnf_schedule_cost(tree, (0,)) == pytest.approx(10.0)
+        assert exact_schedule_cost(tree, (0,)) == pytest.approx(10.0)
+        assert optimal_depth_first(tree).cost == pytest.approx(10.0)
+
+    def test_all_probabilities_zero(self):
+        # Every leaf fails: each AND dies at its first leaf; all first leaves
+        # of all ANDs are evaluated.
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.0), Leaf("B", 5, 0.0)], [Leaf("C", 2, 0.0)]],
+            {"A": 1.0, "B": 1.0, "C": 1.0},
+        )
+        assert dnf_schedule_cost(tree, (0, 1, 2)) == pytest.approx(1.0 + 2.0)
+
+    def test_all_probabilities_one(self):
+        # First AND surely TRUE: nothing else is ever touched.
+        tree = DnfTree(
+            [[Leaf("A", 2, 1.0), Leaf("B", 1, 1.0)], [Leaf("C", 9, 1.0)]],
+            {"A": 1.0, "B": 1.0, "C": 1.0},
+        )
+        assert dnf_schedule_cost(tree, (0, 1, 2)) == pytest.approx(3.0)
+        assert optimal_depth_first(tree).cost == pytest.approx(3.0)
+
+    def test_every_leaf_same_stream_same_window(self):
+        leaves = [[Leaf("A", 3, 0.5)] for _ in range(4)]
+        tree = DnfTree(leaves, {"A": 2.0})
+        # first leaf pays 6; every later leaf reuses the cached items
+        assert dnf_schedule_cost(tree, (0, 1, 2, 3)) == pytest.approx(6.0)
+
+    def test_zero_cost_everything(self):
+        tree = DnfTree(
+            [[Leaf("A", 5, 0.3), Leaf("B", 2, 0.6)]], {"A": 0.0, "B": 0.0}
+        )
+        assert dnf_schedule_cost(tree, (0, 1)) == 0.0
+        assert optimal_depth_first(tree).cost == 0.0
+
+    def test_huge_windows(self):
+        tree = AndTree(
+            [Leaf("A", 10_000, 0.5), Leaf("A", 20_000, 0.5)], {"A": 0.001}
+        )
+        cost = and_tree_cost(tree, (0, 1))
+        assert cost == pytest.approx(10_000 * 0.001 + 0.5 * 10_000 * 0.001)
+
+    def test_many_identical_ands_search_stays_small(self):
+        group = [Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]
+        tree = DnfTree([list(group) for _ in range(6)], {"A": 1.0, "B": 1.0})
+        result = optimal_depth_first(tree)
+        # symmetry elimination: identical ANDs and identical leaves collapse
+        assert result.nodes_explored < 2_000
+        assert result.complete
+
+
+class TestAdversarialAlgorithm1:
+    def test_long_prefix_beats_each_individual_leaf(self):
+        # Stream A's leaves individually look bad but the full prefix is a
+        # near-certain cheap kill; Algorithm 1 must take the whole prefix.
+        leaves = [
+            Leaf("A", 1, 0.9),
+            Leaf("A", 1, 0.9),
+            Leaf("A", 1, 0.9),
+            Leaf("A", 1, 0.9),
+            Leaf("B", 1, 0.45),
+        ]
+        tree = AndTree(leaves, {"A": 1.0, "B": 1.0})
+        order = algorithm1_order(tree)
+        _, best = brute_force_and_tree(tree)
+        assert and_tree_cost(tree, order) == pytest.approx(best, rel=1e-9)
+
+    def test_mixed_probability_extremes(self):
+        leaves = [
+            Leaf("A", 2, 1.0),
+            Leaf("A", 3, 0.0),
+            Leaf("B", 1, 0.5),
+            Leaf("B", 4, 1.0),
+        ]
+        tree = AndTree(leaves, {"A": 3.0, "B": 1.0})
+        order = algorithm1_order(tree)
+        _, best = brute_force_and_tree(tree)
+        assert and_tree_cost(tree, order) == pytest.approx(best, rel=1e-9)
+
+    def test_extreme_cost_asymmetry(self):
+        leaves = [Leaf("A", 1, 0.01), Leaf("B", 5, 0.99), Leaf("B", 1, 0.5)]
+        tree = AndTree(leaves, {"A": 1e6, "B": 1e-6})
+        order = algorithm1_order(tree)
+        _, best = brute_force_and_tree(tree)
+        assert and_tree_cost(tree, order) == pytest.approx(best, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_probability_boundary_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        choices = [0.0, 1.0, 0.5]
+        leaves = [
+            Leaf(
+                f"S{int(rng.integers(1, 3))}",
+                int(rng.integers(1, 4)),
+                float(rng.choice(choices)),
+            )
+            for _ in range(int(rng.integers(2, 6)))
+        ]
+        used = {leaf.stream for leaf in leaves}
+        tree = AndTree(leaves, {name: float(rng.uniform(0, 3)) for name in used})
+        order = algorithm1_order(tree)
+        _, best = brute_force_and_tree(tree)
+        assert and_tree_cost(tree, order) == pytest.approx(best, rel=1e-9, abs=1e-12)
+
+
+class TestPrefixCostStress:
+    def test_interleaved_push_undo_random_walk(self, rng):
+        """Random push/undo walks must keep the evaluator consistent."""
+        from tests.conftest import random_small_dnf
+
+        for _ in range(10):
+            tree = random_small_dnf(rng, max_ands=3, max_per_and=3)
+            state = DnfPrefixCost(tree)
+            stack: list = []
+            available = list(range(tree.size))
+            for _ in range(200):
+                if stack and (not available or rng.random() < 0.45):
+                    g, token = stack.pop()
+                    state.undo(token)
+                    available.append(g)
+                elif available:
+                    g = available.pop(int(rng.integers(0, len(available))))
+                    stack.append((g, state.push(g)))
+            # drain and compare against a fresh evaluation of the same prefix
+            prefix = [g for g, _ in stack]
+            fresh = DnfPrefixCost(tree)
+            for g in prefix:
+                fresh.push(g)
+            assert state.total == pytest.approx(fresh.total, rel=1e-9, abs=1e-12)
+
+    def test_peek_block_idempotent(self, rng):
+        from tests.conftest import random_small_dnf
+
+        tree = random_small_dnf(rng)
+        state = DnfPrefixCost(tree)
+        block = list(range(tree.size))
+        first = state.peek_block(block)
+        second = state.peek_block(block)
+        assert first == pytest.approx(second)
+        assert state.pushed == 0
+
+
+class TestAnyOrderVsDepthFirstOnEdgeCases:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_boundary_probability_dnfs(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        groups = []
+        for _ in range(2):
+            groups.append(
+                [
+                    Leaf(
+                        f"S{int(rng.integers(1, 3))}",
+                        int(rng.integers(1, 3)),
+                        float(rng.choice([0.0, 1.0, 0.5])),
+                    )
+                    for _ in range(int(rng.integers(1, 3)))
+                ]
+            )
+        used = {leaf.stream for group in groups for leaf in group}
+        tree = DnfTree(groups, {name: float(rng.uniform(0.5, 2)) for name in used})
+        df = optimal_depth_first(tree)
+        ao = optimal_any_order(tree)
+        assert df.cost == pytest.approx(ao.cost, rel=1e-9, abs=1e-12)

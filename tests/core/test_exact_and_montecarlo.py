@@ -1,0 +1,113 @@
+"""Tests for the exact reference evaluator and the Monte-Carlo estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AndNode,
+    AndTree,
+    BudgetExceededError,
+    DnfTree,
+    Leaf,
+    LeafNode,
+    OrNode,
+    QueryTree,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+    monte_carlo_cost,
+)
+
+
+class TestExactEvaluator:
+    def test_single_leaf(self):
+        tree = AndTree([Leaf("A", 2, 0.5)], {"A": 3.0})
+        assert exact_schedule_cost(tree, (0,)) == pytest.approx(6.0)
+
+    def test_or_short_circuits_on_true(self):
+        # OR(a, b): b evaluated only when a FALSE.
+        root = OrNode([LeafNode(Leaf("A", 1, 0.8)), LeafNode(Leaf("B", 1, 0.5))])
+        tree = QueryTree(root, {"A": 1.0, "B": 10.0})
+        assert exact_schedule_cost(tree, (0, 1)) == pytest.approx(1.0 + 0.2 * 10.0)
+
+    def test_and_short_circuits_on_false(self):
+        root = AndNode([LeafNode(Leaf("A", 1, 0.25)), LeafNode(Leaf("B", 1, 0.5))])
+        tree = QueryTree(root, {"A": 1.0, "B": 10.0})
+        assert exact_schedule_cost(tree, (0, 1)) == pytest.approx(1.0 + 0.25 * 10.0)
+
+    def test_shared_cache_across_branches(self):
+        # Same stream+window in both OR branches: second branch free.
+        root = OrNode([LeafNode(Leaf("A", 2, 0.5)), LeafNode(Leaf("A", 2, 0.5))])
+        tree = QueryTree(root, {"A": 1.0})
+        assert exact_schedule_cost(tree, (0, 1)) == pytest.approx(2.0)
+
+    def test_three_level_tree(self):
+        # AND(OR(a, b), c): the paper's general setting beyond DNF.
+        root = AndNode(
+            [
+                OrNode([LeafNode(Leaf("A", 1, 0.5)), LeafNode(Leaf("B", 1, 0.5))]),
+                LeafNode(Leaf("C", 1, 0.5)),
+            ]
+        )
+        tree = QueryTree(root, {"A": 1.0, "B": 1.0, "C": 1.0})
+        # a; b iff a FALSE; c iff OR TRUE (p = 0.75)
+        assert exact_schedule_cost(tree, (0, 1, 2)) == pytest.approx(1.0 + 0.5 + 0.75)
+
+    def test_budget_guard(self):
+        groups = [[Leaf("S%d" % k, 1, 0.5) for k in range(3)] for _ in range(4)]
+        tree = DnfTree(groups)
+        with pytest.raises(BudgetExceededError):
+            exact_schedule_cost(tree, tuple(range(tree.size)), max_states=3)
+
+    def test_deterministic_leaves_fold(self):
+        tree = AndTree([Leaf("A", 1, 1.0), Leaf("B", 1, 0.0)], {"A": 2.0, "B": 3.0})
+        assert exact_schedule_cost(tree, (0, 1)) == pytest.approx(5.0)
+        assert exact_schedule_cost(tree, (1, 0)) == pytest.approx(3.0)
+
+
+class TestMonteCarlo:
+    def test_converges_to_analytic_dnf(self):
+        tree = DnfTree(
+            [[Leaf("A", 2, 0.6), Leaf("B", 1, 0.4)], [Leaf("A", 3, 0.7), Leaf("C", 2, 0.5)]],
+            {"A": 2.0, "B": 1.5, "C": 3.0},
+        )
+        schedule = (0, 1, 2, 3)
+        result = monte_carlo_cost(tree, schedule, n_samples=20_000, seed=42)
+        assert result.compatible_with(dnf_schedule_cost(tree, schedule))
+
+    def test_zero_variance_when_deterministic(self):
+        tree = AndTree([Leaf("A", 2, 1.0), Leaf("B", 1, 1.0)], {"A": 1.0, "B": 1.0})
+        result = monte_carlo_cost(tree, (0, 1), n_samples=500, seed=0)
+        assert result.std_error == 0.0
+        assert result.mean == pytest.approx(3.0)
+        assert result.compatible_with(3.0)
+
+    def test_ci95_contains_mean(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("B", 1, 0.5)]])
+        result = monte_carlo_cost(tree, (0, 1), n_samples=2_000, seed=1)
+        low, high = result.ci95
+        assert low <= result.mean <= high
+
+    def test_reproducible_with_seed(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("B", 2, 0.3)]])
+        a = monte_carlo_cost(tree, (0, 1), n_samples=500, seed=7)
+        b = monte_carlo_cost(tree, (0, 1), n_samples=500, seed=7)
+        assert a.mean == b.mean and a.std_error == b.std_error
+
+    def test_rng_argument(self, rng):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        result = monte_carlo_cost(tree, (0,), n_samples=100, rng=rng)
+        assert result.mean == pytest.approx(1.0)  # always evaluated
+
+    def test_general_query_tree_supported(self):
+        root = AndNode(
+            [
+                OrNode([LeafNode(Leaf("A", 1, 0.5)), LeafNode(Leaf("B", 1, 0.5))]),
+                LeafNode(Leaf("C", 1, 0.5)),
+            ]
+        )
+        tree = QueryTree(root, {"A": 1.0, "B": 1.0, "C": 1.0})
+        schedule = (0, 1, 2)
+        result = monte_carlo_cost(tree, schedule, n_samples=20_000, seed=3)
+        assert result.compatible_with(exact_schedule_cost(tree, schedule))

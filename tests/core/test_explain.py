@@ -1,0 +1,103 @@
+"""Tests for the schedule explanation facility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DnfTree, Leaf, dnf_schedule_cost
+from repro.core.explain import explain_schedule
+from tests.conftest import PAPER_FIG3_SCHEDULE, make_paper_dnf
+
+
+class TestExplainSchedule:
+    def test_total_matches_prop2(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(20):
+            tree = random_small_dnf(rng)
+            schedule = tuple(int(x) for x in rng.permutation(tree.size))
+            explanation = explain_schedule(tree, schedule)
+            assert explanation.total_cost == pytest.approx(
+                dnf_schedule_cost(tree, schedule), rel=1e-9, abs=1e-12
+            )
+            assert explanation.steps[-1].cumulative_cost == pytest.approx(
+                explanation.total_cost
+            )
+
+    def test_per_stream_costs_sum_to_total(self, rng):
+        from tests.conftest import random_small_dnf
+
+        tree = random_small_dnf(rng)
+        schedule = tuple(range(tree.size))
+        explanation = explain_schedule(tree, schedule)
+        assert sum(explanation.stream_cost.values()) == pytest.approx(
+            explanation.total_cost, rel=1e-9, abs=1e-12
+        )
+
+    def test_paper_fig3_evaluation_probabilities(self):
+        """The P(evaluated) column must match the paper's §II-B narrative."""
+        rng = np.random.default_rng(0)
+        p = {k: float(rng.random()) for k in range(1, 8)}
+        c = {s: 1.0 for s in "ABCD"}
+        tree = make_paper_dnf(p, c)
+        explanation = explain_schedule(tree, PAPER_FIG3_SCHEDULE)
+        by_label = {step.label: step for step in explanation.steps}
+        # l1, l2 always evaluated
+        assert by_label["l1"].prob_evaluated == pytest.approx(1.0)
+        assert by_label["l2"].prob_evaluated == pytest.approx(1.0)
+        # l3 evaluated iff l1 TRUE; l4 iff l1 and l3 TRUE
+        assert by_label["l3"].prob_evaluated == pytest.approx(p[1])
+        assert by_label["l4"].prob_evaluated == pytest.approx(p[1] * p[3])
+        # l5: AND1 (= l1,l3,l4) completed before it; evaluated iff AND1
+        # FALSE and l2 TRUE
+        assert by_label["l5"].prob_evaluated == pytest.approx(
+            (1 - p[1] * p[3] * p[4]) * p[2]
+        )
+        # l6's cost is zero (B already fetched by l2) but it may be evaluated
+        assert by_label["l6"].expected_cost == 0.0
+
+    def test_monotone_cumulative(self):
+        tree = DnfTree(
+            [[Leaf("A", 2, 0.5), Leaf("B", 1, 0.4)], [Leaf("A", 3, 0.6)]],
+            {"A": 1.0, "B": 2.0},
+        )
+        explanation = explain_schedule(tree, (0, 1, 2))
+        cumulative = [step.cumulative_cost for step in explanation.steps]
+        assert cumulative == sorted(cumulative)
+
+    def test_dominant_stream(self):
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.5), Leaf("B", 9, 0.5)]], {"A": 1.0, "B": 5.0}
+        )
+        explanation = explain_schedule(tree, (0, 1))
+        assert explanation.dominant_stream() == "B"
+
+    def test_table_rows_align_with_headers(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        explanation = explain_schedule(tree, (0,))
+        rows = explanation.to_table_rows()
+        assert len(rows) == 1
+        assert len(rows[0]) == len(explanation.table_headers())
+
+
+class TestCliExplain:
+    def test_schedule_explain_flag(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "schedule",
+                    "(A[2] p=0.3 AND B[1] p=0.5) OR C[1] p=0.2",
+                    "--scheduler",
+                    "and-inc-c-over-p-dynamic",
+                    "--explain",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "breakdown" in out
+        assert "P(evaluated)" in out
+        assert "dominant stream" in out

@@ -1,0 +1,245 @@
+"""Tests for the §IV-D heuristics (all three families + registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import DnfTree, Leaf, dnf_schedule_cost, is_depth_first, validate_schedule
+from repro.core.heuristics import (
+    AndOrderedIncreasingCOverPDynamic,
+    LeafOrderedDecreasingQ,
+    LeafOrderedIncreasingCost,
+    LeafOrderedIncreasingCostOverQ,
+    LeafOrderedRandom,
+    StreamOrdered,
+    and_block_plan,
+    available_schedulers,
+    get_scheduler,
+    leaf_full_cost,
+    make_paper_heuristics,
+    paper_heuristic_names,
+    stream_metric,
+)
+from repro.errors import ReproError
+from tests.strategies import dnf_trees
+
+
+def simple_tree():
+    return DnfTree(
+        [
+            [Leaf("A", 2, 0.9), Leaf("B", 1, 0.2)],
+            [Leaf("C", 3, 0.5)],
+            [Leaf("A", 1, 0.4), Leaf("C", 1, 0.8)],
+        ],
+        {"A": 1.0, "B": 4.0, "C": 2.0},
+    )
+
+
+class TestRegistry:
+    def test_all_paper_heuristics_registered(self):
+        names = set(available_schedulers())
+        assert set(paper_heuristic_names()) <= names
+
+    def test_get_scheduler_unknown_name(self):
+        with pytest.raises(ReproError):
+            get_scheduler("definitely-not-a-heuristic")
+
+    def test_make_paper_heuristics_instantiates_all_ten(self):
+        heuristics = make_paper_heuristics(seed=0)
+        assert len(heuristics) == 10
+
+    def test_paper_labels_present(self):
+        for name, heuristic in make_paper_heuristics(seed=0).items():
+            assert heuristic.paper_label, name
+
+    def test_every_scheduler_produces_valid_schedules(self, rng):
+        from tests.conftest import random_small_dnf
+
+        heuristics = make_paper_heuristics(seed=1)
+        for _ in range(10):
+            tree = random_small_dnf(rng)
+            for name, heuristic in heuristics.items():
+                schedule = heuristic.schedule(tree)
+                validate_schedule(tree, schedule)
+
+    def test_cost_shortcut_matches_schedule(self):
+        tree = simple_tree()
+        heuristic = get_scheduler("leaf-inc-c")
+        assert heuristic.cost(tree) == pytest.approx(
+            dnf_schedule_cost(tree, heuristic.schedule(tree))
+        )
+
+
+class TestLeafOrdered:
+    def test_increasing_cost_order(self):
+        tree = simple_tree()
+        # full costs: A2=2, B1=4, C3=6, A1=1, C1=2 -> order 3,0,4,1,2
+        assert LeafOrderedIncreasingCost().schedule(tree) == (3, 0, 4, 1, 2)
+
+    def test_decreasing_q_order(self):
+        tree = simple_tree()
+        # q: 0.1, 0.8, 0.5, 0.6, 0.2 -> order 1,3,2,4,0
+        assert LeafOrderedDecreasingQ().schedule(tree) == (1, 3, 2, 4, 0)
+
+    def test_cost_over_q_handles_certain_leaves(self):
+        tree = DnfTree([[Leaf("A", 1, 1.0), Leaf("B", 1, 0.5)]], {"A": 1.0, "B": 1.0})
+        # q=0 -> infinite key -> last
+        assert LeafOrderedIncreasingCostOverQ().schedule(tree) == (1, 0)
+
+    def test_random_is_seeded(self):
+        tree = simple_tree()
+        a = LeafOrderedRandom(seed=5).schedule(tree)
+        b = LeafOrderedRandom(seed=5).schedule(tree)
+        assert a == b
+
+    def test_random_varies_across_draws(self):
+        tree = simple_tree()
+        sched = LeafOrderedRandom(seed=5)
+        draws = {sched.schedule(tree) for _ in range(16)}
+        assert len(draws) > 1
+
+    def test_leaf_full_cost_helper(self):
+        assert leaf_full_cost(Leaf("A", 3, 0.5), {"A": 2.0}) == pytest.approx(6.0)
+
+
+class TestAndOrdered:
+    def test_blocks_are_contiguous(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for name in (
+            "and-dec-p",
+            "and-inc-c-static",
+            "and-inc-c-dynamic",
+            "and-inc-c-over-p-static",
+            "and-inc-c-over-p-dynamic",
+        ):
+            heuristic = get_scheduler(name)
+            for _ in range(5):
+                tree = random_small_dnf(rng)
+                assert is_depth_first(tree, heuristic.schedule(tree)), name
+
+    def test_and_block_plan_uses_algorithm1(self):
+        tree = simple_tree()
+        gindices, cost, prob = and_block_plan(tree, 0)
+        # AND 0 = {A[2] p0.9, B[1] p0.2}; Algorithm 1 picks B first
+        # (ratio B: 4/0.8 = 5; A: 2/0.1 = 20; A-then-B prefix: (2+0.9*4)/0.82 ≈ 6.8)
+        assert gindices == [1, 0]
+        assert prob == pytest.approx(0.18)
+        assert cost == pytest.approx(4.0 + 0.2 * 2.0)
+
+    def test_static_inc_c_orders_by_isolated_cost(self):
+        tree = simple_tree()
+        sched = get_scheduler("and-inc-c-static").schedule(tree)
+        # isolated costs: AND0 = 4.4, AND1 = 6.0, AND2: alg1 order [A1,C1]
+        # cost = 1 + 0.4*2 = 1.8 -> block order AND2, AND0, AND1
+        assert sched == (3, 4, 1, 0, 2)
+
+    def test_dec_p_orders_by_success_probability(self):
+        tree = simple_tree()
+        sched = get_scheduler("and-dec-p").schedule(tree)
+        # p: AND0 = 0.18, AND1 = 0.5, AND2 = 0.32 -> AND1, AND2, AND0
+        assert sched[0] == 2
+
+    def test_dynamic_accounts_for_shared_items(self):
+        # Two ANDs on the same stream: after scheduling AND0 (A[3]), AND1's
+        # A[2] is probably cached -> marginal cost far below isolated cost.
+        tree = DnfTree(
+            [[Leaf("A", 3, 0.5)], [Leaf("A", 2, 0.5)], [Leaf("B", 2, 0.5)]],
+            {"A": 1.0, "B": 1.2},
+        )
+        dynamic = get_scheduler("and-inc-c-dynamic").schedule(tree)
+        # isolated costs: 3, 2, 2.4 -> static order AND1, AND2, AND0.
+        static = get_scheduler("and-inc-c-static").schedule(tree)
+        assert static == (1, 2, 0)
+        # dynamic: after AND1, AND0's items 1-2 are surely cached, so its
+        # marginal (0.5) beats AND2's (1.2) -> AND0 second.
+        assert dynamic == (1, 0, 2)
+        # and the dynamic cost can never exceed the static cost here
+        assert dnf_schedule_cost(tree, dynamic) <= dnf_schedule_cost(tree, static) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=dnf_trees(max_ands=3, max_per_and=3))
+    def test_dynamic_never_invalid(self, tree):
+        heuristic = AndOrderedIncreasingCOverPDynamic()
+        validate_schedule(tree, heuristic.schedule(tree))
+
+
+class TestStreamOrdered:
+    def test_metric_formula(self):
+        tree = simple_tree()
+        # Stream A: leaves (AND0, m=2, q=0.1) and (AND2, m=2, q=0.6)
+        # power = 0.1*1 + 0.6*1 = 0.7; max cost = 2*1 = 2 -> R = 0.35
+        assert stream_metric(tree, "A") == pytest.approx(0.35)
+        # Stream B: power 0.8*1, max cost 4 -> 0.2
+        assert stream_metric(tree, "B") == pytest.approx(0.2)
+
+    def test_groups_leaves_by_stream(self):
+        tree = simple_tree()
+        sched = StreamOrdered().schedule(tree)
+        streams = [tree.leaves[g].stream for g in sched]
+        # all occurrences of each stream are contiguous
+        seen = []
+        for s in streams:
+            if not seen or seen[-1] != s:
+                seen.append(s)
+        assert len(seen) == len(set(seen))
+
+    def test_increasing_d_within_stream_by_default(self):
+        tree = simple_tree()
+        sched = StreamOrdered().schedule(tree)
+        by_stream: dict[str, list[int]] = {}
+        for g in sched:
+            by_stream.setdefault(tree.leaves[g].stream, []).append(tree.leaves[g].items)
+        for items in by_stream.values():
+            assert items == sorted(items)
+
+    def test_original_decreasing_d_variant(self):
+        tree = simple_tree()
+        sched = StreamOrdered(original_decreasing_d=True).schedule(tree)
+        by_stream: dict[str, list[int]] = {}
+        for g in sched:
+            by_stream.setdefault(tree.leaves[g].stream, []).append(tree.leaves[g].items)
+        for items in by_stream.values():
+            assert items == sorted(items, reverse=True)
+
+    def test_literal_increasing_r_reverses_stream_order(self):
+        tree = simple_tree()
+        default = StreamOrdered().schedule(tree)
+        literal = StreamOrdered(literal_increasing_r=True).schedule(tree)
+        default_streams = [tree.leaves[g].stream for g in default]
+        literal_streams = [tree.leaves[g].stream for g in literal]
+        # stream blocks appear in opposite orders
+        def block_order(seq):
+            out = []
+            for s in seq:
+                if not out or out[-1] != s:
+                    out.append(s)
+            return out
+
+        assert block_order(default_streams) == list(reversed(block_order(literal_streams)))
+
+    def test_free_stream_prioritized(self):
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]], {"A": 0.0, "B": 5.0}
+        )
+        assert StreamOrdered().schedule(tree)[0] == 0
+
+    def test_improved_beats_original_in_vast_majority(self, rng):
+        """Paper: the increasing-d version wins 'in the vast majority of the
+        cases, with all remaining cases being ties'."""
+        from tests.conftest import random_small_dnf
+
+        improved = StreamOrdered()
+        original = StreamOrdered(original_decreasing_d=True)
+        better_or_tie = 0
+        total = 0
+        for _ in range(60):
+            tree = random_small_dnf(rng, max_ands=3, max_per_and=3, max_items=4)
+            a = improved.cost(tree)
+            b = original.cost(tree)
+            total += 1
+            if a <= b + 1e-9:
+                better_or_tie += 1
+        assert better_or_tie / total >= 0.9

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.core.leaf`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import InvalidLeafError, Leaf
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        leaf = Leaf("A", 5, 0.75, "l1")
+        assert leaf.stream == "A"
+        assert leaf.items == 5
+        assert leaf.prob == 0.75
+        assert leaf.label == "l1"
+
+    def test_prob_is_coerced_to_float(self):
+        assert isinstance(Leaf("A", 1, 1).prob, float)
+
+    def test_label_defaults_empty(self):
+        assert Leaf("A", 1, 0.5).label == ""
+
+    @pytest.mark.parametrize("items", [0, -1, 1.5, True])
+    def test_rejects_bad_items(self, items):
+        with pytest.raises(InvalidLeafError):
+            Leaf("A", items, 0.5)
+
+    @pytest.mark.parametrize("prob", [-0.01, 1.01, math.nan, "0.5", True])
+    def test_rejects_bad_prob(self, prob):
+        with pytest.raises(InvalidLeafError):
+            Leaf("A", 1, prob)
+
+    @pytest.mark.parametrize("stream", ["", None, 7])
+    def test_rejects_bad_stream(self, stream):
+        with pytest.raises(InvalidLeafError):
+            Leaf(stream, 1, 0.5)
+
+    @pytest.mark.parametrize("prob", [0.0, 1.0])
+    def test_boundary_probs_allowed(self, prob):
+        assert Leaf("A", 1, prob).prob == prob
+
+
+class TestBehaviour:
+    def test_fail_is_complement(self):
+        assert Leaf("A", 1, 0.3).fail == pytest.approx(0.7)
+
+    def test_acquisition_cost(self):
+        assert Leaf("A", 4, 0.5).acquisition_cost({"A": 2.5}) == pytest.approx(10.0)
+
+    def test_marginal_cost_with_cache(self):
+        leaf = Leaf("A", 4, 0.5)
+        assert leaf.marginal_cost({"A": 2.0}, cached_items=1) == pytest.approx(6.0)
+        assert leaf.marginal_cost({"A": 2.0}, cached_items=4) == 0.0
+        assert leaf.marginal_cost({"A": 2.0}, cached_items=9) == 0.0
+
+    def test_with_prob_returns_new_leaf(self):
+        leaf = Leaf("A", 2, 0.5, "x")
+        other = leaf.with_prob(0.9)
+        assert other.prob == 0.9
+        assert other.stream == "A" and other.items == 2 and other.label == "x"
+        assert leaf.prob == 0.5  # unchanged
+
+    def test_equality_ignores_label(self):
+        assert Leaf("A", 1, 0.5, "x") == Leaf("A", 1, 0.5, "y")
+        assert Leaf("A", 1, 0.5) != Leaf("A", 2, 0.5)
+
+    def test_hashable(self):
+        assert len({Leaf("A", 1, 0.5), Leaf("A", 1, 0.5, "other-label")}) == 1
+
+    def test_describe_mentions_stream_items_prob(self):
+        text = Leaf("HR", 5, 0.25, "AVG(HR,5) > 100").describe()
+        assert "HR[5]" in text and "0.25" in text and "AVG(HR,5) > 100" in text

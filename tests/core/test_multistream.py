@@ -1,0 +1,172 @@
+"""Tests for the multi-stream-predicate extension (§V open question)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AndTree, Leaf, algorithm1_order, and_tree_cost
+from repro.core.multistream import (
+    MultiLeaf,
+    MultiStreamAndTree,
+    adaptive_greedy_multi,
+    brute_force_multi,
+    multi_and_tree_cost,
+    smith_multi_order,
+)
+from repro.errors import BudgetExceededError, InvalidLeafError, InvalidTreeError
+
+
+class TestMultiLeaf:
+    def test_requirements_normalized_sorted(self):
+        leaf = MultiLeaf({"B": 2, "A": 1}, 0.5)
+        assert leaf.requirements == (("A", 1), ("B", 2))
+        assert leaf.streams == ("A", "B")
+
+    def test_from_mapping_and_sequence_agree(self):
+        a = MultiLeaf({"A": 1, "B": 2}, 0.5)
+        b = MultiLeaf([("B", 2), ("A", 1)], 0.5)
+        assert a == b
+
+    @pytest.mark.parametrize("bad", [{}, {"A": 0}, {"A": -1}, {"": 1}])
+    def test_rejects_bad_requirements(self, bad):
+        with pytest.raises(InvalidLeafError):
+            MultiLeaf(bad, 0.5)
+
+    def test_rejects_duplicate_streams_in_sequence(self):
+        with pytest.raises(InvalidLeafError):
+            MultiLeaf([("A", 1), ("A", 2)], 0.5)
+
+    @pytest.mark.parametrize("prob", [-0.1, 1.1])
+    def test_rejects_bad_prob(self, prob):
+        with pytest.raises(InvalidLeafError):
+            MultiLeaf({"A": 1}, prob)
+
+    def test_marginal_cost(self):
+        leaf = MultiLeaf({"A": 3, "B": 2}, 0.5)
+        costs = {"A": 1.0, "B": 10.0}
+        assert leaf.full_cost(costs) == pytest.approx(23.0)
+        assert leaf.marginal_cost(costs, {"A": 1}) == pytest.approx(22.0)
+        assert leaf.marginal_cost(costs, {"A": 5, "B": 2}) == 0.0
+
+    def test_from_leaf(self):
+        classic = Leaf("A", 4, 0.25, "x")
+        wrapped = MultiLeaf.from_leaf(classic)
+        assert wrapped.requirements == (("A", 4),)
+        assert wrapped.prob == 0.25
+
+
+class TestMultiStreamAndTree:
+    def test_default_costs(self):
+        tree = MultiStreamAndTree([MultiLeaf({"A": 1, "B": 2}, 0.5)], default_cost=2.0)
+        assert tree.costs == {"A": 2.0, "B": 2.0}
+        assert tree.streams == ("A", "B")
+
+    def test_missing_cost_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            MultiStreamAndTree([MultiLeaf({"A": 1}, 0.5)], {"B": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            MultiStreamAndTree([])
+
+
+class TestCostAndOptimality:
+    def test_cost_reduces_to_single_stream_case(self, rng):
+        """Single-stream multi-leaves must reproduce the classical evaluator."""
+        for _ in range(30):
+            m = int(rng.integers(1, 6))
+            leaves = [
+                Leaf(f"S{int(rng.integers(1, 3))}", int(rng.integers(1, 4)), float(rng.random()))
+                for _ in range(m)
+            ]
+            used = {leaf.stream for leaf in leaves}
+            costs = {name: float(rng.uniform(0.5, 5)) for name in used}
+            classic = AndTree(leaves, costs)
+            multi = MultiStreamAndTree([MultiLeaf.from_leaf(l) for l in leaves], costs)
+            schedule = tuple(int(x) for x in rng.permutation(m))
+            assert multi_and_tree_cost(multi, schedule) == pytest.approx(
+                and_tree_cost(classic, schedule), rel=1e-12
+            )
+
+    def test_cost_counts_each_stream_marginally(self):
+        tree = MultiStreamAndTree(
+            [MultiLeaf({"A": 2, "B": 1}, 0.5), MultiLeaf({"A": 3, "B": 1}, 0.5)],
+            {"A": 1.0, "B": 10.0},
+        )
+        # first leaf: 2 + 10; second (prob 0.5): A needs 1 more, B cached
+        assert multi_and_tree_cost(tree, (0, 1)) == pytest.approx(12.0 + 0.5 * 1.0)
+
+    def test_brute_force_valid_and_minimal(self, rng):
+        for _ in range(10):
+            m = int(rng.integers(2, 5))
+            leaves = [
+                MultiLeaf(
+                    {
+                        f"S{k}": int(rng.integers(1, 3))
+                        for k in range(1, int(rng.integers(2, 4)))
+                    },
+                    float(rng.random()),
+                )
+                for _ in range(m)
+            ]
+            tree = MultiStreamAndTree(leaves, default_cost=1.0)
+            schedule, cost = brute_force_multi(tree)
+            assert sorted(schedule) == list(range(m))
+            assert multi_and_tree_cost(tree, schedule) == pytest.approx(cost)
+            greedy_cost = multi_and_tree_cost(tree, adaptive_greedy_multi(tree))
+            assert cost <= greedy_cost + 1e-12
+
+    def test_brute_force_budget(self):
+        tree = MultiStreamAndTree([MultiLeaf({"A": k + 1}, 0.5) for k in range(10)])
+        with pytest.raises(BudgetExceededError):
+            brute_force_multi(tree, max_leaves=9)
+
+    def test_adaptive_greedy_reduces_to_algorithm1_quality_single_stream(self, rng):
+        """On classical instances the adaptive greedy matches Algorithm 1."""
+        for _ in range(30):
+            m = int(rng.integers(2, 6))
+            leaves = [
+                Leaf(f"S{int(rng.integers(1, 3))}", int(rng.integers(1, 4)), float(rng.random()))
+                for _ in range(m)
+            ]
+            used = {leaf.stream for leaf in leaves}
+            costs = {name: float(rng.uniform(0.5, 5)) for name in used}
+            classic = AndTree(leaves, costs)
+            multi = MultiStreamAndTree([MultiLeaf.from_leaf(l) for l in leaves], costs)
+            greedy_cost = multi_and_tree_cost(multi, adaptive_greedy_multi(multi))
+            alg1_cost = and_tree_cost(classic, algorithm1_order(classic))
+            # adaptive greedy is not Algorithm 1; it may be worse, never better
+            assert greedy_cost >= alg1_cost - 1e-9
+
+    def test_greedy_is_not_always_optimal_multistream(self, rng):
+        """Evidence the §V question is non-trivial: the natural greedy fails
+        on some genuinely multi-stream instances."""
+        found_suboptimal = False
+        for trial in range(400):
+            local = np.random.default_rng(trial)
+            m = int(local.integers(2, 5))
+            leaves = [
+                MultiLeaf(
+                    {
+                        f"S{k}": int(local.integers(1, 3))
+                        for k in range(1, int(local.integers(2, 4)))
+                    },
+                    float(local.random()),
+                )
+                for _ in range(m)
+            ]
+            tree = MultiStreamAndTree(leaves, default_cost=1.0)
+            _, best = brute_force_multi(tree)
+            greedy = multi_and_tree_cost(tree, adaptive_greedy_multi(tree))
+            if greedy > best * (1 + 1e-9) + 1e-12:
+                found_suboptimal = True
+                break
+        assert found_suboptimal
+
+    def test_smith_multi_is_static_baseline(self):
+        tree = MultiStreamAndTree(
+            [MultiLeaf({"A": 1}, 0.9), MultiLeaf({"B": 1}, 0.1)], {"A": 1.0, "B": 1.0}
+        )
+        # ratios: 1/0.1 = 10 vs 1/0.9 ~ 1.1 -> B first
+        assert smith_multi_order(tree) == (1, 0)

@@ -1,0 +1,129 @@
+"""Tests for decision-tree (non-linear) strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DnfTree, Leaf, dnf_schedule_cost
+from repro.core.dnf_optimal import optimal_any_order
+from repro.core.nonlinear import (
+    StrategyNode,
+    find_nonlinear_gap,
+    linear_as_strategy,
+    optimal_nonlinear,
+    strategy_cost,
+    strategy_size,
+)
+from repro.errors import BudgetExceededError
+
+
+class TestLinearEmbedding:
+    def test_equals_prop2_cost(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(40):
+            tree = random_small_dnf(rng)
+            schedule = tuple(int(x) for x in rng.permutation(tree.size))
+            strategy = linear_as_strategy(tree, schedule)
+            assert strategy_cost(tree, strategy) == pytest.approx(
+                dnf_schedule_cost(tree, schedule), rel=1e-9, abs=1e-12
+            )
+
+    def test_single_leaf_strategy_shape(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        strategy = linear_as_strategy(tree, (0,))
+        assert strategy is not None
+        assert strategy.leaf == 0
+        assert strategy.on_true is None and strategy.on_false is None
+        assert strategy_size(strategy) == 1
+
+    def test_skipping_encoded_in_structure(self):
+        # AND(a, b): after a FALSE, b must not be evaluated.
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]])
+        strategy = linear_as_strategy(tree, (0, 1))
+        assert strategy.on_false is None  # AND dead -> query FALSE
+        assert strategy.on_true is not None and strategy.on_true.leaf == 1
+
+
+class TestStrategyCost:
+    def test_rejects_early_termination(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]])
+        bad = StrategyNode(leaf=0, on_true=None, on_false=None)  # on_true unresolved
+        with pytest.raises(ValueError):
+            strategy_cost(tree, bad)
+
+    def test_rejects_evaluating_dead_leaf(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]])
+        bad = StrategyNode(
+            leaf=0,
+            on_true=StrategyNode(1, None, None),
+            on_false=StrategyNode(1, None, None),  # AND already FALSE
+        )
+        with pytest.raises(ValueError):
+            strategy_cost(tree, bad)
+
+    def test_rejects_overlong_strategy(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        bad = StrategyNode(0, StrategyNode(0, None, None), None)
+        with pytest.raises(ValueError):
+            strategy_cost(tree, bad)
+
+
+class TestOptimalNonlinear:
+    def test_never_worse_than_optimal_linear(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(15):
+            tree = random_small_dnf(rng, max_ands=2, max_per_and=2)
+            linear = optimal_any_order(tree)
+            _, nonlinear_cost = optimal_nonlinear(tree)
+            assert nonlinear_cost <= linear.cost + 1e-9
+
+    def test_strict_gap_instance(self, nonlinear_gap_tree):
+        linear = optimal_any_order(nonlinear_gap_tree)
+        strategy, nonlinear_cost = optimal_nonlinear(nonlinear_gap_tree)
+        assert nonlinear_cost < linear.cost - 1e-6
+        # the returned strategy really achieves the DP value
+        assert strategy_cost(nonlinear_gap_tree, strategy) == pytest.approx(nonlinear_cost)
+
+    def test_read_once_has_no_gap(self, rng):
+        """Greiner et al.: linear strategies are dominant in the read-once case."""
+        for _ in range(15):
+            n_ands = int(rng.integers(1, 3))
+            groups = []
+            counter = 0
+            for _ in range(n_ands):
+                group = []
+                for _ in range(int(rng.integers(1, 3))):
+                    counter += 1
+                    group.append(
+                        Leaf(f"S{counter}", int(rng.integers(1, 3)), float(rng.random()))
+                    )
+                groups.append(group)
+            used = {leaf.stream for group in groups for leaf in group}
+            tree = DnfTree(groups, {name: float(rng.uniform(0.5, 5)) for name in used})
+            linear = optimal_any_order(tree)
+            _, nonlinear_cost = optimal_nonlinear(tree)
+            assert nonlinear_cost == pytest.approx(linear.cost, rel=1e-9, abs=1e-12)
+
+    def test_budget_guard(self):
+        groups = [[Leaf(f"S{k}", 1, 0.5) for k in range(3)] for _ in range(3)]
+        tree = DnfTree(groups)
+        with pytest.raises(BudgetExceededError):
+            optimal_nonlinear(tree, max_states=2)
+
+    def test_single_leaf(self):
+        tree = DnfTree([[Leaf("A", 3, 0.5)]], {"A": 2.0})
+        strategy, cost = optimal_nonlinear(tree)
+        assert cost == pytest.approx(6.0)
+        assert strategy.leaf == 0
+
+
+class TestGapSearch:
+    def test_finds_gaps_in_shared_case(self):
+        gaps = find_nonlinear_gap(n_trials=120, seed=1)
+        assert gaps, "shared instances with a linear/non-linear gap must exist (§V)"
+        for gap in gaps:
+            assert gap.nonlinear_cost < gap.linear_cost
+            assert 0.0 < gap.improvement < 1.0

@@ -1,0 +1,146 @@
+"""Tests for the Greiner read-once baseline and general-tree scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AndNode,
+    AndTree,
+    DnfTree,
+    Leaf,
+    LeafNode,
+    OrNode,
+    QueryTree,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+    is_depth_first,
+)
+from repro.core.andtree_optimal import read_once_order
+from repro.core.cost import and_tree_cost
+from repro.core.dnf_optimal import optimal_depth_first
+from repro.core.general import optimal_general, recursive_ratio_order
+from repro.core.heuristics import get_scheduler
+from repro.core.read_once import greiner_read_once_order
+from repro.errors import BudgetExceededError
+
+
+def random_read_once_dnf(rng) -> DnfTree:
+    counter = 0
+    groups = []
+    for _ in range(int(rng.integers(1, 4))):
+        group = []
+        for _ in range(int(rng.integers(1, 3))):
+            counter += 1
+            group.append(Leaf(f"S{counter}", int(rng.integers(1, 4)), float(rng.random())))
+        groups.append(group)
+    used = {leaf.stream for group in groups for leaf in group}
+    return DnfTree(groups, {name: float(rng.uniform(0.5, 5)) for name in used})
+
+
+class TestGreinerReadOnce:
+    def test_optimal_on_read_once_instances(self, rng):
+        """[6]: the algorithm is exactly optimal in the read-once model."""
+        for _ in range(25):
+            tree = random_read_once_dnf(rng)
+            schedule = greiner_read_once_order(tree)
+            assert is_depth_first(tree, schedule)
+            assert dnf_schedule_cost(tree, schedule) == pytest.approx(
+                optimal_depth_first(tree).cost, rel=1e-9, abs=1e-12
+            )
+
+    def test_suboptimal_on_shared_instances(self, alg1_within_and_counterexample):
+        tree = alg1_within_and_counterexample
+        greiner = dnf_schedule_cost(tree, greiner_read_once_order(tree))
+        optimum = optimal_depth_first(tree).cost
+        assert greiner > optimum + 1e-6
+
+    def test_registered_as_scheduler(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("B", 2, 0.4)]])
+        scheduler = get_scheduler("greiner-read-once")
+        assert scheduler.schedule(tree) == greiner_read_once_order(tree)
+
+    def test_zero_probability_and_goes_last(self):
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.0)], [Leaf("B", 1, 0.5)]], {"A": 1.0, "B": 1.0}
+        )
+        # AND0 can never satisfy the OR: C/p = inf -> scheduled last.
+        assert greiner_read_once_order(tree) == (1, 0)
+
+
+class TestRecursiveRatioOrder:
+    def test_valid_permutation_on_general_trees(self, rng):
+        from repro.generators import random_query_tree
+
+        for _ in range(15):
+            tree = random_query_tree(rng, depth=3)
+            order = recursive_ratio_order(tree)
+            assert sorted(order) == list(range(tree.size))
+
+    def test_reduces_to_smith_on_read_once_and_trees(self, rng):
+        for _ in range(20):
+            m = int(rng.integers(2, 6))
+            leaves = [Leaf(f"S{k}", int(rng.integers(1, 4)), float(rng.random())) for k in range(m)]
+            costs = {f"S{k}": float(rng.uniform(1, 5)) for k in range(m)}
+            tree = AndTree(leaves, costs)
+            got = recursive_ratio_order(tree)
+            want = read_once_order(tree)
+            assert and_tree_cost(tree, got) == pytest.approx(
+                and_tree_cost(tree, want), rel=1e-9
+            )
+
+    def test_optimal_on_read_once_dnf(self, rng):
+        for _ in range(15):
+            tree = random_read_once_dnf(rng)
+            order = recursive_ratio_order(tree)
+            assert dnf_schedule_cost(tree, order) == pytest.approx(
+                optimal_depth_first(tree).cost, rel=1e-9, abs=1e-12
+            )
+
+    def test_three_level_tree_prioritizes_failing_or(self):
+        # AND(expensive-leaf, OR(cheap-unlikely, cheap-unlikely)): the OR is
+        # cheap and fails often (kills the AND), so its block must go first
+        # (C/q = 1.9/0.81 ≈ 2.3 vs the leaf's 9/0.5 = 18).
+        root = AndNode(
+            [
+                LeafNode(Leaf("C", 9, 0.5)),
+                OrNode([LeafNode(Leaf("A", 1, 0.1)), LeafNode(Leaf("B", 1, 0.1))]),
+            ]
+        )
+        tree = QueryTree(root, {"A": 1.0, "B": 1.0, "C": 1.0})
+        order = recursive_ratio_order(tree)
+        naive = (0, 1, 2)
+        assert order[0] in (1, 2)
+        assert exact_schedule_cost(tree, order) < exact_schedule_cost(tree, naive) - 1e-9
+
+
+class TestOptimalGeneral:
+    def test_matches_dnf_search_on_dnf_trees(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(10):
+            tree = random_small_dnf(rng, max_ands=2, max_per_and=2)
+            _, general_cost = optimal_general(tree)
+            assert general_cost == pytest.approx(
+                optimal_depth_first(tree).cost, rel=1e-9, abs=1e-12
+            )
+
+    def test_never_above_recursive_heuristic(self, rng):
+        from repro.generators import random_query_tree
+
+        checked = 0
+        for _ in range(20):
+            tree = random_query_tree(rng, depth=2, fanout=(2, 2))
+            if tree.size > 6:
+                continue
+            checked += 1
+            _, best = optimal_general(tree)
+            heuristic_cost = exact_schedule_cost(tree, recursive_ratio_order(tree))
+            assert best <= heuristic_cost + 1e-9
+        assert checked >= 3
+
+    def test_budget_guard(self):
+        tree = AndTree([Leaf(f"S{k}", 1, 0.5) for k in range(10)])
+        with pytest.raises(BudgetExceededError):
+            optimal_general(tree, max_leaves=8)

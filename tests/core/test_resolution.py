@@ -1,0 +1,122 @@
+"""Tests for the shared short-circuit resolution machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndNode, AndTree, DnfTree, Leaf, LeafNode, OrNode, QueryTree
+from repro.core.resolution import FALSE, TRUE, UNRESOLVED, ResolutionState, TreeIndex
+
+
+def build_dnf():
+    return DnfTree(
+        [[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)], [Leaf("C", 1, 0.5)]],
+        {"A": 1.0, "B": 1.0, "C": 1.0},
+    )
+
+
+class TestTreeIndex:
+    def test_accepts_all_tree_types(self):
+        and_tree = AndTree([Leaf("A", 1, 0.5)])
+        dnf = build_dnf()
+        qtree = dnf.to_query_tree()
+        for tree in (and_tree, dnf, qtree):
+            index = TreeIndex(tree)
+            assert index.n_nodes >= 1
+
+    def test_leaf_order_matches_dnf_gindices(self):
+        dnf = build_dnf()
+        index = TreeIndex(dnf)
+        assert len(index.leaf_node_ids) == dnf.size
+        # leaf ancestors: AND node + OR root for each leaf
+        for ancestors in index.leaf_ancestors:
+            assert ancestors[-1] == 0  # root last in upward path
+
+    def test_bare_leaf_tree(self):
+        tree = QueryTree(LeafNode(Leaf("A", 1, 0.5)))
+        index = TreeIndex(tree)
+        assert index.n_nodes == 1
+        assert index.leaf_ancestors == ((),)
+
+
+class TestResolutionState:
+    def test_and_resolves_false_on_first_false(self):
+        dnf = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]])
+        state = TreeIndex(dnf).new_state()
+        state.set_leaf(0, False)
+        assert state.root_value is False
+        assert state.is_skipped(1)
+
+    def test_and_resolves_true_when_all_true(self):
+        dnf = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]])
+        state = TreeIndex(dnf).new_state()
+        state.set_leaf(0, True)
+        assert state.root_value is None
+        state.set_leaf(1, True)
+        assert state.root_value is True
+
+    def test_or_short_circuit(self):
+        dnf = build_dnf()
+        state = TreeIndex(dnf).new_state()
+        state.set_leaf(0, True)
+        state.set_leaf(1, True)  # AND 0 TRUE -> OR TRUE
+        assert state.root_value is True
+        assert state.is_skipped(2)
+
+    def test_all_ands_false_resolves_false(self):
+        dnf = build_dnf()
+        state = TreeIndex(dnf).new_state()
+        state.set_leaf(0, False)
+        assert state.root_value is None
+        state.set_leaf(2, False)
+        assert state.root_value is False
+
+    def test_dead_and_skips_only_its_leaves(self):
+        dnf = build_dnf()
+        state = TreeIndex(dnf).new_state()
+        state.set_leaf(0, False)
+        assert state.is_skipped(1)
+        assert not state.is_skipped(2)
+
+    def test_copy_is_independent(self):
+        dnf = build_dnf()
+        state = TreeIndex(dnf).new_state()
+        clone = state.copy()
+        clone.set_leaf(0, False)
+        assert state.root_value is None
+        assert clone.values != state.values
+
+    def test_signature_distinguishes_states(self):
+        dnf = build_dnf()
+        index = TreeIndex(dnf)
+        a = index.new_state()
+        b = index.new_state()
+        assert a.signature() == b.signature()
+        b.set_leaf(0, True)
+        assert a.signature() != b.signature()
+
+    def test_nested_propagation(self):
+        # OR( AND(a, OR(b, c)), d )
+        root = OrNode(
+            [
+                AndNode(
+                    [
+                        LeafNode(Leaf("A", 1, 0.5)),
+                        OrNode([LeafNode(Leaf("B", 1, 0.5)), LeafNode(Leaf("C", 1, 0.5))]),
+                    ]
+                ),
+                LeafNode(Leaf("D", 1, 0.5)),
+            ]
+        )
+        tree = QueryTree(root)
+        state = TreeIndex(tree).new_state()
+        state.set_leaf(0, True)   # a TRUE: AND still open
+        assert state.root_value is None
+        state.set_leaf(1, False)  # b FALSE: inner OR open
+        assert state.root_value is None
+        state.set_leaf(2, True)   # c TRUE -> inner OR TRUE -> AND TRUE -> root TRUE
+        assert state.root_value is True
+        assert state.is_skipped(3)
+
+    def test_values_constants(self):
+        assert UNRESOLVED == 0 and TRUE == 1 and FALSE == 2

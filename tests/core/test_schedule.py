@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.core.schedule`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DnfTree, InvalidScheduleError, Leaf
+from repro.core.schedule import (
+    as_depth_first_orders,
+    depth_first_blocks,
+    identity_schedule,
+    is_depth_first,
+    make_depth_first,
+    random_schedule,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def tree():
+    return DnfTree(
+        [
+            [Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)],
+            [Leaf("C", 1, 0.5)],
+            [Leaf("A", 2, 0.5), Leaf("C", 2, 0.5)],
+        ]
+    )
+
+
+class TestValidate:
+    def test_accepts_permutation(self, tree):
+        assert validate_schedule(tree, [4, 3, 2, 1, 0]) == (4, 3, 2, 1, 0)
+
+    def test_coerces_numpy_ints(self, tree):
+        sched = validate_schedule(tree, np.array([0, 1, 2, 3, 4]))
+        assert all(isinstance(x, int) for x in sched)
+
+    @pytest.mark.parametrize("bad", [[0, 1, 2], [0, 0, 1, 2, 3], [0, 1, 2, 3, 5]])
+    def test_rejects_non_permutations(self, tree, bad):
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(tree, bad)
+
+    def test_identity(self, tree):
+        assert identity_schedule(tree) == (0, 1, 2, 3, 4)
+
+    def test_random_is_permutation(self, tree, rng):
+        sched = random_schedule(tree, rng)
+        assert sorted(sched) == list(range(5))
+
+
+class TestDepthFirst:
+    def test_identity_is_depth_first(self, tree):
+        assert is_depth_first(tree, (0, 1, 2, 3, 4))
+
+    def test_blocks_in_any_and_order(self, tree):
+        assert is_depth_first(tree, (2, 3, 4, 0, 1))
+        assert is_depth_first(tree, (3, 4, 1, 0, 2))
+
+    def test_interleaved_is_not(self, tree):
+        assert not is_depth_first(tree, (0, 2, 1, 3, 4))
+        assert not is_depth_first(tree, (0, 1, 3, 2, 4))
+
+    def test_revisiting_an_and_is_not(self, tree):
+        assert not is_depth_first(tree, (0, 2, 1, 3, 4))
+
+    def test_blocks_decomposition(self, tree):
+        blocks = depth_first_blocks(tree, (2, 4, 3, 1, 0))
+        assert blocks == [(1, [0]), (2, [1, 0]), (0, [1, 0])]
+
+    def test_blocks_rejects_non_depth_first(self, tree):
+        with pytest.raises(InvalidScheduleError):
+            depth_first_blocks(tree, (0, 2, 1, 3, 4))
+
+    def test_make_depth_first_default_orders(self, tree):
+        assert make_depth_first(tree, [2, 0, 1]) == (3, 4, 0, 1, 2)
+
+    def test_make_depth_first_custom_leaf_orders(self, tree):
+        sched = make_depth_first(tree, [0, 1, 2], [[1, 0], [0], [1, 0]])
+        assert sched == (1, 0, 2, 4, 3)
+        assert is_depth_first(tree, sched)
+
+    def test_make_depth_first_validates_and_order(self, tree):
+        with pytest.raises(InvalidScheduleError):
+            make_depth_first(tree, [0, 1])
+        with pytest.raises(InvalidScheduleError):
+            make_depth_first(tree, [0, 0, 1])
+
+    def test_make_depth_first_validates_leaf_orders(self, tree):
+        with pytest.raises(InvalidScheduleError):
+            make_depth_first(tree, [0, 1, 2], [[0, 0], [0], [0, 1]])
+
+    def test_round_trip(self, tree):
+        sched = make_depth_first(tree, [2, 0, 1], [[1, 0], [0], [0, 1]])
+        and_order, leaf_orders = as_depth_first_orders(tree, sched)
+        assert and_order == [2, 0, 1]
+        assert leaf_orders[2] == [0, 1] and leaf_orders[0] == [1, 0]
+        assert make_depth_first(tree, and_order, leaf_orders) == sched
+
+    def test_single_and_always_depth_first(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5), Leaf("A", 2, 0.5)]])
+        for perm in [(0, 1, 2), (2, 1, 0), (1, 0, 2)]:
+            assert is_depth_first(tree, perm)

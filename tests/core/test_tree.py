@@ -1,0 +1,250 @@
+"""Unit tests for :mod:`repro.core.tree`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AndNode,
+    AndTree,
+    BudgetExceededError,
+    DnfTree,
+    InvalidTreeError,
+    Leaf,
+    LeafNode,
+    OrNode,
+    QueryTree,
+)
+
+
+def leaf(stream="A", items=1, prob=0.5, label=""):
+    return Leaf(stream, items, prob, label)
+
+
+class TestAndTree:
+    def test_basic_shape(self):
+        tree = AndTree([leaf("A"), leaf("B", 2), leaf("A", 3)], {"A": 1.0, "B": 2.0})
+        assert tree.m == len(tree) == 3
+        assert tree.streams == ("A", "B")
+        assert tree.sharing_ratio == pytest.approx(1.5)
+        assert not tree.is_read_once
+        assert tree.max_items == 3
+
+    def test_read_once_detection(self):
+        tree = AndTree([leaf("A"), leaf("B")])
+        assert tree.is_read_once
+        assert tree.sharing_ratio == 1.0
+
+    def test_default_costs(self):
+        tree = AndTree([leaf("A")], default_cost=3.0)
+        assert tree.costs["A"] == 3.0
+
+    def test_missing_cost_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AndTree([leaf("A"), leaf("B")], {"A": 1.0})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AndTree([leaf("A")], {"A": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AndTree([])
+
+    def test_non_leaf_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AndTree(["not a leaf"])  # type: ignore[list-item]
+
+    def test_leaves_by_stream_sorted_by_items(self):
+        tree = AndTree([leaf("A", 3), leaf("A", 1), leaf("B", 2), leaf("A", 2)])
+        groups = tree.leaves_by_stream()
+        assert groups["A"] == [1, 3, 0]
+        assert groups["B"] == [2]
+
+    def test_success_prob(self):
+        tree = AndTree([leaf(prob=0.5), leaf("B", prob=0.4)])
+        assert tree.success_prob == pytest.approx(0.2)
+
+    def test_to_dnf_preserves_leaves_and_costs(self):
+        tree = AndTree([leaf("A"), leaf("B")], {"A": 1.5, "B": 2.5})
+        dnf = tree.to_dnf()
+        assert dnf.n_ands == 1
+        assert dnf.leaves == tree.leaves
+        assert dict(dnf.costs) == dict(tree.costs)
+
+    def test_describe_lists_every_leaf(self):
+        tree = AndTree([leaf("A"), leaf("B")])
+        text = tree.describe()
+        assert "A[1]" in text and "B[1]" in text
+
+
+class TestDnfTree:
+    @pytest.fixture
+    def tree(self):
+        return DnfTree(
+            [
+                [leaf("A", 1), leaf("B", 2)],
+                [leaf("C", 1)],
+                [leaf("A", 3), leaf("C", 2), leaf("B", 1)],
+            ],
+            {"A": 1.0, "B": 2.0, "C": 3.0},
+        )
+
+    def test_shape(self, tree):
+        assert tree.n_ands == 3
+        assert tree.size == len(tree) == 6
+        assert tree.and_sizes == (2, 1, 3)
+        assert tree.max_items == 3
+        assert tree.streams == ("A", "B", "C")
+
+    def test_global_index_round_trip(self, tree):
+        for g in range(tree.size):
+            i, j = tree.ref(g)
+            assert tree.gindex(i, j) == g
+            assert tree.and_of(g) == i
+            assert tree.leaf(g) is tree.ands[i][j]
+
+    def test_gindex_bounds_checked(self, tree):
+        with pytest.raises(InvalidTreeError):
+            tree.gindex(3, 0)
+        with pytest.raises(InvalidTreeError):
+            tree.gindex(0, 2)
+
+    def test_and_leaf_gindices(self, tree):
+        assert list(tree.and_leaf_gindices(0)) == [0, 1]
+        assert list(tree.and_leaf_gindices(2)) == [3, 4, 5]
+
+    def test_and_tree_view(self, tree):
+        sub = tree.and_tree(2)
+        assert isinstance(sub, AndTree)
+        assert sub.leaves == tree.ands[2]
+        assert dict(sub.costs) == dict(tree.costs)
+
+    def test_and_success_prob(self, tree):
+        assert tree.and_success_prob(0) == pytest.approx(0.25)
+
+    def test_or_success_prob(self):
+        tree = DnfTree([[leaf(prob=0.5)], [leaf("B", prob=0.5)]])
+        assert tree.success_prob == pytest.approx(0.75)
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            DnfTree([[leaf()], []])
+
+    def test_no_ands_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            DnfTree([])
+
+    def test_to_query_tree_round_trip(self, tree):
+        qtree = tree.to_query_tree()
+        assert qtree.is_dnf()
+        back = qtree.as_dnf()
+        assert back.ands == tree.ands
+        assert dict(back.costs) == dict(tree.costs)
+
+    def test_sharing_ratio(self, tree):
+        assert tree.sharing_ratio == pytest.approx(2.0)
+        assert not tree.is_read_once
+
+
+class TestQueryTree:
+    def make(self):
+        root = OrNode(
+            [
+                AndNode([LeafNode(leaf("A", 5)), LeafNode(leaf("B", 4))]),
+                AndNode([LeafNode(leaf("C", 1)), LeafNode(leaf("A", 10))]),
+            ]
+        )
+        return QueryTree(root, {"A": 1.0, "B": 1.0, "C": 1.0})
+
+    def test_leaves_depth_first_order(self):
+        tree = self.make()
+        assert [l.stream for l in tree.leaves] == ["A", "B", "C", "A"]
+
+    def test_shape_metrics(self):
+        tree = self.make()
+        assert tree.size == 4
+        assert tree.depth == 2
+        assert tree.num_nodes == 7
+        assert not tree.is_read_once
+
+    def test_is_dnf_and_as_dnf(self):
+        tree = self.make()
+        assert tree.is_dnf()
+        dnf = tree.as_dnf()
+        assert dnf.n_ands == 2
+        assert dnf.and_sizes == (2, 2)
+
+    def test_is_and_tree(self):
+        tree = QueryTree(AndNode([LeafNode(leaf()), LeafNode(leaf("B"))]))
+        assert tree.is_and_tree()
+        and_tree = tree.as_and_tree()
+        assert isinstance(and_tree, AndTree)
+        assert and_tree.m == 2
+
+    def test_bare_leaf_tree(self):
+        tree = QueryTree(LeafNode(leaf()))
+        assert tree.is_and_tree() and tree.is_dnf()
+        assert tree.depth == 0
+        assert tree.as_dnf().n_ands == 1
+
+    def test_deep_tree_not_dnf(self):
+        root = AndNode(
+            [LeafNode(leaf()), OrNode([LeafNode(leaf("B")), LeafNode(leaf("C"))])]
+        )
+        tree = QueryTree(root)
+        assert not tree.is_dnf()
+        with pytest.raises(InvalidTreeError):
+            tree.as_dnf()
+
+    def test_expand_to_dnf_distributes(self):
+        # AND(a, OR(b, c)) -> OR(AND(a,b), AND(a,c))
+        root = AndNode(
+            [LeafNode(leaf("A")), OrNode([LeafNode(leaf("B")), LeafNode(leaf("C"))])]
+        )
+        dnf = QueryTree(root).expand_to_dnf()
+        assert dnf.n_ands == 2
+        assert [tuple(l.stream for l in g) for g in dnf.ands] == [("A", "B"), ("A", "C")]
+
+    def test_expand_to_dnf_budget(self):
+        # OR of k ANDs of ORs -> exponential blowup; budget must trip.
+        ors = [OrNode([LeafNode(leaf("A")), LeafNode(leaf("B"))]) for _ in range(12)]
+        tree = QueryTree(AndNode(ors))
+        with pytest.raises(BudgetExceededError):
+            tree.expand_to_dnf(max_terms=64)
+
+    def test_success_prob_nested(self):
+        # AND(p=0.5, OR(0.5, 0.5)) -> 0.5 * 0.75
+        root = AndNode(
+            [
+                LeafNode(leaf(prob=0.5)),
+                OrNode([LeafNode(leaf("B", prob=0.5)), LeafNode(leaf("C", prob=0.5))]),
+            ]
+        )
+        assert QueryTree(root).success_prob == pytest.approx(0.375)
+
+    def test_simplified_collapses_nesting(self):
+        inner = AndNode([LeafNode(leaf("A")), LeafNode(leaf("B"))])
+        root = AndNode([inner, LeafNode(leaf("C"))])
+        simplified = root.simplified()
+        assert isinstance(simplified, AndNode)
+        assert len(simplified.children) == 3
+
+    def test_simplified_unwraps_single_child(self):
+        root = OrNode([AndNode([LeafNode(leaf("A"))])])
+        assert isinstance(root.simplified(), LeafNode)
+
+    def test_operator_nodes_immutable_and_comparable(self):
+        a = AndNode([LeafNode(leaf("A"))])
+        b = AndNode([LeafNode(leaf("A"))])
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.children = ()  # type: ignore[misc]
+
+    def test_empty_operator_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AndNode([])
+
+    def test_describe_renders_operators(self):
+        text = self.make().describe()
+        assert "OR" in text and "AND" in text

@@ -1,0 +1,100 @@
+"""Tests for the pull-model schedule executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DnfTree, Leaf, dnf_schedule_cost
+from repro.engine import BernoulliOracle, PredicateOracle, ScheduleExecutor
+from repro.errors import StreamError
+from repro.predicates import Predicate
+from repro.streams import ConstantSource, CountingCache, DataItemCache, ReplaySource
+
+
+def make_tree():
+    return DnfTree(
+        [[Leaf("A", 2, 0.6), Leaf("B", 1, 0.4)], [Leaf("A", 3, 0.7), Leaf("C", 2, 0.5)]],
+        {"A": 2.0, "B": 1.5, "C": 3.0},
+    )
+
+
+class TestBernoulliExecution:
+    def test_mean_cost_matches_analytic(self):
+        tree = make_tree()
+        schedule = (0, 1, 2, 3)
+        oracle = BernoulliOracle(seed=11)
+        total = 0.0
+        n = 30_000
+        for _ in range(n):
+            executor = ScheduleExecutor(tree, CountingCache(tree.costs), oracle)
+            total += executor.run(schedule).cost
+        expected = dnf_schedule_cost(tree, schedule)
+        assert total / n == pytest.approx(expected, rel=0.03)
+
+    def test_result_partitions_leaves(self):
+        tree = make_tree()
+        executor = ScheduleExecutor(tree, CountingCache(tree.costs), BernoulliOracle(seed=0))
+        result = executor.run((0, 1, 2, 3))
+        assert set(result.evaluated) | set(result.skipped) == {0, 1, 2, 3}
+        assert not set(result.evaluated) & set(result.skipped)
+        assert isinstance(result.value, bool)
+        assert set(result.outcomes) == set(result.evaluated)
+
+    def test_deterministic_outcomes(self):
+        # p=1 everywhere: first AND true -> second AND never touched
+        tree = DnfTree(
+            [[Leaf("A", 1, 1.0)], [Leaf("B", 1, 1.0)]], {"A": 1.0, "B": 1.0}
+        )
+        executor = ScheduleExecutor(tree, CountingCache(tree.costs), BernoulliOracle(seed=0))
+        result = executor.run((0, 1))
+        assert result.value is True
+        assert result.evaluated == (0,)
+        assert result.skipped == (1,)
+        assert result.cost == pytest.approx(1.0)
+
+    def test_all_false_resolves_false(self):
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.0)], [Leaf("B", 1, 0.0)]], {"A": 1.0, "B": 2.0}
+        )
+        executor = ScheduleExecutor(tree, CountingCache(tree.costs), BernoulliOracle(seed=0))
+        result = executor.run((0, 1))
+        assert result.value is False
+        assert result.cost == pytest.approx(3.0)
+
+    def test_cache_shared_between_leaves(self):
+        tree = DnfTree([[Leaf("A", 2, 1.0), Leaf("A", 2, 1.0)]], {"A": 5.0})
+        executor = ScheduleExecutor(tree, CountingCache(tree.costs), BernoulliOracle(seed=0))
+        result = executor.run((0, 1))
+        assert result.cost == pytest.approx(10.0)  # second leaf free
+        assert result.evaluated == (0, 1)
+
+
+class TestPredicateExecution:
+    def test_outcomes_from_real_data(self):
+        tree = DnfTree([[Leaf("A", 2, 0.5), Leaf("B", 1, 0.5)]], {"A": 1.0, "B": 1.0})
+        sources = {"A": ConstantSource(10.0), "B": ReplaySource([0.0] * 100)}
+        cache = DataItemCache(sources, tree.costs, now=10)
+        predicates = {
+            0: Predicate("A", "AVG", 2, ">", 5.0),   # true: avg 10
+            1: Predicate("B", "LAST", 1, ">", 5.0),  # false: value 0
+        }
+        executor = ScheduleExecutor(tree, cache, PredicateOracle(predicates))
+        result = executor.run((0, 1))
+        assert result.outcomes == {0: True, 1: False}
+        assert result.value is False
+        assert result.cost == pytest.approx(3.0)
+
+    def test_predicate_oracle_requires_values(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        oracle = PredicateOracle({0: Predicate("A", "LAST", 1, "<", 1.0)})
+        executor = ScheduleExecutor(tree, CountingCache(tree.costs), oracle)
+        with pytest.raises(StreamError):
+            executor.run((0,))
+
+    def test_missing_predicate_binding(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5)]])
+        cache = DataItemCache({"A": ConstantSource(0.0)}, tree.costs, now=4)
+        executor = ScheduleExecutor(tree, cache, PredicateOracle({}))
+        with pytest.raises(StreamError):
+            executor.run((0,))

@@ -1,0 +1,175 @@
+"""Tests for continuous query sessions and the battery model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DnfTree, Leaf
+from repro.core.heuristics import get_scheduler
+from repro.engine import Battery, BernoulliOracle, ContinuousQuerySession
+from repro.errors import StreamError
+from repro.predicates import Predicate
+from repro.streams import (
+    ConstantSource,
+    GaussianSource,
+    StreamRegistry,
+    StreamSpec,
+    UniformSource,
+)
+
+
+def make_registry():
+    registry = StreamRegistry()
+    registry.add(StreamSpec("A", 1.0), UniformSource(0.0, 1.0, seed=1))
+    registry.add(StreamSpec("B", 2.0), GaussianSource(0.0, 1.0, seed=2))
+    return registry
+
+
+def make_tree():
+    return DnfTree(
+        [[Leaf("A", 2, 0.5), Leaf("B", 1, 0.5)], [Leaf("A", 1, 0.5)]],
+        {"A": 1.0, "B": 2.0},
+    )
+
+
+class TestBattery:
+    def test_drain_and_remaining(self):
+        battery = Battery(100.0)
+        battery.drain(30.0)
+        assert battery.remaining_joules == 70.0
+        assert battery.fraction_remaining == pytest.approx(0.7)
+        assert not battery.depleted
+
+    def test_depletes_and_clamps(self):
+        battery = Battery(10.0)
+        battery.drain(25.0)
+        assert battery.depleted
+        assert battery.remaining_joules == 0.0
+
+    def test_rounds_until_empty(self):
+        battery = Battery(100.0)
+        battery.drain(40.0)
+        assert battery.rounds_until_empty(6.0) == pytest.approx(10.0)
+        assert battery.rounds_until_empty(0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            Battery(0.0)
+        with pytest.raises(StreamError):
+            Battery(10.0).drain(-1.0)
+
+
+class TestSession:
+    def test_runs_and_reports(self):
+        session = ContinuousQuerySession(
+            make_tree(),
+            make_registry(),
+            get_scheduler("and-inc-c-over-p-dynamic"),
+            oracle=BernoulliOracle(seed=3),
+        )
+        report = session.run(20)
+        assert report.rounds == 20
+        assert len(report.round_costs) == 20
+        assert report.total_cost == pytest.approx(sum(report.round_costs))
+        assert report.mean_cost == pytest.approx(report.total_cost / 20)
+        assert 0.0 <= report.true_rate <= 1.0
+        assert "rounds" in report.summary()
+
+    def test_round_costs_bounded_by_full_fetch(self):
+        tree = make_tree()
+        session = ContinuousQuerySession(
+            tree, make_registry(), get_scheduler("leaf-inc-c"), oracle=BernoulliOracle(seed=4)
+        )
+        report = session.run(30)
+        per_round_max = sum(
+            max(l.items for l in tree.leaves if l.stream == s) * tree.costs[s]
+            for s in tree.streams
+        )
+        assert all(cost <= per_round_max + 1e-9 for cost in report.round_costs)
+
+    def test_cross_round_cache_reuse(self):
+        # One leaf, window 3, advancing 1 step per round: after the first
+        # round only 1 new item per round is fetched.
+        tree = DnfTree([[Leaf("A", 3, 1.0)]], {"A": 1.0})
+        registry = StreamRegistry()
+        registry.add(StreamSpec("A", 1.0), ConstantSource(0.0))
+        session = ContinuousQuerySession(
+            tree, registry, get_scheduler("leaf-inc-c"), oracle=BernoulliOracle(seed=0)
+        )
+        report = session.run(5)
+        assert report.round_costs[0] == pytest.approx(3.0)
+        assert report.round_costs[1:] == pytest.approx([1.0] * 4)
+
+    def test_battery_drains(self):
+        battery = Battery(1000.0)
+        session = ContinuousQuerySession(
+            make_tree(),
+            make_registry(),
+            get_scheduler("leaf-inc-c"),
+            oracle=BernoulliOracle(seed=5),
+            battery=battery,
+        )
+        report = session.run(10)
+        assert battery.drained_joules == pytest.approx(report.total_cost)
+        assert report.battery is battery
+
+    def test_predicate_bound_session_estimates_probs(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]], {"A": 1.0, "B": 2.0})
+        predicates = {
+            0: Predicate("A", "LAST", 1, "<", 2.0),   # uniform(0,1) -> ~always true
+            1: Predicate("B", "LAST", 1, ">", 100.0),  # ~never
+        }
+        session = ContinuousQuerySession(
+            tree, make_registry(), get_scheduler("leaf-inc-c"), predicates=predicates
+        )
+        report = session.run(40)
+        assert report.estimated_probs[0] > 0.9
+        # leaf 1 is usually skipped after leaf 0 fails... leaf 0 ~always true,
+        # so leaf 1 gets evaluated; its estimate must be low.
+        assert report.estimated_probs.get(1, 0.0) < 0.2
+
+    def test_replanning_changes_schedule_with_evidence(self):
+        # Planning probs say AND1 cheap-and-likely, but the data says leaf 2
+        # (A < -100) never fires; replanning must reorder eventually.
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.9, "never")], [Leaf("B", 1, 0.1, "always")]],
+            {"A": 1.0, "B": 1.0},
+        )
+        predicates = {
+            0: Predicate("A", "LAST", 1, "<", -100.0),  # never true
+            1: Predicate("B", "LAST", 1, ">", -100.0),  # always true
+        }
+        session = ContinuousQuerySession(
+            tree,
+            make_registry(),
+            get_scheduler("and-inc-c-over-p-dynamic"),
+            predicates=predicates,
+            replan_every=5,
+        )
+        initial = session.current_schedule
+        session.run(25)
+        assert session.current_schedule != initial
+
+    def test_requires_oracle_or_predicates(self):
+        with pytest.raises(StreamError):
+            ContinuousQuerySession(
+                make_tree(), make_registry(), get_scheduler("leaf-inc-c")
+            )
+
+    def test_unregistered_stream_rejected(self):
+        tree = DnfTree([[Leaf("Z", 1, 0.5)]])
+        with pytest.raises(StreamError):
+            ContinuousQuerySession(
+                tree, make_registry(), get_scheduler("leaf-inc-c"),
+                oracle=BernoulliOracle(seed=0),
+            )
+
+    def test_zero_rounds_rejected(self):
+        session = ContinuousQuerySession(
+            make_tree(), make_registry(), get_scheduler("leaf-inc-c"),
+            oracle=BernoulliOracle(seed=0),
+        )
+        with pytest.raises(StreamError):
+            session.run(0)

@@ -1,0 +1,182 @@
+"""Integration tests for the figure-regeneration drivers (small scales).
+
+These check the *shape* of the paper's findings at reduced instance counts;
+the full-scale regenerations live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    REFERENCE_HEURISTIC,
+    compare_dynamic_vs_static,
+    compare_stream_ordered_d_direction,
+    compare_stream_ordered_r_direction,
+    paper_runtime_claim,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    runtime_grid,
+    shared_cache_savings,
+)
+from repro.generators import DnfConfig
+
+
+class TestFig4Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(trees_per_config=8, leaf_counts=range(2, 13), seed=0)
+
+    def test_instance_count(self, result):
+        assert result.n_instances == 8 * sum(
+            1 for m in range(2, 13) for rho in (1, 5 / 4, 4 / 3, 3 / 2, 2, 3, 4, 5, 10) if rho <= m
+        )
+
+    def test_algorithm1_never_worse(self, result):
+        assert np.all(result.ratios() >= 1.0 - 1e-9)
+
+    def test_sharing_hurts_read_once_greedy(self, result):
+        summary = result.summary()
+        assert summary.max_ratio > 1.2
+        assert summary.pct_over_1pct > 30.0
+        assert 0.0 < summary.pct_equal < 100.0
+
+    def test_low_sharing_hurts_least(self, result):
+        # rho controls the *expected* leaves per stream (uniform assignment
+        # still collides at rho=1), so assert the trend, not exact ties: the
+        # rho=1 cells must show the smallest mean ratio of the sweep.
+        by_rho = result.by_rho()
+        assert by_rho[1.0].mean_ratio == min(s.mean_ratio for s in by_rho.values())
+        assert by_rho[1.0].mean_ratio < by_rho[5.0].mean_ratio
+
+    def test_truly_read_once_instances_always_tie(self, rng):
+        from repro.core.andtree_optimal import algorithm1_order, read_once_order
+        from repro.core.cost import and_tree_cost
+        from repro.generators import random_and_tree
+
+        checked = 0
+        for _ in range(300):
+            tree = random_and_tree(rng, int(rng.integers(2, 8)), 1.0)
+            if not tree.is_read_once:
+                continue
+            checked += 1
+            alg1 = and_tree_cost(tree, algorithm1_order(tree))
+            smith = and_tree_cost(tree, read_once_order(tree))
+            assert alg1 == pytest.approx(smith, rel=1e-9)
+        assert checked > 10
+
+    def test_sorted_series_monotone_x(self, result):
+        optimal, read_once = result.sorted_series()
+        assert np.all(np.diff(optimal) >= 0)
+        assert np.all(read_once >= optimal - 1e-9)
+
+    def test_deterministic_given_seed(self):
+        a = run_fig4(trees_per_config=3, leaf_counts=(2, 3), rhos=(1.0, 2.0), seed=9)
+        b = run_fig4(trees_per_config=3, leaf_counts=(2, 3), rhos=(1.0, 2.0), seed=9)
+        assert np.array_equal(a.optimal_costs, b.optimal_costs)
+
+
+class TestFig5Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        configs = [
+            DnfConfig(n_ands=2, leaves_per_and=2, rho=rho, sampled=True, max_leaves=8)
+            for rho in (1.0, 2.0, 3.0)
+        ] + [
+            DnfConfig(n_ands=3, leaves_per_and=3, rho=rho, sampled=True, max_leaves=9)
+            for rho in (1.0, 2.0, 3.0)
+        ]
+        return run_fig5(instances_per_config=10, configs=configs, seed=1)
+
+    def test_all_heuristics_scored(self, result):
+        assert len(result.heuristic_costs) == 10
+        assert result.n_instances == 60
+        assert result.skipped_budget == 0
+
+    def test_no_heuristic_beats_optimal(self, result):
+        for name in result.heuristic_costs:
+            assert np.all(result.ratios(name) >= 1.0 - 1e-9), name
+
+    def test_best_heuristic_is_and_ordered_dynamic(self, result):
+        wins = result.best_fractions()
+        best_name = max(wins, key=wins.get)
+        assert best_name in (
+            "and-inc-c-over-p-dynamic",
+            "and-inc-c-over-p-static",
+        )
+
+    def test_random_is_among_the_worst(self, result):
+        profiles = result.profiles()
+        random_score = profiles["leaf-random"].fraction_within(1.1)
+        best_score = profiles[REFERENCE_HEURISTIC].fraction_within(1.1)
+        assert random_score < best_score
+
+    def test_summary_table_shape(self, result):
+        rows = result.summary_rows()
+        assert len(rows) == 10
+        assert len(rows[0]) == len(result.summary_headers())
+
+
+class TestFig6Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        configs = [
+            DnfConfig(n_ands=n, leaves_per_and=5, rho=rho)
+            for n in (2, 4) for rho in (1.0, 2.0, 5.0)
+        ]
+        return run_fig6(instances_per_config=6, configs=configs, seed=2)
+
+    def test_reference_ratio_is_one(self, result):
+        assert np.allclose(result.ratios(REFERENCE_HEURISTIC), 1.0)
+
+    def test_reference_among_top_heuristics(self, result):
+        wins = result.best_fractions()
+        ranked = sorted(wins, key=wins.get, reverse=True)
+        assert REFERENCE_HEURISTIC in ranked[:2]
+
+    def test_summary_rows_include_reference_first(self, result):
+        rows = result.summary_rows()
+        assert rows[0][0].startswith(REFERENCE_HEURISTIC)
+
+
+class TestRuntime:
+    def test_paper_claim_point(self):
+        point = paper_runtime_claim(repeats=1)
+        assert point.n_ands == 10 and point.leaves_per_and == 20
+        assert point.seconds < 5.0  # paper's bound, with a ~100x margin here
+
+    def test_grid_shape(self):
+        points = runtime_grid(
+            heuristics=("stream-ordered",),
+            n_ands_values=(2, 3),
+            leaves_per_and_values=(5,),
+            trees_per_cell=1,
+            repeats=1,
+        )
+        assert len(points) == 2
+        assert all(p.seconds >= 0 for p in points)
+
+
+class TestAblations:
+    def test_prop1_improvement_direction(self):
+        comparison = compare_stream_ordered_d_direction(n_instances=60, seed=0)
+        # paper: improved version wins in the vast majority, rest are ties
+        assert comparison.a_wins + comparison.ties >= 0.9 * comparison.n_instances
+        assert comparison.mean_ratio_b_over_a >= 1.0
+
+    def test_r_direction_rationale_wins(self):
+        comparison = compare_stream_ordered_r_direction(n_instances=60, seed=0)
+        assert comparison.a_wins > comparison.b_wins
+
+    def test_dynamic_vs_static_marginal(self):
+        comparison = compare_dynamic_vs_static(n_instances=60, seed=0)
+        # "marginally better": dynamic >= static in wins; mean ratio near 1
+        assert comparison.a_wins >= comparison.b_wins
+        assert comparison.mean_ratio_b_over_a == pytest.approx(1.0, abs=0.2)
+
+    def test_shared_cache_strictly_helps(self):
+        comparison = shared_cache_savings(n_instances=60, seed=0)
+        assert comparison.b_wins == 0  # no-cache can never be cheaper
+        assert comparison.mean_ratio_b_over_a > 1.0

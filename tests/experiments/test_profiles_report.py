@@ -1,0 +1,83 @@
+"""Tests for performance profiles and text reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ascii_profile_plot,
+    ascii_table,
+    best_fractions,
+    fraction_within,
+    performance_profile,
+    write_csv,
+)
+
+
+class TestPerformanceProfile:
+    def test_sorted_and_fractions(self):
+        profile = performance_profile("h", [2.0, 1.0, 1.5, 1.0])
+        assert list(profile.ratios) == [1.0, 1.0, 1.5, 2.0]
+        assert list(profile.fractions) == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert profile.n_instances == 4
+
+    def test_fraction_within(self):
+        profile = performance_profile("h", [1.0, 1.1, 1.2, 2.0])
+        assert profile.fraction_within(1.15) == pytest.approx(0.5)
+        assert profile.fraction_within(5.0) == 1.0
+        assert profile.fraction_within(0.5) == 0.0
+
+    def test_ratio_at_fraction(self):
+        profile = performance_profile("h", [1.0, 1.5, 3.0, 4.0])
+        assert profile.ratio_at_fraction(0.5) == 1.5
+        assert profile.ratio_at_fraction(1.0) == 4.0
+        with pytest.raises(ValueError):
+            profile.ratio_at_fraction(0.0)
+
+    def test_stats(self):
+        profile = performance_profile("h", [1.0, 3.0])
+        assert profile.max_ratio == 3.0
+        assert profile.mean_ratio == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            performance_profile("h", [])
+
+    def test_fraction_within_free_function(self):
+        assert fraction_within([1.0, 2.0, 3.0], 2.0) == pytest.approx(2 / 3)
+
+
+class TestBestFractions:
+    def test_winner_takes_all(self):
+        costs = {"a": [1.0, 1.0], "b": [2.0, 2.0]}
+        wins = best_fractions(costs)
+        assert wins["a"] == 1.0 and wins["b"] == 0.0
+
+    def test_ties_count_for_everyone(self):
+        costs = {"a": [1.0, 2.0], "b": [1.0, 1.0]}
+        wins = best_fractions(costs)
+        assert wins["a"] == 0.5 and wins["b"] == 1.0
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [["x", 1.23456], ["longer", 2]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "1.235" in table  # float formatting
+
+    def test_ascii_profile_plot_contains_curves_and_legend(self):
+        profiles = {
+            "fast": performance_profile("fast", np.linspace(1.0, 1.2, 50)),
+            "slow": performance_profile("slow", np.linspace(1.0, 8.0, 50)),
+        }
+        plot = ascii_profile_plot(profiles, width=40, height=10)
+        assert "a = fast" in plot and "b = slow" in plot
+        assert "100%" in plot
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "data.csv", ["a", "b"], [[1, 2], [3, 4]])
+        text = path.read_text()
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]

@@ -1,0 +1,66 @@
+"""Tests for the probability-estimation sensitivity experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DnfTree, Leaf
+from repro.experiments import perturb_probabilities, probability_sensitivity
+
+
+class TestPerturbation:
+    def test_zero_noise_is_identity(self, rng):
+        tree = DnfTree([[Leaf("A", 1, 0.3), Leaf("B", 2, 0.7)]], {"A": 1.0, "B": 2.0})
+        noisy = perturb_probabilities(tree, 0.0, rng)
+        assert noisy.ands == tree.ands
+
+    def test_probabilities_stay_in_open_interval(self, rng):
+        tree = DnfTree([[Leaf("A", 1, 0.01), Leaf("B", 1, 0.99)]], {"A": 1.0, "B": 1.0})
+        for _ in range(50):
+            noisy = perturb_probabilities(tree, 0.5, rng)
+            for leaf in noisy.leaves:
+                assert 0.0 < leaf.prob < 1.0
+
+    def test_structure_and_costs_preserved(self, rng):
+        tree = DnfTree(
+            [[Leaf("A", 3, 0.5)], [Leaf("B", 2, 0.4), Leaf("A", 1, 0.6)]],
+            {"A": 1.5, "B": 2.5},
+        )
+        noisy = perturb_probabilities(tree, 0.2, rng)
+        assert noisy.and_sizes == tree.and_sizes
+        assert dict(noisy.costs) == dict(tree.costs)
+        for got, want in zip(noisy.leaves, tree.leaves):
+            assert got.stream == want.stream and got.items == want.items
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return probability_sensitivity(
+            heuristics=("and-inc-c-over-p-dynamic", "leaf-inc-c"),
+            epsilons=(0.0, 0.1, 0.4),
+            n_instances=40,
+            seed=0,
+        )
+
+    def test_point_grid_complete(self, points):
+        assert len(points) == 2 * 3
+        assert {p.heuristic for p in points} == {"and-inc-c-over-p-dynamic", "leaf-inc-c"}
+
+    def test_zero_noise_zero_regret(self, points):
+        for point in points:
+            if point.epsilon == 0.0:
+                assert point.mean_regret == pytest.approx(0.0, abs=1e-12)
+                assert point.worst_regret == pytest.approx(0.0, abs=1e-12)
+
+    def test_regret_grows_with_noise(self, points):
+        for name in ("and-inc-c-over-p-dynamic", "leaf-inc-c"):
+            series = sorted(
+                (p.epsilon, p.mean_regret) for p in points if p.heuristic == name
+            )
+            assert series[0][1] <= series[-1][1] + 1e-12
+
+    def test_regret_is_bounded_sane(self, points):
+        for point in points:
+            assert -0.5 <= point.mean_regret <= 5.0

@@ -1,0 +1,141 @@
+"""Tests for the random instance generators and experiment grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AndTree, DnfTree, QueryTree
+from repro.generators import (
+    FIG4_SHARING_RATIOS,
+    AndTreeConfig,
+    DnfConfig,
+    fig4_configs,
+    fig5_configs,
+    fig6_configs,
+    random_and_tree,
+    random_dnf_tree,
+    random_query_tree,
+    sample_and_tree,
+    sample_dnf_tree,
+    stream_names,
+)
+
+
+class TestGrids:
+    def test_fig4_matches_paper_cell_count(self):
+        # 157 valid (m, rho) cells -> 157,000 instances at 1000 per cell.
+        assert len(list(fig4_configs())) == 157
+
+    def test_fig5_matches_paper_cell_count(self):
+        # 216 cells -> 21,600 instances at 100 per cell.
+        assert len(list(fig5_configs())) == 216
+
+    def test_fig6_matches_paper_cell_count(self):
+        # 324 cells -> 32,400 instances at 100 per cell.
+        assert len(list(fig6_configs())) == 324
+
+    def test_fig4_skips_rho_above_m(self):
+        for config in fig4_configs():
+            assert config.rho <= config.m
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AndTreeConfig(m=0, rho=1.0)
+        with pytest.raises(ValueError):
+            AndTreeConfig(m=5, rho=0.5)
+        with pytest.raises(ValueError):
+            DnfConfig(n_ands=0, leaves_per_and=5, rho=1.0)
+
+    def test_stream_names(self):
+        assert stream_names(3) == ["S1", "S2", "S3"]
+
+
+class TestRandomAndTree:
+    def test_shape_and_distributions(self, rng):
+        tree = random_and_tree(rng, 12, 3.0)
+        assert isinstance(tree, AndTree)
+        assert tree.m == 12
+        assert len(tree.streams) <= 4
+        for leaf in tree.leaves:
+            assert 1 <= leaf.items <= 5
+            assert 0.0 <= leaf.prob <= 1.0
+        for cost in tree.costs.values():
+            assert 1.0 <= cost <= 10.0
+
+    def test_rho_one_gives_read_once_streams(self, rng):
+        # rho = 1 -> as many streams as leaves (each leaf draws uniformly, so
+        # collisions are possible per draw, but the pool size equals m).
+        tree = random_and_tree(rng, 8, 1.0)
+        pool = 8
+        assert len(tree.streams) <= pool
+
+    def test_custom_ranges(self, rng):
+        tree = random_and_tree(rng, 5, 1.0, d_range=(2, 2), c_range=(3.0, 3.0))
+        assert all(leaf.items == 2 for leaf in tree.leaves)
+        assert all(cost == pytest.approx(3.0) for cost in tree.costs.values())
+
+    def test_deterministic_given_seed(self):
+        a = random_and_tree(np.random.default_rng(5), 6, 2.0)
+        b = random_and_tree(np.random.default_rng(5), 6, 2.0)
+        assert a.leaves == b.leaves and dict(a.costs) == dict(b.costs)
+
+    def test_sample_from_config(self, rng):
+        config = AndTreeConfig(m=7, rho=2.0)
+        tree = sample_and_tree(rng, config)
+        assert tree.m == 7
+
+
+class TestRandomDnfTree:
+    def test_fixed_sizes(self, rng):
+        tree = random_dnf_tree(rng, 4, 6, 2.0)
+        assert isinstance(tree, DnfTree)
+        assert tree.n_ands == 4
+        assert tree.and_sizes == (6, 6, 6, 6)
+
+    def test_explicit_size_list(self, rng):
+        tree = random_dnf_tree(rng, 3, [1, 2, 3], 1.5)
+        assert tree.and_sizes == (1, 2, 3)
+
+    def test_size_list_length_checked(self, rng):
+        with pytest.raises(ValueError):
+            random_dnf_tree(rng, 3, [1, 2], 1.5)
+
+    def test_sampled_sizes_respect_cap_and_total(self, rng):
+        for _ in range(20):
+            tree = random_dnf_tree(rng, 5, 4, 2.0, sampled=True, max_leaves=12)
+            assert all(1 <= size <= 4 for size in tree.and_sizes)
+            assert tree.size <= 12
+
+    def test_infeasible_cap_clips(self, rng):
+        # 9 ANDs x U{1..8} rarely fits 9..20; the clip path must still work.
+        tree = random_dnf_tree(rng, 9, 8, 2.0, sampled=True, max_leaves=9)
+        assert tree.size <= 9 or all(s == 1 for s in tree.and_sizes)
+
+    def test_sample_from_config(self, rng):
+        config = DnfConfig(n_ands=3, leaves_per_and=5, rho=2.0)
+        tree = sample_dnf_tree(rng, config)
+        assert tree.n_ands == 3 and tree.size == 15
+
+    def test_sharing_ratio_tracks_rho(self):
+        rng = np.random.default_rng(0)
+        sizes = []
+        for _ in range(50):
+            tree = random_dnf_tree(rng, 4, 5, 4.0)
+            sizes.append(len(tree.streams))
+        # 20 leaves at rho=4 -> 5 streams in the pool
+        assert np.mean(sizes) <= 5.01
+
+
+class TestRandomQueryTree:
+    def test_produces_valid_general_trees(self, rng):
+        for _ in range(10):
+            tree = random_query_tree(rng, depth=3)
+            assert isinstance(tree, QueryTree)
+            assert tree.size >= 1
+            assert tree.success_prob == pytest.approx(tree.success_prob)
+
+    def test_depth_bounded(self, rng):
+        for _ in range(10):
+            tree = random_query_tree(rng, depth=2)
+            assert tree.depth <= 2

@@ -1,0 +1,125 @@
+"""Tests for the query DSL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndNode, LeafNode, OrNode
+from repro.errors import ParseError
+from repro.lang import parse_query
+
+
+class TestPredicates:
+    def test_windowed_predicate(self):
+        parsed = parse_query("AVG(A,5) < 70")
+        (leaf,) = parsed.tree.leaves
+        assert leaf.stream == "A" and leaf.items == 5
+        assert leaf.label == "AVG(A,5) < 70"
+        assert parsed.predicates[0].op == "AVG"
+        assert parsed.predicates[0].threshold == 70.0
+
+    def test_bare_predicate_is_last_window_1(self):
+        parsed = parse_query("C < 3")
+        (leaf,) = parsed.tree.leaves
+        assert leaf.stream == "C" and leaf.items == 1
+        assert parsed.predicates[0].op == "LAST"
+
+    def test_probability_annotation(self):
+        parsed = parse_query("C < 3 p=0.25")
+        assert parsed.tree.leaves[0].prob == 0.25
+
+    def test_default_probability(self):
+        parsed = parse_query("C < 3", default_prob=0.7)
+        assert parsed.tree.leaves[0].prob == 0.7
+
+    def test_abstract_leaf(self):
+        parsed = parse_query("HR[5] p=0.3")
+        (leaf,) = parsed.tree.leaves
+        assert leaf.stream == "HR" and leaf.items == 5 and leaf.prob == 0.3
+        assert parsed.predicates == {}
+
+    def test_negative_and_float_thresholds(self):
+        parsed = parse_query("A < -2.5 AND MAX(B,3) >= 1e2")
+        assert parsed.predicates[0].threshold == -2.5
+        assert parsed.predicates[1].threshold == 100.0
+
+    @pytest.mark.parametrize("cmp", ["<", "<=", ">", ">=", "==", "!="])
+    def test_all_comparators(self, cmp):
+        parsed = parse_query(f"A {cmp} 3")
+        assert parsed.predicates[0].cmp == cmp
+
+
+class TestStructure:
+    def test_and_binds_tighter_than_or(self):
+        parsed = parse_query("A < 1 AND B < 1 OR C < 1")
+        assert isinstance(parsed.tree.root, OrNode)
+        first, second = parsed.tree.root.children
+        assert isinstance(first, AndNode)
+        assert isinstance(second, LeafNode)
+
+    def test_parentheses_override(self):
+        parsed = parse_query("A < 1 AND (B < 1 OR C < 1)")
+        assert isinstance(parsed.tree.root, AndNode)
+
+    def test_keywords_case_insensitive(self):
+        parsed = parse_query("A < 1 and B < 1 or C < 1")
+        assert isinstance(parsed.tree.root, OrNode)
+
+    def test_single_leaf_query(self):
+        parsed = parse_query("A[2]")
+        assert parsed.tree.size == 1
+
+    def test_nested_parens(self):
+        parsed = parse_query("((A < 1))")
+        assert parsed.tree.size == 1
+
+    def test_dnf_helper(self):
+        parsed = parse_query("(A<1 AND B<1) OR C<1")
+        dnf = parsed.as_dnf()
+        assert dnf.n_ands == 2 and dnf.and_sizes == (2, 1)
+
+    def test_predicates_keyed_by_global_leaf_index(self):
+        parsed = parse_query("(A<1 AND HR[2] p=0.5) OR B>2")
+        # leaves: 0 = A<1 (predicate), 1 = HR[2] (abstract), 2 = B>2 (predicate)
+        assert set(parsed.predicates) == {0, 2}
+        assert parsed.predicates[2].stream == "B"
+
+    def test_costs_threaded_through(self):
+        parsed = parse_query("A < 1 AND B < 1", costs={"A": 2.0, "B": 3.0})
+        assert dict(parsed.tree.costs) == {"A": 2.0, "B": 3.0}
+
+    def test_default_cost(self):
+        parsed = parse_query("A < 1", default_cost=4.0)
+        assert parsed.tree.costs["A"] == 4.0
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "AND",
+            "A <",
+            "A < 1 AND",
+            "(A < 1",
+            "A < 1)",
+            "AVG(A) < 1",
+            "AVG(A,0) < 1",
+            "AVG(A,1.5) < 1",
+            "NOPE(A,3) < 1",
+            "A < 1 p=1.5",
+            "A[0]",
+            "A[1] extra",
+            "A ? 1",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_stream_named_p_works(self):
+        # 'p' as a stream name must not collide with the p= annotation.
+        parsed = parse_query("p < 3 p=0.4")
+        assert parsed.tree.leaves[0].stream == "p"
+        assert parsed.tree.leaves[0].prob == 0.4

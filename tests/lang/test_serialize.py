@@ -1,0 +1,111 @@
+"""Tests for tree serialization (dict / JSON / DSL expression)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import AndNode, AndTree, DnfTree, Leaf, LeafNode, OrNode, QueryTree
+from repro.errors import ParseError
+from repro.lang import (
+    leaf_from_dict,
+    leaf_to_dict,
+    parse_query,
+    to_expression,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_json,
+)
+from tests.strategies import and_trees, dnf_trees
+
+
+class TestLeafSerialization:
+    def test_round_trip(self):
+        leaf = Leaf("A", 3, 0.25, "label")
+        assert leaf_from_dict(leaf_to_dict(leaf)) == leaf
+
+    def test_label_omitted_when_empty(self):
+        assert "label" not in leaf_to_dict(Leaf("A", 1, 0.5))
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ParseError):
+            leaf_from_dict({"stream": "A"})
+
+
+class TestTreeSerialization:
+    @settings(max_examples=30, deadline=None)
+    @given(tree=and_trees(max_leaves=5))
+    def test_and_tree_dict_round_trip(self, tree):
+        back = tree_from_dict(tree_to_dict(tree))
+        assert isinstance(back, AndTree)
+        assert back.leaves == tree.leaves
+        assert dict(back.costs) == dict(tree.costs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=dnf_trees(max_ands=3, max_per_and=3))
+    def test_dnf_json_round_trip(self, tree):
+        back = tree_from_json(tree_to_json(tree))
+        assert isinstance(back, DnfTree)
+        assert back.ands == tree.ands
+        assert dict(back.costs) == dict(tree.costs)
+
+    def test_query_tree_round_trip(self):
+        root = AndNode(
+            [
+                OrNode([LeafNode(Leaf("A", 1, 0.5)), LeafNode(Leaf("B", 2, 0.3))]),
+                LeafNode(Leaf("C", 1, 0.9)),
+            ]
+        )
+        tree = QueryTree(root, {"A": 1.0, "B": 2.0, "C": 3.0})
+        back = tree_from_dict(tree_to_dict(tree))
+        assert isinstance(back, QueryTree)
+        assert back.root == tree.root
+        assert dict(back.costs) == dict(tree.costs)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            tree_from_dict({"type": "mystery"})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ParseError):
+            tree_from_json("{not json")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ParseError):
+            tree_from_dict({"type": "query-tree", "root": {"op": "xor", "children": []}, "costs": {}})
+
+
+class TestExpressionRendering:
+    def test_and_tree_expression(self):
+        tree = AndTree([Leaf("A", 1, 0.75), Leaf("B", 2, 0.5)])
+        assert to_expression(tree) == "A[1] p=0.75 AND B[2] p=0.5"
+
+    def test_dnf_expression_parenthesizes_multileaf_terms(self):
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)], [Leaf("C", 2, 0.25)]])
+        assert to_expression(tree) == "(A[1] p=0.5 AND B[1] p=0.5) OR C[2] p=0.25"
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=dnf_trees(max_ands=3, max_per_and=3))
+    def test_dnf_expression_round_trips_structure(self, tree):
+        text = to_expression(tree)
+        parsed = parse_query(text, costs=dict(tree.costs))
+        back = parsed.tree.as_dnf()
+        assert back.and_sizes == tree.and_sizes
+        for got, want in zip(back.leaves, tree.leaves):
+            assert got.stream == want.stream
+            assert got.items == want.items
+            assert got.prob == pytest.approx(want.prob, rel=1e-5)
+
+    def test_query_tree_expression_parenthesizes_or_under_and(self):
+        root = AndNode(
+            [
+                OrNode([LeafNode(Leaf("A", 1, 0.5)), LeafNode(Leaf("B", 1, 0.5))]),
+                LeafNode(Leaf("C", 1, 0.5)),
+            ]
+        )
+        tree = QueryTree(root)
+        text = to_expression(tree)
+        assert text == "(A[1] p=0.5 OR B[1] p=0.5) AND C[1] p=0.5"
+        reparsed = parse_query(text)
+        assert isinstance(reparsed.tree.root, AndNode)

@@ -1,0 +1,147 @@
+"""Tests for window operators, predicates and probability estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.predicates import (
+    Comparator,
+    Predicate,
+    apply_window_op,
+    estimate_from_source,
+    leaves_from_predicates,
+    register_window_op,
+)
+from repro.streams import ConstantSource, ReplaySource, StreamRegistry, StreamSpec, UniformSource
+
+
+class TestWindowOps:
+    values = np.array([1.0, 5.0, 3.0])
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("LAST", 3.0),
+            ("AVG", 3.0),
+            ("MEAN", 3.0),
+            ("MAX", 5.0),
+            ("MIN", 1.0),
+            ("SUM", 9.0),
+            ("MEDIAN", 3.0),
+            ("RANGE", 4.0),
+        ],
+    )
+    def test_builtin_ops(self, op, expected):
+        assert apply_window_op(op, self.values) == pytest.approx(expected)
+
+    def test_std(self):
+        assert apply_window_op("STD", self.values) == pytest.approx(np.std(self.values))
+
+    def test_case_insensitive(self):
+        assert apply_window_op("avg", self.values) == pytest.approx(3.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(StreamError):
+            apply_window_op("NOPE", self.values)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(StreamError):
+            apply_window_op("AVG", np.array([]))
+
+    def test_register_custom_op(self):
+        register_window_op("P90TEST", lambda v: float(np.percentile(v, 90)))
+        assert apply_window_op("P90TEST", self.values) > 3.0
+        with pytest.raises(StreamError):
+            register_window_op("P90TEST", lambda v: 0.0)
+
+
+class TestPredicate:
+    def test_evaluate_on_window(self):
+        predicate = Predicate("A", "AVG", 3, "<", 4.0)
+        assert predicate.evaluate(np.array([1.0, 5.0, 3.0])) is True
+        assert predicate.evaluate(np.array([9.0, 9.0, 9.0])) is False
+
+    def test_uses_newest_suffix_of_longer_window(self):
+        predicate = Predicate("A", "MAX", 2, ">", 4.0)
+        # newest last: the [5, 1] suffix has max 5... window is last 2 = [1, 5]?
+        assert predicate.evaluate(np.array([9.0, 1.0, 5.0])) is True
+        assert predicate.evaluate(np.array([9.0, 1.0, 2.0])) is False
+
+    def test_insufficient_values_rejected(self):
+        with pytest.raises(StreamError):
+            Predicate("A", "AVG", 5, "<", 1.0).evaluate(np.array([1.0, 2.0]))
+
+    def test_text_rendering(self):
+        assert Predicate("A", "AVG", 5, "<", 70).text() == "AVG(A,5) < 70"
+        assert Predicate("C", "LAST", 1, "<", 3).text() == "C < 3"
+
+    def test_to_leaf(self):
+        leaf = Predicate("B", "MAX", 4, ">", 100).to_leaf(0.3)
+        assert leaf.stream == "B" and leaf.items == 4 and leaf.prob == 0.3
+        assert leaf.label == "MAX(B,4) > 100"
+
+    @pytest.mark.parametrize("cmp", ["<", "<=", ">", ">=", "==", "!="])
+    def test_all_comparators(self, cmp):
+        predicate = Predicate("A", "LAST", 1, cmp, 2.0)
+        result = predicate.evaluate(np.array([2.0]))
+        assert result == {"<": False, "<=": True, ">": False, ">=": True, "==": True, "!=": False}[cmp]
+
+    def test_bad_comparator_rejected(self):
+        with pytest.raises(StreamError):
+            Predicate("A", "LAST", 1, "=", 2.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(StreamError):
+            Predicate("A", "LAST", 0, "<", 2.0)
+
+    def test_comparator_constants(self):
+        assert Comparator.LT == "<" and Comparator.GE == ">="
+
+
+class TestEstimation:
+    def test_constant_source_extreme_probs(self):
+        always = Predicate("A", "LAST", 1, "<", 10.0)
+        never = Predicate("A", "LAST", 1, ">", 10.0)
+        source = ConstantSource(5.0)
+        high = estimate_from_source(always, source, n_windows=100)
+        low = estimate_from_source(never, source, n_windows=100)
+        assert high > 0.98 and low < 0.02
+        # Laplace smoothing keeps them inside (0, 1)
+        assert 0.0 < low and high < 1.0
+
+    def test_uniform_source_half_probability(self):
+        predicate = Predicate("A", "LAST", 1, "<", 0.5)
+        source = UniformSource(0.0, 1.0, seed=9)
+        estimate = estimate_from_source(predicate, source, n_windows=500)
+        assert estimate == pytest.approx(0.5, abs=0.08)
+
+    def test_stride_and_start(self):
+        source = ReplaySource([0.0, 1.0] * 50)
+        predicate = Predicate("A", "LAST", 1, ">", 0.5)
+        # stride 2 starting at index 0: always the 0.0 items... windows end at
+        # start + window - 1 + k*stride = even indices -> value 0.0
+        estimate = estimate_from_source(predicate, source, n_windows=20, start=0, stride=2)
+        assert estimate < 0.1
+
+    def test_invalid_params(self):
+        source = ConstantSource(0.0)
+        predicate = Predicate("A", "LAST", 1, "<", 1.0)
+        with pytest.raises(StreamError):
+            estimate_from_source(predicate, source, n_windows=0)
+        with pytest.raises(StreamError):
+            estimate_from_source(predicate, source, stride=0)
+
+    def test_leaves_from_predicates(self):
+        registry = StreamRegistry()
+        registry.add(StreamSpec("A", 1.0), ConstantSource(5.0))
+        registry.add(StreamSpec("B", 2.0), ConstantSource(50.0))
+        predicates = [
+            Predicate("A", "LAST", 1, "<", 10.0),
+            Predicate("B", "AVG", 3, ">", 100.0),
+        ]
+        leaves = leaves_from_predicates(predicates, registry, n_windows=50)
+        assert len(leaves) == 2
+        assert leaves[0].prob > 0.9 and leaves[1].prob < 0.1
+        assert leaves[0].items == 1 and leaves[1].items == 3

@@ -1,0 +1,61 @@
+"""Hypothesis strategies for PAOTR objects."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro import AndTree, DnfTree, Leaf
+
+STREAM_NAMES = ("A", "B", "C", "D")
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+safe_probs = st.floats(min_value=0.02, max_value=0.98, allow_nan=False)
+items = st.integers(min_value=1, max_value=4)
+stream_names = st.sampled_from(STREAM_NAMES)
+costs_values = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def leaves(draw, prob_strategy=probs) -> Leaf:
+    return Leaf(
+        stream=draw(stream_names),
+        items=draw(items),
+        prob=draw(prob_strategy),
+    )
+
+
+@st.composite
+def and_trees(draw, min_leaves: int = 1, max_leaves: int = 6, prob_strategy=probs) -> AndTree:
+    leaf_list = draw(
+        st.lists(leaves(prob_strategy), min_size=min_leaves, max_size=max_leaves)
+    )
+    used = sorted({leaf.stream for leaf in leaf_list})
+    cost_table = {name: draw(costs_values) for name in used}
+    return AndTree(leaf_list, cost_table)
+
+
+@st.composite
+def dnf_trees(
+    draw,
+    min_ands: int = 1,
+    max_ands: int = 3,
+    max_per_and: int = 3,
+    prob_strategy=probs,
+) -> DnfTree:
+    groups = draw(
+        st.lists(
+            st.lists(leaves(prob_strategy), min_size=1, max_size=max_per_and),
+            min_size=min_ands,
+            max_size=max_ands,
+        )
+    )
+    used = sorted({leaf.stream for group in groups for leaf in group})
+    cost_table = {name: draw(costs_values) for name in used}
+    return DnfTree(groups, cost_table)
+
+
+@st.composite
+def dnf_trees_with_schedule(draw, **kwargs):
+    tree = draw(dnf_trees(**kwargs))
+    schedule = tuple(draw(st.permutations(range(tree.size))))
+    return tree, schedule

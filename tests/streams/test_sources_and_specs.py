@@ -1,0 +1,146 @@
+"""Tests for stream specs, sources and cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import (
+    BLUETOOTH_LE,
+    WIFI,
+    ConstantSource,
+    EnergyCost,
+    GaussianSource,
+    MarkovChainSource,
+    Medium,
+    PeriodicSource,
+    RandomWalkSource,
+    ReplaySource,
+    StreamSpec,
+    TableCost,
+    UniformCost,
+    UniformSource,
+    cost_table,
+)
+
+
+class TestStreamSpec:
+    def test_fields(self):
+        spec = StreamSpec("HR", 0.5, period=2.0, description="heart rate", medium="ble")
+        assert spec.name == "HR" and spec.cost_per_item == 0.5 and spec.period == 2.0
+
+    @pytest.mark.parametrize("cost", [-1.0, float("nan")])
+    def test_rejects_bad_cost(self, cost):
+        with pytest.raises(StreamError):
+            StreamSpec("HR", cost)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(StreamError):
+            StreamSpec("HR", 1.0, period=0.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(StreamError):
+            StreamSpec("", 1.0)
+
+
+class TestCostModels:
+    def test_uniform(self):
+        model = UniformCost(2.5)
+        assert model.per_item("anything") == 2.5
+
+    def test_uniform_rejects_negative(self):
+        with pytest.raises(StreamError):
+            UniformCost(-1.0)
+
+    def test_table_with_default(self):
+        model = TableCost({"A": 1.0}, default=9.0)
+        assert model.per_item("A") == 1.0
+        assert model.per_item("B") == 9.0
+
+    def test_table_without_default_raises(self):
+        with pytest.raises(StreamError):
+            TableCost({"A": 1.0}).per_item("B")
+
+    def test_energy_model_combines_payload_and_overhead(self):
+        medium = Medium("test", joules_per_byte=2.0, joules_per_transfer=5.0)
+        model = EnergyCost({"A": 10}, medium)
+        assert model.per_item("A") == pytest.approx(25.0)
+
+    def test_energy_model_per_stream_media(self):
+        model = EnergyCost({"A": 100, "B": 100}, {"A": BLUETOOTH_LE, "B": WIFI})
+        assert model.per_item("A") != model.per_item("B")
+
+    def test_energy_model_missing_stream(self):
+        with pytest.raises(StreamError):
+            EnergyCost({"A": 10}).per_item("B")
+
+    def test_medium_rejects_negative_bytes(self):
+        with pytest.raises(StreamError):
+            BLUETOOTH_LE.item_cost(-1)
+
+    def test_cost_table_materialization(self):
+        table = cost_table(UniformCost(3.0), ["A", "B"])
+        assert table == {"A": 3.0, "B": 3.0}
+
+
+class TestSources:
+    def test_uniform_source_in_bounds_and_memoized(self):
+        source = UniformSource(5.0, 6.0, seed=0)
+        values = [source.value_at(t) for t in range(50)]
+        assert all(5.0 <= v < 6.0 for v in values)
+        assert source.value_at(10) == values[10]  # stable re-read
+
+    def test_gaussian_source_seeded(self):
+        a = GaussianSource(0, 1, seed=3)
+        b = GaussianSource(0, 1, seed=3)
+        assert [a.value_at(t) for t in range(10)] == [b.value_at(t) for t in range(10)]
+
+    def test_random_walk_respects_bounds(self):
+        source = RandomWalkSource(50, 30, seed=1, low=0, high=100)
+        values = [source.value_at(t) for t in range(200)]
+        assert min(values) >= 0 and max(values) <= 100
+
+    def test_periodic_source_oscillates(self):
+        source = PeriodicSource(amplitude=2.0, period=8.0, offset=10.0)
+        values = np.array([source.value_at(t) for t in range(16)])
+        assert values.max() == pytest.approx(12.0, abs=1e-9)
+        assert values.min() == pytest.approx(8.0, abs=1e-9)
+
+    def test_markov_chain_emits_state_values(self):
+        source = MarkovChainSource([0.0, 1.0], [[0.5, 0.5], [0.5, 0.5]], seed=2)
+        values = {source.value_at(t) for t in range(100)}
+        assert values <= {0.0, 1.0}
+        assert len(values) == 2  # both states visited
+
+    def test_markov_validates_matrix(self):
+        with pytest.raises(StreamError):
+            MarkovChainSource([0.0, 1.0], [[1.0, 0.1], [0.5, 0.5]])
+        with pytest.raises(StreamError):
+            MarkovChainSource([0.0], [[0.5, 0.5]])
+
+    def test_constant_source(self):
+        source = ConstantSource(42.0)
+        assert source.value_at(0) == source.value_at(999) == 42.0
+
+    def test_replay_source(self):
+        source = ReplaySource([1.0, 2.0, 3.0])
+        assert source.value_at(1) == 2.0
+        with pytest.raises(StreamError):
+            source.value_at(3)
+        with pytest.raises(StreamError):
+            ReplaySource([])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(StreamError):
+            UniformSource(seed=0).value_at(-1)
+
+    def test_window_newest_last(self):
+        source = ReplaySource([10.0, 20.0, 30.0, 40.0])
+        window = source.window(end_tau=3, count=3)
+        assert list(window) == [20.0, 30.0, 40.0]
+
+    def test_window_before_start_rejected(self):
+        source = ConstantSource(1.0)
+        with pytest.raises(StreamError):
+            source.window(end_tau=1, count=3)

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import DnfTree, Leaf
+from repro.cli import main
+from repro.lang import tree_to_json
+
+QUERY = "(A[2] p=0.3 AND B[1] p=0.5) OR C[1] p=0.2"
+
+
+class TestSchedule:
+    def test_all_schedulers(self, capsys):
+        assert main(["schedule", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "and-inc-c-over-p-dynamic" in out
+        assert "optimal" in out
+        assert "expected cost" in out
+
+    def test_single_scheduler(self, capsys):
+        assert main(["schedule", QUERY, "--scheduler", "leaf-inc-c"]) == 0
+        out = capsys.readouterr().out
+        assert "leaf-inc-c" in out
+        assert "and-inc-c-over-p-dynamic" not in out
+
+    def test_json_input(self, tmp_path, capsys):
+        tree = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("B", 2, 0.4)]], {"A": 1.0, "B": 2.0})
+        path = tmp_path / "tree.json"
+        path.write_text(tree_to_json(tree))
+        assert main(["schedule", str(path), "--scheduler", "optimal"]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_unknown_scheduler_fails_cleanly(self, capsys):
+        assert main(["schedule", QUERY, "--scheduler", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_fails_cleanly(self, capsys):
+        assert main(["schedule", "(((("]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_prop2_value(self, capsys):
+        assert main(["evaluate", "A[2] p=0.5 AND A[3] p=0.5", "--order", "0,1"]) == 0
+        out = capsys.readouterr().out
+        # cost = 2 + 0.5 * 1 = 2.5
+        assert "2.5" in out
+
+    def test_monte_carlo_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "evaluate", QUERY, "--order", "0,1,2",
+                    "--monte-carlo", "--samples", "2000",
+                ]
+            )
+            == 0
+        )
+        assert "Monte-Carlo" in capsys.readouterr().out
+
+    def test_invalid_order(self, capsys):
+        assert main(["evaluate", QUERY, "--order", "0,1"]) == 2
+        assert main(["evaluate", QUERY, "--order", "a,b,c"]) == 2
+
+
+class TestOptimalAndDecide:
+    def test_optimal(self, capsys):
+        assert main(["optimal", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "optimal schedule:" in out and "search nodes:" in out
+
+    def test_decide_yes_and_no(self, capsys):
+        # optimal cost of a single 5-item unit-cost leaf is 5
+        assert main(["decide", "A[5] p=0.5", "--bound", "5.0"]) == 0
+        assert "YES" in capsys.readouterr().out
+        assert main(["decide", "A[5] p=0.5", "--bound", "4.9"]) == 1
+        assert "NO" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig4_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig4.csv"
+        assert (
+            main(["experiment", "fig4", "--scale", "2", "--csv", str(csv_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "max ratio" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "optimal_cost,read_once_cost,m,rho"
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5", "--scale", "1"]) == 0
+        assert "and-inc-c-over-p-dynamic" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["experiment", "fig6", "--scale", "1"]) == 0
+        assert "(ref)" in capsys.readouterr().out
+
+
+class TestExhaustiveSchedulerRegistryEntry:
+    def test_optimal_registered(self):
+        from repro.core.heuristics import get_scheduler
+        from repro.core.dnf_optimal import optimal_depth_first
+
+        tree = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 2, 0.4)], [Leaf("A", 2, 0.3)]])
+        scheduler = get_scheduler("optimal")
+        schedule = scheduler.schedule(tree)
+        assert schedule == optimal_depth_first(tree).schedule

@@ -1,0 +1,161 @@
+"""End-to-end integration tests and remaining corner coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DnfTree, Leaf, MonteCarloResult, dnf_schedule_cost
+from repro.core.heuristics import get_scheduler
+from repro.engine import Battery, ContinuousQuerySession
+from repro.experiments.report import ascii_cost_scatter
+from repro.lang import parse_query
+from repro.predicates import Predicate, leaves_from_predicates
+from repro.streams import (
+    DataItemCache,
+    GaussianSource,
+    RandomWalkSource,
+    ReplaySource,
+    StreamRegistry,
+    StreamSpec,
+)
+
+
+class TestFullPipelineStory:
+    """Parse -> profile -> schedule -> execute -> replan, one narrative."""
+
+    def test_telehealth_pipeline(self):
+        registry = StreamRegistry()
+        registry.add(
+            StreamSpec("HR", 0.5), RandomWalkSource(80, 2, seed=1, low=40, high=180)
+        )
+        registry.add(StreamSpec("SPO2", 0.8), GaussianSource(96.5, 1.5, seed=2))
+        predicates = [
+            Predicate("HR", "AVG", 5, ">", 95),
+            Predicate("SPO2", "MIN", 3, "<", 94),
+            Predicate("HR", "AVG", 5, "<", 70),
+        ]
+        leaves = leaves_from_predicates(predicates, registry, n_windows=256)
+        # probabilities were profiled, not guessed
+        assert all(0.0 < leaf.prob < 1.0 for leaf in leaves)
+
+        tree = DnfTree(
+            [[leaves[0], leaves[1]], [leaves[2]]], registry.cost_table()
+        )
+        scheduler = get_scheduler("and-inc-c-over-p-dynamic")
+        expected = dnf_schedule_cost(tree, scheduler.schedule(tree))
+        assert expected > 0.0
+
+        session = ContinuousQuerySession(
+            tree,
+            registry,
+            scheduler,
+            predicates=dict(enumerate(predicates)),
+            battery=Battery(100.0),
+            replan_every=20,
+        )
+        report = session.run(60)
+        assert report.rounds == 60
+        assert report.total_cost <= 60 * expected + 1e-9  # cross-round reuse helps
+        assert session.trace.rounds == 60
+        assert report.battery.drained_joules == pytest.approx(report.total_cost)
+
+    def test_dsl_to_optimal_to_execution(self):
+        parsed = parse_query(
+            "(X[2] p=0.4 AND Y[1] p=0.6) OR (X[3] p=0.5 AND Z[1] p=0.3)",
+            costs={"X": 1.0, "Y": 2.0, "Z": 0.5},
+        )
+        tree = parsed.as_dnf()
+        from repro.core.dnf_optimal import optimal_depth_first
+        from repro.core.heuristics import make_paper_heuristics
+
+        optimum = optimal_depth_first(tree)
+        for heuristic in make_paper_heuristics(seed=0).values():
+            assert optimum.cost <= heuristic.cost(tree) + 1e-9
+
+
+class TestRemainingCorners:
+    def test_ascii_scatter_renders(self):
+        baseline = np.linspace(1.0, 50.0, 200)
+        comparison = baseline * np.random.default_rng(0).uniform(1.0, 1.8, 200)
+        plot = ascii_cost_scatter(baseline, comparison, width=40, height=10)
+        assert "read-once greedy" in plot
+        assert plot.count("\n") >= 10
+
+    def test_ascii_scatter_validates(self):
+        with pytest.raises(ValueError):
+            ascii_cost_scatter(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            ascii_cost_scatter(np.array([]), np.array([]))
+
+    def test_monte_carlo_compatible_with_zero_stderr_mismatch(self):
+        result = MonteCarloResult(mean=3.0, std_error=0.0, n_samples=10)
+        assert result.compatible_with(3.0)
+        assert not result.compatible_with(3.1)
+
+    def test_advance_without_windows_keeps_everything(self):
+        cache = DataItemCache(
+            {"A": ReplaySource([float(i) for i in range(50)])}, {"A": 1.0}, now=10
+        )
+        cache.fetch_window("A", 5)
+        cache.advance(2)  # no max_windows: nothing evicted
+        result = cache.fetch_window("A", 7)
+        # taus 5..11; 5-9 cached, 10-11 new
+        assert result.fetched_items == 2
+
+    def test_session_warmup_and_current_schedule(self):
+        registry = StreamRegistry()
+        registry.add(StreamSpec("A", 1.0), GaussianSource(0, 1, seed=0))
+        tree = DnfTree([[Leaf("A", 3, 0.5)]])
+        session = ContinuousQuerySession(
+            tree,
+            registry,
+            get_scheduler("leaf-inc-c"),
+            oracle=__import__("repro.engine", fromlist=["BernoulliOracle"]).BernoulliOracle(seed=0),
+            warmup=5,
+        )
+        assert session.current_schedule == (0,)
+        session.run(3)
+        assert session.cache.now == 8
+
+    def test_runtime_grid_with_random_heuristic(self):
+        from repro.experiments import runtime_grid
+
+        points = runtime_grid(
+            heuristics=("leaf-random",),
+            n_ands_values=(2,),
+            leaves_per_and_values=(3,),
+            trees_per_cell=1,
+            repeats=1,
+        )
+        assert len(points) == 1
+
+    def test_cli_fig5_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv_path = tmp_path / "fig5.csv"
+        assert main(["experiment", "fig5", "--scale", "1", "--csv", str(csv_path)]) == 0
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("optimal,")
+
+    def test_cli_fig6_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv_path = tmp_path / "fig6.csv"
+        assert main(["experiment", "fig6", "--scale", "1", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+
+    def test_parser_rejects_float_window(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_query("AVG(A,2.5) < 3")
+
+    def test_parser_scientific_threshold(self):
+        parsed = parse_query("A >= -1.5e-3")
+        assert parsed.predicates[0].threshold == pytest.approx(-0.0015)
+
+    def test_deeply_nested_query(self):
+        text = "(" * 20 + "A < 1" + ")" * 20 + " AND B[2]"
+        parsed = parse_query(text)
+        assert parsed.tree.size == 2

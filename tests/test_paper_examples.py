@@ -1,0 +1,194 @@
+"""Golden tests against every worked example and in-text number of the paper."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import (
+    AndTree,
+    DnfTree,
+    Leaf,
+    algorithm1_order,
+    and_tree_cost,
+    brute_force_and_tree,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+    read_once_order,
+)
+from repro.core.dnf_optimal import optimal_depth_first
+from repro.core.heuristics.and_ordered import and_block_plan
+from repro.lang import parse_query
+
+from tests.conftest import PAPER_FIG3_SCHEDULE, fig3_paper_cost, make_paper_dnf
+
+
+class TestSectionIIReadOnceExample:
+    """Figure 1(a) read-once query.
+
+    The §II cost derivation ("the expected evaluation cost of the OR operator
+    is 4 c(B) + q2 c(C)"; l1 evaluated iff the OR is TRUE) identifies the
+    tree as AND(OR(l2, l3), l1) with l1 = AVG(A,5)<70, l2 = MAX(B,4)>100,
+    l3 = C<3.
+    """
+
+    def make_tree(self, p1: float, p2: float, p3: float):
+        text = "(MAX(B,4) > 100 p=%g OR C < 3 p=%g) AND AVG(A,5) < 70 p=%g" % (p2, p3, p1)
+        return parse_query(text, costs={"A": 1.0, "B": 1.0, "C": 1.0}).tree
+
+    @pytest.mark.parametrize("p1,p2,p3", [(0.3, 0.7, 0.5), (0.9, 0.2, 0.1), (0.5, 0.5, 0.5)])
+    def test_schedule_l2_l3_l1_cost_matches_paper_formula(self, p1, p2, p3):
+        # Paper: cost(l2,l3,l1) = 4 c(B) + q2 c(C) + (1 - q2 q3) 5 c(A)
+        tree = self.make_tree(p1, p2, p3)
+        # leaf global indices: l2 (MAX B) = 0, l3 (C) = 1, l1 (AVG A) = 2
+        cost = exact_schedule_cost(tree, (0, 1, 2))
+        q2, q3 = 1 - p2, 1 - p3
+        expected = 4.0 + q2 * 1.0 + (1 - q2 * q3) * 5.0
+        assert cost == pytest.approx(expected, rel=1e-12)
+
+
+class TestSectionIIAAndTreeExample:
+    """The Figure 2 shared AND-tree: exact costs 1.875 / 2.0 / 1.825."""
+
+    def test_cost_l3_l1_l2(self, paper_and_tree):
+        assert and_tree_cost(paper_and_tree, (2, 0, 1)) == pytest.approx(1.875)
+
+    def test_cost_l3_l2_l1(self, paper_and_tree):
+        assert and_tree_cost(paper_and_tree, (2, 1, 0)) == pytest.approx(2.0)
+
+    def test_cost_l1_l2_l3(self, paper_and_tree):
+        assert and_tree_cost(paper_and_tree, (0, 1, 2)) == pytest.approx(1.825)
+
+    def test_read_once_algorithm_schedules_l3_first(self, paper_and_tree):
+        # Smith ratios: l1 -> 4, l2 -> 2.22, l3 -> 2, so l3 comes first.
+        order = read_once_order(paper_and_tree)
+        assert order[0] == 2
+
+    def test_read_once_algorithm_is_suboptimal_here(self, paper_and_tree):
+        read_once_cost = and_tree_cost(paper_and_tree, read_once_order(paper_and_tree))
+        assert read_once_cost > 1.825 + 1e-12
+
+    def test_algorithm1_finds_the_optimal_schedule(self, paper_and_tree):
+        order = algorithm1_order(paper_and_tree)
+        assert order == (0, 1, 2)
+        assert and_tree_cost(paper_and_tree, order) == pytest.approx(1.825)
+
+    def test_brute_force_agrees(self, paper_and_tree):
+        _, best_cost = brute_force_and_tree(paper_and_tree)
+        assert best_cost == pytest.approx(1.825)
+
+    def test_smith_ratios_match_paper(self, paper_and_tree):
+        from repro.core.andtree_optimal import smith_ratio
+
+        l1, l2, l3 = paper_and_tree.leaves
+        assert smith_ratio(l1, paper_and_tree.costs) == pytest.approx(4.0)
+        assert smith_ratio(l2, paper_and_tree.costs) == pytest.approx(2.0 / 0.9)
+        assert smith_ratio(l3, paper_and_tree.costs) == pytest.approx(2.0)
+
+
+class TestSectionIIBDnfExample:
+    """Figure 3 cost derivation: the paper's closed form, per leaf and total."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_total_cost_matches_paper_formula(self, seed):
+        rng = np.random.default_rng(seed)
+        p = {k: float(rng.random()) for k in range(1, 8)}
+        c = {s: float(rng.uniform(1, 10)) for s in "ABCD"}
+        tree = make_paper_dnf(p, c)
+        got = dnf_schedule_cost(tree, PAPER_FIG3_SCHEDULE)
+        assert got == pytest.approx(fig3_paper_cost(p, c), rel=1e-12)
+
+    def test_per_leaf_costs_match_paper_derivation(self):
+        rng = np.random.default_rng(123)
+        p = {k: float(rng.random()) for k in range(1, 8)}
+        c = {s: float(rng.uniform(1, 10)) for s in "ABCD"}
+        tree = make_paper_dnf(p, c)
+        from repro.core.cost import DnfPrefixCost
+
+        state = DnfPrefixCost(tree)
+        contributions = [state.push(g).contribution for g in PAPER_FIG3_SCHEDULE]
+        # Paper: C1 = c(A); C2 = c(B); C3 = p1 c(C); C4 = p1 p3 c(D);
+        # C5 = (1-p1) p2 c(C); C6 = 0; C7 = (1-p1 p3)(1-p2 p5) p6 c(D).
+        expected = [
+            c["A"],
+            c["B"],
+            p[1] * c["C"],
+            p[1] * p[3] * c["D"],
+            (1 - p[1]) * p[2] * c["C"],
+            0.0,
+            (1 - p[1] * p[3]) * (1 - p[2] * p[5]) * p[6] * c["D"],
+        ]
+        assert contributions == pytest.approx(expected, rel=1e-12, abs=1e-15)
+
+    def test_exact_evaluator_agrees_with_paper_formula(self):
+        rng = np.random.default_rng(7)
+        p = {k: float(rng.random()) for k in range(1, 8)}
+        c = {s: float(rng.uniform(1, 10)) for s in "ABCD"}
+        tree = make_paper_dnf(p, c)
+        got = exact_schedule_cost(tree, PAPER_FIG3_SCHEDULE)
+        assert got == pytest.approx(fig3_paper_cost(p, c), rel=1e-12)
+
+
+class TestSectionIVCCounterexample:
+    """§IV-C: read-once's compositional approach fails in the shared case —
+    no optimal schedule keeps Algorithm 1's within-AND orders."""
+
+    def test_alg1_within_and_orders_are_suboptimal(self, alg1_within_and_counterexample):
+        tree = alg1_within_and_counterexample
+        optimum = optimal_depth_first(tree)
+        plans = [and_block_plan(tree, i)[0] for i in range(tree.n_ands)]
+        best_with_alg1_orders = min(
+            dnf_schedule_cost(tree, tuple(g for a in order for g in plans[a]))
+            for order in itertools.permutations(range(tree.n_ands))
+        )
+        assert optimum.cost == pytest.approx(6.537, abs=1e-3)
+        assert best_with_alg1_orders == pytest.approx(10.297, abs=1e-3)
+        assert best_with_alg1_orders > optimum.cost * 1.5
+
+
+class TestSectionVNonlinearGap:
+    """§V: linear strategies are not dominant in the shared case."""
+
+    def test_hardcoded_gap_instance(self, nonlinear_gap_tree):
+        from repro.core.dnf_optimal import optimal_any_order
+        from repro.core.nonlinear import optimal_nonlinear
+
+        linear = optimal_any_order(nonlinear_gap_tree)
+        _, nonlinear_cost = optimal_nonlinear(nonlinear_gap_tree)
+        assert linear.cost == pytest.approx(4.5, abs=1e-9)
+        assert nonlinear_cost == pytest.approx(4.176, abs=1e-9)
+        assert nonlinear_cost < linear.cost
+
+
+class TestProposition1:
+    """Same-stream leaves: increasing-d order is never worse (exchange argument)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_increasing_d_exchange_never_hurts(self, seed):
+        rng = np.random.default_rng(seed)
+        leaves = [
+            Leaf("A", int(rng.integers(1, 5)), float(rng.random())) for _ in range(3)
+        ] + [Leaf("B", int(rng.integers(1, 5)), float(rng.random()))]
+        tree = AndTree(leaves, {"A": float(rng.uniform(1, 5)), "B": float(rng.uniform(1, 5))})
+        # The best schedule overall equals the best among schedules where
+        # same-stream leaves appear in increasing-d order.
+        best_all = min(
+            and_tree_cost(tree, perm) for perm in itertools.permutations(range(4))
+        )
+
+        def respects_prop1(perm):
+            positions = {idx: pos for pos, idx in enumerate(perm)}
+            for i, j in itertools.permutations(range(4), 2):
+                a, b = tree.leaves[i], tree.leaves[j]
+                if a.stream == b.stream and a.items < b.items and positions[i] > positions[j]:
+                    return False
+            return True
+
+        best_prop1 = min(
+            and_tree_cost(tree, perm)
+            for perm in itertools.permutations(range(4))
+            if respects_prop1(perm)
+        )
+        assert best_prop1 == pytest.approx(best_all, rel=1e-12)

@@ -1,0 +1,60 @@
+"""Tests for the parallel sweep utility."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import default_workers, pmap, spawn_seeds
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestPmap:
+    def test_serial_matches_map(self):
+        assert pmap(_square, range(10), workers=1) == [x * x for x in range(10)]
+
+    def test_parallel_matches_serial(self):
+        serial = pmap(_square, range(50), workers=1)
+        parallel = pmap(_square, range(50), workers=2)
+        assert parallel == serial
+
+    def test_empty_input(self):
+        assert pmap(_square, [], workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert pmap(_square, [3], workers=8) == [9]
+
+    def test_chunksize_override(self):
+        assert pmap(_square, range(20), workers=2, chunksize=3) == [x * x for x in range(20)]
+
+
+class TestSeeds:
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(42, 4)
+        assert len(seeds) == 4
+        values = [np.random.default_rng(s).random() for s in seeds]
+        assert len(set(values)) == 4
+
+    def test_spawn_seeds_deterministic(self):
+        a = [np.random.default_rng(s).random() for s in spawn_seeds(7, 3)]
+        b = [np.random.default_rng(s).random() for s in spawn_seeds(7, 3)]
+        assert a == b
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert default_workers() == 4
+
+    def test_default_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert default_workers() == 1

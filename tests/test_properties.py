@@ -1,0 +1,170 @@
+"""Cross-module property tests: invariants tying the whole stack together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    DnfTree,
+    Leaf,
+    dnf_schedule_cost,
+    exact_schedule_cost,
+    monte_carlo_cost,
+)
+from repro.core.cost import expected_stream_items, item_acquisition_probabilities
+from repro.engine import BernoulliOracle, ScheduleExecutor
+from repro.streams import CountingCache, DataItemCache, ConstantSource
+from tests.strategies import dnf_trees_with_schedule
+
+
+class TestSharingMonotonicity:
+    """Merging two equal-cost streams into one can only reduce any
+    schedule's cost (more reuse, same requirements)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=3, max_per_and=2))
+    def test_merging_streams_never_increases_cost(self, pair):
+        tree, schedule = pair
+        # Unshare: give every leaf its own private stream with the same cost.
+        groups = []
+        costs = {}
+        counter = 0
+        for group in tree.ands:
+            new_group = []
+            for leaf in group:
+                counter += 1
+                name = f"P{counter}"
+                new_group.append(Leaf(name, leaf.items, leaf.prob))
+                costs[name] = tree.costs[leaf.stream]
+            groups.append(new_group)
+        unshared = DnfTree(groups, costs)
+        shared_cost = dnf_schedule_cost(tree, schedule)
+        unshared_cost = dnf_schedule_cost(unshared, schedule)
+        assert shared_cost <= unshared_cost + 1e-9
+
+
+class TestExecutorAgreesWithAnalytics:
+    def test_counting_and_data_caches_charge_identically(self, rng):
+        from tests.conftest import random_small_dnf
+
+        for _ in range(15):
+            tree = random_small_dnf(rng)
+            schedule = tuple(int(x) for x in rng.permutation(tree.size))
+            seed = int(rng.integers(0, 2**31))
+            counting = ScheduleExecutor(
+                tree, CountingCache(tree.costs), BernoulliOracle(seed=seed)
+            ).run(schedule)
+            sources = {name: ConstantSource(0.0) for name in tree.streams}
+            data = ScheduleExecutor(
+                tree,
+                DataItemCache(sources, tree.costs, now=tree.max_items),
+                BernoulliOracle(seed=seed),
+            ).run(schedule)
+            assert counting.cost == pytest.approx(data.cost)
+            assert counting.evaluated == data.evaluated
+            assert counting.value == data.value
+
+    def test_mean_executor_cost_within_mc_error(self, rng):
+        from tests.conftest import random_small_dnf
+
+        tree = random_small_dnf(rng, max_ands=3, max_per_and=2)
+        schedule = tuple(int(x) for x in rng.permutation(tree.size))
+        analytic = dnf_schedule_cost(tree, schedule)
+        mc = monte_carlo_cost(tree, schedule, n_samples=30_000, seed=9)
+        assert mc.compatible_with(analytic, z=5.0)
+
+
+class TestItemAcquisitionProbabilities:
+    @settings(max_examples=60, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=3, max_per_and=3))
+    def test_cost_identity(self, pair):
+        """sum(prob * c) over items == Proposition 2 total cost."""
+        tree, schedule = pair
+        per_item = item_acquisition_probabilities(tree, schedule)
+        reconstructed = sum(
+            prob * tree.costs[stream] for (stream, _), prob in per_item.items()
+        )
+        assert reconstructed == pytest.approx(
+            dnf_schedule_cost(tree, schedule), rel=1e-9, abs=1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=3, max_per_and=2))
+    def test_probabilities_in_unit_interval(self, pair):
+        tree, schedule = pair
+        for prob in item_acquisition_probabilities(tree, schedule).values():
+            assert -1e-12 <= prob <= 1.0 + 1e-12
+
+    def test_first_leaf_items_are_certain(self):
+        tree = DnfTree([[Leaf("A", 3, 0.5)], [Leaf("B", 1, 0.2)]])
+        per_item = item_acquisition_probabilities(tree, (0, 1))
+        assert per_item[("A", 1)] == pytest.approx(1.0)
+        assert per_item[("A", 3)] == pytest.approx(1.0)
+        assert per_item[("B", 1)] == pytest.approx(0.5)  # only if AND0 fails
+
+    def test_expected_stream_items_matches_monte_carlo(self, rng):
+        from tests.conftest import random_small_dnf
+
+        tree = random_small_dnf(rng, max_ands=3, max_per_and=2)
+        schedule = tuple(int(x) for x in rng.permutation(tree.size))
+        expected = expected_stream_items(tree, schedule)
+        # simulate and count actual fetches
+        totals = {name: 0 for name in tree.streams}
+        n = 20_000
+        oracle = BernoulliOracle(seed=4)
+        for _ in range(n):
+            cache = CountingCache(tree.costs)
+            ScheduleExecutor(tree, cache, oracle).run(schedule)
+            for name, count in cache.fetch_counts.items():
+                totals[name] += count
+        for name in tree.streams:
+            assert totals[name] / n == pytest.approx(
+                expected.get(name, 0.0), abs=0.08
+            )
+
+
+class TestStructuralInvariances:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=3, max_per_and=2))
+    def test_and_relabeling_invariance(self, pair):
+        """Permuting the declaration order of AND nodes (with the schedule
+        remapped accordingly) cannot change a schedule's cost."""
+        tree, schedule = pair
+        order = list(reversed(range(tree.n_ands)))
+        permuted = DnfTree([tree.ands[i] for i in order], tree.costs)
+        # remap global indices: old (i, j) -> new (pos of i in order, j)
+        new_of_old: dict[int, int] = {}
+        for g in range(tree.size):
+            i, j = tree.ref(g)
+            new_of_old[g] = permuted.gindex(order.index(i), j)
+        remapped = tuple(new_of_old[g] for g in schedule)
+        assert dnf_schedule_cost(permuted, remapped) == pytest.approx(
+            dnf_schedule_cost(tree, schedule), rel=1e-9, abs=1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=dnf_trees_with_schedule(max_ands=2, max_per_and=2))
+    def test_cost_scales_linearly_with_stream_costs(self, pair):
+        tree, schedule = pair
+        scaled = DnfTree(tree.ands, {k: 3.0 * v for k, v in tree.costs.items()})
+        assert dnf_schedule_cost(scaled, schedule) == pytest.approx(
+            3.0 * dnf_schedule_cost(tree, schedule), rel=1e-9, abs=1e-12
+        )
+
+    def test_certain_true_leaves_never_shortcircuit(self):
+        # p=1 everywhere: every AND true -> only the first AND evaluated.
+        tree = DnfTree(
+            [[Leaf("A", 1, 1.0), Leaf("B", 1, 1.0)], [Leaf("C", 5, 1.0)]],
+            {"A": 1.0, "B": 1.0, "C": 100.0},
+        )
+        assert dnf_schedule_cost(tree, (0, 1, 2)) == pytest.approx(2.0)
+
+    def test_certain_false_first_leaf_kills_its_and(self):
+        tree = DnfTree(
+            [[Leaf("A", 1, 0.0), Leaf("B", 9, 0.5)], [Leaf("C", 1, 0.5)]],
+            {"A": 1.0, "B": 1.0, "C": 1.0},
+        )
+        # leaf B never evaluated; C always (AND0 surely false)
+        assert dnf_schedule_cost(tree, (0, 1, 2)) == pytest.approx(2.0)

@@ -1,0 +1,72 @@
+"""Sanity checks on the package's public surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.heuristics",
+            "repro.core.nonlinear",
+            "repro.core.multistream",
+            "repro.streams",
+            "repro.predicates",
+            "repro.engine",
+            "repro.lang",
+            "repro.generators",
+            "repro.experiments",
+            "repro.parallel",
+            "repro.errors",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_docstring_example(self):
+        """The __init__ docstring's example must actually work."""
+        from repro import AndTree, Leaf, algorithm1_order, and_tree_cost
+
+        tree = AndTree(
+            [Leaf("A", 1, 0.75), Leaf("A", 2, 0.1), Leaf("B", 1, 0.5)],
+            costs={"A": 1.0, "B": 1.0},
+        )
+        order = algorithm1_order(tree)
+        assert and_tree_cost(tree, order) == pytest.approx(1.825)
+
+    def test_errors_share_base_class(self):
+        from repro.errors import (
+            BudgetExceededError,
+            InvalidLeafError,
+            InvalidScheduleError,
+            InvalidTreeError,
+            ParseError,
+            ReproError,
+            StreamError,
+        )
+
+        for exc in (
+            InvalidLeafError,
+            InvalidTreeError,
+            InvalidScheduleError,
+            BudgetExceededError,
+            ParseError,
+            StreamError,
+        ):
+            assert issubclass(exc, ReproError)

@@ -1,0 +1,157 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Two core mutable structures are driven through random operation sequences
+and compared, after every step, against brutally simple reference models:
+
+* :class:`~repro.streams.cache.DataItemCache` vs a dict-of-fetched-taus
+  model (charging, caching, advancing, evicting);
+* :class:`~repro.core.cost.DnfPrefixCost` vs recomputing the prefix cost
+  from scratch with a fresh evaluator (push/undo consistency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core.cost import DnfPrefixCost, dnf_schedule_cost
+from repro.core.leaf import Leaf
+from repro.core.tree import DnfTree
+from repro.streams.cache import DataItemCache
+from repro.streams.sources import UniformSource
+
+STREAMS = ("A", "B")
+COSTS = {"A": 1.0, "B": 2.0}
+START_NOW = 8
+MAX_WINDOW = 5
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """DataItemCache vs an explicit (stream -> set of taus) model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache = DataItemCache(
+            {name: UniformSource(seed=hash(name) % 2**31) for name in STREAMS},
+            COSTS,
+            now=START_NOW,
+        )
+        self.model: dict[str, set[int]] = {name: set() for name in STREAMS}
+        self.now = START_NOW
+        self.charged = 0.0
+
+    @rule(stream=st.sampled_from(STREAMS), count=st.integers(1, MAX_WINDOW))
+    def fetch(self, stream: str, count: int) -> None:
+        result = self.cache.fetch_window(stream, count)
+        window = set(range(self.now - count, self.now))
+        missing = window - self.model[stream]
+        assert result.fetched_items == len(missing)
+        assert result.cost == pytest.approx(len(missing) * COSTS[stream])
+        assert len(result.values) == count
+        self.model[stream] |= window
+        self.charged += result.cost
+
+    @rule(steps=st.integers(1, 3), evict=st.booleans())
+    def advance(self, steps: int, evict: bool) -> None:
+        windows = {name: MAX_WINDOW for name in STREAMS} if evict else None
+        self.cache.advance(steps, max_windows=windows)
+        self.now += steps
+        if evict:
+            horizon = self.now - MAX_WINDOW
+            for name in STREAMS:
+                self.model[name] = {tau for tau in self.model[name] if tau >= horizon}
+
+    @rule()
+    def clear(self) -> None:
+        self.cache.clear()
+        for name in STREAMS:
+            self.model[name].clear()
+
+    @invariant()
+    def charges_match(self) -> None:
+        assert self.cache.charged == pytest.approx(self.charged)
+
+    @invariant()
+    def contiguous_run_matches_model(self) -> None:
+        for name in STREAMS:
+            run = 0
+            tau = self.now - 1
+            while tau in self.model[name]:
+                run += 1
+                tau -= 1
+            assert self.cache.items_cached(name) == run
+
+
+def _stateful_tree() -> DnfTree:
+    rng = np.random.default_rng(20240611)
+    groups = []
+    for _ in range(3):
+        groups.append(
+            [
+                Leaf(STREAMS[int(rng.integers(0, 2))], int(rng.integers(1, 4)), float(rng.random()))
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+        )
+    return DnfTree(groups, COSTS)
+
+
+class PrefixCostMachine(RuleBasedStateMachine):
+    """DnfPrefixCost under random push/undo vs a from-scratch recompute."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tree = _stateful_tree()
+        self.state = DnfPrefixCost(self.tree)
+        self.stack: list[tuple[int, object]] = []
+        self.available = list(range(self.tree.size))
+
+    @precondition(lambda self: self.available)
+    @rule(data=st.data())
+    def push(self, data) -> None:
+        g = data.draw(st.sampled_from(self.available))
+        self.available.remove(g)
+        token = self.state.push(g)
+        assert token.contribution >= -1e-12
+        self.stack.append((g, token))
+
+    @precondition(lambda self: self.stack)
+    @rule()
+    def undo(self) -> None:
+        g, token = self.stack.pop()
+        self.state.undo(token)
+        self.available.append(g)
+
+    @invariant()
+    def total_matches_fresh_recompute(self) -> None:
+        prefix = [g for g, _ in self.stack]
+        fresh = DnfPrefixCost(self.tree)
+        for g in prefix:
+            fresh.push(g)
+        assert self.state.total == pytest.approx(fresh.total, rel=1e-9, abs=1e-12)
+        assert self.state.pushed == len(prefix)
+
+    @invariant()
+    def full_schedule_matches_prop2(self) -> None:
+        if not self.available:
+            schedule = tuple(g for g, _ in self.stack)
+            assert self.state.total == pytest.approx(
+                dnf_schedule_cost(self.tree, schedule), rel=1e-9
+            )
+
+
+TestCacheMachine = CacheMachine.TestCase
+TestCacheMachine.settings = settings(max_examples=30, stateful_step_count=30, deadline=None)
+
+TestPrefixCostMachine = PrefixCostMachine.TestCase
+TestPrefixCostMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
