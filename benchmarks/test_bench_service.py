@@ -1,0 +1,86 @@
+"""Serving-layer throughput: run_batch at 10/100/1000 registered queries.
+
+Measures wall-clock throughput (query-evaluations per second) and sharing
+effectiveness (probes free via the shared cache, items saved, plan-cache hit
+rate) across the ablation grid {plan cache on/off} x {shared plan on/off}.
+``REPRO_BENCH_FULL=1`` adds the 1000-query population to the default 10/100.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_report, full_scale
+
+from repro.engine import BernoulliOracle
+from repro.experiments import ascii_table
+from repro.service import QueryServer, synthetic_population, synthetic_registry
+
+ROUNDS = 20
+
+
+def serve(n_queries: int, *, plan_cache: bool, shared_plan: bool):
+    registry = synthetic_registry(8, seed=7)
+    population = synthetic_population(n_queries, registry, seed=8)
+    server = QueryServer(
+        registry,
+        BernoulliOracle(seed=9),
+        plan_cache=256 if plan_cache else None,
+        shared_plan=shared_plan,
+    )
+    admit_start = time.perf_counter()
+    for name, tree in population:
+        server.register(name, tree)
+    admit_seconds = time.perf_counter() - admit_start
+    run_start = time.perf_counter()
+    report = server.run_batch(ROUNDS)
+    run_seconds = time.perf_counter() - run_start
+    return server, report, admit_seconds, run_seconds
+
+
+class TestServiceThroughput:
+    def test_run_batch_throughput(self):
+        populations = [10, 100, 1000] if full_scale() else [10, 100]
+        rows = []
+        for n_queries in populations:
+            for plan_cache, shared_plan in (
+                (True, True),
+                (True, False),
+                (False, True),
+                (False, False),
+            ):
+                server, report, admit_s, run_s = serve(
+                    n_queries, plan_cache=plan_cache, shared_plan=shared_plan
+                )
+                evals = n_queries * ROUNDS
+                rows.append(
+                    (
+                        n_queries,
+                        "on" if plan_cache else "off",
+                        "on" if shared_plan else "off",
+                        f"{admit_s * 1e3:.1f}",
+                        f"{evals / run_s:,.0f}",
+                        f"{report.total_cost:.5g}",
+                        f"{report.free_probes}/{report.probes}",
+                        f"{report.items_saved}",
+                        f"{report.plan_cache_hit_rate:.0%}",
+                    )
+                )
+                assert report.rounds == ROUNDS
+                # Sharing must be visible at every scale.
+                assert report.items_saved > 0
+        table = ascii_table(
+            (
+                "queries",
+                "plan-cache",
+                "shared-plan",
+                "admit ms",
+                "evals/s",
+                "total cost",
+                "free probes",
+                "items saved",
+                "hit rate",
+            ),
+            rows,
+        )
+        emit_report("service_throughput", table)

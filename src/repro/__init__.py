@@ -43,6 +43,7 @@ from repro.core import (
     validate_schedule,
 )
 from repro.errors import (
+    AdmissionError,
     BudgetExceededError,
     InvalidLeafError,
     InvalidScheduleError,
@@ -50,6 +51,14 @@ from repro.errors import (
     ParseError,
     ReproError,
     StreamError,
+)
+from repro.service import (
+    CanonicalForm,
+    PlanCache,
+    QueryServer,
+    canonical_key,
+    canonicalize,
+    run_isolated,
 )
 
 __version__ = "1.0.0"
@@ -83,6 +92,13 @@ __all__ = [
     "algorithm1_order",
     "read_once_order",
     "brute_force_and_tree",
+    # serving layer
+    "QueryServer",
+    "PlanCache",
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "run_isolated",
     # errors
     "ReproError",
     "InvalidLeafError",
@@ -91,4 +107,5 @@ __all__ = [
     "BudgetExceededError",
     "ParseError",
     "StreamError",
+    "AdmissionError",
 ]

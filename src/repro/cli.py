@@ -16,6 +16,10 @@ Commands
 ``experiment``
     Regenerate a figure (fig4 / fig5 / fig6) at a chosen scale; prints the
     summary table and optionally writes per-instance CSV.
+``serve-sim``
+    Simulate the multi-tenant serving layer on a synthetic query population:
+    prints aggregate cost, plan-cache hit rate and sharing statistics, with
+    an optional isolated (no sharing) baseline comparison.
 
 Examples
 --------
@@ -28,6 +32,7 @@ Examples
     python -m repro optimal "(A[1] p=0.5 AND B[2] p=0.1) OR B[1] p=0.9"
     python -m repro decide "A[5] p=0.5" --bound 4.9
     python -m repro experiment fig4 --scale 50
+    python -m repro serve-sim --queries 100 --rounds 50 --compare-isolated
 """
 
 from __future__ import annotations
@@ -186,6 +191,58 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.engine import BernoulliOracle
+    from repro.service import (
+        QueryServer,
+        run_isolated,
+        synthetic_population,
+        synthetic_registry,
+    )
+
+    registry = synthetic_registry(args.streams, seed=args.seed)
+    population = synthetic_population(
+        args.queries,
+        registry,
+        n_templates=args.templates,
+        seed=args.seed + 1,
+    )
+    server = QueryServer(
+        registry,
+        BernoulliOracle(seed=args.seed),
+        scheduler=args.scheduler,
+        plan_cache=0 if args.no_plan_cache else args.plan_cache_capacity,
+        shared_plan=not args.no_shared_plan,
+    )
+    for name, tree in population:
+        server.register(name, tree)
+    report = server.run_batch(args.rounds)
+    print(
+        f"served {args.queries} queries ({len({q.canonical.key for q in map(server.query, server.registered)})}"
+        f" distinct shapes) for {args.rounds} rounds on {args.streams} streams"
+    )
+    rows = [
+        ("total cost", f"{report.total_cost:.6g}"),
+        ("cost/round", f"{report.mean_round_cost:.6g}"),
+        ("p50 round cost", f"{server.metrics.p50_round_cost:.6g}"),
+        ("p95 round cost", f"{server.metrics.p95_round_cost:.6g}"),
+        ("probes", str(report.probes)),
+        ("free probes (shared)", f"{report.free_probes} ({server.metrics.free_probe_rate:.1%})"),
+        ("items fetched / saved", f"{report.items_fetched} / {report.items_saved}"),
+        ("plan-cache hit rate", f"{report.plan_cache_hit_rate:.1%}"),
+    ]
+    if args.compare_isolated:
+        isolated = run_isolated(
+            registry, population, args.rounds, scheduler=args.scheduler
+        )
+        isolated_sum = sum(isolated.values())
+        rows.append(("isolated-sum cost", f"{isolated_sum:.6g}"))
+        if isolated_sum > 0:
+            rows.append(("sharing speedup", f"{isolated_sum / max(report.total_cost, 1e-12):.2f}x"))
+    print(ascii_table(("metric", "value"), rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +291,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workers", type=int, default=None)
     p_exp.add_argument("--csv", type=Path, default=None, help="write per-instance CSV")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "serve-sim", help="simulate the multi-tenant serving layer"
+    )
+    p_serve.add_argument("--queries", type=int, default=100, help="population size")
+    p_serve.add_argument("--rounds", type=int, default=50, help="batched rounds to run")
+    p_serve.add_argument("--streams", type=int, default=8, help="shared streams")
+    p_serve.add_argument(
+        "--templates",
+        type=int,
+        default=None,
+        help="distinct query shapes (default: queries // 10)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--scheduler", default="and-inc-c-over-p-dynamic", help="admission scheduler"
+    )
+    p_serve.add_argument("--plan-cache-capacity", type=int, default=256)
+    p_serve.add_argument(
+        "--no-plan-cache", action="store_true", help="schedule every admission from scratch"
+    )
+    p_serve.add_argument(
+        "--no-shared-plan",
+        action="store_true",
+        help="run queries back-to-back instead of the merged global probe order",
+    )
+    p_serve.add_argument(
+        "--compare-isolated",
+        action="store_true",
+        help="also run every query on a private cache and report the cost ratio",
+    )
+    p_serve.set_defaults(func=cmd_serve_sim)
 
     return parser
 

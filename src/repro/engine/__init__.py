@@ -10,7 +10,12 @@ from repro.engine.executor import (
 )
 from repro.engine.nonlinear_executor import StrategyExecutor
 from repro.engine.session import ContinuousQuerySession, SessionReport
-from repro.engine.workload import QueryWorkload, WorkloadQuery, WorkloadReport
+from repro.engine.workload import (
+    QueryWorkload,
+    WorkloadQuery,
+    WorkloadReport,
+    compute_max_windows,
+)
 
 __all__ = [
     "ScheduleExecutor",
@@ -25,4 +30,5 @@ __all__ = [
     "QueryWorkload",
     "WorkloadQuery",
     "WorkloadReport",
+    "compute_max_windows",
 ]

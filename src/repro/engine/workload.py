@@ -25,12 +25,30 @@ from typing import Mapping, Sequence
 
 from repro.core.heuristics.base import Scheduler
 from repro.core.schedule import Schedule, validate_schedule
-from repro.core.tree import DnfTree
+from repro.core.tree import AndTree, DnfTree, QueryTree
 from repro.engine.executor import ExecutionResult, LeafOracle, ScheduleExecutor
 from repro.errors import StreamError
 from repro.streams.registry import StreamRegistry
 
-__all__ = ["WorkloadQuery", "WorkloadReport", "QueryWorkload"]
+__all__ = ["WorkloadQuery", "WorkloadReport", "QueryWorkload", "compute_max_windows"]
+
+
+def compute_max_windows(
+    trees: Sequence[AndTree | DnfTree | QueryTree],
+) -> dict[str, int]:
+    """Per-stream relevance horizon of a query population.
+
+    ``max_windows[stream]`` is the largest window any leaf of any tree applies
+    to the stream — the paper's "no longer relevant" eviction horizon, and the
+    minimum device time a cache needs before the population can run.
+    """
+    windows: dict[str, int] = {}
+    for tree in trees:
+        for leaf in tree.leaves:
+            current = windows.get(leaf.stream, 0)
+            if leaf.items > current:
+                windows[leaf.stream] = leaf.items
+    return windows
 
 
 @dataclass(frozen=True)
@@ -91,18 +109,12 @@ class QueryWorkload:
             registry.validate_tree_streams(query.tree.streams)
         self.queries = list(queries)
         self.order = order
-        max_window = max(
-            leaf.items for query in queries for leaf in query.tree.leaves
-        )
+        self._max_windows = compute_max_windows([query.tree for query in queries])
+        max_window = max(self._max_windows.values())
         self.cache = registry.build_cache(
             now=warmup if warmup is not None else max(64, max_window)
         )
         self.oracle = oracle
-        self._max_windows: dict[str, int] = {}
-        for query in queries:
-            for leaf in query.tree.leaves:
-                current = self._max_windows.get(leaf.stream, 0)
-                self._max_windows[leaf.stream] = max(current, leaf.items)
         self._schedules: dict[str, Schedule] = {
             query.name: validate_schedule(query.tree, query.scheduler.schedule(query.tree))
             for query in queries

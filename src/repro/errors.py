@@ -16,6 +16,7 @@ __all__ = [
     "BudgetExceededError",
     "ParseError",
     "StreamError",
+    "AdmissionError",
 ]
 
 
@@ -45,3 +46,7 @@ class ParseError(ReproError, ValueError):
 
 class StreamError(ReproError, ValueError):
     """A stream operation failed (unknown stream, bad window, ...)."""
+
+
+class AdmissionError(ReproError, RuntimeError):
+    """A serving-layer admission limit rejected a query (server full, duplicate name, ...)."""

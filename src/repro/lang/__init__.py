@@ -7,6 +7,7 @@ from repro.lang.serialize import (
     to_expression,
     tree_from_dict,
     tree_from_json,
+    tree_to_canonical_json,
     tree_to_dict,
     tree_to_json,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "tree_from_dict",
     "tree_to_json",
     "tree_from_json",
+    "tree_to_canonical_json",
     "leaf_to_dict",
     "leaf_from_dict",
     "to_expression",

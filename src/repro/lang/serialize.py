@@ -25,6 +25,7 @@ __all__ = [
     "tree_from_dict",
     "tree_to_json",
     "tree_from_json",
+    "tree_to_canonical_json",
     "to_expression",
 ]
 
@@ -119,6 +120,59 @@ def tree_from_json(text: str) -> TreeLike:
     except json.JSONDecodeError as exc:
         raise ParseError(f"invalid JSON: {exc}") from None
     return tree_from_dict(data)
+
+
+def _leaf_sort_key(leaf: Leaf) -> tuple[str, int, float]:
+    return (leaf.stream, leaf.items, leaf.prob)
+
+
+def tree_to_canonical_json(tree: TreeLike) -> str:
+    """Deterministic JSON usable as a structural identity for a tree.
+
+    Two trees that are *isomorphic* — equal up to the declaration order of
+    leaves within AND nodes, of AND nodes under an OR, and of operator
+    children in a general tree — produce the same string; structurally or
+    probabilistically distinct trees (including distinct cost tables) do not.
+    Normalization rules:
+
+    * leaf ``label`` is dropped (it never affects cost or semantics);
+    * sibling leaves/children are sorted by a canonical key;
+    * the cost table is restricted to the streams the tree actually uses and
+      emitted with sorted keys;
+    * an :class:`AndTree` is emitted as its one-AND DNF form, so an AND-tree
+      and its ``to_dnf()`` view share an identity.
+
+    The service layer's plan cache keys build on this
+    (:mod:`repro.service.canonical` adds leaf deduplication on top).
+    """
+    used = set()
+    for leaf in tree.leaves:
+        used.add(leaf.stream)
+    costs = {name: float(cost) for name, cost in tree.costs.items() if name in used}
+    if isinstance(tree, AndTree):
+        tree = tree.to_dnf()
+    if isinstance(tree, DnfTree):
+        groups = sorted(
+            tuple(sorted(((leaf.stream, leaf.items, leaf.prob) for leaf in group)))
+            for group in tree.ands
+        )
+        payload: dict[str, Any] = {"type": "dnf-tree", "ands": groups, "costs": costs}
+    elif isinstance(tree, QueryTree):
+
+        def node_key(node: Node) -> Any:
+            if isinstance(node, LeafNode):
+                return ["leaf", list(_leaf_sort_key(node.leaf))]
+            op = "and" if isinstance(node, AndNode) else "or"
+            children = sorted(
+                (node_key(child) for child in node.children),  # type: ignore[attr-defined]
+                key=lambda key: json.dumps(key, sort_keys=True),
+            )
+            return [op, children]
+
+        payload = {"type": "query-tree", "root": node_key(tree.root.simplified()), "costs": costs}
+    else:
+        raise TypeError(f"cannot canonicalize {type(tree).__name__}")
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def _leaf_expression(leaf: Leaf) -> str:

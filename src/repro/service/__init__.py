@@ -1,0 +1,66 @@
+"""Shared multi-query serving layer.
+
+The paper optimizes one tree at a time; a serving device (or fleet) runs
+*populations* of queries over the same streams. This package turns the
+single-query machinery into a multi-tenant server:
+
+* :mod:`~repro.service.canonical` — canonical query identities (isomorphic
+  trees hash equal, duplicate leaves fold away);
+* :mod:`~repro.service.plan_cache` — LRU cache of canonical schedules, so a
+  query shape pays its scheduling cost once across the whole population;
+* :mod:`~repro.service.shared_plan` — one global probe order merged from all
+  per-query schedules by marginal cost-effectiveness, executed with
+  per-query early termination;
+* :mod:`~repro.service.server` — the :class:`QueryServer`
+  (register/deregister/step/run_batch) plus the :func:`run_isolated`
+  no-sharing baseline;
+* :mod:`~repro.service.metrics` — per-query and aggregate counters (cost,
+  probes saved by sharing, plan-cache hit rate, p50/p95 round cost);
+* :mod:`~repro.service.simulate` — synthetic template-based populations for
+  demos and benchmarks.
+"""
+
+from repro.service.canonical import CanonicalForm, canonical_key, canonicalize
+from repro.service.metrics import QueryStats, ServiceMetrics, percentile
+from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.service.server import (
+    BatchReport,
+    QueryServer,
+    RegisteredQuery,
+    run_isolated,
+)
+from repro.service.shared_plan import (
+    Probe,
+    RoundStats,
+    SharedPlan,
+    execute_round,
+    merge_schedules,
+)
+from repro.service.simulate import (
+    shuffled_isomorph,
+    synthetic_population,
+    synthetic_registry,
+)
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "PlanCache",
+    "CachedPlan",
+    "Probe",
+    "SharedPlan",
+    "RoundStats",
+    "merge_schedules",
+    "execute_round",
+    "QueryServer",
+    "RegisteredQuery",
+    "BatchReport",
+    "run_isolated",
+    "ServiceMetrics",
+    "QueryStats",
+    "percentile",
+    "shuffled_isomorph",
+    "synthetic_population",
+    "synthetic_registry",
+]

@@ -1,0 +1,135 @@
+"""Serving-layer observability: per-query and aggregate counters.
+
+The serving layer's whole value proposition — plans paid once, windows paid
+once — must be *measurable*, so the server maintains a
+:class:`ServiceMetrics` ledger: per-query cost/probe/outcome counters,
+aggregate sharing counters (items saved, free probes), the plan cache's
+hit rate, and a per-round cost series for tail percentiles (p50/p95).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats", "ServiceMetrics", "percentile", "ROUND_COST_WINDOW"]
+
+#: Sliding-window size for the per-round cost series (p50/p95 scope).
+ROUND_COST_WINDOW = 4096
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]); 0.0 when empty."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class QueryStats:
+    """Lifetime counters of one registered query."""
+
+    rounds: int = 0
+    cost: float = 0.0
+    true_count: int = 0
+    probes: int = 0
+    items_fetched: int = 0
+    items_saved: int = 0
+
+    @property
+    def mean_cost(self) -> float:
+        return self.cost / self.rounds if self.rounds else 0.0
+
+    @property
+    def true_rate(self) -> float:
+        return self.true_count / self.rounds if self.rounds else 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate view of a :class:`~repro.service.server.QueryServer`'s history.
+
+    ``items_saved`` counts data items a probe needed but found already in the
+    shared cache — each one is a unit of acquisition cost some query did not
+    pay thanks to sharing (within a round *and* across rounds of the
+    continuous stream). ``free_probes`` counts leaf evaluations that cost
+    nothing at all.
+
+    ``round_costs`` keeps only the most recent :data:`ROUND_COST_WINDOW`
+    rounds (the server runs indefinitely; the percentiles are over that
+    sliding window, while ``total_cost``/``rounds`` cover the full lifetime).
+    """
+
+    rounds: int = 0
+    total_cost: float = 0.0
+    total_probes: int = 0
+    free_probes: int = 0
+    items_fetched: int = 0
+    items_saved: int = 0
+    registrations: int = 0
+    deregistrations: int = 0
+    plan_cache_hit_rate: float = 0.0
+    round_costs: list[float] = field(default_factory=list)
+    per_query: dict[str, QueryStats] = field(default_factory=dict)
+
+    # -- recording ------------------------------------------------------
+
+    def record_round(self, cost: float) -> None:
+        self.rounds += 1
+        self.total_cost += cost
+        self.round_costs.append(cost)
+        if len(self.round_costs) > ROUND_COST_WINDOW:
+            del self.round_costs[: -ROUND_COST_WINDOW]
+
+    def query_stats(self, name: str) -> QueryStats:
+        return self.per_query.setdefault(name, QueryStats())
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def mean_round_cost(self) -> float:
+        return self.total_cost / self.rounds if self.rounds else 0.0
+
+    @property
+    def p50_round_cost(self) -> float:
+        return percentile(self.round_costs, 50.0)
+
+    @property
+    def p95_round_cost(self) -> float:
+        return percentile(self.round_costs, 95.0)
+
+    @property
+    def free_probe_rate(self) -> float:
+        return self.free_probes / self.total_probes if self.total_probes else 0.0
+
+    @property
+    def sharing_rate(self) -> float:
+        """Fraction of needed items served from the shared cache."""
+        needed = self.items_fetched + self.items_saved
+        return self.items_saved / needed if needed else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"service: {self.rounds} rounds, {len(self.per_query)} queries tracked",
+            f"  total cost        {self.total_cost:.6g}"
+            f" ({self.mean_round_cost:.6g}/round,"
+            f" p50 {self.p50_round_cost:.6g}, p95 {self.p95_round_cost:.6g})",
+            f"  probes            {self.total_probes}"
+            f" ({self.free_probe_rate:.1%} free via sharing)",
+            f"  items             {self.items_fetched} fetched,"
+            f" {self.items_saved} saved ({self.sharing_rate:.1%} shared)",
+            f"  plan cache        hit rate {self.plan_cache_hit_rate:.1%}",
+            f"  churn             {self.registrations} registered,"
+            f" {self.deregistrations} deregistered",
+        ]
+        for name in sorted(self.per_query):
+            stats = self.per_query[name]
+            lines.append(
+                f"  {name}: {stats.mean_cost:.6g}/round over {stats.rounds} rounds,"
+                f" TRUE rate {stats.true_rate:.3f}"
+            )
+        return "\n".join(lines)

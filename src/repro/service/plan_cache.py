@@ -1,0 +1,139 @@
+"""LRU plan cache: pay the scheduling cost once per canonical query.
+
+Scheduling is the expensive part of admitting a query (the dynamic
+AND-ordered heuristics re-evaluate Proposition 2 prefixes; the exhaustive
+optimum is exponential). In a population of millions of users the same query
+shapes recur constantly, so the serving layer caches *canonical* schedules:
+the key is ``(canonical tree key, scheduler name)`` and the value is the
+schedule of the canonical tree, which :meth:`~repro.service.canonical.CanonicalForm.expand_schedule`
+translates to each registered original.
+
+The cache is a plain ``OrderedDict`` LRU guarded by a lock — safe to share
+between a server and background admission threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.heuristics.base import Scheduler
+from repro.core.schedule import Schedule
+from repro.errors import ReproError
+from repro.service.canonical import CanonicalForm
+
+__all__ = ["CachedPlan", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """A scheduling decision for one canonical tree."""
+
+    key: str
+    scheduler_name: str
+    schedule: Schedule
+    cost: float
+
+
+class PlanCache:
+    """Bounded LRU cache of canonical schedules.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached plans; the least-recently-used entry is
+        evicted on overflow.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ReproError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[tuple[str, str], CachedPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: str, scheduler_name: str) -> CachedPlan | None:
+        """Plan for ``(key, scheduler_name)``, refreshing its recency; None on miss.
+
+        Pure lookup: adjusts recency but not the hit/miss counters, which
+        belong to :meth:`plan`.
+        """
+        with self._lock:
+            plan = self._plans.get((key, scheduler_name))
+            if plan is not None:
+                self._plans.move_to_end((key, scheduler_name))
+            return plan
+
+    def plan(self, form: CanonicalForm, scheduler: Scheduler) -> CachedPlan:
+        """Schedule ``form.tree`` with ``scheduler``, through the cache.
+
+        The returned plan's schedule addresses the *canonical* tree; callers
+        expand it per registered query.
+        """
+        cache_key = (form.key, scheduler.name)
+        with self._lock:
+            plan = self._plans.get(cache_key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(cache_key)
+                return plan
+            self.misses += 1
+        # Schedule outside the lock: heuristics can be slow and the result is
+        # deterministic, so a racing duplicate computation is harmless.
+        schedule = scheduler.schedule(form.tree)
+        from repro.core.cost import dnf_schedule_cost
+
+        plan = CachedPlan(
+            key=form.key,
+            scheduler_name=scheduler.name,
+            schedule=tuple(schedule),
+            cost=dnf_schedule_cost(form.tree, schedule, validate=True),
+        )
+        with self._lock:
+            self._plans[cache_key] = plan
+            self._plans.move_to_end(cache_key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    def invalidate(self, key: str) -> int:
+        """Drop every cached plan for canonical tree ``key``; returns count dropped."""
+        with self._lock:
+            stale = [k for k in self._plans if k[0] == key]
+            for k in stale:
+                del self._plans[k]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for metrics export."""
+        with self._lock:
+            return {
+                "size": float(len(self._plans)),
+                "capacity": float(self.capacity),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "hit_rate": self.hit_rate,
+            }

@@ -1,0 +1,385 @@
+"""The multi-tenant query server.
+
+:class:`QueryServer` is the serving layer's front door: queries register and
+deregister at runtime, and each :meth:`~QueryServer.step` advances the shared
+streams one tick and evaluates the whole registered population as one
+optimized unit:
+
+* admission canonicalizes the tree (:mod:`repro.service.canonical`) and gets
+  its schedule through the shared :class:`~repro.service.plan_cache.PlanCache`
+  — isomorphic queries pay the scheduling cost once;
+* per-round execution runs the population's
+  :class:`~repro.service.shared_plan.SharedPlan` against one
+  :class:`~repro.streams.cache.DataItemCache`, so stream windows are paid
+  once per round no matter how many queries need them;
+* :func:`run_isolated` re-runs the same population with private caches and
+  plans, quantifying exactly what sharing bought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+from repro.core.heuristics.base import Scheduler, get_scheduler
+from repro.core.resolution import TreeIndex
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
+from repro.engine.executor import (
+    BernoulliOracle,
+    ExecutionResult,
+    LeafOracle,
+    ScheduleExecutor,
+)
+from repro.engine.workload import compute_max_windows
+from repro.errors import AdmissionError, StreamError
+from repro.service.canonical import CanonicalForm, _as_dnf, canonicalize
+from repro.service.metrics import ServiceMetrics
+from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.service.shared_plan import Probe, SharedPlan, execute_round, merge_schedules
+from repro.streams.registry import StreamRegistry
+
+__all__ = ["RegisteredQuery", "BatchReport", "QueryServer", "run_isolated"]
+
+TreeLike = Union[AndTree, DnfTree, QueryTree]
+
+#: Default admission scheduler: the paper's best polynomial heuristic.
+DEFAULT_SCHEDULER = "and-inc-c-over-p-dynamic"
+
+
+@dataclass(frozen=True)
+class RegisteredQuery:
+    """One admitted query with its canonical identity and expanded plan."""
+
+    name: str
+    tree: DnfTree
+    canonical: CanonicalForm
+    plan: CachedPlan
+    schedule: Schedule
+    index: TreeIndex
+    oracle: LeafOracle
+
+
+@dataclass
+class BatchReport:
+    """Outcome of :meth:`QueryServer.run_batch`."""
+
+    rounds: int
+    total_cost: float
+    per_query_cost: dict[str, float]
+    per_query_true_rate: dict[str, float]
+    round_costs: list[float]
+    probes: int
+    free_probes: int
+    items_fetched: int
+    items_saved: int
+    plan_cache_hit_rate: float
+
+    @property
+    def mean_round_cost(self) -> float:
+        return self.total_cost / self.rounds if self.rounds else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"batch: {self.rounds} rounds, total {self.total_cost:.6g}"
+            f" ({self.mean_round_cost:.6g}/round)",
+            f"  probes {self.probes} ({self.free_probes} free),"
+            f" items {self.items_fetched} fetched / {self.items_saved} saved,"
+            f" plan-cache hit rate {self.plan_cache_hit_rate:.1%}",
+        ]
+        for name in sorted(self.per_query_cost):
+            lines.append(
+                f"  {name}: {self.per_query_cost[name] / max(1, self.rounds):.6g}/round,"
+                f" TRUE rate {self.per_query_true_rate[name]:.3f}"
+            )
+        return "\n".join(lines)
+
+
+class QueryServer:
+    """Multi-tenant continuous-query server over one shared stream cache.
+
+    Parameters
+    ----------
+    registry:
+        The sensing environment (streams, costs, sources).
+    oracle:
+        Default leaf oracle for queries registered without their own
+        (``None`` -> a fresh :class:`BernoulliOracle`).
+    scheduler:
+        Default admission scheduler — a registry name or a
+        :class:`Scheduler` instance.
+    plan_cache:
+        A :class:`PlanCache`, a capacity for a new one, or ``None``/``0`` to
+        disable plan caching (every admission schedules from scratch).
+    shared_plan:
+        When True (default), rounds execute the population's merged
+        cost-effectiveness probe order; when False, queries run one after the
+        other in registration order, rotated per round (still sharing the
+        cache — the :class:`~repro.engine.workload.QueryWorkload` baseline).
+    max_queries:
+        Admission limit; further :meth:`register` calls raise
+        :class:`~repro.errors.AdmissionError`.
+    warmup:
+        Initial device time of the shared cache (grown automatically when a
+        registered query needs a larger window).
+    """
+
+    def __init__(
+        self,
+        registry: StreamRegistry,
+        oracle: LeafOracle | None = None,
+        *,
+        scheduler: str | Scheduler = DEFAULT_SCHEDULER,
+        plan_cache: PlanCache | int | None = 256,
+        shared_plan: bool = True,
+        max_queries: int | None = None,
+        warmup: int = 64,
+    ) -> None:
+        self.registry = registry
+        self.default_oracle = oracle if oracle is not None else BernoulliOracle()
+        self.scheduler = (
+            get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
+        if isinstance(plan_cache, PlanCache):
+            self.plan_cache: PlanCache | None = plan_cache
+        elif plan_cache:
+            self.plan_cache = PlanCache(capacity=int(plan_cache))
+        else:
+            self.plan_cache = None
+        self.shared_plan_enabled = shared_plan
+        if max_queries is not None and max_queries < 1:
+            raise AdmissionError(f"max_queries must be >= 1, got {max_queries}")
+        self.max_queries = max_queries
+        self.cache = registry.build_cache(now=warmup)
+        self.metrics = ServiceMetrics()
+        self._queries: dict[str, RegisteredQuery] = {}
+        self._max_windows: dict[str, int] = {}
+        self._plan: SharedPlan | None = None
+        self._round = 0
+
+    # -- population management -----------------------------------------
+
+    @property
+    def registered(self) -> tuple[str, ...]:
+        """Names of the admitted queries, in registration order."""
+        return tuple(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    def query(self, name: str) -> RegisteredQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise AdmissionError(f"no query named {name!r} is registered") from None
+
+    def register(
+        self,
+        name: str,
+        tree: TreeLike,
+        *,
+        oracle: LeafOracle | None = None,
+        scheduler: str | Scheduler | None = None,
+    ) -> RegisteredQuery:
+        """Admit a query: canonicalize, plan (through the cache), index.
+
+        Raises :class:`~repro.errors.AdmissionError` on a duplicate name or a
+        full server, :class:`~repro.errors.StreamError` when the tree uses an
+        unregistered stream.
+        """
+        if name in self._queries:
+            raise AdmissionError(f"query {name!r} is already registered")
+        if self.max_queries is not None and len(self._queries) >= self.max_queries:
+            raise AdmissionError(
+                f"server is full ({self.max_queries} queries); deregister one first"
+            )
+        self.registry.validate_tree_streams(tuple(tree.streams))
+        form = canonicalize(tree)
+        chosen = self.scheduler
+        if scheduler is not None:
+            chosen = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        plan = self._plan_canonical(form, chosen)
+        # The cached schedule addresses the canonical tree; expand it back to
+        # this query's own leaf indices.
+        expanded = form.expand_schedule(plan.schedule)
+        dnf = _as_dnf(tree)
+        registered = RegisteredQuery(
+            name=name,
+            tree=dnf,
+            canonical=form,
+            plan=plan,
+            schedule=validate_schedule(dnf, expanded),
+            index=TreeIndex(dnf),
+            oracle=oracle if oracle is not None else self.default_oracle,
+        )
+        self._queries[name] = registered
+        self._after_population_change()
+        self.metrics.registrations += 1
+        # Grow device time so the new query's windows are immediately servable.
+        max_items = max(leaf.items for leaf in registered.tree.leaves)
+        if max_items > self.cache.now:
+            self.cache.advance(max_items - self.cache.now)
+        return registered
+
+    def deregister(self, name: str) -> None:
+        """Remove a query; its per-query metrics are retained."""
+        if name not in self._queries:
+            raise AdmissionError(f"no query named {name!r} is registered")
+        del self._queries[name]
+        self._after_population_change()
+        self.metrics.deregistrations += 1
+
+    def _after_population_change(self) -> None:
+        self._max_windows = compute_max_windows(
+            [query.tree for query in self._queries.values()]
+        )
+        self._plan = None  # rebuilt lazily on the next step
+
+    def _plan_canonical(self, form: CanonicalForm, scheduler: Scheduler) -> CachedPlan:
+        if self.plan_cache is not None:
+            plan = self.plan_cache.plan(form, scheduler)
+        else:
+            from repro.core.cost import dnf_schedule_cost
+
+            schedule = tuple(scheduler.schedule(form.tree))
+            plan = CachedPlan(
+                key=form.key,
+                scheduler_name=scheduler.name,
+                schedule=schedule,
+                cost=dnf_schedule_cost(form.tree, schedule, validate=True),
+            )
+        return plan
+
+    # -- execution ------------------------------------------------------
+
+    def shared_plan(self) -> SharedPlan:
+        """The current population's global probe order (built lazily)."""
+        if not self._queries:
+            raise StreamError("no queries registered")
+        if self._plan is None:
+            self._plan = merge_schedules(
+                {name: query.tree for name, query in self._queries.items()},
+                {name: query.schedule for name, query in self._queries.items()},
+                self.registry.cost_table(),
+            )
+        return self._plan
+
+    def _blocked_probes(self) -> SharedPlan:
+        """Round-robin blocked order: each query's schedule back-to-back."""
+        names = list(self._queries)
+        shift = self._round % len(names)
+        probes: list[Probe] = []
+        for name in names[shift:] + names[:shift]:
+            probes.extend(Probe(name, g) for g in self._queries[name].schedule)
+        return SharedPlan(probes=tuple(probes), planned_items=dict(self._max_windows))
+
+    def step(self) -> dict[str, ExecutionResult]:
+        """Advance the streams one tick and evaluate every registered query."""
+        if not self._queries:
+            raise StreamError("no queries registered")
+        self.cache.advance(1, max_windows=self._max_windows)
+        plan = self.shared_plan() if self.shared_plan_enabled else self._blocked_probes()
+        results, stats = execute_round(
+            plan,
+            {name: query.index for name, query in self._queries.items()},
+            self.cache,
+            {name: query.oracle for name, query in self._queries.items()},
+        )
+        self._round += 1
+        self.metrics.record_round(stats.cost)
+        self.metrics.total_probes += stats.probes
+        self.metrics.free_probes += stats.free_probes
+        self.metrics.items_fetched += stats.items_fetched
+        self.metrics.items_saved += stats.items_saved
+        if self.plan_cache is not None:
+            self.metrics.plan_cache_hit_rate = self.plan_cache.hit_rate
+        for name, result in results.items():
+            query_stats = self.metrics.query_stats(name)
+            query_stats.rounds += 1
+            query_stats.cost += result.cost
+            query_stats.probes += result.n_evaluated
+            query_stats.items_fetched += stats.query_items_fetched.get(name, 0)
+            query_stats.items_saved += stats.query_items_saved.get(name, 0)
+            if result.value:
+                query_stats.true_count += 1
+        return results
+
+    def run_batch(self, rounds: int) -> BatchReport:
+        """Run ``rounds`` consecutive steps and aggregate the outcome."""
+        if rounds < 1:
+            raise StreamError(f"need at least one round, got {rounds}")
+        start_probes = self.metrics.total_probes
+        start_free = self.metrics.free_probes
+        start_fetched = self.metrics.items_fetched
+        start_saved = self.metrics.items_saved
+        per_query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
+        true_counts: dict[str, int] = {name: 0 for name in self._queries}
+        round_costs: list[float] = []
+        for _ in range(rounds):
+            round_total = 0.0
+            for name, result in self.step().items():
+                per_query_cost[name] = per_query_cost.get(name, 0.0) + result.cost
+                true_counts[name] = true_counts.get(name, 0) + (1 if result.value else 0)
+                round_total += result.cost
+            round_costs.append(round_total)
+        return BatchReport(
+            rounds=rounds,
+            total_cost=sum(round_costs),
+            per_query_cost=per_query_cost,
+            per_query_true_rate={
+                name: true_counts.get(name, 0) / rounds for name in per_query_cost
+            },
+            round_costs=round_costs,
+            probes=self.metrics.total_probes - start_probes,
+            free_probes=self.metrics.free_probes - start_free,
+            items_fetched=self.metrics.items_fetched - start_fetched,
+            items_saved=self.metrics.items_saved - start_saved,
+            plan_cache_hit_rate=(
+                self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
+            ),
+        )
+
+
+def run_isolated(
+    registry: StreamRegistry,
+    queries: Sequence[tuple[str, TreeLike]],
+    rounds: int,
+    *,
+    scheduler: str | Scheduler = DEFAULT_SCHEDULER,
+    oracle_factory: Callable[[str], LeafOracle] | None = None,
+    warmup: int = 64,
+) -> dict[str, float]:
+    """Each query on its own private cache and plan — the no-sharing baseline.
+
+    Returns per-query total cost over ``rounds``; ``sum(result.values())``
+    is the number the shared server's total should beat. ``oracle_factory``
+    builds one oracle per query (default: fresh :class:`BernoulliOracle`
+    seeded per query, so runs are reproducible).
+    """
+    if rounds < 1:
+        raise StreamError(f"need at least one round, got {rounds}")
+    chosen = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+    totals: dict[str, float] = {}
+    for ordinal, (name, tree) in enumerate(queries):
+        dnf = _as_dnf(tree)
+        registry.validate_tree_streams(dnf.streams)
+        oracle = (
+            oracle_factory(name)
+            if oracle_factory is not None
+            else BernoulliOracle(seed=ordinal)
+        )
+        schedule = validate_schedule(dnf, chosen.schedule(dnf))
+        max_windows = compute_max_windows([dnf])
+        cache = registry.build_cache(
+            now=max(warmup, max(leaf.items for leaf in dnf.leaves))
+        )
+        executor = ScheduleExecutor(dnf, cache, oracle)
+        total = 0.0
+        for _ in range(rounds):
+            cache.advance(1, max_windows=max_windows)
+            total += executor.run(schedule).cost
+        totals[name] = total
+    return totals

@@ -1,0 +1,207 @@
+"""Cross-query global schedules: one interleaved probe order for a population.
+
+Running each registered query's schedule back-to-back already shares the
+item cache, but the *order* is still per-query greedy: an expensive stream
+window fetched late by query 1 is paid early by query 7. The shared plan
+merges all per-query schedules into one global probe order chosen by
+marginal cost-effectiveness across the whole population:
+
+* each query's leaves stay in its own schedule order (so per-query execution
+  semantics — short-circuiting, Proposition 2 costs — are preserved);
+* among the queries' *next* leaves, the globally cheapest-per-unit-of-
+  resolution probe goes first. The marginal cost of a probe counts only the
+  items not already planned for fetching by an earlier probe of *any* query —
+  so once one query pays for a window, every other query's probes on that
+  stream become free and float to the front ("pay one, get hundreds").
+
+:func:`merge_schedules` builds the plan; :func:`execute_round` runs one
+round of it against a shared cache with per-query early termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.core.resolution import TreeIndex
+from repro.core.schedule import Schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
+from repro.engine.executor import ExecutionResult, LeafOracle
+from repro.errors import StreamError
+from repro.streams.cache import CountingCache, DataItemCache
+
+__all__ = ["Probe", "SharedPlan", "merge_schedules", "execute_round", "RoundStats"]
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    """One planned leaf evaluation: query name + global leaf index in its tree."""
+
+    query: str
+    gindex: int
+
+
+@dataclass(frozen=True)
+class SharedPlan:
+    """An interleaved probe order over a query population."""
+
+    probes: tuple[Probe, ...]
+    planned_items: Mapping[str, int]
+
+    @property
+    def size(self) -> int:
+        return len(self.probes)
+
+    def per_query(self) -> dict[str, tuple[int, ...]]:
+        """Recover each query's leaf order as embedded in the global plan."""
+        out: dict[str, list[int]] = {}
+        for probe in self.probes:
+            out.setdefault(probe.query, []).append(probe.gindex)
+        return {name: tuple(order) for name, order in out.items()}
+
+    def interleaving_degree(self) -> float:
+        """Fraction of adjacent probe pairs that switch query (0 = fully blocked)."""
+        if len(self.probes) < 2:
+            return 0.0
+        switches = sum(
+            1
+            for first, second in zip(self.probes, self.probes[1:])
+            if first.query != second.query
+        )
+        return switches / (len(self.probes) - 1)
+
+
+def merge_schedules(
+    trees: Mapping[str, Union[AndTree, DnfTree, QueryTree]],
+    schedules: Mapping[str, Schedule],
+    costs: Mapping[str, float],
+) -> SharedPlan:
+    """Merge per-query schedules into one cost-effectiveness-ordered plan.
+
+    Parameters
+    ----------
+    trees:
+        Query name -> tree (anything with ``.leaves``).
+    schedules:
+        Query name -> that tree's schedule (same key set as ``trees``).
+    costs:
+        Global per-item stream costs (the registry's table).
+
+    Greedy merge: repeatedly pick, among the queries' next-up leaves, the one
+    minimizing ``marginal_cost / (failure_prob + eps)`` — i.e. cheapest
+    expected spend per unit of short-circuiting power. Ties break toward the
+    stream with the most remaining demand across the population, so widely
+    shared windows are paid earliest.
+    """
+    if set(trees) != set(schedules):
+        raise StreamError(
+            f"trees and schedules disagree: {sorted(trees)} vs {sorted(schedules)}"
+        )
+    names = list(trees)
+    leaves = {name: trees[name].leaves for name in names}
+    pointers = {name: 0 for name in names}
+    # Remaining population-wide demand per stream (for tie-breaking).
+    demand: dict[str, int] = {}
+    for name in names:
+        for g in schedules[name]:
+            leaf = leaves[name][g]
+            demand[leaf.stream] = demand.get(leaf.stream, 0) + 1
+    planned: dict[str, int] = {}
+    probes: list[Probe] = []
+    total = sum(len(schedules[name]) for name in names)
+    while len(probes) < total:
+        best_name: str | None = None
+        best_score: tuple[float, int] | None = None
+        for name in names:
+            ptr = pointers[name]
+            if ptr >= len(schedules[name]):
+                continue
+            leaf = leaves[name][schedules[name][ptr]]
+            missing = max(0, leaf.items - planned.get(leaf.stream, 0))
+            marginal = missing * costs.get(leaf.stream, 1.0)
+            score = (marginal / (leaf.fail + _EPSILON), -demand[leaf.stream])
+            if best_score is None or score < best_score:
+                best_score = score
+                best_name = name
+        assert best_name is not None
+        g = schedules[best_name][pointers[best_name]]
+        leaf = leaves[best_name][g]
+        planned[leaf.stream] = max(planned.get(leaf.stream, 0), leaf.items)
+        demand[leaf.stream] -= 1
+        pointers[best_name] += 1
+        probes.append(Probe(best_name, g))
+    return SharedPlan(probes=tuple(probes), planned_items=planned)
+
+
+@dataclass
+class RoundStats:
+    """Aggregate and per-query accounting of one executed round."""
+
+    cost: float = 0.0
+    probes: int = 0
+    free_probes: int = 0
+    items_fetched: int = 0
+    items_saved: int = 0
+    query_items_fetched: dict[str, int] = field(default_factory=dict)
+    query_items_saved: dict[str, int] = field(default_factory=dict)
+
+
+def execute_round(
+    plan: SharedPlan,
+    indexes: Mapping[str, TreeIndex],
+    cache: Union[DataItemCache, CountingCache],
+    oracles: Mapping[str, LeafOracle],
+) -> tuple[dict[str, ExecutionResult], RoundStats]:
+    """Run one round of the shared plan with per-query early termination.
+
+    Walks the global probe order once; a probe is skipped for free when its
+    query's root is already resolved (early termination) or the leaf's AND/OR
+    ancestors short-circuited it away. Returns per-query
+    :class:`~repro.engine.executor.ExecutionResult` (identical semantics to
+    running each query through :class:`~repro.engine.executor.ScheduleExecutor`)
+    plus round-level sharing statistics.
+    """
+    states = {name: index.new_state() for name, index in indexes.items()}
+    evaluated: dict[str, list[int]] = {name: [] for name in indexes}
+    skipped: dict[str, list[int]] = {name: [] for name in indexes}
+    outcomes: dict[str, dict[int, bool]] = {name: {} for name in indexes}
+    query_cost: dict[str, float] = {name: 0.0 for name in indexes}
+    stats = RoundStats()
+    for probe in plan.probes:
+        state = states[probe.query]
+        if state.root_value is not None or state.is_skipped(probe.gindex):
+            skipped[probe.query].append(probe.gindex)
+            continue
+        leaf = indexes[probe.query].tree.leaves[probe.gindex]
+        fetch = cache.fetch_window(leaf.stream, leaf.items)
+        outcome = oracles[probe.query].outcome(probe.gindex, leaf, fetch.values)
+        outcomes[probe.query][probe.gindex] = outcome
+        evaluated[probe.query].append(probe.gindex)
+        state.set_leaf(probe.gindex, outcome)
+        query_cost[probe.query] += fetch.cost
+        stats.cost += fetch.cost
+        stats.probes += 1
+        stats.items_fetched += fetch.fetched_items
+        stats.items_saved += leaf.items - fetch.fetched_items
+        stats.query_items_fetched[probe.query] = (
+            stats.query_items_fetched.get(probe.query, 0) + fetch.fetched_items
+        )
+        stats.query_items_saved[probe.query] = (
+            stats.query_items_saved.get(probe.query, 0) + leaf.items - fetch.fetched_items
+        )
+        if fetch.fetched_items == 0:
+            stats.free_probes += 1
+    results: dict[str, ExecutionResult] = {}
+    for name, state in states.items():
+        value = state.root_value
+        assert value is not None, "a full schedule always resolves the root"
+        results[name] = ExecutionResult(
+            value=value,
+            cost=query_cost[name],
+            evaluated=tuple(evaluated[name]),
+            skipped=tuple(skipped[name]),
+            outcomes=outcomes[name],
+        )
+    return results, stats

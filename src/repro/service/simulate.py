@@ -1,0 +1,103 @@
+"""Synthetic serving populations for demos, tests and benchmarks.
+
+A realistic serving population is *not* a set of independent random trees:
+millions of users run a handful of popular query shapes (dashboards, alert
+templates) with long-tail one-offs. :func:`synthetic_population` models this
+directly: it draws a small pool of template trees over one shared stream
+environment, then emits each query as a random *isomorph* (shuffled AND and
+leaf order) of a template — exactly the traffic a canonical plan cache is
+built to absorb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.leaf import Leaf
+from repro.core.tree import DnfTree
+from repro.errors import StreamError
+from repro.streams.registry import StreamRegistry
+from repro.streams.sources import GaussianSource
+from repro.streams.stream import StreamSpec
+
+__all__ = ["synthetic_registry", "shuffled_isomorph", "synthetic_population"]
+
+
+def synthetic_registry(
+    n_streams: int, *, seed: int = 0, c_range: tuple[float, float] = (0.5, 4.0)
+) -> StreamRegistry:
+    """A registry of ``n_streams`` Gaussian streams with random per-item costs."""
+    if n_streams < 1:
+        raise StreamError(f"need at least one stream, got {n_streams}")
+    rng = np.random.default_rng(seed)
+    registry = StreamRegistry()
+    for k in range(n_streams):
+        cost = float(rng.uniform(*c_range))
+        registry.add(
+            StreamSpec(f"S{k}", cost),
+            GaussianSource(mean=0.0, std=1.0, seed=seed * 7919 + k),
+        )
+    return registry
+
+
+def shuffled_isomorph(tree: DnfTree, rng: np.random.Generator) -> DnfTree:
+    """A tree equal to ``tree`` up to AND-node and within-AND leaf order."""
+    groups = [list(group) for group in tree.ands]
+    for group in groups:
+        rng.shuffle(group)
+    order = rng.permutation(len(groups))
+    return DnfTree([groups[i] for i in order], dict(tree.costs))
+
+
+def synthetic_population(
+    n_queries: int,
+    registry: StreamRegistry,
+    *,
+    n_templates: int | None = None,
+    seed: int = 0,
+    n_ands: tuple[int, int] = (1, 3),
+    leaves_per_and: tuple[int, int] = (1, 4),
+    d_range: tuple[int, int] = (1, 6),
+    p_range: tuple[float, float] = (0.05, 0.95),
+) -> list[tuple[str, DnfTree]]:
+    """Draw ``n_queries`` named queries from a pool of shared templates.
+
+    ``n_templates`` defaults to ``max(1, n_queries // 10)`` — a 10:1
+    query-to-shape ratio, which makes a canonical plan cache hit on roughly
+    90% of admissions. Every query is an isomorphic shuffle of its template,
+    so the population is realistic *and* adversarial for naive (syntactic)
+    caching.
+    """
+    if n_queries < 1:
+        raise StreamError(f"need at least one query, got {n_queries}")
+    if n_templates is None:
+        n_templates = max(1, n_queries // 10)
+    elif n_templates < 1:
+        raise StreamError(f"need at least one template, got {n_templates}")
+    rng = np.random.default_rng(seed)
+    names = list(registry.names)
+    costs = registry.cost_table()
+
+    def random_template() -> DnfTree:
+        groups = []
+        for _ in range(int(rng.integers(n_ands[0], n_ands[1] + 1))):
+            group = []
+            for _ in range(int(rng.integers(leaves_per_and[0], leaves_per_and[1] + 1))):
+                stream = names[int(rng.integers(len(names)))]
+                group.append(
+                    Leaf(
+                        stream,
+                        int(rng.integers(d_range[0], d_range[1] + 1)),
+                        float(rng.uniform(*p_range)),
+                    )
+                )
+            groups.append(group)
+        used = {leaf.stream for group in groups for leaf in group}
+        return DnfTree(groups, {name: costs[name] for name in used})
+
+    templates = [random_template() for _ in range(n_templates)]
+    population: list[tuple[str, DnfTree]] = []
+    for q in range(n_queries):
+        template = templates[int(rng.integers(len(templates)))]
+        population.append((f"q{q:04d}", shuffled_isomorph(template, rng)))
+    return population

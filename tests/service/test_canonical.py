@@ -1,0 +1,161 @@
+"""Canonical query identities: isomorphism, dedup, schedule expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AndTree, DnfTree, Leaf
+from repro.core.cost import dnf_schedule_cost
+from repro.core.schedule import validate_schedule
+from repro.errors import InvalidTreeError
+from repro.generators.random_trees import random_dnf_tree
+from repro.lang.parser import parse_query
+from repro.service import canonical_key, canonicalize, shuffled_isomorph
+
+
+def tree_abc() -> DnfTree:
+    return DnfTree(
+        [
+            [Leaf("A", 2, 0.3), Leaf("B", 1, 0.5)],
+            [Leaf("C", 3, 0.2)],
+        ],
+        costs={"A": 1.0, "B": 2.0, "C": 0.5},
+    )
+
+
+class TestCanonicalKey:
+    def test_key_is_stable(self):
+        assert canonical_key(tree_abc()) == canonical_key(tree_abc())
+
+    def test_isomorphic_trees_hash_equal(self):
+        tree = tree_abc()
+        reordered = DnfTree(
+            [
+                [Leaf("C", 3, 0.2)],
+                [Leaf("B", 1, 0.5), Leaf("A", 2, 0.3)],
+            ],
+            costs=tree.costs,
+        )
+        assert canonical_key(tree) == canonical_key(reordered)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_shuffles_hash_equal(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = random_dnf_tree(rng, n_ands=3, leaves_per_and=3, rho=2.0)
+        assert canonical_key(shuffled_isomorph(tree, rng)) == canonical_key(tree)
+
+    def test_distinct_probability_hashes_differ(self):
+        tree = tree_abc()
+        other = DnfTree(
+            [[Leaf("A", 2, 0.31), Leaf("B", 1, 0.5)], [Leaf("C", 3, 0.2)]],
+            costs=tree.costs,
+        )
+        assert canonical_key(tree) != canonical_key(other)
+
+    def test_distinct_items_hashes_differ(self):
+        tree = tree_abc()
+        other = DnfTree(
+            [[Leaf("A", 3, 0.3), Leaf("B", 1, 0.5)], [Leaf("C", 3, 0.2)]],
+            costs=tree.costs,
+        )
+        assert canonical_key(tree) != canonical_key(other)
+
+    def test_distinct_costs_hash_differ(self):
+        tree = tree_abc()
+        other = DnfTree([list(g) for g in tree.ands], {"A": 9.0, "B": 2.0, "C": 0.5})
+        assert canonical_key(tree) != canonical_key(other)
+
+    def test_distinct_grouping_hashes_differ(self):
+        one_and = DnfTree([[Leaf("A", 1, 0.5), Leaf("B", 1, 0.5)]])
+        two_ands = DnfTree([[Leaf("A", 1, 0.5)], [Leaf("B", 1, 0.5)]])
+        assert canonical_key(one_and) != canonical_key(two_ands)
+
+    def test_and_tree_matches_its_dnf_view(self):
+        tree = AndTree([Leaf("A", 1, 0.75), Leaf("A", 2, 0.1), Leaf("B", 1, 0.5)])
+        assert canonical_key(tree) == canonical_key(tree.to_dnf())
+
+    def test_labels_do_not_affect_key(self):
+        bare = DnfTree([[Leaf("A", 1, 0.5)]])
+        labeled = DnfTree([[Leaf("A", 1, 0.5, "AVG(A,1) < 3")]])
+        assert canonical_key(bare) == canonical_key(labeled)
+
+    def test_query_tree_accepted_when_dnf_shaped(self):
+        parsed = parse_query("(A[2] p=0.3 AND B[1] p=0.5) OR C[3] p=0.2")
+        assert canonical_key(parsed.tree) == canonical_key(parsed.as_dnf())
+
+    def test_non_dnf_query_tree_rejected(self):
+        parsed = parse_query("A[1] p=0.5 AND (B[1] p=0.5 OR C[1] p=0.5)")
+        assert not parsed.tree.is_dnf()
+        with pytest.raises(InvalidTreeError):
+            canonicalize(parsed.tree)
+
+
+class TestDeduplication:
+    def test_identical_leaves_fold_with_product_probability(self):
+        tree = AndTree([Leaf("A", 2, 0.5), Leaf("A", 2, 0.5), Leaf("B", 1, 0.9)])
+        form = canonicalize(tree)
+        assert form.deduped
+        assert form.tree.size == 2
+        folded = [leaf for leaf in form.tree.leaves if leaf.stream == "A"][0]
+        assert folded.prob == pytest.approx(0.25)
+        assert folded.items == 2
+
+    def test_duplicate_count_distinguishes_keys(self):
+        single = AndTree([Leaf("A", 2, 0.5)])
+        double = AndTree([Leaf("A", 2, 0.5), Leaf("A", 2, 0.5)])
+        assert canonical_key(single) != canonical_key(double)
+
+    def test_near_duplicates_do_not_fold(self):
+        tree = AndTree([Leaf("A", 2, 0.5), Leaf("A", 2, 0.6)])
+        form = canonicalize(tree)
+        assert not form.deduped
+        assert form.tree.size == 2
+
+    def test_folding_preserves_expected_cost(self):
+        """AND of k identical leaves == one leaf with prob p**k, exactly."""
+        tree = DnfTree(
+            [[Leaf("A", 2, 0.5), Leaf("A", 2, 0.5), Leaf("B", 1, 0.9)]],
+            costs={"A": 1.0, "B": 3.0},
+        )
+        form = canonicalize(tree)
+        canon_schedule = tuple(range(form.tree.size))
+        expanded = form.expand_schedule(canon_schedule)
+        assert dnf_schedule_cost(form.tree, canon_schedule) == pytest.approx(
+            dnf_schedule_cost(tree, expanded)
+        )
+
+
+class TestExpandSchedule:
+    def test_round_trip_is_valid_permutation(self):
+        tree = DnfTree(
+            [
+                [Leaf("A", 2, 0.5), Leaf("A", 2, 0.5)],
+                [Leaf("B", 1, 0.4), Leaf("A", 1, 0.7)],
+            ]
+        )
+        form = canonicalize(tree)
+        for perm in [tuple(range(form.tree.size)), tuple(reversed(range(form.tree.size)))]:
+            expanded = form.expand_schedule(perm)
+            validate_schedule(tree, expanded)
+
+    def test_duplicates_expand_adjacently(self):
+        tree = AndTree([Leaf("A", 2, 0.5), Leaf("B", 1, 0.4), Leaf("A", 2, 0.5)])
+        form = canonicalize(tree)
+        expanded = form.expand_schedule(tuple(range(form.tree.size)))
+        positions = [expanded.index(g) for g in (0, 2)]  # the two A[2] copies
+        assert abs(positions[0] - positions[1]) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_trees_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = random_dnf_tree(rng, n_ands=3, leaves_per_and=3, rho=1.5)
+        form = canonicalize(tree)
+        expanded = form.expand_schedule(
+            tuple(int(i) for i in rng.permutation(form.tree.size))
+        )
+        validate_schedule(tree, expanded)

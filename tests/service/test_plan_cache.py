@@ -1,0 +1,93 @@
+"""Plan cache: hit/miss accounting, LRU eviction, scheduler separation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DnfTree, Leaf
+from repro.core.cost import dnf_schedule_cost
+from repro.core.heuristics import get_scheduler
+from repro.errors import ReproError
+from repro.service import PlanCache, canonicalize
+
+
+def make_tree(prob: float) -> DnfTree:
+    return DnfTree(
+        [[Leaf("A", 2, prob), Leaf("B", 1, 0.5)], [Leaf("C", 1, 0.3)]],
+        costs={"A": 1.0, "B": 2.0, "C": 0.5},
+    )
+
+
+@pytest.fixture
+def scheduler():
+    return get_scheduler("and-inc-c-over-p-dynamic")
+
+
+class TestPlanCache:
+    def test_first_lookup_misses_then_hits(self, scheduler):
+        cache = PlanCache(capacity=4)
+        form = canonicalize(make_tree(0.4))
+        first = cache.plan(form, scheduler)
+        second = cache.plan(form, scheduler)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_plan_matches_direct_scheduling(self, scheduler):
+        cache = PlanCache()
+        form = canonicalize(make_tree(0.4))
+        plan = cache.plan(form, scheduler)
+        assert plan.schedule == tuple(scheduler.schedule(form.tree))
+        assert plan.cost == pytest.approx(
+            dnf_schedule_cost(form.tree, plan.schedule)
+        )
+
+    def test_distinct_trees_occupy_distinct_slots(self, scheduler):
+        cache = PlanCache(capacity=8)
+        cache.plan(canonicalize(make_tree(0.4)), scheduler)
+        cache.plan(canonicalize(make_tree(0.6)), scheduler)
+        assert len(cache) == 2
+        assert cache.misses == 2
+
+    def test_distinct_schedulers_cached_separately(self):
+        cache = PlanCache()
+        form = canonicalize(make_tree(0.4))
+        cache.plan(form, get_scheduler("and-inc-c-over-p-dynamic"))
+        cache.plan(form, get_scheduler("leaf-inc-c"))
+        assert len(cache) == 2
+        assert cache.misses == 2
+
+    def test_lru_eviction_order(self, scheduler):
+        cache = PlanCache(capacity=2)
+        forms = [canonicalize(make_tree(p)) for p in (0.2, 0.4, 0.6)]
+        cache.plan(forms[0], scheduler)
+        cache.plan(forms[1], scheduler)
+        cache.plan(forms[0], scheduler)  # refresh 0 -> 1 is now LRU
+        cache.plan(forms[2], scheduler)  # evicts 1
+        assert cache.evictions == 1
+        assert (forms[0].key, scheduler.name) in cache
+        assert (forms[1].key, scheduler.name) not in cache
+        assert (forms[2].key, scheduler.name) in cache
+
+    def test_invalidate_drops_all_scheduler_variants(self, scheduler):
+        cache = PlanCache()
+        form = canonicalize(make_tree(0.4))
+        cache.plan(form, scheduler)
+        cache.plan(form, get_scheduler("leaf-inc-c"))
+        assert cache.invalidate(form.key) == 2
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError):
+            PlanCache(capacity=0)
+
+    def test_stats_snapshot(self, scheduler):
+        cache = PlanCache(capacity=4)
+        form = canonicalize(make_tree(0.4))
+        cache.plan(form, scheduler)
+        cache.plan(form, scheduler)
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 1.0
+        assert stats["size"] == 1.0
+        assert stats["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,179 @@
+"""QueryServer: admission, lifecycle, batching, metrics, acceptance criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndTree, DnfTree, Leaf, QueryServer, run_isolated
+from repro.engine import BernoulliOracle
+from repro.errors import AdmissionError, StreamError
+from repro.service import PlanCache, synthetic_population, synthetic_registry
+from repro.streams.registry import StreamRegistry
+from repro.streams.sources import GaussianSource
+from repro.streams.stream import StreamSpec
+
+
+def tiny_registry() -> StreamRegistry:
+    registry = StreamRegistry()
+    registry.add(StreamSpec("A", 1.0), GaussianSource(seed=1))
+    registry.add(StreamSpec("B", 2.0), GaussianSource(seed=2))
+    return registry
+
+
+def tiny_tree(prob: float = 0.5) -> DnfTree:
+    return DnfTree([[Leaf("A", 2, prob)], [Leaf("B", 1, 0.3)]], {"A": 1.0, "B": 2.0})
+
+
+class TestAdmission:
+    def test_register_returns_planned_query(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        registered = server.register("q1", tiny_tree())
+        assert "q1" in server
+        assert len(registered.schedule) == registered.tree.size
+        assert registered.canonical.key
+
+    def test_duplicate_name_rejected(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        server.register("q1", tiny_tree())
+        with pytest.raises(AdmissionError):
+            server.register("q1", tiny_tree())
+
+    def test_admission_limit_enforced(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0), max_queries=2)
+        server.register("q1", tiny_tree(0.4))
+        server.register("q2", tiny_tree(0.5))
+        with pytest.raises(AdmissionError):
+            server.register("q3", tiny_tree(0.6))
+        server.deregister("q1")
+        server.register("q3", tiny_tree(0.6))  # freed slot is reusable
+
+    def test_unknown_stream_rejected(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        with pytest.raises(StreamError):
+            server.register("bad", DnfTree([[Leaf("Z", 1, 0.5)]]))
+
+    def test_deregister_unknown_name_rejected(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        with pytest.raises(AdmissionError):
+            server.deregister("ghost")
+
+    def test_and_tree_admitted(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        registered = server.register(
+            "and", AndTree([Leaf("A", 1, 0.75), Leaf("A", 2, 0.1)], {"A": 1.0})
+        )
+        assert registered.tree.n_ands == 1
+
+    def test_isomorphic_admissions_share_one_plan(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        tree = DnfTree(
+            [[Leaf("A", 2, 0.5), Leaf("B", 1, 0.3)], [Leaf("A", 1, 0.9)]],
+            {"A": 1.0, "B": 2.0},
+        )
+        reordered = DnfTree(
+            [[Leaf("A", 1, 0.9)], [Leaf("B", 1, 0.3), Leaf("A", 2, 0.5)]],
+            {"A": 1.0, "B": 2.0},
+        )
+        first = server.register("q1", tree)
+        second = server.register("q2", reordered)
+        assert first.canonical.key == second.canonical.key
+        assert server.plan_cache.hits == 1
+        assert server.plan_cache.misses == 1
+
+    def test_plan_cache_can_be_disabled(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0), plan_cache=None)
+        assert server.plan_cache is None
+        server.register("q1", tiny_tree())
+        server.register("q2", tiny_tree())
+        assert server.run_batch(3).plan_cache_hit_rate == 0.0
+
+    def test_shared_plan_cache_instance(self):
+        cache = PlanCache(capacity=16)
+        server_a = QueryServer(tiny_registry(), BernoulliOracle(seed=0), plan_cache=cache)
+        server_b = QueryServer(tiny_registry(), BernoulliOracle(seed=1), plan_cache=cache)
+        server_a.register("q", tiny_tree())
+        server_b.register("q", tiny_tree())
+        assert cache.hits == 1  # second server rides the first's plan
+
+
+class TestExecution:
+    def test_step_requires_queries(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        with pytest.raises(StreamError):
+            server.step()
+
+    def test_step_returns_result_per_query(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        server.register("q1", tiny_tree(0.4))
+        server.register("q2", tiny_tree(0.6))
+        results = server.step()
+        assert set(results) == {"q1", "q2"}
+        for result in results.values():
+            assert isinstance(result.value, bool)
+            assert result.cost >= 0.0
+
+    def test_deregistered_query_stops_appearing(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        server.register("q1", tiny_tree(0.4))
+        server.register("q2", tiny_tree(0.6))
+        server.step()
+        server.deregister("q1")
+        assert set(server.step()) == {"q2"}
+
+    def test_large_window_grows_device_time(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0), warmup=4)
+        server.register("wide", DnfTree([[Leaf("A", 50, 0.5)]], {"A": 1.0}))
+        results = server.step()  # would raise if the cache were too young
+        assert "wide" in results
+
+    def test_run_batch_accumulates_metrics(self):
+        server = QueryServer(tiny_registry(), BernoulliOracle(seed=0))
+        server.register("q1", tiny_tree(0.4))
+        report = server.run_batch(10)
+        assert report.rounds == 10
+        assert report.total_cost == pytest.approx(sum(report.round_costs))
+        assert server.metrics.rounds == 10
+        assert server.metrics.total_cost == pytest.approx(report.total_cost)
+        assert len(server.metrics.round_costs) == 10
+        assert server.metrics.p95_round_cost >= server.metrics.p50_round_cost
+        assert server.metrics.query_stats("q1").rounds == 10
+        assert "q1" in server.metrics.summary()
+
+    def test_blocked_mode_matches_query_set(self):
+        server = QueryServer(
+            tiny_registry(), BernoulliOracle(seed=0), shared_plan=False
+        )
+        server.register("q1", tiny_tree(0.4))
+        server.register("q2", tiny_tree(0.6))
+        results = server.run_batch(5)
+        assert set(results.per_query_cost) == {"q1", "q2"}
+
+
+class TestAcceptanceCriteria:
+    """The issue's headline numbers: 100 mostly-isomorphic queries."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        registry = synthetic_registry(8, seed=11)
+        population = synthetic_population(100, registry, n_templates=10, seed=12)
+        server = QueryServer(registry, BernoulliOracle(seed=13))
+        for name, tree in population:
+            server.register(name, tree)
+        report = server.run_batch(25)
+        isolated = run_isolated(registry, population, 25)
+        return server, report, isolated
+
+    def test_plan_cache_hit_rate_above_80_percent(self, served):
+        server, report, _ = served
+        assert len(server) == 100
+        assert report.plan_cache_hit_rate > 0.8
+
+    def test_total_cost_strictly_below_isolated_sum(self, served):
+        _, report, isolated = served
+        assert report.total_cost < sum(isolated.values())
+
+    def test_sharing_is_observable_in_metrics(self, served):
+        server, report, _ = served
+        assert report.items_saved > 0
+        assert report.free_probes > 0
+        assert server.metrics.sharing_rate > 0.5

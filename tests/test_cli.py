@@ -101,6 +101,49 @@ class TestExperiment:
         assert "(ref)" in capsys.readouterr().out
 
 
+class TestServeSim:
+    def test_default_run(self, capsys):
+        assert main(["serve-sim", "--queries", "20", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "plan-cache hit rate" in out
+        assert "items fetched / saved" in out
+
+    def test_compare_isolated_reports_speedup(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "--queries",
+                    "30",
+                    "--rounds",
+                    "5",
+                    "--compare-isolated",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "isolated-sum cost" in out
+        assert "sharing speedup" in out
+
+    def test_ablation_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "--queries",
+                    "10",
+                    "--rounds",
+                    "3",
+                    "--no-plan-cache",
+                    "--no-shared-plan",
+                ]
+            )
+            == 0
+        )
+        assert "hit rate" in capsys.readouterr().out
+
+
 class TestExhaustiveSchedulerRegistryEntry:
     def test_optimal_registered(self):
         from repro.core.heuristics import get_scheduler

@@ -27,6 +27,7 @@ class TestPublicApi:
             "repro.streams",
             "repro.predicates",
             "repro.engine",
+            "repro.service",
             "repro.lang",
             "repro.generators",
             "repro.experiments",
