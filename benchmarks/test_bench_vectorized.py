@@ -1,0 +1,81 @@
+"""Scalar-vs-vectorized trial-engine throughput (trials/second).
+
+Runs the 10k-trial battery benchmark across a (N, m) grid with both
+engines (identical outcome matrices, so the comparison is pure execution
+machinery), asserts the vectorized engine's >=10x speedup on every cell,
+and emits both the ASCII table and a machine-readable JSON record
+(``benchmarks/results/vectorized_throughput.json``) so the benchmark
+trajectory can be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from conftest import RESULTS_DIR, emit_report, full_scale
+
+from repro.experiments import ascii_table, execution_throughput
+
+N_TRIALS = 10_000
+MIN_SPEEDUP = 10.0
+
+
+class TestVectorizedThroughput:
+    def test_battery_speedup(self):
+        grid = dict(
+            n_ands_values=(2, 6, 10) if full_scale() else (2, 10),
+            leaves_per_and_values=(5, 10, 20) if full_scale() else (5, 20),
+        )
+        points = execution_throughput(n_trials=N_TRIALS, seed=0, **grid)
+        by_cell: dict[tuple[int, int], dict[str, float]] = {}
+        for point in points:
+            by_cell.setdefault((point.n_ands, point.leaves_per_and), {})[
+                point.engine
+            ] = point.trials_per_second
+
+        rows = []
+        records = []
+        for (n, m), engines in sorted(by_cell.items()):
+            speedup = engines["vectorized"] / engines["scalar"]
+            rows.append(
+                (
+                    n,
+                    m,
+                    f"{engines['scalar']:,.0f}",
+                    f"{engines['vectorized']:,.0f}",
+                    f"{speedup:.1f}x",
+                )
+            )
+            records.append(
+                {
+                    "n_ands": n,
+                    "leaves_per_and": m,
+                    "n_trials": N_TRIALS,
+                    "scalar_trials_per_sec": engines["scalar"],
+                    "vectorized_trials_per_sec": engines["vectorized"],
+                    "speedup": speedup,
+                }
+            )
+            assert speedup >= MIN_SPEEDUP, (
+                f"N={n} m={m}: vectorized only {speedup:.1f}x over scalar "
+                f"(required >= {MIN_SPEEDUP}x)"
+            )
+
+        table = ascii_table(
+            ("N (ANDs)", "m (leaves/AND)", "scalar trials/s", "vectorized trials/s", "speedup"),
+            rows,
+        )
+        emit_report("vectorized_throughput", table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            "benchmark": "vectorized_throughput",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cells": records,
+        }
+        (RESULTS_DIR / "vectorized_throughput.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )

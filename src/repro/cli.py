@@ -8,7 +8,8 @@ Commands
     each schedule with its expected cost.
 ``evaluate``
     Expected cost (Proposition 2) of an explicit schedule, with optional
-    Monte-Carlo verification.
+    Monte-Carlo verification (``--engine {scalar,vectorized}`` selects the
+    trial engine; both give identical estimates per seed).
 ``optimal``
     Exhaustive optimum (budget-guarded) with search statistics.
 ``decide``
@@ -16,10 +17,13 @@ Commands
 ``experiment``
     Regenerate a figure (fig4 / fig5 / fig6) at a chosen scale; prints the
     summary table and optionally writes per-instance CSV.
+    ``--engine {analytic,scalar,vectorized}`` switches between the closed
+    form and simulated trial batteries (``--trials`` per schedule).
 ``serve-sim``
     Simulate the multi-tenant serving layer on a synthetic query population:
     prints aggregate cost, plan-cache hit rate and sharing statistics, with
     an optional isolated (no sharing) baseline comparison.
+    ``--engine vectorized`` runs the bulk-resolved round loop.
 
 Examples
 --------
@@ -133,10 +137,12 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     cost = dnf_schedule_cost(tree, order)
     print(f"expected cost (Proposition 2): {cost:.6g}")
     if args.monte_carlo:
-        result = monte_carlo_cost(tree, order, n_samples=args.samples, seed=args.seed)
+        result = monte_carlo_cost(
+            tree, order, n_samples=args.samples, seed=args.seed, engine=args.engine
+        )
         print(
-            f"Monte-Carlo ({result.n_samples} runs): {result.mean:.6g} "
-            f"+/- {result.std_error:.2g}"
+            f"Monte-Carlo ({result.n_samples} runs, {args.engine} engine): "
+            f"{result.mean:.6g} +/- {result.std_error:.2g}"
         )
     return 0
 
@@ -158,8 +164,11 @@ def cmd_decide(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    engine_kwargs = {"engine": args.engine, "trials_per_instance": args.trials}
     if args.figure == "fig4":
-        result = run_fig4(trees_per_config=args.scale, seed=args.seed, workers=args.workers)
+        result = run_fig4(
+            trees_per_config=args.scale, seed=args.seed, workers=args.workers, **engine_kwargs
+        )
         rows = result.summary().rows()
         print(ascii_table(("statistic", "value"), rows))
         if args.csv:
@@ -169,7 +178,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 zip(result.optimal_costs, result.read_once_costs, result.leaf_counts, result.rhos),
             )
     elif args.figure == "fig5":
-        result = run_fig5(instances_per_config=args.scale, seed=args.seed, workers=args.workers)
+        result = run_fig5(
+            instances_per_config=args.scale, seed=args.seed, workers=args.workers, **engine_kwargs
+        )
         print(ascii_table(result.summary_headers(), result.summary_rows()))
         if args.csv:
             names = list(result.heuristic_costs)
@@ -179,7 +190,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 zip(result.optimal_costs, *(result.heuristic_costs[n] for n in names)),
             )
     elif args.figure == "fig6":
-        result = run_fig6(instances_per_config=args.scale, seed=args.seed, workers=args.workers)
+        result = run_fig6(
+            instances_per_config=args.scale, seed=args.seed, workers=args.workers, **engine_kwargs
+        )
         print(ascii_table(result.summary_headers(), result.summary_rows()))
         if args.csv:
             names = list(result.heuristic_costs)
@@ -216,7 +229,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     for name, tree in population:
         server.register(name, tree)
-    report = server.run_batch(args.rounds)
+    report = server.run_batch(args.rounds, engine=args.engine)
     print(
         f"served {args.queries} queries ({len({q.canonical.key for q in map(server.query, server.registered)})}"
         f" distinct shapes) for {args.rounds} rounds on {args.streams} streams"
@@ -271,6 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--monte-carlo", action="store_true")
     p_eval.add_argument("--samples", type=int, default=20_000)
     p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument(
+        "--engine",
+        choices=("scalar", "vectorized"),
+        default="vectorized",
+        help="Monte-Carlo trial engine (both give identical results per seed)",
+    )
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_opt = sub.add_parser("optimal", help="exhaustive optimum (exponential)")
@@ -290,6 +309,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--workers", type=int, default=None)
     p_exp.add_argument("--csv", type=Path, default=None, help="write per-instance CSV")
+    p_exp.add_argument(
+        "--engine",
+        choices=("analytic", "scalar", "vectorized"),
+        default="analytic",
+        help="cost evaluator: closed form, or a simulated trial battery per schedule",
+    )
+    p_exp.add_argument(
+        "--trials",
+        type=int,
+        default=2000,
+        help="trials per schedule when --engine is scalar/vectorized",
+    )
     p_exp.set_defaults(func=cmd_experiment)
 
     p_serve = sub.add_parser(
@@ -321,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-isolated",
         action="store_true",
         help="also run every query on a private cache and report the cost ratio",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=("scalar", "vectorized"),
+        default="scalar",
+        help="round loop: per-probe scalar walk, or bulk-resolved vectorized batches",
     )
     p_serve.set_defaults(func=cmd_serve_sim)
 

@@ -7,6 +7,7 @@ analytic evaluators, :mod:`repro.core.andtree_optimal` /
 :mod:`repro.core.heuristics` for the polynomial heuristics of §IV-D.
 """
 
+from repro.core.compile import CompiledSchedule, compile_schedule
 from repro.core.cost import (
     DnfPrefixCost,
     and_tree_cost,
@@ -54,6 +55,8 @@ __all__ = [
     "and_tree_cost",
     "dnf_schedule_cost",
     "schedule_cost",
+    "CompiledSchedule",
+    "compile_schedule",
     "DnfPrefixCost",
     "item_acquisition_probabilities",
     "expected_stream_items",

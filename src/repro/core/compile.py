@@ -1,0 +1,124 @@
+"""Compilation of (tree, schedule) pairs into flat numpy programs.
+
+The scalar executor interprets a schedule leaf by leaf against Python
+objects; every trial pays attribute lookups, dict probes and an ancestor
+walk per leaf. :func:`compile_schedule` does that structural work *once*,
+producing a :class:`CompiledSchedule` of plain integer/float arrays — the
+form the vectorized trial engine (:mod:`repro.engine.vectorized`) consumes
+to evaluate thousands of independent trials with whole-matrix operations.
+
+Everything here is pure structure: no randomness, no cache state. A
+compiled schedule can be reused for any number of batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.resolution import TreeIndex
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
+
+__all__ = ["CompiledSchedule", "compile_schedule"]
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """A linear schedule lowered to flat arrays over one :class:`TreeIndex`.
+
+    Per-leaf arrays are indexed by *global leaf index* (``gindex``); node
+    arrays are indexed by the tree index's depth-first node ids. ``chains``
+    packs each leaf's skip-set — the leaf's own node followed by its
+    ancestors up to the root — into one padded matrix so the vectorized
+    engine can test "is this leaf short-circuited away?" with a single
+    fancy-indexed reduction.
+    """
+
+    index: TreeIndex
+    schedule: Schedule
+    #: Schedule as an int array of global leaf indices.
+    order: np.ndarray
+    #: Per-leaf node id inside the tree index.
+    leaf_node_ids: np.ndarray
+    #: Per-leaf window size ``d_j``.
+    items: np.ndarray
+    #: Per-leaf cost of one item of the leaf's stream, ``c(S(j))``.
+    unit_costs: np.ndarray
+    #: Per-leaf success probability ``p_j``.
+    probs: np.ndarray
+    #: Per-leaf dense stream slot (same slot = same stream = shared cache).
+    stream_slots: np.ndarray
+    #: Slot -> stream name (inverse of ``stream_slots``).
+    slot_streams: tuple[str, ...]
+    #: ``chains[g]`` = (leaf node id, ancestors..., -1 padding); shape (L, depth+1).
+    chains: np.ndarray
+    #: Per-node kind (0 leaf / 1 AND / 2 OR), parent id, child count.
+    kinds: np.ndarray
+    parent: np.ndarray
+    n_children: np.ndarray
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.order.size)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.kinds.size)
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slot_streams)
+
+
+def compile_schedule(
+    tree: Union[QueryTree, AndTree, DnfTree],
+    schedule: Sequence[int],
+    *,
+    index: TreeIndex | None = None,
+) -> CompiledSchedule:
+    """Lower ``schedule`` over ``tree`` into a :class:`CompiledSchedule`.
+
+    ``index`` may be supplied to reuse an existing :class:`TreeIndex`
+    (it must have been built from the same tree).
+    """
+    schedule = validate_schedule(tree, schedule)
+    if index is None:
+        index = TreeIndex(tree)
+    qtree = index.tree
+    leaves = qtree.leaves
+    costs = qtree.costs
+
+    stream_slots_map: dict[str, int] = {}
+    for leaf in leaves:
+        stream_slots_map.setdefault(leaf.stream, len(stream_slots_map))
+
+    n_leaves = len(leaves)
+    chain_width = 1 + max(
+        (len(path) for path in index.leaf_ancestors), default=0
+    )
+    chains = np.full((n_leaves, chain_width), -1, dtype=np.int64)
+    for g in range(n_leaves):
+        chains[g, 0] = index.leaf_node_ids[g]
+        path = index.leaf_ancestors[g]
+        chains[g, 1 : 1 + len(path)] = path
+
+    return CompiledSchedule(
+        index=index,
+        schedule=schedule,
+        order=np.asarray(schedule, dtype=np.int64),
+        leaf_node_ids=np.asarray(index.leaf_node_ids, dtype=np.int64),
+        items=np.asarray([leaf.items for leaf in leaves], dtype=np.int64),
+        unit_costs=np.asarray([costs[leaf.stream] for leaf in leaves], dtype=np.float64),
+        probs=np.asarray([leaf.prob for leaf in leaves], dtype=np.float64),
+        stream_slots=np.asarray(
+            [stream_slots_map[leaf.stream] for leaf in leaves], dtype=np.int64
+        ),
+        slot_streams=tuple(stream_slots_map),
+        chains=chains,
+        kinds=np.asarray(index.kinds, dtype=np.int8),
+        parent=np.asarray(index.parent, dtype=np.int64),
+        n_children=np.asarray([len(ids) for ids in index.children], dtype=np.int64),
+    )

@@ -21,15 +21,30 @@ from typing import Union
 
 from repro.core.tree import AndNode, AndTree, DnfTree, LeafNode, Node, OrNode, QueryTree
 
-__all__ = ["TreeIndex", "ResolutionState", "UNRESOLVED", "TRUE", "FALSE"]
+__all__ = [
+    "TreeIndex",
+    "ResolutionState",
+    "UNRESOLVED",
+    "TRUE",
+    "FALSE",
+    "KIND_LEAF",
+    "KIND_AND",
+    "KIND_OR",
+]
 
 UNRESOLVED = 0
 TRUE = 1
 FALSE = 2
 
-_KIND_LEAF = 0
-_KIND_AND = 1
-_KIND_OR = 2
+#: Node-kind encoding used by TreeIndex.kinds (and every consumer of it).
+KIND_LEAF = 0
+KIND_AND = 1
+KIND_OR = 2
+
+# Backwards-compatible private aliases (internal call sites).
+_KIND_LEAF = KIND_LEAF
+_KIND_AND = KIND_AND
+_KIND_OR = KIND_OR
 
 
 def _as_query_tree(tree: Union[QueryTree, AndTree, DnfTree]) -> QueryTree:

@@ -1,20 +1,47 @@
-"""A simple battery model for the paper's motivating scenario.
+"""Battery models: the device's energy budget, and batteries of trials.
 
 The paper's motivation is battery life: "continuous processing of streams
 ... can cause commercial smartphone batteries to be depleted in a few hours".
 :class:`Battery` converts accumulated acquisition energy into remaining
 charge and an estimated lifetime, so examples can report scheduler quality
 in user-facing terms (hours of battery) rather than abstract cost units.
+
+The second half of the module runs *batteries of trials* — the repeated
+independent executions every empirical cost estimate is averaged from:
+
+* :func:`run_battery` evaluates ``n_trials`` executions of one schedule
+  with a selectable engine: ``"vectorized"`` (the
+  :class:`~repro.engine.vectorized.VectorizedExecutor` fast path, default)
+  or ``"scalar"`` (one :class:`~repro.engine.executor.ScheduleExecutor`
+  walk per trial). Both engines replay the *same* drawn outcome matrix, so
+  for a given seed their results are identical — the vectorized engine is
+  purely a speedup. ``workers`` composes with
+  :func:`repro.parallel.pmap` for process-level fan-out on top of the
+  in-process vectorization.
+* :func:`estimate_schedule_cost` is the experiment drivers' uniform entry
+  point: ``engine="analytic"`` returns the closed-form expected cost, the
+  other engines return a trial-battery mean.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence, Union
 
+import numpy as np
+
+from repro.core.schedule import validate_schedule
+from repro.core.tree import AndTree, DnfTree, QueryTree
 from repro.errors import StreamError
 
-__all__ = ["Battery"]
+__all__ = [
+    "Battery",
+    "TrialBatteryResult",
+    "run_battery",
+    "estimate_schedule_cost",
+    "TRIAL_ENGINES",
+]
 
 
 @dataclass(slots=True)
@@ -57,3 +84,159 @@ class Battery:
         if joules_per_round <= 0.0:
             return math.inf
         return self.remaining_joules / joules_per_round
+
+
+# ---------------------------------------------------------------------------
+# Batteries of trials
+# ---------------------------------------------------------------------------
+
+_TreeLike = Union[AndTree, DnfTree, QueryTree]
+
+#: Engines :func:`run_battery` accepts.
+TRIAL_ENGINES = ("scalar", "vectorized")
+
+
+@dataclass(frozen=True)
+class TrialBatteryResult:
+    """Aggregate of ``n_trials`` independent executions of one schedule."""
+
+    engine: str
+    n_trials: int
+    costs: np.ndarray
+    values: np.ndarray
+
+    @property
+    def mean_cost(self) -> float:
+        return float(self.costs.mean())
+
+    @property
+    def std_error(self) -> float:
+        if self.n_trials < 2:
+            return 0.0
+        return float(self.costs.std(ddof=1) / math.sqrt(self.n_trials))
+
+    @property
+    def true_rate(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        half = 1.96 * self.std_error
+        return (self.mean_cost - half, self.mean_cost + half)
+
+
+def _run_battery_chunk(
+    args: tuple[_TreeLike, tuple[int, ...], int, np.random.SeedSequence, str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """One worker's share of a battery (top-level for pickling)."""
+    tree, schedule, n_trials, seed_seq, engine = args
+    rng = np.random.default_rng(seed_seq)
+    result = run_battery(tree, schedule, n_trials, engine=engine, rng=rng)
+    return result.costs, result.values
+
+
+def run_battery(
+    tree: _TreeLike,
+    schedule: Sequence[int],
+    n_trials: int,
+    *,
+    engine: str = "vectorized",
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
+) -> TrialBatteryResult:
+    """Run ``n_trials`` independent executions of ``schedule`` on ``tree``.
+
+    Every trial starts from an empty item cache (the independent-trials
+    model of the analytic evaluators), draws its leaf outcomes from the
+    tree's probabilities, and pays the cache-aware short-circuited cost.
+    Both engines replay the same ``rng.random((n, L))`` outcome matrix, so
+    for a fixed seed the result is engine-independent; ``"vectorized"`` is
+    simply much faster.
+
+    ``workers > 1`` splits the battery into per-worker chunks (seeded
+    independently via :func:`repro.parallel.spawn_seeds`) and fans out with
+    :func:`repro.parallel.pmap`; results are deterministic for a fixed
+    worker count. ``rng`` cannot be combined with ``workers`` — give a
+    ``seed`` instead so chunks can be seeded independently.
+    """
+    from repro.engine.vectorized import VectorizedExecutor
+    from repro.parallel import pmap, spawn_seeds
+
+    if engine not in TRIAL_ENGINES:
+        raise StreamError(f"unknown trial engine {engine!r}; expected one of {TRIAL_ENGINES}")
+    if n_trials < 1:
+        raise StreamError(f"need n_trials >= 1, got {n_trials}")
+    schedule = validate_schedule(tree, schedule)
+
+    if workers is not None and workers > 1 and n_trials > 1:
+        if rng is not None:
+            raise StreamError("run_battery(workers=...) needs a seed, not a live rng")
+        chunks = min(workers, n_trials)
+        per_chunk = [n_trials // chunks] * chunks
+        for i in range(n_trials % chunks):
+            per_chunk[i] += 1
+        seeds = spawn_seeds(seed, chunks)
+        parts = pmap(
+            _run_battery_chunk,
+            [(tree, schedule, per_chunk[i], seeds[i], engine) for i in range(chunks)],
+            workers=workers,
+        )
+        return TrialBatteryResult(
+            engine=engine,
+            n_trials=n_trials,
+            costs=np.concatenate([costs for costs, _ in parts]),
+            values=np.concatenate([values for _, values in parts]),
+        )
+
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    leaves = tree.leaves
+    probs = np.array([leaf.prob for leaf in leaves])
+    outcomes = rng.random((n_trials, len(leaves))) < probs
+
+    if engine == "vectorized":
+        batch = VectorizedExecutor(tree).run_batch(schedule, outcomes=outcomes)
+        return TrialBatteryResult(
+            engine=engine, n_trials=n_trials, costs=batch.costs, values=batch.values
+        )
+
+    from repro.engine.executor import PrecomputedOracle, ScheduleExecutor
+    from repro.streams.cache import CountingCache
+
+    costs = np.empty(n_trials, dtype=np.float64)
+    values = np.empty(n_trials, dtype=bool)
+    cache = CountingCache(tree.costs)
+    oracle = PrecomputedOracle(outcomes[0])
+    executor = ScheduleExecutor(tree, cache, oracle)
+    for trial in range(n_trials):
+        cache.clear()
+        oracle.outcomes = outcomes[trial]
+        result = executor.run(schedule)
+        costs[trial] = result.cost
+        values[trial] = result.value
+    return TrialBatteryResult(engine=engine, n_trials=n_trials, costs=costs, values=values)
+
+
+def estimate_schedule_cost(
+    tree: _TreeLike,
+    schedule: Sequence[int],
+    *,
+    engine: str = "analytic",
+    n_trials: int = 4000,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> float:
+    """Expected cost of ``schedule`` by the chosen engine.
+
+    ``"analytic"`` dispatches to the closed-form evaluators
+    (:func:`repro.core.cost.schedule_cost`); ``"scalar"`` and
+    ``"vectorized"`` average a :func:`run_battery` of simulated trials.
+    """
+    if engine == "analytic":
+        from repro.core.cost import schedule_cost
+
+        return schedule_cost(tree, schedule, validate=False)
+    return run_battery(
+        tree, schedule, n_trials, engine=engine, rng=rng, seed=seed
+    ).mean_cost

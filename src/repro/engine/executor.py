@@ -12,7 +12,12 @@ Leaf truth values come from a :class:`LeafOracle`:
   cost, which the test-suite verifies);
 * :class:`PredicateOracle` — evaluate a real
   :class:`~repro.predicates.predicate.Predicate` on the fetched window
-  values (the full data path; probabilities are emergent from the data).
+  values (the full data path; probabilities are emergent from the data);
+* :class:`PrecomputedOracle` — replay a fixed outcome per leaf (one row of
+  a drawn outcome matrix). This is the scalar reference point of the
+  vectorized engine's equivalence guarantee: a
+  :class:`~repro.engine.vectorized.VectorizedExecutor` batch equals N
+  scalar runs, each replaying one row of the same matrix.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ __all__ = [
     "LeafOracle",
     "BernoulliOracle",
     "PredicateOracle",
+    "PrecomputedOracle",
     "ScheduleExecutor",
 ]
 
@@ -88,6 +94,22 @@ class PredicateOracle(LeafOracle):
                 "PredicateOracle needs data values; use a DataItemCache, not a CountingCache"
             )
         return predicate.evaluate(values)
+
+
+class PrecomputedOracle(LeafOracle):
+    """Replay fixed truth values, one per global leaf index.
+
+    ``outcomes`` may be any indexable of booleans keyed by ``gindex`` — a
+    dict, a list, or one row of an ``(n_trials, n_leaves)`` outcome matrix.
+    Unlike :class:`BernoulliOracle` it consumes no randomness, so the same
+    row always reproduces the same execution.
+    """
+
+    def __init__(self, outcomes) -> None:
+        self.outcomes = outcomes
+
+    def outcome(self, gindex: int, leaf: Leaf, values: np.ndarray | None) -> bool:
+        return bool(self.outcomes[gindex])
 
 
 class ScheduleExecutor:

@@ -17,7 +17,13 @@ from repro.experiments.profiles import (
     performance_profile,
 )
 from repro.experiments.report import ascii_profile_plot, ascii_table, write_csv
-from repro.experiments.runtime import RuntimePoint, paper_runtime_claim, runtime_grid
+from repro.experiments.runtime import (
+    RuntimePoint,
+    ThroughputPoint,
+    execution_throughput,
+    paper_runtime_claim,
+    runtime_grid,
+)
 from repro.experiments.sensitivity import (
     SensitivityPoint,
     perturb_probabilities,
@@ -46,6 +52,8 @@ __all__ = [
     "runtime_grid",
     "paper_runtime_claim",
     "RuntimePoint",
+    "ThroughputPoint",
+    "execution_throughput",
     "PairwiseComparison",
     "compare_stream_ordered_d_direction",
     "compare_stream_ordered_r_direction",

@@ -103,17 +103,37 @@ class Fig4Result:
         return out
 
 
-def _run_cell(args: tuple[AndTreeConfig, int, np.random.SeedSequence]) -> tuple[list[float], list[float]]:
+def _run_cell(
+    args: tuple[AndTreeConfig, int, np.random.SeedSequence, str, int]
+) -> tuple[list[float], list[float]]:
     """One (m, rho) cell: generate trees, evaluate both algorithms. (Top-level
     for pickling by the process pool.)"""
-    config, n_trees, seed_seq = args
+    config, n_trees, seed_seq, engine, trials = args
     rng = np.random.default_rng(seed_seq)
+    # Trial batteries draw from a spawned child stream so the tree sequence
+    # is identical to the analytic run with the same seed.
+    trial_rng = None if engine == "analytic" else np.random.default_rng(seed_seq.spawn(1)[0])
+    if engine != "analytic":
+        # Lazy import (engine builds on core/experiments' level, not the reverse).
+        from repro.engine.battery import estimate_schedule_cost
     optimal: list[float] = []
     read_once: list[float] = []
     for _ in range(n_trees):
         tree = sample_and_tree(rng, config)
-        optimal.append(and_tree_cost(tree, algorithm1_order(tree), validate=False))
-        read_once.append(and_tree_cost(tree, read_once_order(tree), validate=False))
+        if engine == "analytic":
+            optimal.append(and_tree_cost(tree, algorithm1_order(tree), validate=False))
+            read_once.append(and_tree_cost(tree, read_once_order(tree), validate=False))
+        else:
+            optimal.append(
+                estimate_schedule_cost(
+                    tree, algorithm1_order(tree), engine=engine, n_trials=trials, rng=trial_rng
+                )
+            )
+            read_once.append(
+                estimate_schedule_cost(
+                    tree, read_once_order(tree), engine=engine, n_trials=trials, rng=trial_rng
+                )
+            )
     return optimal, read_once
 
 
@@ -124,13 +144,25 @@ def run_fig4(
     rhos: Sequence[float] = FIG4_SHARING_RATIOS,
     seed: int | None = 0,
     workers: int | None = None,
+    engine: str = "analytic",
+    trials_per_instance: int = 2000,
 ) -> Fig4Result:
-    """Run the Figure 4 sweep (paper scale: ``trees_per_config=1000``)."""
+    """Run the Figure 4 sweep (paper scale: ``trees_per_config=1000``).
+
+    ``engine`` selects the cost evaluator: ``"analytic"`` (the closed form,
+    default) or a trial engine (``"vectorized"`` / ``"scalar"``) that
+    estimates every schedule's cost from ``trials_per_instance`` simulated
+    executions — an end-to-end empirical reproduction of the figure.
+    Trial engines compose with ``workers`` (process fan-out per grid cell).
+    """
     configs = list(fig4_configs(leaf_counts, rhos))
     seeds = spawn_seeds(seed, len(configs))
     cells = pmap(
         _run_cell,
-        [(config, trees_per_config, seeds[i]) for i, config in enumerate(configs)],
+        [
+            (config, trees_per_config, seeds[i], engine, trials_per_instance)
+            for i, config in enumerate(configs)
+        ],
         workers=workers,
     )
     optimal: list[float] = []

@@ -101,17 +101,32 @@ class Fig6Result:
 
 
 def _run_cell(
-    args: tuple[DnfConfig, int, np.random.SeedSequence]
+    args: tuple[DnfConfig, int, np.random.SeedSequence, str, int]
 ) -> dict[str, list[float]]:
     """One grid cell (top-level for pickling)."""
-    config, n_instances, seed_seq = args
+    config, n_instances, seed_seq, engine, trials = args
     rng = np.random.default_rng(seed_seq)
+    trial_rng = None if engine == "analytic" else np.random.default_rng(seed_seq.spawn(1)[0])
+    if engine != "analytic":
+        # Lazy import (engine builds on core/experiments' level, not the reverse).
+        from repro.engine.battery import estimate_schedule_cost
     heuristics = make_paper_heuristics(seed=int(rng.integers(0, 2**31)))
     per_heuristic: dict[str, list[float]] = {name: [] for name in heuristics}
     for _ in range(n_instances):
         tree = sample_dnf_tree(rng, config)
         for name, heuristic in heuristics.items():
-            per_heuristic[name].append(heuristic.cost(tree))
+            if engine == "analytic":
+                per_heuristic[name].append(heuristic.cost(tree))
+            else:
+                per_heuristic[name].append(
+                    estimate_schedule_cost(
+                        tree,
+                        heuristic.schedule(tree),
+                        engine=engine,
+                        n_trials=trials,
+                        rng=trial_rng,
+                    )
+                )
     return per_heuristic
 
 
@@ -121,14 +136,24 @@ def run_fig6(
     configs: Sequence[DnfConfig] | None = None,
     seed: int | None = 0,
     workers: int | None = None,
+    engine: str = "analytic",
+    trials_per_instance: int = 2000,
 ) -> Fig6Result:
-    """Run the Figure 6 sweep (paper scale: 100 per cell on the full grid)."""
+    """Run the Figure 6 sweep (paper scale: 100 per cell on the full grid).
+
+    ``engine="vectorized"`` / ``"scalar"`` replaces the Proposition-2
+    closed form with a ``trials_per_instance``-trial simulated battery per
+    heuristic schedule (composing with ``workers`` for process fan-out).
+    """
     if configs is None:
         configs = default_large_configs()
     seeds = spawn_seeds(seed, len(configs))
     cells = pmap(
         _run_cell,
-        [(config, instances_per_config, seeds[i]) for i, config in enumerate(configs)],
+        [
+            (config, instances_per_config, seeds[i], engine, trials_per_instance)
+            for i, config in enumerate(configs)
+        ],
         workers=workers,
     )
     merged: dict[str, list[float]] = {}

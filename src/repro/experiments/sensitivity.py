@@ -71,9 +71,27 @@ def probability_sensitivity(
     leaves_per_and: tuple[int, int] = (2, 6),
     rho_choices: Sequence[float] = (1.0, 2.0, 3.0, 5.0),
     seed: int | None = 0,
+    engine: str = "analytic",
+    trials_per_instance: int = 2000,
 ) -> list[SensitivityPoint]:
-    """Regret of planning with noisy probabilities, per heuristic and noise scale."""
+    """Regret of planning with noisy probabilities, per heuristic and noise scale.
+
+    ``engine="vectorized"`` / ``"scalar"`` evaluates every schedule's cost
+    on the *true* tree by a simulated trial battery instead of the
+    Proposition-2 closed form (regrets then carry Monte-Carlo noise on top
+    of the estimation noise being studied).
+    """
     rng = np.random.default_rng(seed)
+
+    def evaluate(tree: DnfTree, schedule, cost_rng: np.random.Generator) -> float:
+        if engine == "analytic":
+            return dnf_schedule_cost(tree, schedule, validate=False)
+        from repro.engine.battery import estimate_schedule_cost
+
+        return estimate_schedule_cost(
+            tree, schedule, engine=engine, n_trials=trials_per_instance, rng=cost_rng
+        )
+
     trees = [
         random_dnf_tree(
             rng,
@@ -89,17 +107,21 @@ def probability_sensitivity(
     }
     points: list[SensitivityPoint] = []
     for name, scheduler in schedulers.items():
+        cost_rng = np.random.default_rng((seed or 0) + 99_991)
         exact_costs = np.array(
-            [dnf_schedule_cost(tree, scheduler.schedule(tree), validate=False) for tree in trees]
+            [evaluate(tree, scheduler.schedule(tree), cost_rng) for tree in trees]
         )
         for epsilon in epsilons:
             noise_rng = np.random.default_rng((seed or 0) + int(epsilon * 1e6) + 1)
+            # Separate stream for simulated cost evaluation, so the noisy
+            # trees are the same ones the analytic engine sees.
+            eval_rng = np.random.default_rng((seed or 0) + int(epsilon * 1e6) + 2)
             regrets = []
             for tree, exact_cost in zip(trees, exact_costs):
                 noisy_tree = perturb_probabilities(tree, epsilon, noise_rng)
                 noisy_schedule = scheduler.schedule(noisy_tree)
                 # plan on noisy, pay on true
-                true_cost = dnf_schedule_cost(tree, noisy_schedule, validate=False)
+                true_cost = evaluate(tree, noisy_schedule, eval_rng)
                 if exact_cost > 0:
                     regrets.append(true_cost / exact_cost - 1.0)
                 else:

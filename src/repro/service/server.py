@@ -25,18 +25,28 @@ from repro.core.heuristics.base import Scheduler, get_scheduler
 from repro.core.resolution import TreeIndex
 from repro.core.schedule import Schedule, validate_schedule
 from repro.core.tree import AndTree, DnfTree, QueryTree
+import numpy as np
+
 from repro.engine.executor import (
     BernoulliOracle,
     ExecutionResult,
     LeafOracle,
+    PrecomputedOracle,
     ScheduleExecutor,
 )
+from repro.engine.vectorized import BatchResult, VectorizedExecutor
 from repro.engine.workload import compute_max_windows
 from repro.errors import AdmissionError, StreamError
 from repro.service.canonical import CanonicalForm, _as_dnf, canonicalize
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import CachedPlan, PlanCache
-from repro.service.shared_plan import Probe, SharedPlan, execute_round, merge_schedules
+from repro.service.shared_plan import (
+    Probe,
+    RoundStats,
+    SharedPlan,
+    execute_round,
+    merge_schedules,
+)
 from repro.streams.registry import StreamRegistry
 
 __all__ = ["RegisteredQuery", "BatchReport", "QueryServer", "run_isolated"]
@@ -155,6 +165,7 @@ class QueryServer:
         self._queries: dict[str, RegisteredQuery] = {}
         self._max_windows: dict[str, int] = {}
         self._plan: SharedPlan | None = None
+        self._vector_executors: dict[str, VectorizedExecutor] = {}
         self._round = 0
 
     # -- population management -----------------------------------------
@@ -237,6 +248,11 @@ class QueryServer:
             [query.tree for query in self._queries.values()]
         )
         self._plan = None  # rebuilt lazily on the next step
+        self._vector_executors = {
+            name: executor
+            for name, executor in self._vector_executors.items()
+            if name in self._queries
+        }
 
     def _plan_canonical(self, form: CanonicalForm, scheduler: Scheduler) -> CachedPlan:
         if self.plan_cache is not None:
@@ -307,10 +323,26 @@ class QueryServer:
                 query_stats.true_count += 1
         return results
 
-    def run_batch(self, rounds: int) -> BatchReport:
-        """Run ``rounds`` consecutive steps and aggregate the outcome."""
+    def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
+        """Run ``rounds`` consecutive steps and aggregate the outcome.
+
+        ``engine="vectorized"`` precomputes every query's per-round outcome
+        matrix and short-circuit resolution in bulk through
+        :class:`~repro.engine.vectorized.VectorizedExecutor`, then replays
+        only the *evaluated* probes against the shared cache — the metrics
+        (round costs, probes, free probes, items fetched/saved, per-query
+        stats) are accounted identically to the scalar loop. It requires
+        Bernoulli or precomputed oracles (real-data
+        :class:`~repro.engine.executor.PredicateOracle` queries stay on the
+        scalar path); with deterministic outcomes both engines produce the
+        same report.
+        """
+        if engine not in ("scalar", "vectorized"):
+            raise StreamError(f"unknown batch engine {engine!r}")
         if rounds < 1:
             raise StreamError(f"need at least one round, got {rounds}")
+        if engine == "vectorized":
+            return self._run_batch_vectorized(rounds)
         start_probes = self.metrics.total_probes
         start_free = self.metrics.free_probes
         start_fetched = self.metrics.items_fetched
@@ -337,6 +369,133 @@ class QueryServer:
             free_probes=self.metrics.free_probes - start_free,
             items_fetched=self.metrics.items_fetched - start_fetched,
             items_saved=self.metrics.items_saved - start_saved,
+            plan_cache_hit_rate=(
+                self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
+            ),
+        )
+
+    # -- vectorized round loop ------------------------------------------
+
+    def _draw_round_outcomes(self, query: RegisteredQuery, rounds: int) -> np.ndarray:
+        """One ``(rounds, n_leaves)`` outcome matrix for ``query``."""
+        leaves = query.tree.leaves
+        oracle = query.oracle
+        if isinstance(oracle, BernoulliOracle):
+            probs = np.array([leaf.prob for leaf in leaves])
+            return oracle.rng.random((rounds, len(leaves))) < probs
+        row = np.empty(len(leaves), dtype=bool)
+        for g in range(len(leaves)):
+            try:
+                row[g] = bool(oracle.outcomes[g])  # type: ignore[attr-defined]
+            except (KeyError, IndexError):
+                # A partial PrecomputedOracle (legal on the scalar path, where
+                # short-circuited leaves are never queried) cannot be batched.
+                raise StreamError(
+                    f"query {query.name!r} has a precomputed oracle without an "
+                    f"outcome for leaf {g}; the vectorized round loop needs every "
+                    "leaf — use run_batch(engine='scalar') or supply all outcomes"
+                ) from None
+        return np.tile(row, (rounds, 1))
+
+    def _vector_executor(self, query: RegisteredQuery) -> VectorizedExecutor:
+        """Per-query executor, compiled once and reused across batches."""
+        executor = self._vector_executors.get(query.name)
+        if executor is None:
+            executor = VectorizedExecutor(query.tree, index=query.index)
+            self._vector_executors[query.name] = executor
+        return executor
+
+    def _run_batch_vectorized(self, rounds: int) -> BatchReport:
+        """Bulk-resolution round loop: batch the trials, replay only probes."""
+        if not self._queries:
+            raise StreamError("no queries registered")
+        # Validate the whole population up front so a mixed population fails
+        # before any oracle rng is consumed (keeping seed streams replayable
+        # by a follow-up scalar run).
+        for query in self._queries.values():
+            if not isinstance(query.oracle, (BernoulliOracle, PrecomputedOracle)):
+                raise StreamError(
+                    f"query {query.name!r} uses {type(query.oracle).__name__}, which "
+                    "the vectorized round loop cannot batch; use "
+                    "run_batch(engine='scalar')"
+                )
+        batches: dict[str, BatchResult] = {}
+        for name, query in self._queries.items():
+            outcomes = self._draw_round_outcomes(query, rounds)
+            batches[name] = self._vector_executor(query).run_batch(
+                query.schedule, outcomes=outcomes
+            )
+        leaves_of = {name: query.tree.leaves for name, query in self._queries.items()}
+        shared = self.shared_plan_enabled
+        shared_probes = self.shared_plan().probes if shared else None
+        per_query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
+        true_counts: dict[str, int] = {name: 0 for name in self._queries}
+        round_costs: list[float] = []
+        batch_probes = batch_free = batch_fetched = batch_saved = 0
+        for r in range(rounds):
+            self.cache.advance(1, max_windows=self._max_windows)
+            probes = shared_probes if shared else self._blocked_probes().probes
+            stats = RoundStats()
+            query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
+            query_probes: dict[str, int] = {name: 0 for name in self._queries}
+            # Largest window fetched per stream so far this round: any probe
+            # within it is fully cached, so the fetch call can be elided —
+            # it would fetch nothing, charge nothing and mutate nothing.
+            round_max: dict[str, int] = {}
+            for probe in probes:
+                if not batches[probe.query].evaluated[r, probe.gindex]:
+                    continue
+                leaf = leaves_of[probe.query][probe.gindex]
+                if leaf.items <= round_max.get(leaf.stream, 0):
+                    cost, fetched_items = 0.0, 0
+                else:
+                    fetch = self.cache.fetch_window(leaf.stream, leaf.items)
+                    cost, fetched_items = fetch.cost, fetch.fetched_items
+                    round_max[leaf.stream] = leaf.items
+                query_cost[probe.query] += cost
+                query_probes[probe.query] += 1
+                stats.record_probe(probe.query, leaf.items, cost, fetched_items)
+            self._round += 1
+            self.metrics.record_round(stats.cost)
+            self.metrics.total_probes += stats.probes
+            self.metrics.free_probes += stats.free_probes
+            self.metrics.items_fetched += stats.items_fetched
+            self.metrics.items_saved += stats.items_saved
+            if self.plan_cache is not None:
+                self.metrics.plan_cache_hit_rate = self.plan_cache.hit_rate
+            for name in self._queries:
+                query_stats = self.metrics.query_stats(name)
+                query_stats.rounds += 1
+                query_stats.cost += query_cost[name]
+                query_stats.probes += query_probes[name]
+                query_stats.items_fetched += stats.query_items_fetched.get(name, 0)
+                query_stats.items_saved += stats.query_items_saved.get(name, 0)
+                per_query_cost[name] += query_cost[name]
+                if batches[name].values[r]:
+                    query_stats.true_count += 1
+                    true_counts[name] += 1
+            # Sum the round total per query (registration order) exactly like
+            # the scalar loop, so float accumulation agrees to the last bit.
+            round_total = 0.0
+            for name in self._queries:
+                round_total += query_cost[name]
+            round_costs.append(round_total)
+            batch_probes += stats.probes
+            batch_free += stats.free_probes
+            batch_fetched += stats.items_fetched
+            batch_saved += stats.items_saved
+        return BatchReport(
+            rounds=rounds,
+            total_cost=sum(round_costs),
+            per_query_cost=per_query_cost,
+            per_query_true_rate={
+                name: true_counts[name] / rounds for name in per_query_cost
+            },
+            round_costs=round_costs,
+            probes=batch_probes,
+            free_probes=batch_free,
+            items_fetched=batch_fetched,
+            items_saved=batch_saved,
             plan_cache_hit_rate=(
                 self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
             ),

@@ -147,6 +147,23 @@ class RoundStats:
     query_items_fetched: dict[str, int] = field(default_factory=dict)
     query_items_saved: dict[str, int] = field(default_factory=dict)
 
+    def record_probe(
+        self, query: str, window_items: int, cost: float, fetched_items: int
+    ) -> None:
+        """Account one executed probe (shared by every round-loop engine,
+        so scalar and vectorized metrics cannot drift apart)."""
+        self.cost += cost
+        self.probes += 1
+        self.items_fetched += fetched_items
+        saved = window_items - fetched_items
+        self.items_saved += saved
+        self.query_items_fetched[query] = (
+            self.query_items_fetched.get(query, 0) + fetched_items
+        )
+        self.query_items_saved[query] = self.query_items_saved.get(query, 0) + saved
+        if fetched_items == 0:
+            self.free_probes += 1
+
 
 def execute_round(
     plan: SharedPlan,
@@ -181,18 +198,7 @@ def execute_round(
         evaluated[probe.query].append(probe.gindex)
         state.set_leaf(probe.gindex, outcome)
         query_cost[probe.query] += fetch.cost
-        stats.cost += fetch.cost
-        stats.probes += 1
-        stats.items_fetched += fetch.fetched_items
-        stats.items_saved += leaf.items - fetch.fetched_items
-        stats.query_items_fetched[probe.query] = (
-            stats.query_items_fetched.get(probe.query, 0) + fetch.fetched_items
-        )
-        stats.query_items_saved[probe.query] = (
-            stats.query_items_saved.get(probe.query, 0) + leaf.items - fetch.fetched_items
-        )
-        if fetch.fetched_items == 0:
-            stats.free_probes += 1
+        stats.record_probe(probe.query, leaf.items, fetch.cost, fetch.fetched_items)
     results: dict[str, ExecutionResult] = {}
     for name, state in states.items():
         value = state.root_value

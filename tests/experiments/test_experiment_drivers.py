@@ -14,6 +14,7 @@ from repro.experiments import (
     compare_dynamic_vs_static,
     compare_stream_ordered_d_direction,
     compare_stream_ordered_r_direction,
+    execution_throughput,
     paper_runtime_claim,
     run_fig4,
     run_fig5,
@@ -157,6 +158,72 @@ class TestRuntime:
         )
         assert len(points) == 2
         assert all(p.seconds >= 0 for p in points)
+
+
+class TestTrialEngineFastPath:
+    """The drivers' engine="vectorized" path tracks the analytic figures."""
+
+    def test_fig4_vectorized_close_to_analytic(self):
+        kwargs = dict(trees_per_config=4, leaf_counts=(3, 6), rhos=(1.0, 2.0), seed=1)
+        analytic = run_fig4(**kwargs)
+        simulated = run_fig4(**kwargs, engine="vectorized", trials_per_instance=3000)
+        assert simulated.n_instances == analytic.n_instances
+        # Same trees (same seeds), so per-instance costs track the closed form.
+        np.testing.assert_allclose(
+            simulated.optimal_costs, analytic.optimal_costs, rtol=0.2, atol=0.3
+        )
+        assert simulated.summary().mean_ratio == pytest.approx(
+            analytic.summary().mean_ratio, rel=0.1
+        )
+
+    def test_fig5_vectorized_smoke(self):
+        configs = [DnfConfig(n_ands=2, leaves_per_and=2, rho=1.5, sampled=True, max_leaves=6)]
+        result = run_fig5(
+            instances_per_config=2,
+            configs=configs,
+            seed=0,
+            engine="vectorized",
+            trials_per_instance=500,
+        )
+        assert result.n_instances == 2
+        # Simulated heuristic costs may dip below the analytic optimum by
+        # Monte-Carlo noise, but not wildly.
+        for name in result.heuristic_costs:
+            assert np.all(result.ratios(name) > 0.5)
+
+    def test_fig6_vectorized_smoke(self):
+        configs = [DnfConfig(n_ands=2, leaves_per_and=5, rho=2.0)]
+        result = run_fig6(
+            instances_per_config=2,
+            configs=configs,
+            seed=0,
+            engine="vectorized",
+            trials_per_instance=500,
+        )
+        assert result.n_instances == 2
+        assert np.all(result.heuristic_costs[REFERENCE_HEURISTIC] >= 0.0)
+
+    def test_execution_throughput_grid(self):
+        points = execution_throughput(
+            n_ands_values=(2,), leaves_per_and_values=(5,), n_trials=500, seed=0
+        )
+        engines = {point.engine for point in points}
+        assert engines == {"scalar", "vectorized"}
+        assert all(point.trials_per_second > 0 for point in points)
+
+    def test_sensitivity_vectorized_smoke(self):
+        from repro.experiments import probability_sensitivity
+
+        points = probability_sensitivity(
+            heuristics=("leaf-inc-c",),
+            epsilons=(0.0, 0.2),
+            n_instances=4,
+            seed=0,
+            engine="vectorized",
+            trials_per_instance=400,
+        )
+        assert len(points) == 2
+        assert all(point.n_instances == 4 for point in points)
 
 
 class TestAblations:

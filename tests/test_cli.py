@@ -144,6 +144,48 @@ class TestServeSim:
         assert "hit rate" in capsys.readouterr().out
 
 
+class TestEngineFlag:
+    def test_evaluate_engines_agree_per_seed(self, capsys):
+        args = ["evaluate", QUERY, "--order", "0,1,2", "--monte-carlo", "--samples", "2000"]
+        assert main([*args, "--engine", "scalar"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert main([*args, "--engine", "vectorized"]) == 0
+        vector_out = capsys.readouterr().out
+        assert "scalar engine" in scalar_out
+        assert "vectorized engine" in vector_out
+        # Same seed, same outcome matrix: identical estimates either way.
+        assert scalar_out.split("engine):")[1] == vector_out.split("engine):")[1]
+
+    def test_experiment_fig4_vectorized(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment", "fig4", "--scale", "2",
+                    "--engine", "vectorized", "--trials", "200",
+                ]
+            )
+            == 0
+        )
+        assert "max ratio" in capsys.readouterr().out
+
+    def test_serve_sim_vectorized(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim", "--queries", "15", "--rounds", "4",
+                    "--engine", "vectorized",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plan-cache hit rate" in out
+
+    def test_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--engine", "warp"])
+
+
 class TestExhaustiveSchedulerRegistryEntry:
     def test_optimal_registered(self):
         from repro.core.heuristics import get_scheduler
