@@ -52,6 +52,7 @@ from repro.errors import (
     ReproError,
     StreamError,
 )
+from repro.adaptive import AdaptivePolicy, ReplanEvent
 from repro.service import (
     CanonicalForm,
     PlanCache,
@@ -95,6 +96,8 @@ __all__ = [
     # serving layer
     "QueryServer",
     "PlanCache",
+    "AdaptivePolicy",
+    "ReplanEvent",
     "CanonicalForm",
     "canonicalize",
     "canonical_key",

@@ -1,0 +1,36 @@
+"""Adaptive serving: online selectivity tracking and drift-triggered re-planning.
+
+The paper's schedules are only optimal for the probabilities they were
+planned with; in a long-running server those probabilities drift. This
+package closes the loop:
+
+* :mod:`~repro.adaptive.tracker` — per-leaf Beta posteriors over a sliding
+  window of observed probe outcomes (:class:`LeafPosterior`,
+  :class:`SelectivityTracker`);
+* :mod:`~repro.adaptive.policy` — the knobs (:class:`AdaptivePolicy`:
+  window, divergence threshold, minimum evidence, re-plan cooldown) and the
+  :class:`ReplanEvent` audit record;
+* :mod:`~repro.adaptive.controller` — :class:`AdaptiveController`, the state
+  machine a :class:`~repro.service.server.QueryServer` consults every round:
+  it pools outcomes per *canonical* leaf across isomorphic queries, detects
+  divergence from the probabilities the current plan assumed, and proposes
+  updated probabilities for an incremental re-plan.
+
+The server wires it in behind ``QueryServer(adaptive=AdaptivePolicy(...))``:
+on drift it re-runs the admission scheduler on the updated canonical leaves,
+invalidates the stale :class:`~repro.service.plan_cache.PlanCache` entries,
+re-expands the schedule for every registered isomorph and rebuilds the
+merged :class:`~repro.service.shared_plan.SharedPlan`.
+"""
+
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.policy import AdaptivePolicy, ReplanEvent
+from repro.adaptive.tracker import LeafPosterior, SelectivityTracker
+
+__all__ = [
+    "AdaptivePolicy",
+    "ReplanEvent",
+    "LeafPosterior",
+    "SelectivityTracker",
+    "AdaptiveController",
+]

@@ -24,6 +24,11 @@ Commands
     prints aggregate cost, plan-cache hit rate and sharing statistics, with
     an optional isolated (no sharing) baseline comparison.
     ``--engine vectorized`` runs the bulk-resolved round loop.
+``drift``
+    Selectivity-drift experiment: a step change in leaf selectivities
+    mid-run, comparing static plans, adaptive re-planning
+    (``QueryServer(adaptive=...)``) and an oracle re-plan at the exact drift
+    round. Prints per-mode cost, detection lag and replan counts.
 
 Examples
 --------
@@ -37,6 +42,7 @@ Examples
     python -m repro decide "A[5] p=0.5" --bound 4.9
     python -m repro experiment fig4 --scale 50
     python -m repro serve-sim --queries 100 --rounds 50 --compare-isolated
+    python -m repro drift --rounds 360 --drift-round 120 --queries 12
 """
 
 from __future__ import annotations
@@ -256,6 +262,37 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_drift(args: argparse.Namespace) -> int:
+    from repro.adaptive import AdaptivePolicy
+    from repro.experiments.drift import run_drift
+
+    policy = AdaptivePolicy(
+        window=args.window,
+        threshold=args.threshold,
+        min_samples=args.min_samples,
+        cooldown=args.cooldown,
+    )
+    report = run_drift(
+        n_queries=args.queries,
+        cluster_size=args.cluster_size,
+        rounds=args.rounds,
+        drift_round=args.drift_round,
+        seed=args.seed,
+        engine=args.engine,
+        scheduler=args.scheduler,
+        policy=policy,
+    )
+    print(report.describe())
+    print(ascii_table(report.summary_headers(), report.summary_rows()))
+    lag = report.detection_lag
+    print(
+        f"post-drift cost vs oracle replan: adaptive {report.adaptive_vs_oracle:.3f}x,"
+        f" static {report.static_vs_oracle:.3f}x"
+        f" (detection lag {lag if lag is not None else 'n/a'} rounds)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -360,6 +397,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="round loop: per-probe scalar walk, or bulk-resolved vectorized batches",
     )
     p_serve.set_defaults(func=cmd_serve_sim)
+
+    p_drift = sub.add_parser(
+        "drift", help="static vs adaptive vs oracle replan under selectivity drift"
+    )
+    p_drift.add_argument("--queries", type=int, default=12, help="population size")
+    p_drift.add_argument(
+        "--cluster-size",
+        type=int,
+        default=4,
+        help="isomorphic queries sharing one stream pair (and one canonical plan)",
+    )
+    p_drift.add_argument("--rounds", type=int, default=360, help="total rounds")
+    p_drift.add_argument(
+        "--drift-round", type=int, default=120, help="round of the selectivity step"
+    )
+    p_drift.add_argument("--seed", type=int, default=0)
+    p_drift.add_argument(
+        "--scheduler", default="and-inc-c-over-p-dynamic", help="admission scheduler"
+    )
+    p_drift.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="vectorized"
+    )
+    p_drift.add_argument(
+        "--window", type=int, default=64, help="posterior sliding-window size"
+    )
+    p_drift.add_argument(
+        "--threshold", type=float, default=0.25, help="drift divergence threshold"
+    )
+    p_drift.add_argument(
+        "--min-samples", type=int, default=24, help="evidence needed to declare drift"
+    )
+    p_drift.add_argument(
+        "--cooldown", type=int, default=16, help="min rounds between replans per shape"
+    )
+    p_drift.set_defaults(func=cmd_drift)
 
     return parser
 

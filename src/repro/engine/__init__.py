@@ -22,6 +22,7 @@ from repro.engine.battery import (
 )
 from repro.engine.executor import (
     BernoulliOracle,
+    DriftingBernoulliOracle,
     ExecutionResult,
     LeafOracle,
     PrecomputedOracle,
@@ -46,6 +47,7 @@ __all__ = [
     "ExecutionResult",
     "LeafOracle",
     "BernoulliOracle",
+    "DriftingBernoulliOracle",
     "PredicateOracle",
     "PrecomputedOracle",
     "ContinuousQuerySession",

@@ -35,11 +35,13 @@ from repro.core.tree import AndTree, DnfTree, QueryTree
 from repro.errors import StreamError
 from repro.predicates.predicate import Predicate
 from repro.streams.cache import CountingCache, DataItemCache
+from repro.streams.drift import DriftSchedule
 
 __all__ = [
     "ExecutionResult",
     "LeafOracle",
     "BernoulliOracle",
+    "DriftingBernoulliOracle",
     "PredicateOracle",
     "PrecomputedOracle",
     "ScheduleExecutor",
@@ -77,6 +79,99 @@ class BernoulliOracle(LeafOracle):
 
     def outcome(self, gindex: int, leaf: Leaf, values: np.ndarray | None) -> bool:
         return bool(self.rng.random() < leaf.prob)
+
+
+class DriftingBernoulliOracle(LeafOracle):
+    """Draws from a :class:`~repro.streams.drift.DriftSchedule` instead of leaf probs.
+
+    The ground truth of an adaptivity scenario: the leaf's *declared*
+    probability (what the scheduler planned for) stays at its admission
+    value, while the outcomes this oracle produces follow
+    ``schedule.probs_at(round)`` — so a plan goes stale exactly the way a
+    production plan would.
+
+    The oracle draws one full row of outcomes per round (lazily, at the first
+    ``outcome`` call of the round) and the per-round clock advances only via
+    :meth:`advance`, which the serving layer calls after every executed
+    round. Drawing whole rows makes the random-stream consumption identical
+    to the vectorized engine's single ``rng.random((rounds, n_leaves))``
+    draw (see :meth:`draw_matrix`), so the scalar and vectorized round loops
+    see bit-identical outcomes per seed.
+
+    Leaf outcomes are keyed by *global leaf index in one query's tree*, so a
+    drifting oracle is per-query: sharing one instance between queries means
+    sharing outcome rows (perfectly correlated queries).
+    """
+
+    def __init__(
+        self,
+        schedule: DriftSchedule,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self._round = 0
+        self._row: np.ndarray | None = None
+
+    @property
+    def round_index(self) -> int:
+        """The round the next ``outcome`` call draws for."""
+        return self._round
+
+    def current_probs(self) -> np.ndarray:
+        """True per-leaf success probabilities at the current round."""
+        return self.schedule.probs_at(self._round)
+
+    def outcome(self, gindex: int, leaf: Leaf, values: np.ndarray | None) -> bool:
+        if gindex >= self.schedule.n_leaves:
+            raise StreamError(
+                f"drift schedule covers {self.schedule.n_leaves} leaves; "
+                f"leaf {gindex} was probed"
+            )
+        if self._row is None:
+            self._row = self.rng.random(self.schedule.n_leaves) < self.current_probs()
+        return bool(self._row[gindex])
+
+    def advance(self, rounds: int = 1) -> None:
+        """Move the drift clock forward; the next round re-draws its outcome row.
+
+        Rounds whose row was never drawn (no leaf probed) still consume their
+        slice of the generator, keeping the random tape aligned with
+        :meth:`draw_matrix` regardless of how many probes each round needed.
+        """
+        if rounds < 0:
+            raise StreamError(f"cannot advance by {rounds} rounds")
+        for _ in range(rounds):
+            if self._row is None:
+                self.rng.random(self.schedule.n_leaves)
+            self._row = None
+            self._round += 1
+
+    def draw_matrix(self, rounds: int, n_leaves: int) -> np.ndarray:
+        """Draw ``rounds`` outcome rows at once and advance past them.
+
+        Consumes the generator exactly like ``rounds`` successive scalar
+        rows, so a vectorized batch and a scalar round loop with the same
+        seed replay the same ground truth.
+        """
+        if rounds < 1:
+            raise StreamError(f"need at least one round, got {rounds}")
+        if n_leaves != self.schedule.n_leaves:
+            raise StreamError(
+                f"drift schedule covers {self.schedule.n_leaves} leaves, "
+                f"the query has {n_leaves}"
+            )
+        if self._row is not None:
+            raise StreamError(
+                "cannot batch-draw mid-round: the current round's outcomes "
+                "were already partially served"
+            )
+        probs = self.schedule.prob_matrix(self._round, rounds)
+        outcomes = self.rng.random((rounds, n_leaves)) < probs
+        self._round += rounds
+        self._row = None
+        return outcomes
 
 
 class PredicateOracle(LeafOracle):

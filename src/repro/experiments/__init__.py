@@ -7,6 +7,12 @@ from repro.experiments.ablations import (
     compare_stream_ordered_r_direction,
     shared_cache_savings,
 )
+from repro.experiments.drift import (
+    DriftModeResult,
+    DriftReport,
+    default_drift_population,
+    run_drift,
+)
 from repro.experiments.fig4 import Fig4Result, Fig4Summary, run_fig4
 from repro.experiments.fig5 import Fig5Result, default_small_configs, run_fig5
 from repro.experiments.fig6 import REFERENCE_HEURISTIC, Fig6Result, default_large_configs, run_fig6
@@ -32,6 +38,10 @@ from repro.experiments.sensitivity import (
 from repro.experiments.breakdowns import BreakdownCell, breakdown_matrix, win_rate_breakdown
 
 __all__ = [
+    "run_drift",
+    "DriftReport",
+    "DriftModeResult",
+    "default_drift_population",
     "run_fig4",
     "Fig4Result",
     "Fig4Summary",

@@ -14,6 +14,12 @@ from repro.generators.configs import (
     fig5_configs,
     fig6_configs,
 )
+from repro.generators.drift_scenarios import (
+    ramp_drift_by_stream,
+    random_step_drift,
+    step_drift_by_stream,
+    tree_base_probs,
+)
 from repro.generators.random_trees import (
     random_and_tree,
     random_dnf_tree,
@@ -42,4 +48,8 @@ __all__ = [
     "sample_and_tree",
     "sample_dnf_tree",
     "stream_names",
+    "tree_base_probs",
+    "step_drift_by_stream",
+    "ramp_drift_by_stream",
+    "random_step_drift",
 ]

@@ -1,0 +1,93 @@
+"""Drift scenario builders: turn trees into time-varying ground truths.
+
+A drift scenario pairs a query tree (whose leaf probabilities are the
+*admission-time* estimates) with a :class:`~repro.streams.drift.DriftSchedule`
+describing how the true selectivities move afterwards. Targeting leaves *by
+stream name* makes scenarios robust to isomorphic shuffling — every isomorph
+of a template drifts the same way, which is exactly the situation a shared
+canonical plan must adapt to.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.core.tree import AndTree, DnfTree, QueryTree
+from repro.errors import StreamError
+from repro.streams.drift import DriftSchedule, RampDrift, StepDrift
+
+__all__ = [
+    "tree_base_probs",
+    "step_drift_by_stream",
+    "ramp_drift_by_stream",
+    "random_step_drift",
+]
+
+TreeLike = Union[AndTree, DnfTree, QueryTree]
+
+
+def tree_base_probs(tree: TreeLike) -> tuple[float, ...]:
+    """Per-global-leaf admission probabilities (a drift schedule's round 0)."""
+    return tuple(leaf.prob for leaf in tree.leaves)
+
+
+def _targets_by_stream(
+    tree: TreeLike, new_probs: Mapping[str, float]
+) -> dict[int, float]:
+    targets: dict[int, float] = {}
+    streams = {leaf.stream for leaf in tree.leaves}
+    for stream in new_probs:
+        if stream not in streams:
+            raise StreamError(
+                f"drift targets stream {stream!r}, which the tree never reads"
+            )
+    for gindex, leaf in enumerate(tree.leaves):
+        if leaf.stream in new_probs:
+            targets[gindex] = float(new_probs[leaf.stream])
+    return targets
+
+
+def step_drift_by_stream(
+    tree: TreeLike, at: int, new_probs: Mapping[str, float]
+) -> DriftSchedule:
+    """A regime change: every leaf on a targeted stream jumps at round ``at``."""
+    return DriftSchedule(
+        tree_base_probs(tree),
+        [StepDrift(at=at, targets=_targets_by_stream(tree, new_probs))],
+    )
+
+
+def ramp_drift_by_stream(
+    tree: TreeLike, start: int, end: int, new_probs: Mapping[str, float]
+) -> DriftSchedule:
+    """A gradual change: targeted streams' leaves glide over ``(start, end]``."""
+    return DriftSchedule(
+        tree_base_probs(tree),
+        [RampDrift(start=start, end=end, targets=_targets_by_stream(tree, new_probs))],
+    )
+
+
+def random_step_drift(
+    rng: np.random.Generator,
+    tree: TreeLike,
+    at: int,
+    *,
+    fraction: float = 0.5,
+    p_range: tuple[float, float] = (0.05, 0.95),
+) -> DriftSchedule:
+    """Step a random subset of leaves to fresh uniform probabilities.
+
+    ``fraction`` of the leaves (at least one) are redrawn from
+    ``U[p_range]`` at round ``at`` — an unstructured stress drift for
+    robustness tests, complementing the stream-targeted builders.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise StreamError(f"fraction must be in (0, 1], got {fraction}")
+    n_leaves = len(tree.leaves)
+    count = max(1, round(fraction * n_leaves))
+    chosen = rng.choice(n_leaves, size=count, replace=False)
+    low, high = p_range
+    targets = {int(g): float(rng.uniform(low, high)) for g in chosen}
+    return DriftSchedule(tree_base_probs(tree), [StepDrift(at=at, targets=targets)])

@@ -17,7 +17,7 @@ the open interval (0, 1) as the ratio heuristics require.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.leaf import Leaf
 from repro.errors import StreamError
@@ -40,17 +40,34 @@ def estimate_from_source(
 ) -> float:
     """Empirical success probability of ``predicate`` over a source tape.
 
-    Evaluates the predicate on ``n_windows`` windows ending at
-    ``start + window - 1 + k * stride`` for ``k = 0..n_windows-1``.
+    Evaluates the predicate on ``n_windows`` windows; window ``k`` (for
+    ``k = 0..n_windows-1``) covers the ``predicate.window`` consecutive items
+    ending at absolute tape index ``start + predicate.window - 1 + k * stride``,
+    so the tape must hold at least
+    ``start + predicate.window + (n_windows - 1) * stride`` items. A finite
+    tape (e.g. :class:`~repro.streams.sources.ReplaySource`) that runs out
+    mid-profile raises a :class:`~repro.errors.StreamError` naming the
+    exhausted window.
     """
     if n_windows < 1:
         raise StreamError(f"need at least one window, got {n_windows}")
+    if start < 0:
+        raise StreamError(f"start must be >= 0, got {start}")
     if stride < 1:
         raise StreamError(f"stride must be >= 1, got {stride}")
     successes = 0
     end = start + predicate.window - 1
-    for _ in range(n_windows):
-        values = source.window(end, predicate.window)
+    for k in range(n_windows):
+        try:
+            values = source.window(end, predicate.window)
+        except (IndexError, StreamError) as exc:
+            # Finite tapes signal exhaustion as StreamError (ReplaySource) or
+            # a leaked IndexError (ad-hoc sources); either way, re-raise with
+            # the profiling context so the caller sees which window failed.
+            raise StreamError(
+                f"source tape exhausted while profiling {predicate.text()}: "
+                f"window {k + 1}/{n_windows} ends at index {end} ({exc})"
+            ) from exc
         if predicate.evaluate(values):
             successes += 1
         end += stride

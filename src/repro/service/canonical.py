@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Union
+from functools import cached_property
+from typing import Sequence, Union
 
 from repro.core.leaf import Leaf
 from repro.core.schedule import Schedule, validate_schedule
@@ -74,6 +75,55 @@ class CanonicalForm:
         """True when at least two original leaves were folded together."""
         return any(len(group) > 1 for group in self.leaf_map)
 
+    @cached_property
+    def origin_to_canonical(self) -> tuple[int, ...]:
+        """Inverse of :attr:`leaf_map`: original leaf index -> canonical leaf index."""
+        inverse = [0] * self.original_size
+        for canonical_g, group in enumerate(self.leaf_map):
+            for original_g in group:
+                inverse[original_g] = canonical_g
+        return tuple(inverse)
+
+    @property
+    def fold_sizes(self) -> tuple[int, ...]:
+        """Number of original leaves folded into each canonical leaf."""
+        return tuple(len(group) for group in self.leaf_map)
+
+    def reprobed_tree(self, probs: Sequence[float]) -> DnfTree:
+        """The canonical tree with its leaf probabilities replaced.
+
+        ``probs[g]`` becomes canonical leaf ``g``'s success probability —
+        the structure (streams, items, AND grouping) is untouched, so a
+        schedule of the returned tree is a valid schedule of :attr:`tree`.
+        This is what incremental re-planning schedules against.
+        """
+        if len(probs) != self.tree.size:
+            raise InvalidTreeError(
+                f"need {self.tree.size} probabilities, got {len(probs)}"
+            )
+        return _with_leaf_probs(self.tree, probs)
+
+    def reprobed_original(self, tree: DnfTree, base_probs: Sequence[float]) -> DnfTree:
+        """An *original* tree re-probed with per-canonical-leaf base probabilities.
+
+        Each original leaf takes the (per-copy) probability of the canonical
+        leaf covering it — the original-tree counterpart of
+        :meth:`reprobed_tree`, used to carry a re-plan's belief back to the
+        registered query.
+        """
+        if tree.size != self.original_size:
+            raise InvalidTreeError(
+                f"canonical form covers {self.original_size} leaves, tree has {tree.size}"
+            )
+        if len(base_probs) != len(self.leaf_map):
+            raise InvalidTreeError(
+                f"need {len(self.leaf_map)} probabilities, got {len(base_probs)}"
+            )
+        origin = self.origin_to_canonical
+        return _with_leaf_probs(
+            tree, [base_probs[origin[g]] for g in range(tree.size)]
+        )
+
     def expand_schedule(self, schedule: Schedule) -> Schedule:
         """Translate a canonical-tree schedule into an original-tree schedule.
 
@@ -90,6 +140,19 @@ class CanonicalForm:
                 f"canonical form covers {len(expanded)} leaves, original has {self.original_size}"
             )
         return tuple(expanded)
+
+
+def _with_leaf_probs(tree: DnfTree, probs: Sequence[float]) -> DnfTree:
+    """``tree`` with leaf ``g``'s probability replaced by ``probs[g]``."""
+    groups: list[list[Leaf]] = []
+    g = 0
+    for group in tree.ands:
+        new_group = []
+        for leaf in group:
+            new_group.append(leaf.with_prob(float(probs[g])))
+            g += 1
+        groups.append(new_group)
+    return DnfTree(groups, dict(tree.costs))
 
 
 def _as_dnf(tree: TreeLike) -> DnfTree:

@@ -71,6 +71,7 @@ class ServiceMetrics:
     items_saved: int = 0
     registrations: int = 0
     deregistrations: int = 0
+    replans: int = 0
     plan_cache_hit_rate: float = 0.0
     round_costs: list[float] = field(default_factory=list)
     per_query: dict[str, QueryStats] = field(default_factory=dict)
@@ -124,7 +125,8 @@ class ServiceMetrics:
             f" {self.items_saved} saved ({self.sharing_rate:.1%} shared)",
             f"  plan cache        hit rate {self.plan_cache_hit_rate:.1%}",
             f"  churn             {self.registrations} registered,"
-            f" {self.deregistrations} deregistered",
+            f" {self.deregistrations} deregistered,"
+            f" {self.replans} adaptive replans",
         ]
         for name in sorted(self.per_query):
             stats = self.per_query[name]

@@ -65,9 +65,15 @@ class PlanCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when never queried)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from cache (0.0 when never queried).
+
+        The ``hits``/``misses`` pair is snapshotted under the lock so a
+        concurrent admission cannot be observed between the two reads.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def get(self, key: str, scheduler_name: str) -> CachedPlan | None:
         """Plan for ``(key, scheduler_name)``, refreshing its recency; None on miss.
@@ -94,9 +100,12 @@ class PlanCache:
                 self.hits += 1
                 self._plans.move_to_end(cache_key)
                 return plan
-            self.misses += 1
         # Schedule outside the lock: heuristics can be slow and the result is
-        # deterministic, so a racing duplicate computation is harmless.
+        # deterministic, so a racing duplicate computation is harmless. The
+        # miss is counted at insert time so two racing admissions of the same
+        # key settle as exactly one miss (the insert winner) and one hit (the
+        # loser, which is served the winner's entry), keeping the counters
+        # consistent with the cache's observable behaviour.
         schedule = scheduler.schedule(form.tree)
         from repro.core.cost import dnf_schedule_cost
 
@@ -107,8 +116,13 @@ class PlanCache:
             cost=dnf_schedule_cost(form.tree, schedule, validate=True),
         )
         with self._lock:
+            existing = self._plans.get(cache_key)
+            if existing is not None:
+                self.hits += 1
+                self._plans.move_to_end(cache_key)
+                return existing
+            self.misses += 1
             self._plans[cache_key] = plan
-            self._plans.move_to_end(cache_key)
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 self.evictions += 1
@@ -127,13 +141,15 @@ class PlanCache:
             self._plans.clear()
 
     def stats(self) -> dict[str, float]:
-        """Counter snapshot for metrics export."""
+        """Counter snapshot for metrics export (one consistent view)."""
         with self._lock:
+            hits, misses = self.hits, self.misses
+            total = hits + misses
             return {
                 "size": float(len(self._plans)),
                 "capacity": float(self.capacity),
-                "hits": float(self.hits),
-                "misses": float(self.misses),
+                "hits": float(hits),
+                "misses": float(misses),
                 "evictions": float(self.evictions),
-                "hit_rate": self.hit_rate,
+                "hit_rate": hits / total if total else 0.0,
             }

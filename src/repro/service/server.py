@@ -18,9 +18,12 @@ optimized unit:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence, Union
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Callable, Mapping, Sequence, Union
 
+from repro.adaptive.controller import AdaptiveController, fold_base_probs
+from repro.adaptive.policy import AdaptivePolicy, ReplanEvent
+from repro.core.cost import dnf_schedule_cost
 from repro.core.heuristics.base import Scheduler, get_scheduler
 from repro.core.resolution import TreeIndex
 from repro.core.schedule import Schedule, validate_schedule
@@ -29,6 +32,7 @@ import numpy as np
 
 from repro.engine.executor import (
     BernoulliOracle,
+    DriftingBernoulliOracle,
     ExecutionResult,
     LeafOracle,
     PrecomputedOracle,
@@ -59,7 +63,13 @@ DEFAULT_SCHEDULER = "and-inc-c-over-p-dynamic"
 
 @dataclass(frozen=True)
 class RegisteredQuery:
-    """One admitted query with its canonical identity and expanded plan."""
+    """One admitted query with its canonical identity and expanded plan.
+
+    ``tree`` keeps the *admission* leaf probabilities (for a Bernoulli
+    oracle they double as the simulated ground truth); ``planning_tree``,
+    when set by an adaptive re-plan, carries the server's current belief and
+    is what cross-query plan merging weighs probes by.
+    """
 
     name: str
     tree: DnfTree
@@ -68,6 +78,12 @@ class RegisteredQuery:
     schedule: Schedule
     index: TreeIndex
     oracle: LeafOracle
+    planning_tree: DnfTree | None = None
+
+    @property
+    def belief_tree(self) -> DnfTree:
+        """The tree whose probabilities the current plan was computed with."""
+        return self.planning_tree if self.planning_tree is not None else self.tree
 
 
 @dataclass
@@ -84,6 +100,7 @@ class BatchReport:
     items_fetched: int
     items_saved: int
     plan_cache_hit_rate: float
+    replans: int = 0
 
     @property
     def mean_round_cost(self) -> float:
@@ -95,7 +112,8 @@ class BatchReport:
             f" ({self.mean_round_cost:.6g}/round)",
             f"  probes {self.probes} ({self.free_probes} free),"
             f" items {self.items_fetched} fetched / {self.items_saved} saved,"
-            f" plan-cache hit rate {self.plan_cache_hit_rate:.1%}",
+            f" plan-cache hit rate {self.plan_cache_hit_rate:.1%},"
+            f" {self.replans} replans",
         ]
         for name in sorted(self.per_query_cost):
             lines.append(
@@ -132,6 +150,11 @@ class QueryServer:
     warmup:
         Initial device time of the shared cache (grown automatically when a
         registered query needs a larger window).
+    adaptive:
+        An :class:`~repro.adaptive.AdaptivePolicy` (or a prebuilt
+        :class:`~repro.adaptive.AdaptiveController`) enabling online
+        selectivity tracking and drift-triggered re-planning; ``None``
+        (default) serves every query on its admission-time plan forever.
     """
 
     def __init__(
@@ -144,6 +167,7 @@ class QueryServer:
         shared_plan: bool = True,
         max_queries: int | None = None,
         warmup: int = 64,
+        adaptive: AdaptivePolicy | AdaptiveController | None = None,
     ) -> None:
         self.registry = registry
         self.default_oracle = oracle if oracle is not None else BernoulliOracle()
@@ -162,6 +186,18 @@ class QueryServer:
         self.max_queries = max_queries
         self.cache = registry.build_cache(now=warmup)
         self.metrics = ServiceMetrics()
+        if isinstance(adaptive, AdaptiveController):
+            self.adaptive: AdaptiveController | None = adaptive
+        elif isinstance(adaptive, AdaptivePolicy):
+            self.adaptive = AdaptiveController(adaptive)
+        elif adaptive is None:
+            self.adaptive = None
+        else:
+            raise AdmissionError(
+                f"adaptive must be an AdaptivePolicy, AdaptiveController or None, "
+                f"got {type(adaptive).__name__}"
+            )
+        self.replan_log: list[ReplanEvent] = []
         self._queries: dict[str, RegisteredQuery] = {}
         self._max_windows: dict[str, int] = {}
         self._plan: SharedPlan | None = None
@@ -194,15 +230,22 @@ class QueryServer:
         *,
         oracle: LeafOracle | None = None,
         scheduler: str | Scheduler | None = None,
+        replace: bool = False,
     ) -> RegisteredQuery:
         """Admit a query: canonicalize, plan (through the cache), index.
+
+        ``replace=True`` cleanly swaps an existing registration of ``name``
+        (its compiled vectorized executor and shared-plan slot are dropped,
+        never reused for the new tree); the default rejects duplicates.
 
         Raises :class:`~repro.errors.AdmissionError` on a duplicate name or a
         full server, :class:`~repro.errors.StreamError` when the tree uses an
         unregistered stream.
         """
         if name in self._queries:
-            raise AdmissionError(f"query {name!r} is already registered")
+            if not replace:
+                raise AdmissionError(f"query {name!r} is already registered")
+            self.deregister(name)
         if self.max_queries is not None and len(self._queries) >= self.max_queries:
             raise AdmissionError(
                 f"server is full ({self.max_queries} queries); deregister one first"
@@ -212,11 +255,33 @@ class QueryServer:
         chosen = self.scheduler
         if scheduler is not None:
             chosen = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
-        plan = self._plan_canonical(form, chosen)
+        dnf = _as_dnf(tree)
+        planning_tree: DnfTree | None = None
+        # Plan against the server's current belief for this shape (the
+        # rebased baseline after a re-plan) *before* touching the plan cache,
+        # so a stale admission-probability plan is neither recomputed nor
+        # re-inserted into the cache entry replan_canonical invalidated.
+        baseline: tuple[float, ...] | None = None
+        if self.adaptive is not None:
+            admission_base = tuple(
+                dnf.leaves[group[0]].prob for group in form.leaf_map
+            )
+            if form.key in self.adaptive.tracked_keys():
+                tracked = self.adaptive.baseline(form.key)
+                if tracked != admission_base:
+                    baseline = tracked
+            else:
+                self.adaptive.admit(form.key, admission_base, form.fold_sizes)
+        if baseline is not None:
+            plan = self._plan_with_base_probs(form, chosen, baseline)
+            planning_tree = form.reprobed_original(dnf, baseline)
+        else:
+            plan = self._plan_canonical(form, chosen)
         # The cached schedule addresses the canonical tree; expand it back to
         # this query's own leaf indices.
         expanded = form.expand_schedule(plan.schedule)
-        dnf = _as_dnf(tree)
+        # A stale compiled executor for this name must never serve a new tree.
+        self._vector_executors.pop(name, None)
         registered = RegisteredQuery(
             name=name,
             tree=dnf,
@@ -225,6 +290,7 @@ class QueryServer:
             schedule=validate_schedule(dnf, expanded),
             index=TreeIndex(dnf),
             oracle=oracle if oracle is not None else self.default_oracle,
+            planning_tree=planning_tree,
         )
         self._queries[name] = registered
         self._after_population_change()
@@ -239,9 +305,13 @@ class QueryServer:
         """Remove a query; its per-query metrics are retained."""
         if name not in self._queries:
             raise AdmissionError(f"no query named {name!r} is registered")
-        del self._queries[name]
+        removed = self._queries.pop(name)
         self._after_population_change()
         self.metrics.deregistrations += 1
+        if self.adaptive is not None:
+            key = removed.canonical.key
+            if not any(q.canonical.key == key for q in self._queries.values()):
+                self.adaptive.retire(key)
 
     def _after_population_change(self) -> None:
         self._max_windows = compute_max_windows(
@@ -258,8 +328,6 @@ class QueryServer:
         if self.plan_cache is not None:
             plan = self.plan_cache.plan(form, scheduler)
         else:
-            from repro.core.cost import dnf_schedule_cost
-
             schedule = tuple(scheduler.schedule(form.tree))
             plan = CachedPlan(
                 key=form.key,
@@ -269,6 +337,28 @@ class QueryServer:
             )
         return plan
 
+    def _plan_with_base_probs(
+        self, form: CanonicalForm, scheduler: Scheduler, base_probs: Sequence[float]
+    ) -> CachedPlan:
+        """Schedule ``form``'s canonical tree under updated per-copy probabilities.
+
+        Bypasses the plan cache on purpose: the cache is keyed by admission
+        identity, and belief-updated plans are maintained per server.
+        """
+        belief = form.reprobed_tree(fold_base_probs(base_probs, form.fold_sizes))
+        schedule = tuple(scheduler.schedule(belief))
+        return CachedPlan(
+            key=form.key,
+            scheduler_name=scheduler.name,
+            schedule=schedule,
+            cost=dnf_schedule_cost(belief, schedule, validate=True),
+        )
+
+    def _scheduler_by_name(self, name: str) -> Scheduler:
+        if name == self.scheduler.name:
+            return self.scheduler
+        return get_scheduler(name)
+
     # -- execution ------------------------------------------------------
 
     def shared_plan(self) -> SharedPlan:
@@ -277,7 +367,9 @@ class QueryServer:
             raise StreamError("no queries registered")
         if self._plan is None:
             self._plan = merge_schedules(
-                {name: query.tree for name, query in self._queries.items()},
+                # Merge by the *belief* trees: after an adaptive re-plan the
+                # cost-effectiveness weights use the updated probabilities.
+                {name: query.belief_tree for name, query in self._queries.items()},
                 {name: query.schedule for name, query in self._queries.items()},
                 self.registry.cost_table(),
             )
@@ -291,6 +383,162 @@ class QueryServer:
         for name in names[shift:] + names[:shift]:
             probes.extend(Probe(name, g) for g in self._queries[name].schedule)
         return SharedPlan(probes=tuple(probes), planned_items=dict(self._max_windows))
+
+    # -- adaptive re-planning -------------------------------------------
+
+    def replan_canonical(
+        self,
+        key: str,
+        base_probs: Sequence[float],
+        *,
+        drifted: Sequence[int] = (),
+        reason: str = "forced",
+    ) -> list[ReplanEvent]:
+        """Re-plan every registered query of canonical shape ``key``.
+
+        ``base_probs`` are per-*canonical-leaf* per-copy success
+        probabilities (folded duplicates receive ``p**k`` automatically).
+        The stale :class:`PlanCache` entries for ``key`` are invalidated, the
+        shape is re-scheduled per admission scheduler, every isomorph's
+        expanded schedule is rebuilt and the merged shared plan is marked for
+        rebuild. Returns one :class:`~repro.adaptive.ReplanEvent` per
+        distinct admission scheduler among the shape's queries.
+        """
+        members = [q for q in self._queries.values() if q.canonical.key == key]
+        if not members:
+            raise AdmissionError(f"no registered query has canonical key {key!r}")
+        form = members[0].canonical
+        base_probs = tuple(float(p) for p in base_probs)
+        if len(base_probs) != len(form.leaf_map):
+            raise AdmissionError(
+                f"canonical shape {key!r} has {len(form.leaf_map)} leaves, "
+                f"got {len(base_probs)} probabilities"
+            )
+        old_base = (
+            self.adaptive.baseline(key)
+            if self.adaptive is not None and key in self.adaptive.tracked_keys()
+            else tuple(members[0].tree.leaves[group[0]].prob for group in form.leaf_map)
+        )
+        folded = fold_base_probs(base_probs, form.fold_sizes)
+        belief = form.reprobed_tree(folded)
+        invalidated = (
+            self.plan_cache.invalidate(key) if self.plan_cache is not None else 0
+        )
+        by_scheduler: dict[str, list[RegisteredQuery]] = {}
+        for query in members:
+            by_scheduler.setdefault(query.plan.scheduler_name, []).append(query)
+        events: list[ReplanEvent] = []
+        for scheduler_name, group in by_scheduler.items():
+            scheduler = self._scheduler_by_name(scheduler_name)
+            new_schedule = tuple(scheduler.schedule(belief))
+            new_cost = dnf_schedule_cost(belief, new_schedule, validate=True)
+            old_schedule = group[0].plan.schedule
+            old_cost = dnf_schedule_cost(belief, old_schedule, validate=False)
+            plan = CachedPlan(
+                key=key,
+                scheduler_name=scheduler_name,
+                schedule=new_schedule,
+                cost=new_cost,
+            )
+            for query in group:
+                expanded = query.canonical.expand_schedule(new_schedule)
+                self._queries[query.name] = dataclass_replace(
+                    query,
+                    plan=plan,
+                    schedule=validate_schedule(query.tree, expanded),
+                    planning_tree=query.canonical.reprobed_original(
+                        query.tree, base_probs
+                    ),
+                )
+            event = ReplanEvent(
+                round_index=self._round,
+                canonical_key=key,
+                drifted_leaves=tuple(drifted),
+                old_probs=old_base,
+                new_probs=base_probs,
+                old_schedule=old_schedule,
+                new_schedule=new_schedule,
+                old_cost=old_cost,
+                new_cost=new_cost,
+                invalidated=invalidated,
+                queries=tuple(q.name for q in group),
+                reason=reason,
+            )
+            events.append(event)
+            self.replan_log.append(event)
+            self.metrics.replans += 1
+        self._plan = None  # rebuild the merged shared plan lazily
+        if self.adaptive is not None:
+            self.adaptive.rebase(key, self._round, base_probs)
+            for event in events:
+                self.adaptive.record_event(event)
+        return events
+
+    def replan_query(
+        self, name: str, true_probs: Mapping[int, float]
+    ) -> list[ReplanEvent]:
+        """Force a re-plan of ``name``'s shape with known leaf probabilities.
+
+        ``true_probs`` maps *original-tree* global leaf indices to their
+        (externally known) success probabilities; omitted leaves keep the
+        probability of the current plan. This is the oracle-re-plan hook the
+        drift experiments use as an upper baseline — no detection lag, no
+        estimation noise.
+        """
+        query = self.query(name)
+        form = query.canonical
+        current = (
+            self.adaptive.baseline(form.key)
+            if self.adaptive is not None and form.key in self.adaptive.tracked_keys()
+            else tuple(query.tree.leaves[group[0]].prob for group in form.leaf_map)
+        )
+        base = list(current)
+        origin = form.origin_to_canonical
+        for gindex, prob in true_probs.items():
+            gindex = int(gindex)
+            if not 0 <= gindex < len(origin):
+                raise AdmissionError(
+                    f"query {name!r} has {len(origin)} leaves; got leaf {gindex}"
+                )
+            base[origin[gindex]] = float(prob)
+        return self.replan_canonical(form.key, base, reason="forced")
+
+    def _observe_outcomes(
+        self, query: RegisteredQuery, outcomes: Mapping[int, bool]
+    ) -> None:
+        """Feed one round's evaluated probe outcomes into the drift tracker."""
+        assert self.adaptive is not None
+        origin = query.canonical.origin_to_canonical
+        key = query.canonical.key
+        for gindex, outcome in outcomes.items():
+            self.adaptive.observe(key, origin[gindex], outcome)
+
+    def _maybe_replan(self) -> list[ReplanEvent]:
+        """Drift check for every tracked shape; re-plans the drifted ones."""
+        if self.adaptive is None:
+            return []
+        events: list[ReplanEvent] = []
+        for key in self.adaptive.tracked_keys():
+            drifted = self.adaptive.should_replan(key, self._round)
+            if drifted:
+                events.extend(
+                    self.replan_canonical(
+                        key,
+                        self.adaptive.proposed_base_probs(key),
+                        drifted=drifted,
+                        reason="drift",
+                    )
+                )
+        return events
+
+    def _advance_drifting_oracles(self, rounds: int) -> None:
+        """Tick every drifting oracle's ground-truth clock once per round."""
+        seen: set[int] = set()
+        for query in self._queries.values():
+            oracle = query.oracle
+            if isinstance(oracle, DriftingBernoulliOracle) and id(oracle) not in seen:
+                seen.add(id(oracle))
+                oracle.advance(rounds)
 
     def step(self) -> dict[str, ExecutionResult]:
         """Advance the streams one tick and evaluate every registered query."""
@@ -321,6 +569,11 @@ class QueryServer:
             query_stats.items_saved += stats.query_items_saved.get(name, 0)
             if result.value:
                 query_stats.true_count += 1
+        if self.adaptive is not None:
+            for name, result in results.items():
+                self._observe_outcomes(self._queries[name], result.outcomes)
+            self._maybe_replan()
+        self._advance_drifting_oracles(1)
         return results
 
     def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
@@ -347,6 +600,7 @@ class QueryServer:
         start_free = self.metrics.free_probes
         start_fetched = self.metrics.items_fetched
         start_saved = self.metrics.items_saved
+        start_replans = self.metrics.replans
         per_query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
         true_counts: dict[str, int] = {name: 0 for name in self._queries}
         round_costs: list[float] = []
@@ -372,6 +626,7 @@ class QueryServer:
             plan_cache_hit_rate=(
                 self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
             ),
+            replans=self.metrics.replans - start_replans,
         )
 
     # -- vectorized round loop ------------------------------------------
@@ -380,6 +635,8 @@ class QueryServer:
         """One ``(rounds, n_leaves)`` outcome matrix for ``query``."""
         leaves = query.tree.leaves
         oracle = query.oracle
+        if isinstance(oracle, DriftingBernoulliOracle):
+            return oracle.draw_matrix(rounds, len(leaves))
         if isinstance(oracle, BernoulliOracle):
             probs = np.array([leaf.prob for leaf in leaves])
             return oracle.rng.random((rounds, len(leaves))) < probs
@@ -406,35 +663,53 @@ class QueryServer:
         return executor
 
     def _run_batch_vectorized(self, rounds: int) -> BatchReport:
-        """Bulk-resolution round loop: batch the trials, replay only probes."""
+        """Bulk-resolution round loop: batch the trials, replay only probes.
+
+        With adaptivity enabled the loop observes each round's evaluated
+        outcomes exactly like the scalar loop; when a re-plan fires mid-batch
+        the affected queries' *remaining* outcome rows are re-resolved under
+        the new schedule (the ground-truth outcome matrix is drawn once up
+        front, so a re-plan changes only which probes get evaluated — never
+        the data).
+        """
         if not self._queries:
             raise StreamError("no queries registered")
         # Validate the whole population up front so a mixed population fails
         # before any oracle rng is consumed (keeping seed streams replayable
         # by a follow-up scalar run).
         for query in self._queries.values():
-            if not isinstance(query.oracle, (BernoulliOracle, PrecomputedOracle)):
+            if not isinstance(
+                query.oracle,
+                (BernoulliOracle, PrecomputedOracle, DriftingBernoulliOracle),
+            ):
                 raise StreamError(
                     f"query {query.name!r} uses {type(query.oracle).__name__}, which "
                     "the vectorized round loop cannot batch; use "
                     "run_batch(engine='scalar')"
                 )
+        start_replans = self.metrics.replans
+        outcome_matrices: dict[str, np.ndarray] = {}
         batches: dict[str, BatchResult] = {}
+        # First batch row each query's current BatchResult corresponds to
+        # (advances past re-plans, which re-resolve the remaining rows).
+        offsets: dict[str, int] = {}
         for name, query in self._queries.items():
-            outcomes = self._draw_round_outcomes(query, rounds)
+            outcome_matrices[name] = self._draw_round_outcomes(query, rounds)
             batches[name] = self._vector_executor(query).run_batch(
-                query.schedule, outcomes=outcomes
+                query.schedule, outcomes=outcome_matrices[name]
             )
+            offsets[name] = 0
         leaves_of = {name: query.tree.leaves for name, query in self._queries.items()}
         shared = self.shared_plan_enabled
-        shared_probes = self.shared_plan().probes if shared else None
         per_query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
         true_counts: dict[str, int] = {name: 0 for name in self._queries}
         round_costs: list[float] = []
         batch_probes = batch_free = batch_fetched = batch_saved = 0
         for r in range(rounds):
             self.cache.advance(1, max_windows=self._max_windows)
-            probes = shared_probes if shared else self._blocked_probes().probes
+            probes = (
+                self.shared_plan().probes if shared else self._blocked_probes().probes
+            )
             stats = RoundStats()
             query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
             query_probes: dict[str, int] = {name: 0 for name in self._queries}
@@ -443,7 +718,8 @@ class QueryServer:
             # it would fetch nothing, charge nothing and mutate nothing.
             round_max: dict[str, int] = {}
             for probe in probes:
-                if not batches[probe.query].evaluated[r, probe.gindex]:
+                local = r - offsets[probe.query]
+                if not batches[probe.query].evaluated[local, probe.gindex]:
                     continue
                 leaf = leaves_of[probe.query][probe.gindex]
                 if leaf.items <= round_max.get(leaf.stream, 0):
@@ -471,7 +747,7 @@ class QueryServer:
                 query_stats.items_fetched += stats.query_items_fetched.get(name, 0)
                 query_stats.items_saved += stats.query_items_saved.get(name, 0)
                 per_query_cost[name] += query_cost[name]
-                if batches[name].values[r]:
+                if batches[name].values[r - offsets[name]]:
                     query_stats.true_count += 1
                     true_counts[name] += 1
             # Sum the round total per query (registration order) exactly like
@@ -484,6 +760,29 @@ class QueryServer:
             batch_free += stats.free_probes
             batch_fetched += stats.items_fetched
             batch_saved += stats.items_saved
+            if self.adaptive is not None:
+                for name, query in self._queries.items():
+                    local = r - offsets[name]
+                    evaluated_row = batches[name].evaluated[local]
+                    outcome_row = batches[name].outcomes[local]
+                    self._observe_outcomes(
+                        query,
+                        {
+                            int(g): bool(outcome_row[g])
+                            for g in np.nonzero(evaluated_row)[0]
+                        },
+                    )
+                events = self._maybe_replan()
+                if events and r + 1 < rounds:
+                    replanned_keys = {event.canonical_key for event in events}
+                    for name, query in self._queries.items():
+                        if query.canonical.key not in replanned_keys:
+                            continue
+                        batches[name] = self._vector_executor(query).run_batch(
+                            query.schedule,
+                            outcomes=outcome_matrices[name][r + 1 :],
+                        )
+                        offsets[name] = r + 1
         return BatchReport(
             rounds=rounds,
             total_cost=sum(round_costs),
@@ -499,6 +798,7 @@ class QueryServer:
             plan_cache_hit_rate=(
                 self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
             ),
+            replans=self.metrics.replans - start_replans,
         )
 
 

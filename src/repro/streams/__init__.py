@@ -1,6 +1,7 @@
 """Sensor-stream substrate: specs, sources, cost models, cache, traces."""
 
 from repro.streams.cache import CountingCache, DataItemCache, FetchResult
+from repro.streams.drift import DriftingSource, DriftSchedule, RampDrift, StepDrift
 from repro.streams.cost_models import (
     BLUETOOTH_LE,
     CELLULAR,
@@ -41,6 +42,10 @@ __all__ = [
     "ReplaySource",
     "DropoutSource",
     "FailingSource",
+    "DriftSchedule",
+    "StepDrift",
+    "RampDrift",
+    "DriftingSource",
     "DataItemCache",
     "CountingCache",
     "FetchResult",

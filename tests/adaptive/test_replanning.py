@@ -1,0 +1,243 @@
+"""Server-level adaptive re-planning: detection, invalidation, equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptivePolicy
+from repro.core.cost import dnf_schedule_cost
+from repro.core.heuristics import get_scheduler
+from repro.core.tree import DnfTree
+from repro.core.leaf import Leaf
+from repro.engine.executor import DriftingBernoulliOracle
+from repro.errors import AdmissionError
+from repro.generators import step_drift_by_stream
+from repro.service import PlanCache, QueryServer, canonicalize
+from repro.streams.drift import DriftSchedule, StepDrift
+from repro.streams.registry import StreamRegistry
+from repro.streams.sources import GaussianSource
+from repro.streams.stream import StreamSpec
+
+SCHEDULER = "and-inc-c-over-p-dynamic"
+
+
+def drift_registry() -> StreamRegistry:
+    registry = StreamRegistry()
+    registry.add(StreamSpec("cheap", 1.0), GaussianSource(seed=11))
+    registry.add(StreamSpec("dear", 5.0), GaussianSource(seed=12))
+    return registry
+
+
+def flip_tree(pre: float = 0.05) -> DnfTree:
+    """OR(cheap[2] p=pre, dear[3] p=0.6): drifting pre -> 0.9 flips the plan."""
+    return DnfTree(
+        [[Leaf("cheap", 2, pre)], [Leaf("dear", 3, 0.6)]],
+        costs={"cheap": 1.0, "dear": 5.0},
+    )
+
+
+def drifting_oracle(tree: DnfTree, at: int, seed: int) -> DriftingBernoulliOracle:
+    return DriftingBernoulliOracle(
+        step_drift_by_stream(tree, at, {"cheap": 0.9}), seed=seed
+    )
+
+
+def adaptive_server(policy: AdaptivePolicy | None = None) -> QueryServer:
+    if policy is None:
+        policy = AdaptivePolicy(window=32, threshold=0.25, min_samples=12, cooldown=8)
+    return QueryServer(drift_registry(), scheduler=SCHEDULER, adaptive=policy)
+
+
+class TestDriftDetection:
+    def test_drift_detected_within_window(self):
+        """A step drift triggers a re-plan within ~window rounds of evidence."""
+        policy = AdaptivePolicy(window=32, threshold=0.25, min_samples=12, cooldown=8)
+        server = adaptive_server(policy)
+        tree = flip_tree()
+        drift_at = 40
+        for q in range(3):
+            server.register(
+                f"q{q}", tree, oracle=drifting_oracle(tree, drift_at, seed=100 + q)
+            )
+        server.run_batch(drift_at)
+        assert server.replan_log == []  # truth matches admission: no drift
+        server.run_batch(policy.window + 20)
+        drift_events = [e for e in server.replan_log if e.reason == "drift"]
+        assert drift_events, "drift was never detected"
+        first = drift_events[0]
+        assert drift_at <= first.round_index <= drift_at + policy.window + 20
+        # The drifted leaf is the cheap one, and its new estimate moved up.
+        form = canonicalize(tree)
+        cheap_g = next(
+            g for g, leaf in enumerate(form.tree.leaves) if leaf.stream == "cheap"
+        )
+        assert cheap_g in first.drifted_leaves
+        assert first.new_probs[cheap_g] > first.old_probs[cheap_g] + 0.2
+
+    def test_no_replan_when_truth_matches_plan(self):
+        server = adaptive_server()
+        tree = flip_tree(pre=0.5)
+        oracle = DriftingBernoulliOracle(
+            DriftSchedule([leaf.prob for leaf in tree.leaves]), seed=3
+        )
+        server.register("q0", tree, oracle=oracle)
+        server.run_batch(120)
+        assert server.metrics.replans == 0
+
+    def test_static_server_never_replans(self):
+        server = QueryServer(drift_registry(), scheduler=SCHEDULER)
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 10, seed=1))
+        server.run_batch(80)
+        assert server.metrics.replans == 0
+        assert server.replan_log == []
+
+
+class TestReplanMechanics:
+    def test_plan_cache_invalidated_on_replan(self):
+        cache = PlanCache(capacity=16)
+        policy = AdaptivePolicy(window=32, threshold=0.25, min_samples=12, cooldown=8)
+        server = QueryServer(
+            drift_registry(), scheduler=SCHEDULER, plan_cache=cache, adaptive=policy
+        )
+        tree = flip_tree()
+        form = canonicalize(tree)
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=7))
+        assert (form.key, SCHEDULER) in cache
+        server.run_batch(80)
+        event = server.replan_log[0]
+        assert event.invalidated >= 1
+        assert (form.key, SCHEDULER) not in cache
+
+    def test_replanned_schedule_matches_fresh_scheduler_run(self):
+        server = adaptive_server()
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=7))
+        server.run_batch(80)
+        assert server.replan_log
+        event = server.replan_log[-1]
+        form = canonicalize(tree)
+        updated = form.reprobed_tree(event.new_probs)
+        scheduler = get_scheduler(SCHEDULER)
+        expected = tuple(scheduler.schedule(updated))
+        assert event.new_schedule == expected
+        assert event.new_cost == pytest.approx(
+            dnf_schedule_cost(updated, expected)
+        )
+        # The registered query's expanded schedule is the canonical one
+        # translated through its leaf map.
+        query = server.query("q0")
+        assert query.schedule == form.expand_schedule(event.new_schedule)
+        assert query.plan.schedule == event.new_schedule
+
+    def test_replan_applies_to_every_isomorph(self):
+        server = adaptive_server()
+        base = flip_tree()
+        mirrored = DnfTree(list(reversed(base.ands)), dict(base.costs))
+        server.register("q0", base, oracle=drifting_oracle(base, 0, seed=1))
+        server.register("q1", mirrored, oracle=drifting_oracle(mirrored, 0, seed=2))
+        assert (
+            server.query("q0").canonical.key == server.query("q1").canonical.key
+        )
+        server.run_batch(80)
+        assert server.replan_log
+        event = server.replan_log[-1]
+        assert set(event.queries) == {"q0", "q1"}
+        for name in ("q0", "q1"):
+            query = server.query(name)
+            assert query.schedule == query.canonical.expand_schedule(
+                event.new_schedule
+            )
+
+    def test_forced_replan_via_replan_query(self):
+        server = QueryServer(drift_registry(), scheduler=SCHEDULER)
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=5))
+        old_schedule = server.query("q0").schedule
+        cheap_g = next(
+            g for g, leaf in enumerate(tree.leaves) if leaf.stream == "cheap"
+        )
+        events = server.replan_query("q0", {cheap_g: 0.9})
+        assert len(events) == 1
+        assert events[0].reason == "forced"
+        assert server.metrics.replans == 1
+        new_schedule = server.query("q0").schedule
+        assert new_schedule != old_schedule  # the optimal order flipped
+        # Post-flip the cheap leaf is probed first.
+        assert tree.leaves[new_schedule[0]].stream == "cheap"
+
+    def test_forced_replan_rejects_bad_input(self):
+        server = QueryServer(drift_registry(), scheduler=SCHEDULER)
+        tree = flip_tree()
+        server.register("q0", tree)
+        with pytest.raises(AdmissionError):
+            server.replan_query("q0", {99: 0.5})
+        with pytest.raises(AdmissionError):
+            server.replan_canonical("no-such-key", (0.5,))
+
+    def test_late_isomorph_admitted_on_rebased_belief(self):
+        """A query admitted after its shape re-planned gets the new plan."""
+        server = adaptive_server()
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=9))
+        server.run_batch(80)
+        assert server.replan_log
+        late = server.register("q9", tree, oracle=drifting_oracle(tree, 0, seed=10))
+        assert late.schedule == server.query("q0").schedule
+        assert late.plan.schedule == server.query("q0").plan.schedule
+        # The late admission planned against the belief, not the cache: the
+        # entry replan_canonical invalidated must not be repopulated with a
+        # stale admission-probability plan.
+        key = (late.canonical.key, late.plan.scheduler_name)
+        assert key not in server.plan_cache
+
+    def test_deregister_retires_tracker_state(self):
+        server = adaptive_server()
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=1))
+        key = server.query("q0").canonical.key
+        server.run_batch(5)
+        assert key in server.adaptive.tracked_keys()
+        server.deregister("q0")
+        assert key not in server.adaptive.tracked_keys()
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_scalar_and_vectorized_posteriors_identical(self, seed):
+        """Both engines feed the tracker the same evidence per seed."""
+
+        def run(engine: str) -> QueryServer:
+            policy = AdaptivePolicy(
+                window=32, threshold=0.25, min_samples=12, cooldown=8
+            )
+            server = QueryServer(
+                drift_registry(), scheduler=SCHEDULER, adaptive=policy
+            )
+            tree = flip_tree()
+            for q in range(3):
+                server.register(
+                    f"q{q}",
+                    tree,
+                    oracle=drifting_oracle(tree, 20, seed=seed * 50 + q),
+                )
+            server.run_batch(60, engine=engine)
+            return server
+
+        scalar = run("scalar")
+        vector = run("vectorized")
+        scalar_snap = scalar.adaptive.tracker.snapshot()
+        vector_snap = vector.adaptive.tracker.snapshot()
+        assert set(scalar_snap) == set(vector_snap)
+        for key in scalar_snap:
+            s_post = scalar.adaptive.tracker.get(key)
+            v_post = vector.adaptive.tracker.get(key)
+            assert (s_post.trials, s_post.successes) == (
+                v_post.trials,
+                v_post.successes,
+            )
+        assert [e.round_index for e in scalar.replan_log] == [
+            e.round_index for e in vector.replan_log
+        ]
+        assert scalar.metrics.total_cost == pytest.approx(vector.metrics.total_cost)

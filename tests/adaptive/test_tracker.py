@@ -1,0 +1,173 @@
+"""LeafPosterior / SelectivityTracker / AdaptivePolicy unit behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import AdaptivePolicy, LeafPosterior, SelectivityTracker
+from repro.adaptive.controller import AdaptiveController, fold_base_probs
+from repro.errors import StreamError
+
+
+class TestLeafPosterior:
+    def test_prior_mean_before_evidence(self):
+        posterior = LeafPosterior(window=8, prior=(1.0, 1.0))
+        assert posterior.mean == pytest.approx(0.5)
+        assert posterior.window_mean == pytest.approx(0.5)
+        assert posterior.window_trials == 0
+
+    def test_counts_accumulate(self):
+        posterior = LeafPosterior(window=16)
+        for outcome in (True, True, False, True):
+            posterior.observe(outcome)
+        assert (posterior.trials, posterior.successes) == (4, 3)
+        assert posterior.window_mean == pytest.approx((3 + 1) / (4 + 2))
+
+    def test_window_forgets_old_regime(self):
+        posterior = LeafPosterior(window=10)
+        for _ in range(100):
+            posterior.observe(False)
+        for _ in range(10):
+            posterior.observe(True)
+        # Lifetime estimate still remembers the failures; the window doesn't.
+        assert posterior.mean < 0.2
+        assert posterior.window_mean == pytest.approx(11 / 12)
+        assert posterior.window_trials == 10
+
+    def test_window_eviction_keeps_success_count_consistent(self):
+        posterior = LeafPosterior(window=4)
+        pattern = [True, False, True, True, False, False, True, False]
+        for outcome in pattern:
+            posterior.observe(outcome)
+        assert posterior.window_successes == sum(pattern[-4:])
+        assert posterior.window_trials == 4
+
+    def test_divergence_and_reset(self):
+        posterior = LeafPosterior(window=64)
+        for _ in range(64):
+            posterior.observe(True)
+        assert posterior.divergence(0.1) > 0.8
+        posterior.reset_window()
+        assert posterior.window_trials == 0
+        assert posterior.trials == 64  # lifetime retained
+        assert posterior.divergence(0.5) == pytest.approx(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StreamError):
+            LeafPosterior(window=0)
+        with pytest.raises(StreamError):
+            LeafPosterior(prior=(0.0, 1.0))
+
+
+class TestSelectivityTracker:
+    def test_keys_are_independent(self):
+        tracker = SelectivityTracker(window=8)
+        tracker.observe(("k", 0), True)
+        tracker.observe(("k", 1), False)
+        assert tracker.posterior(("k", 0)).successes == 1
+        assert tracker.posterior(("k", 1)).successes == 0
+        assert len(tracker) == 2
+        assert ("k", 0) in tracker
+
+    def test_estimate_falls_back_to_default(self):
+        tracker = SelectivityTracker()
+        assert tracker.estimate(("missing", 0), default=0.42) == pytest.approx(0.42)
+        tracker.observe(("k", 0), True)
+        assert tracker.estimate(("k", 0), default=0.42) == pytest.approx(2 / 3)
+
+    def test_drop_and_snapshot(self):
+        tracker = SelectivityTracker(window=4)
+        tracker.observe("a", True)
+        tracker.observe("b", False)
+        snap = tracker.snapshot()
+        assert snap["a"] == (pytest.approx(2 / 3), 1)
+        tracker.drop("a")
+        assert "a" not in tracker
+
+
+class TestAdaptivePolicy:
+    def test_defaults_validate(self):
+        policy = AdaptivePolicy()
+        assert policy.window >= policy.min_samples
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"threshold": 0.0},
+            {"threshold": 1.0},
+            {"min_samples": 0},
+            {"window": 8, "min_samples": 9},
+            {"cooldown": -1},
+            {"prior": (0.0, 1.0)},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(StreamError):
+            AdaptivePolicy(**kwargs)
+
+
+class TestController:
+    def test_fold_base_probs(self):
+        assert fold_base_probs((0.5, 0.9), (1, 2)) == (
+            pytest.approx(0.5),
+            pytest.approx(0.81),
+        )
+        with pytest.raises(StreamError):
+            fold_base_probs((0.5,), (1, 2))
+
+    def test_extreme_probs_clipped_open_interval(self):
+        folded = fold_base_probs((0.0, 1.0), (1, 1))
+        assert 0.0 < folded[0] < folded[1] < 1.0
+
+    def test_drift_requires_min_samples_and_threshold(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(window=32, threshold=0.2, min_samples=10, cooldown=0)
+        )
+        controller.admit("key", (0.1,), (1,))
+        for _ in range(9):
+            controller.observe("key", 0, True)
+        assert controller.drifted_leaves("key") == ()  # not enough evidence
+        controller.observe("key", 0, True)
+        assert controller.drifted_leaves("key") == (0,)
+
+    def test_cooldown_blocks_consecutive_replans(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(window=16, threshold=0.2, min_samples=4, cooldown=10)
+        )
+        controller.admit("key", (0.1,), (1,))
+        for _ in range(8):
+            controller.observe("key", 0, True)
+        assert controller.should_replan("key", round_index=5) == (0,)
+        controller.rebase("key", 5, controller.proposed_base_probs("key"))
+        # Windows reset on rebase: evidence must re-accumulate, and even with
+        # evidence the cooldown gate holds until round 15.
+        for _ in range(8):
+            controller.observe("key", 0, False)
+        assert controller.should_replan("key", round_index=14) == ()
+        assert controller.should_replan("key", round_index=15) != ()
+
+    def test_rebase_updates_baseline(self):
+        controller = AdaptiveController(AdaptivePolicy(window=8, min_samples=2))
+        controller.admit("key", (0.3, 0.7), (1, 1))
+        controller.rebase("key", 3, (0.8, 0.7))
+        assert controller.baseline("key") == (0.8, 0.7)
+        with pytest.raises(StreamError):
+            controller.rebase("key", 4, (0.8,))
+
+    def test_retire_forgets_everything(self):
+        controller = AdaptiveController(AdaptivePolicy(window=8, min_samples=2))
+        controller.admit("key", (0.5,), (1,))
+        controller.observe("key", 0, True)
+        controller.retire("key")
+        assert "key" not in controller.tracked_keys()
+        assert controller.tracker.get(("key", 0)) is None
+        with pytest.raises(StreamError):
+            controller.baseline("key")
+
+    def test_admit_is_idempotent(self):
+        controller = AdaptiveController(AdaptivePolicy())
+        controller.admit("key", (0.5,), (1,))
+        controller.rebase("key", 1, (0.9,))
+        controller.admit("key", (0.5,), (1,))  # second isomorph arriving
+        assert controller.baseline("key") == (0.9,)  # rebased belief kept

@@ -14,7 +14,14 @@ from repro.predicates import (
     leaves_from_predicates,
     register_window_op,
 )
-from repro.streams import ConstantSource, ReplaySource, StreamRegistry, StreamSpec, UniformSource
+from repro.streams import (
+    ConstantSource,
+    ReplaySource,
+    Source,
+    StreamRegistry,
+    StreamSpec,
+    UniformSource,
+)
 
 
 class TestWindowOps:
@@ -132,6 +139,55 @@ class TestEstimation:
             estimate_from_source(predicate, source, n_windows=0)
         with pytest.raises(StreamError):
             estimate_from_source(predicate, source, stride=0)
+
+    def test_negative_start_rejected(self):
+        source = ConstantSource(0.0)
+        predicate = Predicate("A", "LAST", 1, "<", 1.0)
+        with pytest.raises(StreamError, match="start"):
+            estimate_from_source(predicate, source, start=-1)
+
+    def test_exhausted_tape_raises_stream_error(self):
+        # 10-item tape cannot host 20 windows: round-trips as StreamError.
+        source = ReplaySource([0.0] * 10)
+        predicate = Predicate("A", "LAST", 1, "<", 1.0)
+        with pytest.raises(StreamError):
+            estimate_from_source(predicate, source, n_windows=20)
+
+    def test_leaky_index_error_is_wrapped(self):
+        """A source raising a raw IndexError surfaces as a labelled StreamError."""
+
+        class ListBackedSource(Source):
+            def __init__(self, values):
+                self.values = values
+
+            def value_at(self, tau: int) -> float:
+                return self.values[tau]  # IndexError past the end
+
+        source = ListBackedSource([0.0] * 5)
+        predicate = Predicate("A", "AVG", 2, "<", 1.0)
+        with pytest.raises(StreamError, match="exhausted"):
+            estimate_from_source(predicate, source, n_windows=10)
+        # In-range profiling still works.
+        assert estimate_from_source(predicate, source, n_windows=4) > 0.5
+
+    def test_docstring_window_end_formula_matches_code(self):
+        """Window k ends at start + window - 1 + k*stride, per the docstring."""
+
+        class RecordingSource(Source):
+            def __init__(self):
+                self.ends: list[int] = []
+
+            def value_at(self, tau: int) -> float:
+                return 0.0
+
+            def window(self, end_tau: int, count: int):
+                self.ends.append(end_tau)
+                return super().window(end_tau, count)
+
+        source = RecordingSource()
+        predicate = Predicate("A", "AVG", 3, "<", 1.0)
+        estimate_from_source(predicate, source, n_windows=4, start=2, stride=5)
+        assert source.ends == [2 + 3 - 1 + k * 5 for k in range(4)]
 
     def test_leaves_from_predicates(self):
         registry = StreamRegistry()

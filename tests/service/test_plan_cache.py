@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import DnfTree, Leaf
@@ -91,3 +93,76 @@ class TestPlanCache:
         assert stats["misses"] == 1.0
         assert stats["size"] == 1.0
         assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+class TestPlanCacheConcurrency:
+    """Regression: counter races under concurrent admissions.
+
+    Before the fix, ``hit_rate`` read ``hits``/``misses`` without the lock
+    and every thread racing through the unlocked miss path counted its own
+    miss — so N racing admissions of one shape could record N misses even
+    though the cache ends up holding (and serving) a single entry.
+    """
+
+    def test_racing_admissions_single_count_per_shape(self, scheduler):
+        cache = PlanCache(capacity=64)
+        forms = [canonicalize(make_tree(p)) for p in (0.2, 0.4, 0.6, 0.8)]
+        n_threads, per_thread = 8, 40
+        barrier = threading.Barrier(n_threads)
+        errors: list[Exception] = []
+
+        def hammer(thread_index: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    form = forms[(thread_index + i) % len(forms)]
+                    plan = cache.plan(form, scheduler)
+                    assert plan.key == form.key
+                    cache.hit_rate  # exercise the snapshot path concurrently
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        total_lookups = n_threads * per_thread
+        stats = cache.stats()
+        # Exactly one miss per distinct shape, no matter how many threads
+        # raced the first computation; every other lookup settled as a hit.
+        assert stats["misses"] == float(len(forms))
+        assert stats["hits"] == float(total_lookups - len(forms))
+        assert stats["evictions"] == 0.0
+        assert len(cache) == len(forms)
+        assert cache.hit_rate == pytest.approx(
+            (total_lookups - len(forms)) / total_lookups
+        )
+
+    def test_racing_insert_returns_first_entry(self, scheduler):
+        """The loser of a compute race is served the winner's plan object."""
+        from collections import OrderedDict
+
+        class OneMissDict(OrderedDict):
+            """Pretends the entry is absent for exactly one lookup —
+            the loser thread's view before the winner's insert landed."""
+
+            misses_left = 1
+
+            def get(self, key, default=None):
+                if self.misses_left:
+                    self.misses_left -= 1
+                    return default
+                return super().get(key, default)
+
+        cache = PlanCache(capacity=8)
+        form = canonicalize(make_tree(0.4))
+        winner = cache.plan(form, scheduler)
+        cache._plans = OneMissDict(cache._plans)
+        loser = cache.plan(form, scheduler)
+        assert loser is winner  # insert-time check found the existing entry
+        assert cache.stats()["misses"] == 1.0  # still single-counted
+        assert cache.stats()["hits"] == 1.0  # the loser settled as a hit

@@ -149,6 +149,59 @@ class TestExecution:
         assert set(results.per_query_cost) == {"q1", "q2"}
 
 
+class TestReRegistration:
+    """Regression: re-registering a name must never reuse stale compiled state."""
+
+    def a_tree(self) -> DnfTree:
+        return DnfTree([[Leaf("A", 1, 1.0)]], {"A": 1.0})
+
+    def b_tree(self) -> DnfTree:
+        return DnfTree([[Leaf("A", 1, 1.0), Leaf("B", 2, 1.0)]], {"A": 1.0, "B": 2.0})
+
+    def test_replace_swaps_tree_and_vector_executor(self):
+        from repro.engine import PrecomputedOracle
+
+        server = QueryServer(tiny_registry())
+        server.register("q", self.a_tree(), oracle=PrecomputedOracle([True]))
+        first = server.run_batch(2, engine="vectorized")
+        assert server._vector_executors  # executor compiled for the 1-leaf tree
+        server.register(
+            "q", self.b_tree(), oracle=PrecomputedOracle([False, True]), replace=True
+        )
+        assert server.query("q").tree.size == 2
+        report = server.run_batch(2, engine="vectorized")
+        # The new tree is AND(A=False, B) -> always FALSE; a stale 1-leaf
+        # executor would have replayed the old always-TRUE query.
+        assert report.per_query_true_rate["q"] == 0.0
+        assert first.per_query_true_rate["q"] == 1.0
+        assert report.probes == 2  # only the FALSE leaf is probed per round
+
+    def test_replace_false_still_rejects(self):
+        server = QueryServer(tiny_registry())
+        server.register("q", self.a_tree())
+        with pytest.raises(AdmissionError):
+            server.register("q", self.b_tree())
+        assert server.query("q").tree.size == 1  # original untouched
+
+    def test_deregister_then_register_drops_executor(self):
+        from repro.engine import PrecomputedOracle
+
+        server = QueryServer(tiny_registry())
+        server.register("q", self.a_tree(), oracle=PrecomputedOracle([True]))
+        server.run_batch(1, engine="vectorized")
+        server.deregister("q")
+        assert "q" not in server._vector_executors
+        server.register("q", self.b_tree(), oracle=PrecomputedOracle([False, True]))
+        report = server.run_batch(1, engine="vectorized")
+        assert report.per_query_true_rate["q"] == 0.0
+
+    def test_replace_respects_capacity_of_remaining_population(self):
+        server = QueryServer(tiny_registry(), max_queries=1)
+        server.register("q", self.a_tree())
+        replaced = server.register("q", self.b_tree(), replace=True)
+        assert replaced.tree.size == 2  # swap fits: the old slot was freed
+
+
 class TestAcceptanceCriteria:
     """The issue's headline numbers: 100 mostly-isomorphic queries."""
 

@@ -144,6 +144,41 @@ class TestServeSim:
         assert "hit rate" in capsys.readouterr().out
 
 
+class TestDrift:
+    def test_default_run_prints_comparison(self, capsys):
+        assert (
+            main(
+                [
+                    "drift", "--queries", "4", "--cluster-size", "2",
+                    "--rounds", "120", "--drift-round", "40",
+                    "--window", "32", "--min-samples", "12",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "static" in out and "adaptive" in out and "oracle" in out
+        assert "detection lag" in out
+        assert "post-drift cost vs oracle replan" in out
+
+    def test_scalar_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "drift", "--queries", "4", "--cluster-size", "2",
+                    "--rounds", "80", "--drift-round", "30",
+                    "--engine", "scalar", "--window", "32", "--min-samples", "12",
+                ]
+            )
+            == 0
+        )
+        assert "scalar engine" in capsys.readouterr().out
+
+    def test_invalid_drift_round_errors(self, capsys):
+        assert main(["drift", "--rounds", "10", "--drift-round", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestEngineFlag:
     def test_evaluate_engines_agree_per_seed(self, capsys):
         args = ["evaluate", QUERY, "--order", "0,1,2", "--monte-carlo", "--samples", "2000"]

@@ -28,6 +28,7 @@ class TestPublicApi:
             "repro.predicates",
             "repro.engine",
             "repro.service",
+            "repro.adaptive",
             "repro.lang",
             "repro.generators",
             "repro.experiments",
