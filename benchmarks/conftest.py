@@ -11,7 +11,10 @@ profile plot) to ``benchmarks/results/<name>.txt`` and echoes it to stdout.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -32,3 +35,26 @@ def emit_report(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n===== {name} =====\n{text}\n===== (saved to {path}) =====")
+
+
+def emit_json(name: str, record: dict) -> Path:
+    """Persist a machine-readable perf record (``results/<name>.json``).
+
+    Every benchmark writes one of these so CI can upload the whole results
+    directory as an artifact and the perf trajectory is comparable across
+    commits. The envelope (benchmark name, timestamp, python, machine,
+    full-scale flag) is uniform; ``record`` carries the benchmark's numbers.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "full_scale": full_scale(),
+        **record,
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"perf record saved to {path}")
+    return path

@@ -1,0 +1,80 @@
+"""Cluster serving benchmark: K overlap shards vs the unsharded server.
+
+On an overlap-clustered population the unsharded server pays one global
+cost-effectiveness merge over the whole population — O(probes x queries),
+mostly comparing queries that can never share a window — while K shards pay
+K local merges over populations 1/K the size. The benchmark serves the same
+population (identical per-name oracle streams) three ways and asserts:
+
+* K-shard concurrent serving reaches >= 1.5x the single-shard serial
+  throughput (the sharding acceptance bar; measured ~2-4x on one core, more
+  with real cores since shards batch on independent threads);
+* the stream-overlap partition's total cost equals the unsharded server's
+  exactly (sharding where overlap lives loses nothing), while the random
+  partition of the same width pays measurably more (sharing cut).
+
+Emits ``results/cluster_scaling.txt`` and the machine-readable
+``results/cluster_scaling.json`` perf record tracked across PRs.
+``REPRO_BENCH_FULL=1`` scales the population an order of magnitude up.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_json, emit_report, full_scale
+
+from repro.experiments import ascii_table
+from repro.experiments.cluster import run_cluster_compare, verify_cluster_parity
+
+MIN_SPEEDUP = 1.5
+
+
+class TestClusterScaling:
+    def test_sharded_throughput_and_cost_parity(self):
+        if full_scale():
+            kwargs = dict(n_queries=2000, n_clusters=16, rounds=10)
+        else:
+            kwargs = dict(n_queries=300, n_clusters=8, rounds=8)
+        report = run_cluster_compare(streams_per_cluster=4, seed=0, **kwargs)
+        single = report.result("single")
+        sharded = report.result("overlap-sharded")
+        random = report.result("random-sharded")
+        speedup = report.speedup("overlap-sharded")
+
+        lines = [
+            f"{report.n_queries} queries in {report.n_clusters} stream clusters, "
+            f"{report.rounds} rounds/batch",
+            "",
+            ascii_table(report.summary_headers(), report.summary_rows()),
+            "",
+            f"overlap-sharded vs single-shard throughput: {speedup:.2f}x "
+            f"(acceptance: >= {MIN_SPEEDUP}x)",
+            f"random-sharded vs single-shard throughput:  "
+            f"{report.speedup('random-sharded'):.2f}x",
+            f"total cost: single {single.total_cost:.6g}, overlap-sharded "
+            f"{sharded.total_cost:.6g} (equal), random-sharded "
+            f"{random.total_cost:.6g} ({random.total_cost / single.total_cost:.2f}x)",
+        ]
+        emit_report("cluster_scaling", "\n".join(lines))
+        emit_json("cluster_scaling", report.to_record())
+
+        # Throughput: the sharding acceptance bar.
+        assert speedup >= MIN_SPEEDUP, (
+            f"overlap-sharded only {speedup:.2f}x over single-shard "
+            f"(required >= {MIN_SPEEDUP}x)"
+        )
+        # Cost: overlap sharding loses nothing...
+        assert abs(sharded.total_cost - single.total_cost) <= 1e-6 * single.total_cost
+        # ...while overlap-blind sharding of the same width pays for the cut.
+        assert random.total_cost > single.total_cost * 1.05
+        assert sharded.partition.kept_fraction == 1.0
+        assert random.partition.kept_fraction < 1.0
+
+    def test_differential_parity_sharded_vs_unsharded(self):
+        """Per-query costs/outcomes: K shards == one QueryServer, per seed."""
+        deltas = verify_cluster_parity(
+            n_queries=120 if full_scale() else 40,
+            n_clusters=4,
+            rounds=10,
+            seed=0,
+        )
+        assert max(deltas.values()) == 0.0

@@ -10,7 +10,7 @@ horizon up.
 
 from __future__ import annotations
 
-from conftest import emit_report, full_scale
+from conftest import emit_json, emit_report, full_scale
 
 from repro.experiments import ascii_table
 from repro.experiments.drift import run_drift
@@ -40,5 +40,15 @@ class TestDriftAdaptation:
             f" adaptive replans = {report.adaptive.replans}",
         ]
         emit_report("drift_adaptation", "\n".join(lines))
+        emit_json(
+            "drift_adaptation",
+            {
+                **kwargs,
+                "adaptive_vs_oracle": report.adaptive_vs_oracle,
+                "static_vs_oracle": report.static_vs_oracle,
+                "detection_lag": lag,
+                "adaptive_replans": report.adaptive.replans,
+            },
+        )
         assert report.adaptive_vs_oracle <= 1.10
         assert report.static_vs_oracle >= 1.15

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import emit_report, full_scale
+from conftest import emit_json, emit_report, full_scale
 
 from repro.engine import BernoulliOracle
 from repro.experiments import ascii_table
@@ -42,6 +42,7 @@ class TestServiceThroughput:
     def test_run_batch_throughput(self):
         populations = [10, 100, 1000] if full_scale() else [10, 100]
         rows = []
+        records = []
         for n_queries in populations:
             for plan_cache, shared_plan in (
                 (True, True),
@@ -66,6 +67,22 @@ class TestServiceThroughput:
                         f"{report.plan_cache_hit_rate:.0%}",
                     )
                 )
+                records.append(
+                    {
+                        "n_queries": n_queries,
+                        "plan_cache": plan_cache,
+                        "shared_plan": shared_plan,
+                        "rounds": ROUNDS,
+                        "admit_seconds": admit_s,
+                        "run_seconds": run_s,
+                        "evals_per_sec": evals / run_s,
+                        "total_cost": report.total_cost,
+                        "free_probes": report.free_probes,
+                        "probes": report.probes,
+                        "items_saved": report.items_saved,
+                        "plan_cache_hit_rate": report.plan_cache_hit_rate,
+                    }
+                )
                 assert report.rounds == ROUNDS
                 # Sharing must be visible at every scale.
                 assert report.items_saved > 0
@@ -84,3 +101,4 @@ class TestServiceThroughput:
             rows,
         )
         emit_report("service_throughput", table)
+        emit_json("service_throughput", {"cells": records})

@@ -10,11 +10,7 @@ trajectory can be tracked across commits.
 
 from __future__ import annotations
 
-import json
-import platform
-import time
-
-from conftest import RESULTS_DIR, emit_report, full_scale
+from conftest import emit_json, emit_report, full_scale
 
 from repro.experiments import ascii_table, execution_throughput
 
@@ -68,14 +64,4 @@ class TestVectorizedThroughput:
             rows,
         )
         emit_report("vectorized_throughput", table)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        payload = {
-            "benchmark": "vectorized_throughput",
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cells": records,
-        }
-        (RESULTS_DIR / "vectorized_throughput.json").write_text(
-            json.dumps(payload, indent=2) + "\n"
-        )
+        emit_json("vectorized_throughput", {"cells": records})

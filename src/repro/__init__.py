@@ -53,6 +53,13 @@ from repro.errors import (
     StreamError,
 )
 from repro.adaptive import AdaptivePolicy, ReplanEvent
+from repro.cluster import (
+    ClusterReport,
+    ClusterServer,
+    Partition,
+    PartitionReport,
+    partition_by_overlap,
+)
 from repro.service import (
     CanonicalForm,
     PlanCache,
@@ -102,6 +109,12 @@ __all__ = [
     "canonicalize",
     "canonical_key",
     "run_isolated",
+    # cluster layer
+    "ClusterServer",
+    "ClusterReport",
+    "Partition",
+    "PartitionReport",
+    "partition_by_overlap",
     # errors
     "ReproError",
     "InvalidLeafError",

@@ -40,6 +40,13 @@ class AdaptivePolicy:
     prior:
         Beta prior of the posteriors; the default Laplace prior keeps
         estimates strictly inside (0, 1).
+    min_saving:
+        Re-plan hysteresis: a drift-triggered re-plan is *suppressed* when
+        its :attr:`ReplanEvent.expected_saving` (per-round expected cost the
+        new schedule saves under the new probabilities) falls below this
+        threshold — the drifted probabilities are adopted as the new belief
+        baseline, but the schedule swap is skipped as not worth the churn.
+        ``0.0`` (default) disables hysteresis; forced re-plans always apply.
     """
 
     window: int = 128
@@ -47,6 +54,7 @@ class AdaptivePolicy:
     min_samples: int = 24
     cooldown: int = 16
     prior: tuple[float, float] = (1.0, 1.0)
+    min_saving: float = 0.0
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -65,6 +73,8 @@ class AdaptivePolicy:
         alpha, beta = self.prior
         if alpha <= 0.0 or beta <= 0.0:
             raise StreamError(f"Beta prior must be positive, got {self.prior}")
+        if self.min_saving < 0.0:
+            raise StreamError(f"min_saving must be >= 0, got {self.min_saving}")
 
 
 @dataclass(frozen=True)

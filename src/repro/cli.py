@@ -29,6 +29,12 @@ Commands
     mid-run, comparing static plans, adaptive re-planning
     (``QueryServer(adaptive=...)``) and an oracle re-plan at the exact drift
     round. Prints per-mode cost, detection lag and replan counts.
+``cluster-sim``
+    Sharded cluster serving on an overlap-clustered population: one
+    population served unsharded, on K stream-overlap shards (concurrent) and
+    on K random shards, with the partition report and throughput/cost
+    comparison. ``--verify`` runs the sharded-vs-unsharded differential
+    parity check first.
 
 Examples
 --------
@@ -43,6 +49,7 @@ Examples
     python -m repro experiment fig4 --scale 50
     python -m repro serve-sim --queries 100 --rounds 50 --compare-isolated
     python -m repro drift --rounds 360 --drift-round 120 --queries 12
+    python -m repro cluster-sim --queries 300 --clusters 8 --rounds 10 --verify
 """
 
 from __future__ import annotations
@@ -293,6 +300,48 @@ def cmd_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_sim(args: argparse.Namespace) -> int:
+    from repro.experiments.cluster import run_cluster_compare, verify_cluster_parity
+
+    if args.verify:
+        deltas = verify_cluster_parity(
+            n_queries=min(args.queries, 80),
+            n_clusters=args.clusters,
+            streams_per_cluster=args.streams_per_cluster,
+            rounds=min(args.rounds, 10),
+            engine=args.engine,
+            seed=args.seed,
+        )
+        print(
+            f"parity: {len(deltas)} queries identical between sharded and "
+            f"unsharded serving (max cost delta {max(deltas.values()):.3g})"
+        )
+    report = run_cluster_compare(
+        n_queries=args.queries,
+        n_clusters=args.clusters,
+        n_shards=args.shards,
+        streams_per_cluster=args.streams_per_cluster,
+        rounds=args.rounds,
+        cross_cluster_prob=args.cross_overlap,
+        workers=args.workers,
+        scheduler=args.scheduler,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    sharded = report.result("overlap-sharded")
+    print(
+        f"served {report.n_queries} queries ({report.n_clusters} stream clusters, "
+        f"cross-overlap {report.cross_cluster_prob:.0%}) for {report.rounds} rounds"
+    )
+    print(ascii_table(report.summary_headers(), report.summary_rows()))
+    print(
+        f"overlap-sharded vs single-shard: {report.speedup('overlap-sharded'):.2f}x "
+        f"throughput on {sharded.n_shards} shards ({sharded.workers} workers); "
+        f"random partition: {report.speedup('random-sharded'):.2f}x"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -432,6 +481,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--cooldown", type=int, default=16, help="min rounds between replans per shape"
     )
     p_drift.set_defaults(func=cmd_drift)
+
+    p_cluster = sub.add_parser(
+        "cluster-sim",
+        help="sharded cluster serving: overlap partition vs random vs unsharded",
+    )
+    p_cluster.add_argument("--queries", type=int, default=300, help="population size")
+    p_cluster.add_argument(
+        "--clusters", type=int, default=8, help="stream interest groups in the population"
+    )
+    p_cluster.add_argument(
+        "--shards", type=int, default=None, help="cluster width (default: --clusters)"
+    )
+    p_cluster.add_argument(
+        "--streams-per-cluster", type=int, default=4, help="streams per interest group"
+    )
+    p_cluster.add_argument("--rounds", type=int, default=10, help="batched rounds")
+    p_cluster.add_argument(
+        "--cross-overlap",
+        type=float,
+        default=0.0,
+        help="per-leaf probability of rewiring to a foreign cluster's stream",
+    )
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--workers", type=int, default=None, help="shard thread pool width"
+    )
+    p_cluster.add_argument(
+        "--scheduler", default="and-inc-c-over-p-dynamic", help="admission scheduler"
+    )
+    p_cluster.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="scalar"
+    )
+    p_cluster.add_argument(
+        "--verify",
+        action="store_true",
+        help="first run the sharded-vs-unsharded differential parity check",
+    )
+    p_cluster.set_defaults(func=cmd_cluster_sim)
 
     return parser
 

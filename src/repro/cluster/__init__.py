@@ -1,0 +1,57 @@
+"""Sharded concurrent serving cluster.
+
+One :class:`~repro.service.QueryServer` scales until its global shared plan
+— merged across the *whole* population — becomes the bottleneck: the merge
+is O(probes x queries), and every admission, departure or re-plan
+invalidates it for everyone. This package splits the population where the
+cost model says sharing stops paying:
+
+* :mod:`~repro.cluster.partition` — the query<->stream overlap graph,
+  connected-component clustering with LPT packing and label-propagation
+  refinement, and reports explaining what a partition keeps, cuts and
+  duplicates;
+* :mod:`~repro.cluster.shard` — one shard: a (thread-safe) QueryServer plus
+  the shard's stream signature and batch timings;
+* :mod:`~repro.cluster.router` — the front door scoring each admission
+  against every shard's signature;
+* :mod:`~repro.cluster.cluster` — :class:`ClusterServer`: concurrent shard
+  batches on a thread pool, one cluster-wide plan cache, online
+  ``rebalance()``, and :class:`ClusterReport` aggregation.
+"""
+
+from repro.cluster.cluster import (
+    ClusterReport,
+    ClusterServer,
+    RebalanceEvent,
+    default_oracle_factory,
+)
+from repro.cluster.partition import (
+    OverlapGraph,
+    Partition,
+    PartitionReport,
+    build_overlap_graph,
+    partition_by_overlap,
+    partition_report,
+    random_partition,
+    stream_weight_vector,
+)
+from repro.cluster.router import RoutingDecision, ShardRouter
+from repro.cluster.shard import ShardServer
+
+__all__ = [
+    "OverlapGraph",
+    "Partition",
+    "PartitionReport",
+    "build_overlap_graph",
+    "partition_by_overlap",
+    "partition_report",
+    "random_partition",
+    "stream_weight_vector",
+    "ShardServer",
+    "ShardRouter",
+    "RoutingDecision",
+    "ClusterServer",
+    "ClusterReport",
+    "RebalanceEvent",
+    "default_oracle_factory",
+]

@@ -1,0 +1,554 @@
+"""The sharded serving cluster: partitioned shards behind one front door.
+
+:class:`ClusterServer` is the scale-out layer above
+:class:`~repro.service.server.QueryServer`: the query population is
+partitioned by stream overlap (:mod:`repro.cluster.partition`) into shards,
+each shard serves its residents on its own :class:`QueryServer` (own stream
+cache, own adaptive controller), and a :class:`~repro.cluster.router.ShardRouter`
+admits runtime arrivals to the shard whose streams they already share.
+Sharing stays *within* a shard — where the overlap graph says it actually
+exists — while shards stay independent, so they batch concurrently on a
+thread pool and a churn event (admission, departure, re-plan) invalidates
+one shard's merged plan instead of the whole population's.
+
+All shards share one thread-safe :class:`~repro.service.plan_cache.PlanCache`,
+so a canonical query shape pays its scheduling cost once across the entire
+cluster, not once per shard.
+
+:meth:`ClusterServer.run_batch` fans the round loop out over the shards and
+aggregates the per-shard reports into one :class:`ClusterReport`;
+:meth:`ClusterServer.rebalance` re-partitions the live population when churn
+or drift has degraded the placement.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.adaptive.policy import AdaptivePolicy
+from repro.cluster.partition import (
+    Partition,
+    PartitionReport,
+    TreeLike,
+    build_overlap_graph,
+    partition_by_overlap,
+    partition_report,
+    random_partition,
+)
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import ShardServer
+from repro.core.heuristics.base import Scheduler
+from repro.engine.executor import BernoulliOracle, ExecutionResult, LeafOracle
+from repro.errors import AdmissionError, StreamError
+from repro.service.metrics import ServiceMetrics
+from repro.service.plan_cache import PlanCache
+from repro.service.server import DEFAULT_SCHEDULER, BatchReport, QueryServer
+from repro.streams.registry import StreamRegistry
+
+__all__ = ["ClusterReport", "ClusterServer", "RebalanceEvent", "default_oracle_factory"]
+
+
+def _synchronized(method):
+    """Run ``method`` under the cluster's reentrant lock."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+def default_oracle_factory(seed: int) -> Callable[[str], LeafOracle]:
+    """Deterministic per-query Bernoulli oracles: seed mixed with the name.
+
+    Because the oracle is derived from the query *name* (not from admission
+    order or shard placement), a population served by any shard layout —
+    including the unsharded single server — draws identical outcome streams,
+    which is what makes sharded-vs-unsharded runs exactly comparable.
+    """
+
+    def factory(name: str) -> LeafOracle:
+        return BernoulliOracle(
+            seed=(seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) & 0x7FFFFFFF
+        )
+
+    return factory
+
+
+@dataclass(frozen=True)
+class RebalanceEvent:
+    """One re-partitioning of the live population."""
+
+    old_report: PartitionReport
+    new_report: PartitionReport
+    #: Queries whose shard changed.
+    moves: int
+
+    def describe(self) -> str:
+        return (
+            f"rebalance: kept overlap {self.old_report.kept_fraction:.1%} -> "
+            f"{self.new_report.kept_fraction:.1%}, {self.moves} queries moved, "
+            f"{self.old_report.n_shards} -> {self.new_report.n_shards} shards"
+        )
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate of one concurrent batch across every active shard."""
+
+    rounds: int
+    workers: int
+    wall_seconds: float
+    shard_reports: dict[int, BatchReport]
+    shard_seconds: dict[int, float]
+    shard_sizes: dict[int, int]
+    plan_cache_hit_rate: float
+    router_overlap_hit_rate: float
+    rebalances: int
+
+    # -- aggregates ------------------------------------------------------
+
+    @property
+    def n_queries(self) -> int:
+        return sum(self.shard_sizes.values())
+
+    @property
+    def evals(self) -> int:
+        """Query evaluations performed: residents x rounds, summed over shards."""
+        return self.rounds * self.n_queries
+
+    @property
+    def throughput(self) -> float:
+        """Query evaluations per wall-clock second of the concurrent batch."""
+        return self.evals / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def total_cost(self) -> float:
+        return sum(report.total_cost for report in self.shard_reports.values())
+
+    @property
+    def per_query_cost(self) -> dict[str, float]:
+        merged: dict[str, float] = {}
+        for report in self.shard_reports.values():
+            merged.update(report.per_query_cost)
+        return merged
+
+    @property
+    def per_query_true_rate(self) -> dict[str, float]:
+        merged: dict[str, float] = {}
+        for report in self.shard_reports.values():
+            merged.update(report.per_query_true_rate)
+        return merged
+
+    @property
+    def probes(self) -> int:
+        return sum(report.probes for report in self.shard_reports.values())
+
+    @property
+    def free_probes(self) -> int:
+        return sum(report.free_probes for report in self.shard_reports.values())
+
+    @property
+    def items_fetched(self) -> int:
+        return sum(report.items_fetched for report in self.shard_reports.values())
+
+    @property
+    def items_saved(self) -> int:
+        return sum(report.items_saved for report in self.shard_reports.values())
+
+    @property
+    def replans(self) -> int:
+        return sum(report.replans for report in self.shard_reports.values())
+
+    def summary(self) -> str:
+        busiest = max(self.shard_seconds.values(), default=0.0)
+        lines = [
+            f"cluster batch: {self.rounds} rounds x {self.n_queries} queries on "
+            f"{len(self.shard_reports)} shards ({self.workers} workers)",
+            f"  wall {self.wall_seconds:.3f}s (busiest shard {busiest:.3f}s), "
+            f"{self.throughput:,.0f} evals/s",
+            f"  total cost {self.total_cost:.6g}, probes {self.probes} "
+            f"({self.free_probes} free), items {self.items_fetched} fetched / "
+            f"{self.items_saved} saved",
+            f"  plan-cache hit rate {self.plan_cache_hit_rate:.1%}, "
+            f"router overlap hits {self.router_overlap_hit_rate:.1%}, "
+            f"{self.replans} replans, {self.rebalances} rebalances",
+        ]
+        for shard_id in sorted(self.shard_reports):
+            report = self.shard_reports[shard_id]
+            lines.append(
+                f"  shard {shard_id}: {self.shard_sizes[shard_id]} queries, "
+                f"cost {report.total_cost:.6g}, "
+                f"{self.shard_seconds[shard_id]:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+class ClusterServer:
+    """A fixed-width cluster of stream-overlap shards behind a router.
+
+    Parameters
+    ----------
+    registry:
+        The shared sensing environment. Every shard builds its own cache
+        over the same (thread-safe, memoized) source tapes, so two shards
+        windowing one cut stream read identical values.
+    n_shards:
+        Cluster width. Shards may stay empty when the population has fewer
+        overlap components than ``n_shards``.
+    workers:
+        Thread-pool width for concurrent shard batches; ``None`` sizes to
+        ``min(active shards, cpu count)``, ``1`` runs shards serially.
+    scheduler, shared_plan, warmup, adaptive:
+        Forwarded to every shard's :class:`QueryServer`; ``adaptive`` must be
+        an :class:`~repro.adaptive.AdaptivePolicy` (pure config — each shard
+        builds its own controller) or ``None``.
+    plan_cache:
+        Capacity of the *cluster-wide* plan cache shared by all shards
+        (a :class:`PlanCache` instance is used as-is; ``None``/``0``
+        disables plan caching everywhere).
+    oracle_factory:
+        ``name -> LeafOracle`` for admissions without an explicit oracle;
+        the default draws per-query Bernoulli oracles deterministically from
+        ``seed`` and the query name (placement-independent outcomes).
+    max_shard_queries:
+        Per-shard admission capacity, enforced by the router and the
+        partitioner.
+    """
+
+    def __init__(
+        self,
+        registry: StreamRegistry,
+        *,
+        n_shards: int = 4,
+        workers: int | None = None,
+        scheduler: str | Scheduler = DEFAULT_SCHEDULER,
+        plan_cache: PlanCache | int | None = 256,
+        shared_plan: bool = True,
+        warmup: int = 64,
+        adaptive: AdaptivePolicy | None = None,
+        oracle_factory: Callable[[str], LeafOracle] | None = None,
+        max_shard_queries: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise AdmissionError(f"need at least one shard, got {n_shards}")
+        if adaptive is not None and not isinstance(adaptive, AdaptivePolicy):
+            raise AdmissionError(
+                "adaptive must be an AdaptivePolicy (each shard builds its own "
+                f"controller), got {type(adaptive).__name__}"
+            )
+        self.registry = registry
+        self.n_shards = n_shards
+        self.workers = workers
+        self.seed = seed
+        self._scheduler = scheduler
+        self._shared_plan = shared_plan
+        self._warmup = warmup
+        self._adaptive = adaptive
+        self._max_shard_queries = max_shard_queries
+        if isinstance(plan_cache, PlanCache):
+            self.plan_cache: PlanCache | None = plan_cache
+        elif plan_cache:
+            self.plan_cache = PlanCache(capacity=int(plan_cache))
+        else:
+            self.plan_cache = None
+        self.oracle_factory = (
+            oracle_factory if oracle_factory is not None else default_oracle_factory(seed)
+        )
+        self.router = ShardRouter(
+            costs=registry.cost_table(), max_shard_queries=max_shard_queries
+        )
+        self.shards: list[ShardServer] = [
+            self._new_shard(shard_id) for shard_id in range(n_shards)
+        ]
+        self._assignment: dict[str, int] = {}
+        self._order: list[str] = []
+        self.rebalances: list[RebalanceEvent] = []
+        # Cluster-level mutations (admission, departure, rebalance) and
+        # batches serialize on one reentrant lock, mirroring QueryServer's
+        # contract: background admission threads are safe, and a rebalance
+        # can never swap the shard set out from under an in-flight batch.
+        # Within a batch the shards still run concurrently on the pool.
+        self._lock = threading.RLock()
+
+    def _new_shard(self, shard_id: int) -> ShardServer:
+        server = QueryServer(
+            self.registry,
+            scheduler=self._scheduler,
+            plan_cache=self.plan_cache,
+            shared_plan=self._shared_plan,
+            warmup=self._warmup,
+            adaptive=self._adaptive,
+        )
+        return ShardServer(shard_id, server, self.registry.cost_table())
+
+    # -- population ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._assignment
+
+    @property
+    def registered(self) -> tuple[str, ...]:
+        """All resident query names, in cluster admission order."""
+        return tuple(self._order)
+
+    def shard_of(self, name: str) -> int:
+        try:
+            return self._assignment[name]
+        except KeyError:
+            raise AdmissionError(f"no query named {name!r} is registered") from None
+
+    def query(self, name: str):
+        return self.shards[self.shard_of(name)].server.query(name)
+
+    def active_shards(self) -> list[ShardServer]:
+        return [shard for shard in self.shards if len(shard)]
+
+    @_synchronized
+    def register(
+        self, name: str, tree: TreeLike, *, oracle: LeafOracle | None = None
+    ) -> int:
+        """Admit one query through the router; returns the chosen shard id."""
+        if name in self._assignment:
+            raise AdmissionError(f"query {name!r} is already registered")
+        decision = self.router.route(name, tree, self.shards)
+        shard = self.shards[decision.shard_id]
+        shard.register(
+            name, tree, oracle=oracle if oracle is not None else self.oracle_factory(name)
+        )
+        self.router.record(decision)
+        self._assignment[name] = decision.shard_id
+        self._order.append(name)
+        return decision.shard_id
+
+    @_synchronized
+    def register_population(
+        self,
+        population: Sequence[tuple[str, TreeLike]],
+        *,
+        partition: Partition | None = None,
+        method: str = "overlap",
+    ) -> Partition:
+        """Bulk-admit a population along a computed (or given) partition.
+
+        ``method="overlap"`` runs the stream-overlap partitioner,
+        ``method="random"`` the overlap-blind baseline. Piece ``i`` of the
+        partition lands on shard ``i``; queries register in population order
+        within each shard, so a 1-shard cluster is probe-for-probe identical
+        to the unsharded :class:`QueryServer`.
+        """
+        if partition is None:
+            costs = self.registry.cost_table()
+            if method == "overlap":
+                partition = partition_by_overlap(
+                    population,
+                    self.n_shards,
+                    costs,
+                    max_shard_queries=self._max_shard_queries,
+                )
+            elif method == "random":
+                partition = random_partition(
+                    population, self.n_shards, costs, seed=self.seed
+                )
+            else:
+                raise AdmissionError(
+                    f"unknown partition method {method!r}; use 'overlap' or 'random'"
+                )
+        if partition.n_shards > self.n_shards:
+            raise AdmissionError(
+                f"partition has {partition.n_shards} shards, cluster only "
+                f"{self.n_shards}"
+            )
+        trees = dict(population)
+        order = {name: i for i, (name, _) in enumerate(population)}
+        for shard_id, members in enumerate(partition.shards):
+            shard = self.shards[shard_id]
+            for name in sorted(members, key=order.__getitem__):
+                if name in self._assignment:
+                    raise AdmissionError(f"query {name!r} is already registered")
+                shard.register(name, trees[name], oracle=self.oracle_factory(name))
+                self._assignment[name] = shard_id
+                self._order.append(name)
+        return partition
+
+    @_synchronized
+    def deregister(self, name: str) -> None:
+        shard_id = self.shard_of(name)
+        self.shards[shard_id].deregister(name)
+        del self._assignment[name]
+        self._order.remove(name)
+
+    # -- execution -------------------------------------------------------
+
+    def _effective_workers(self, active: int) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        return max(1, min(active, os.cpu_count() or 1))
+
+    @_synchronized
+    def step(self) -> dict[str, ExecutionResult]:
+        """One concurrent round on every active shard; merged per-query results."""
+        active = self.active_shards()
+        if not active:
+            raise StreamError("no queries registered in any shard")
+        workers = self._effective_workers(len(active))
+        if workers == 1 or len(active) == 1:
+            round_results = [shard.step() for shard in active]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                round_results = list(pool.map(lambda shard: shard.step(), active))
+        merged: dict[str, ExecutionResult] = {}
+        for results in round_results:
+            merged.update(results)
+        return merged
+
+    @_synchronized
+    def run_batch(self, rounds: int, *, engine: str = "scalar") -> ClusterReport:
+        """Batch every active shard concurrently and aggregate the reports."""
+        active = self.active_shards()
+        if not active:
+            raise StreamError("no queries registered in any shard")
+        workers = self._effective_workers(len(active))
+        start = time.perf_counter()
+        if workers == 1 or len(active) == 1:
+            reports = [shard.run_batch(rounds, engine=engine) for shard in active]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                reports = list(
+                    pool.map(lambda shard: shard.run_batch(rounds, engine=engine), active)
+                )
+        wall = time.perf_counter() - start
+        return ClusterReport(
+            rounds=rounds,
+            workers=workers,
+            wall_seconds=wall,
+            shard_reports={
+                shard.shard_id: report for shard, report in zip(active, reports)
+            },
+            shard_seconds={
+                shard.shard_id: shard.last_batch_seconds for shard in active
+            },
+            shard_sizes={shard.shard_id: len(shard) for shard in active},
+            plan_cache_hit_rate=(
+                self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
+            ),
+            router_overlap_hit_rate=self.router.overlap_hit_rate,
+            rebalances=len(self.rebalances),
+        )
+
+    # -- placement maintenance -------------------------------------------
+
+    def _live_population(self) -> list[tuple[str, TreeLike]]:
+        return [(name, self.query(name).tree) for name in self._order]
+
+    @_synchronized
+    def partition_report(self) -> PartitionReport:
+        """Score the *current* placement against the live overlap graph."""
+        population = self._live_population()
+        if not population:
+            raise StreamError("no queries registered in any shard")
+        graph = build_overlap_graph(population, self.registry.cost_table())
+        shards = [shard.names for shard in self.shards if len(shard)]
+        return partition_report(graph, shards, method="current")
+
+    @_synchronized
+    def rebalance(
+        self, *, force: bool = False, min_kept_gain: float = 0.0
+    ) -> RebalanceEvent | None:
+        """Re-partition the live population when placement has degraded.
+
+        Computes a fresh overlap partition of the current residents; when it
+        keeps strictly more overlap weight than the current placement (by at
+        least ``min_kept_gain``), or when ``force`` is set, the cluster is
+        rebuilt along it: fresh shard servers (fresh caches — they re-warm),
+        every query re-registered on its new shard with its *same* oracle
+        instance (outcome streams continue seamlessly) and its admission
+        scheduler. Returns the event, or ``None`` when the current placement
+        is already good enough.
+        """
+        population = self._live_population()
+        if not population:
+            raise StreamError("no queries registered in any shard")
+        # One overlap graph serves both the current placement's score and
+        # the candidate partition.
+        graph = build_overlap_graph(population, self.registry.cost_table())
+        old_report = partition_report(
+            graph,
+            [shard.names for shard in self.shards if len(shard)],
+            method="current",
+        )
+        candidate = partition_by_overlap(
+            population,
+            self.n_shards,
+            self.registry.cost_table(),
+            max_shard_queries=self._max_shard_queries,
+            graph=graph,
+        )
+        improved = candidate.report.intra_weight > old_report.intra_weight + min_kept_gain
+        if not (improved or force):
+            return None
+        oracles = {name: self.query(name).oracle for name in self._order}
+        schedulers = {
+            name: self.query(name).plan.scheduler_name for name in self._order
+        }
+        trees = dict(population)
+        old_assignment = dict(self._assignment)
+        self.shards = [self._new_shard(shard_id) for shard_id in range(self.n_shards)]
+        self._assignment = {}
+        order, self._order = self._order, []
+        placement = candidate.shard_of()
+        for name in order:
+            shard_id = placement[name]
+            self.shards[shard_id].register(
+                name, trees[name], oracle=oracles[name], scheduler=schedulers[name]
+            )
+            self._assignment[name] = shard_id
+            self._order.append(name)
+        moves = sum(
+            1 for name in order if old_assignment[name] != self._assignment[name]
+        )
+        event = RebalanceEvent(
+            old_report=old_report, new_report=candidate.report, moves=moves
+        )
+        self.rebalances.append(event)
+        return event
+
+    # -- observability ---------------------------------------------------
+
+    def shard_metrics(self) -> dict[int, ServiceMetrics]:
+        return {shard.shard_id: shard.server.metrics for shard in self.shards}
+
+    def describe(self) -> str:
+        lines = [
+            f"cluster: {len(self)} queries on {len(self.active_shards())}/"
+            f"{self.n_shards} shards, "
+            f"plan-cache hit rate "
+            + (
+                f"{self.plan_cache.hit_rate:.1%}"
+                if self.plan_cache is not None
+                else "n/a"
+            )
+            + f", router overlap hits {self.router.overlap_hit_rate:.1%}, "
+            f"{len(self.rebalances)} rebalances",
+        ]
+        for shard in self.shards:
+            if not len(shard):
+                continue
+            lines.append(
+                f"  shard {shard.shard_id}: {len(shard)} queries over "
+                f"{len(shard.streams)} streams, "
+                f"{shard.server.metrics.rounds} rounds served"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""The cluster's front door: route each admission to its best shard.
+
+Routing mirrors the partitioner's objective online: a new query should land
+where its streams already are. The router scores every shard by the overlap
+between the query's stream weight vector and the shard's signature
+(``sum_s min(w_query[s], signature[s])`` — the per-round spend the query can
+share with residents), picks the best-overlapping shard, and falls back to
+the least-loaded shard when no shard holds any of the query's streams (a
+cold stream group starts wherever there is room). Capacity-full shards are
+skipped; ties break to the lighter, then lower-numbered shard, so routing is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cluster.partition import TreeLike, stream_weight_vector
+from repro.cluster.shard import ShardServer
+from repro.errors import AdmissionError
+
+__all__ = ["RoutingDecision", "ShardRouter"]
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one admission went and why."""
+
+    query: str
+    shard_id: int
+    overlap: float
+    #: "overlap" when the query shared streams with the chosen shard,
+    #: "least-loaded" when no shard held any of its streams.
+    reason: str
+
+
+@dataclass
+class ShardRouter:
+    """Stateless-per-decision scorer over a cluster's live shards."""
+
+    costs: Mapping[str, float]
+    max_shard_queries: int | None = None
+    decisions: list[RoutingDecision] = field(default_factory=list)
+
+    def route(
+        self, name: str, tree: TreeLike, shards: Sequence[ShardServer]
+    ) -> RoutingDecision:
+        """Pick a shard for ``name`` (pure — no state is recorded).
+
+        The caller logs the decision with :meth:`record` once the admission
+        actually succeeds, so a rejected registration never skews the
+        routing statistics.
+        """
+        if not shards:
+            raise AdmissionError("cluster has no shards to route to")
+        weights = stream_weight_vector(tree, self.costs)
+        best_id: int | None = None
+        best_key: tuple[float, int, int] | None = None
+        for shard in shards:
+            if (
+                self.max_shard_queries is not None
+                and len(shard) >= self.max_shard_queries
+            ):
+                continue
+            overlap = sum(
+                min(weight, shard.signature.get(stream, 0.0))
+                for stream, weight in weights.items()
+            )
+            # Maximize overlap, then prefer the lighter, lower-numbered shard.
+            key = (-overlap, len(shard), shard.shard_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_id = shard.shard_id
+        if best_id is None:
+            raise AdmissionError(
+                f"all {len(shards)} shards are at capacity "
+                f"({self.max_shard_queries} queries)"
+            )
+        assert best_key is not None
+        overlap = -best_key[0]
+        return RoutingDecision(
+            query=name,
+            shard_id=best_id,
+            overlap=overlap,
+            reason="overlap" if overlap > 0.0 else "least-loaded",
+        )
+
+    def record(self, decision: RoutingDecision) -> None:
+        """Log a decision whose admission went through."""
+        self.decisions.append(decision)
+
+    @property
+    def overlap_hits(self) -> int:
+        """Admissions that found their streams already resident somewhere."""
+        return sum(1 for d in self.decisions if d.reason == "overlap")
+
+    @property
+    def overlap_hit_rate(self) -> float:
+        return self.overlap_hits / len(self.decisions) if self.decisions else 0.0

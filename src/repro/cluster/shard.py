@@ -1,0 +1,94 @@
+"""One shard of a serving cluster: a QueryServer plus shard bookkeeping.
+
+A :class:`ShardServer` owns one :class:`~repro.service.server.QueryServer`
+(itself thread-safe behind an internal reentrant lock) and adds the
+cluster-level identity the router needs: a stable shard id, the shard's
+*stream signature* (per-stream max acquisition weight over its residents,
+maintained incrementally on admission), and per-batch wall-clock timing so
+the cluster can report where time went.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.core.tree import DnfTree
+from repro.engine.executor import ExecutionResult, LeafOracle
+from repro.errors import AdmissionError
+from repro.service.server import BatchReport, QueryServer, TreeLike
+from repro.cluster.partition import stream_weight_vector
+
+__all__ = ["ShardServer"]
+
+
+class ShardServer:
+    """A routed shard: one QueryServer with an id, a signature and timings."""
+
+    def __init__(
+        self, shard_id: int, server: QueryServer, costs: Mapping[str, float]
+    ) -> None:
+        self.shard_id = shard_id
+        self.server = server
+        self._costs = dict(costs)
+        #: stream -> max acquisition weight over resident queries (grows on
+        #: admission; rebuilt on deregister so departures do not pin streams).
+        self.signature: dict[str, float] = {}
+        self.last_batch_seconds: float = 0.0
+
+    # -- population ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.server)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.server
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.server.registered
+
+    @property
+    def streams(self) -> frozenset[str]:
+        return frozenset(self.signature)
+
+    def register(
+        self,
+        name: str,
+        tree: TreeLike,
+        *,
+        oracle: LeafOracle | None = None,
+        scheduler: str | None = None,
+    ) -> None:
+        self.server.register(name, tree, oracle=oracle, scheduler=scheduler)
+        for stream, weight in stream_weight_vector(tree, self._costs).items():
+            if weight > self.signature.get(stream, 0.0):
+                self.signature[stream] = weight
+
+    def deregister(self, name: str) -> None:
+        if name not in self.server:
+            raise AdmissionError(
+                f"query {name!r} is not resident on shard {self.shard_id}"
+            )
+        self.server.deregister(name)
+        self._rebuild_signature()
+
+    def _rebuild_signature(self) -> None:
+        self.signature = {}
+        for name in self.server.registered:
+            tree: DnfTree = self.server.query(name).tree
+            for stream, weight in stream_weight_vector(tree, self._costs).items():
+                if weight > self.signature.get(stream, 0.0):
+                    self.signature[stream] = weight
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> dict[str, ExecutionResult]:
+        return self.server.step()
+
+    def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
+        """Timed batch; wall seconds land in :attr:`last_batch_seconds`."""
+        start = time.perf_counter()
+        report = self.server.run_batch(rounds, engine=engine)
+        self.last_batch_seconds = time.perf_counter() - start
+        return report

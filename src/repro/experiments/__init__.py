@@ -7,6 +7,12 @@ from repro.experiments.ablations import (
     compare_stream_ordered_r_direction,
     shared_cache_savings,
 )
+from repro.experiments.cluster import (
+    ClusterCompareReport,
+    ClusterModeResult,
+    run_cluster_compare,
+    verify_cluster_parity,
+)
 from repro.experiments.drift import (
     DriftModeResult,
     DriftReport,
@@ -38,6 +44,10 @@ from repro.experiments.sensitivity import (
 from repro.experiments.breakdowns import BreakdownCell, breakdown_matrix, win_rate_breakdown
 
 __all__ = [
+    "run_cluster_compare",
+    "verify_cluster_parity",
+    "ClusterCompareReport",
+    "ClusterModeResult",
     "run_drift",
     "DriftReport",
     "DriftModeResult",

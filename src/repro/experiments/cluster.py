@@ -1,0 +1,307 @@
+"""Cluster-serving experiment: 1 shard vs K overlap shards vs K random shards.
+
+The unsharded :class:`~repro.service.QueryServer` pays one global
+cost-effectiveness merge over the whole population — O(probes x queries) —
+and re-pays it on every churn event; with many disjoint interest groups most
+of those comparisons are between queries that can never share a window. The
+experiment quantifies what stream-overlap sharding buys on an
+overlap-clustered population, against both the single-shard baseline and an
+overlap-*blind* random partition of the same width (which shows the win is
+the partition quality, not just the smaller shard size):
+
+* wall-clock serving throughput (query evaluations per second);
+* total expected-cost delta (cut overlap = sharing lost across shards);
+* partition quality (kept overlap weight, duplicated stream spend).
+
+:func:`run_cluster_compare` drives all three modes on identical populations
+and (per query name) identical oracle streams; :func:`verify_cluster_parity`
+is the differential check that a stream-disjoint sharded run reproduces the
+unsharded server's per-query costs and outcomes exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.cluster import ClusterServer, default_oracle_factory
+from repro.cluster.partition import PartitionReport
+from repro.errors import StreamError
+from repro.generators.overlap_populations import (
+    clustered_registry,
+    overlap_clustered_population,
+)
+from repro.service.server import DEFAULT_SCHEDULER, QueryServer
+
+__all__ = [
+    "ClusterModeResult",
+    "ClusterCompareReport",
+    "run_cluster_compare",
+    "verify_cluster_parity",
+]
+
+
+@dataclass(frozen=True)
+class ClusterModeResult:
+    """One serving mode's outcome on the common population."""
+
+    label: str
+    n_shards: int
+    workers: int
+    wall_seconds: float
+    evals: int
+    total_cost: float
+    probes: int
+    free_probes: int
+    items_saved: int
+    plan_cache_hit_rate: float
+    replans: int
+    partition: PartitionReport
+
+    @property
+    def throughput(self) -> float:
+        return self.evals / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+
+@dataclass
+class ClusterCompareReport:
+    """All modes side by side, plus the population's shape."""
+
+    n_queries: int
+    n_clusters: int
+    rounds: int
+    cross_cluster_prob: float
+    results: list[ClusterModeResult]
+
+    def result(self, label: str) -> ClusterModeResult:
+        for result in self.results:
+            if result.label == label:
+                return result
+        raise StreamError(f"no mode labelled {label!r} in this report")
+
+    def speedup(self, label: str, over: str = "single") -> float:
+        return self.result(label).throughput / self.result(over).throughput
+
+    @staticmethod
+    def summary_headers() -> tuple[str, ...]:
+        return (
+            "mode",
+            "shards",
+            "wall s",
+            "evals/s",
+            "total cost",
+            "kept overlap",
+            "dup spend",
+            "free probes",
+            "hit rate",
+        )
+
+    def summary_rows(self) -> list[tuple]:
+        rows = []
+        for result in self.results:
+            rows.append(
+                (
+                    result.label,
+                    result.n_shards,
+                    f"{result.wall_seconds:.3f}",
+                    f"{result.throughput:,.0f}",
+                    f"{result.total_cost:.6g}",
+                    f"{result.partition.kept_fraction:.1%}",
+                    f"{result.partition.duplicated_stream_cost:.4g}",
+                    f"{result.free_probes}/{result.probes}",
+                    f"{result.plan_cache_hit_rate:.0%}",
+                )
+            )
+        return rows
+
+    def to_record(self) -> dict:
+        """JSON-ready record for the benchmark trajectory."""
+        return {
+            "n_queries": self.n_queries,
+            "n_clusters": self.n_clusters,
+            "rounds": self.rounds,
+            "cross_cluster_prob": self.cross_cluster_prob,
+            "modes": [
+                {
+                    "label": result.label,
+                    "n_shards": result.n_shards,
+                    "workers": result.workers,
+                    "wall_seconds": result.wall_seconds,
+                    "throughput": result.throughput,
+                    "total_cost": result.total_cost,
+                    "partition": result.partition.to_record(),
+                }
+                for result in self.results
+            ],
+            "sharded_over_single": self.speedup("overlap-sharded"),
+            "random_over_single": self.speedup("random-sharded"),
+        }
+
+
+def _build_environment(
+    n_queries: int,
+    n_clusters: int,
+    streams_per_cluster: int,
+    cross_cluster_prob: float,
+    seed: int,
+    rounds: int,
+    warmup: int,
+):
+    """Fresh registry + population for one mode, tapes pre-generated.
+
+    Pre-generating the source tapes keeps lazy item generation out of the
+    timed window, so mode order cannot bias the throughput comparison.
+    """
+    registry = clustered_registry(n_clusters, streams_per_cluster, seed=seed)
+    population = overlap_clustered_population(
+        n_queries,
+        registry,
+        n_clusters,
+        streams_per_cluster,
+        cross_cluster_prob=cross_cluster_prob,
+        seed=seed + 1,
+    )
+    horizon = warmup + rounds + max(
+        leaf.items for _, tree in population for leaf in tree.leaves
+    )
+    for name in registry.names:
+        registry.source(name).value_at(horizon)
+    return registry, population
+
+
+def run_cluster_compare(
+    *,
+    n_queries: int = 300,
+    n_clusters: int = 8,
+    n_shards: int | None = None,
+    streams_per_cluster: int = 4,
+    rounds: int = 10,
+    cross_cluster_prob: float = 0.0,
+    workers: int | None = None,
+    scheduler: str = DEFAULT_SCHEDULER,
+    engine: str = "scalar",
+    warmup: int = 64,
+    seed: int = 0,
+) -> ClusterCompareReport:
+    """Serve one overlap-clustered population three ways and compare.
+
+    Modes: ``single`` (1 shard, serial — the unsharded baseline),
+    ``overlap-sharded`` (the stream-overlap partition on ``n_shards``
+    concurrent shards) and ``random-sharded`` (same width, overlap-blind
+    placement). Every mode rebuilds the identical environment per ``seed``
+    and draws per-query oracles by name, so cost differences are placement
+    effects, not sampling noise.
+    """
+    if n_shards is None:
+        n_shards = n_clusters
+    modes = [
+        ("single", 1, "overlap", 1),
+        ("overlap-sharded", n_shards, "overlap", workers),
+        ("random-sharded", n_shards, "random", workers),
+    ]
+    results: list[ClusterModeResult] = []
+    for label, width, method, mode_workers in modes:
+        registry, population = _build_environment(
+            n_queries,
+            n_clusters,
+            streams_per_cluster,
+            cross_cluster_prob,
+            seed,
+            rounds,
+            warmup,
+        )
+        cluster = ClusterServer(
+            registry,
+            n_shards=width,
+            workers=mode_workers,
+            scheduler=scheduler,
+            warmup=warmup,
+            seed=seed,
+        )
+        partition = cluster.register_population(population, method=method)
+        report = cluster.run_batch(rounds, engine=engine)
+        results.append(
+            ClusterModeResult(
+                label=label,
+                n_shards=len(report.shard_reports),
+                workers=report.workers,
+                # The report's own wall clock, so this table's evals/s and
+                # ClusterReport.throughput cannot disagree for the same run.
+                wall_seconds=report.wall_seconds,
+                evals=report.evals,
+                total_cost=report.total_cost,
+                probes=report.probes,
+                free_probes=report.free_probes,
+                items_saved=report.items_saved,
+                plan_cache_hit_rate=report.plan_cache_hit_rate,
+                replans=report.replans,
+                partition=partition.report,
+            )
+        )
+    return ClusterCompareReport(
+        n_queries=n_queries,
+        n_clusters=n_clusters,
+        rounds=rounds,
+        cross_cluster_prob=cross_cluster_prob,
+        results=results,
+    )
+
+
+def verify_cluster_parity(
+    *,
+    n_queries: int = 60,
+    n_clusters: int = 4,
+    streams_per_cluster: int = 4,
+    rounds: int = 8,
+    engine: str = "scalar",
+    seed: int = 0,
+    atol: float = 1e-9,
+) -> dict[str, float]:
+    """Differential check: K-shard serving == unsharded serving, per query.
+
+    Runs a stream-disjoint clustered population through a ``n_clusters``-shard
+    :class:`ClusterServer` and through one unsharded :class:`QueryServer`
+    with the same per-name oracles, and asserts per-query costs and TRUE
+    rates agree exactly. Returns the per-query absolute cost deltas (all
+    ~0.0) for reporting. Raises :class:`~repro.errors.StreamError` on any
+    divergence.
+    """
+    registry = clustered_registry(n_clusters, streams_per_cluster, seed=seed)
+    population = overlap_clustered_population(
+        n_queries,
+        registry,
+        n_clusters,
+        streams_per_cluster,
+        cross_cluster_prob=0.0,
+        seed=seed + 1,
+    )
+    cluster = ClusterServer(registry, n_shards=n_clusters, seed=seed + 2)
+    cluster.register_population(population)
+    cluster_report = cluster.run_batch(rounds, engine=engine)
+
+    single = QueryServer(registry)
+    factory = default_oracle_factory(seed + 2)
+    for name, tree in population:
+        single.register(name, tree, oracle=factory(name))
+    single_report = single.run_batch(rounds, engine=engine)
+
+    deltas: dict[str, float] = {}
+    for name in single_report.per_query_cost:
+        delta = abs(
+            single_report.per_query_cost[name] - cluster_report.per_query_cost[name]
+        )
+        deltas[name] = delta
+        if delta > atol:
+            raise StreamError(
+                f"parity violation: query {name!r} cost differs by {delta:.3g} "
+                "between sharded and unsharded serving"
+            )
+        if (
+            single_report.per_query_true_rate[name]
+            != cluster_report.per_query_true_rate[name]
+        ):
+            raise StreamError(
+                f"parity violation: query {name!r} TRUE rate differs between "
+                "sharded and unsharded serving"
+            )
+    return deltas

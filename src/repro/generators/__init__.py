@@ -14,6 +14,11 @@ from repro.generators.configs import (
     fig5_configs,
     fig6_configs,
 )
+from repro.generators.overlap_populations import (
+    clustered_registry,
+    clustered_stream_groups,
+    overlap_clustered_population,
+)
 from repro.generators.drift_scenarios import (
     ramp_drift_by_stream,
     random_step_drift,
@@ -52,4 +57,7 @@ __all__ = [
     "step_drift_by_stream",
     "ramp_drift_by_stream",
     "random_step_drift",
+    "clustered_stream_groups",
+    "clustered_registry",
+    "overlap_clustered_population",
 ]

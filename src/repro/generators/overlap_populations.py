@@ -1,0 +1,172 @@
+"""Overlap-structured serving populations for the cluster experiments.
+
+A fleet's query population is not a uniform blob over all streams: traffic
+arrives in *interest groups* — dashboards over one building's sensors, alert
+packs over one patient's vitals — whose queries overlap heavily with each
+other and barely at all across groups. This module generates exactly that
+structure: ``n_clusters`` disjoint stream groups, each serving its own pool
+of query templates, with an optional ``cross_cluster_prob`` that rewires
+individual leaves across group boundaries (the noise that turns clean
+components into a partitioning problem).
+
+With ``cross_cluster_prob=0.0`` the overlap graph's connected components are
+exactly the clusters, which is what the cluster parity tests rely on: a
+stream-disjoint partition makes sharded execution probe-for-probe identical
+to the unsharded server.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.leaf import Leaf
+from repro.core.tree import DnfTree
+from repro.errors import StreamError
+from repro.service.simulate import shuffled_isomorph
+from repro.streams.registry import StreamRegistry
+from repro.streams.sources import GaussianSource
+from repro.streams.stream import StreamSpec
+
+__all__ = [
+    "clustered_stream_groups",
+    "clustered_registry",
+    "overlap_clustered_population",
+]
+
+
+def clustered_stream_groups(
+    n_clusters: int, streams_per_cluster: int
+) -> list[list[str]]:
+    """Stream names of each cluster: ``C<i>S<k>``, disjoint across clusters."""
+    if n_clusters < 1:
+        raise StreamError(f"need at least one cluster, got {n_clusters}")
+    if streams_per_cluster < 1:
+        raise StreamError(
+            f"need at least one stream per cluster, got {streams_per_cluster}"
+        )
+    return [
+        [f"C{ci}S{k}" for k in range(streams_per_cluster)]
+        for ci in range(n_clusters)
+    ]
+
+
+def clustered_registry(
+    n_clusters: int,
+    streams_per_cluster: int,
+    *,
+    seed: int = 0,
+    c_range: tuple[float, float] = (0.5, 4.0),
+) -> StreamRegistry:
+    """A registry holding every cluster's Gaussian streams with random costs."""
+    rng = np.random.default_rng(seed)
+    registry = StreamRegistry()
+    for group in clustered_stream_groups(n_clusters, streams_per_cluster):
+        for name in group:
+            registry.add(
+                StreamSpec(name, float(rng.uniform(*c_range))),
+                GaussianSource(
+                    mean=0.0,
+                    std=1.0,
+                    seed=seed * 7919 + zlib.crc32(name.encode("utf-8")) % 65536,
+                ),
+            )
+    return registry
+
+
+def overlap_clustered_population(
+    n_queries: int,
+    registry: StreamRegistry,
+    n_clusters: int,
+    streams_per_cluster: int,
+    *,
+    templates_per_cluster: int = 3,
+    cross_cluster_prob: float = 0.0,
+    seed: int = 0,
+    n_ands: tuple[int, int] = (1, 3),
+    leaves_per_and: tuple[int, int] = (1, 4),
+    d_range: tuple[int, int] = (1, 6),
+    p_range: tuple[float, float] = (0.05, 0.95),
+) -> list[tuple[str, DnfTree]]:
+    """Draw ``n_queries`` queries, each anchored to one stream cluster.
+
+    Queries are dealt to clusters round-robin (balanced groups) and emitted
+    as isomorphic shuffles of their cluster's templates. With
+    ``cross_cluster_prob > 0`` each leaf independently rewires to a uniform
+    random stream of a *different* cluster — cut edges for the partitioner
+    to cope with (the rewiring also breaks template isomorphism, so the plan
+    cache sees realistic long-tail shapes).
+    """
+    if n_queries < 1:
+        raise StreamError(f"need at least one query, got {n_queries}")
+    if templates_per_cluster < 1:
+        raise StreamError(
+            f"need at least one template per cluster, got {templates_per_cluster}"
+        )
+    if not 0.0 <= cross_cluster_prob <= 1.0:
+        raise StreamError(
+            f"cross_cluster_prob must be in [0, 1], got {cross_cluster_prob}"
+        )
+    groups = clustered_stream_groups(n_clusters, streams_per_cluster)
+    costs = registry.cost_table()
+    for group in groups:
+        for name in group:
+            if name not in registry:
+                raise StreamError(
+                    f"registry is missing clustered stream {name!r}; build it "
+                    "with clustered_registry(n_clusters, streams_per_cluster)"
+                )
+    rng = np.random.default_rng(seed)
+    all_names = [name for group in groups for name in group]
+
+    def random_template(group: list[str]) -> DnfTree:
+        ands = []
+        for _ in range(int(rng.integers(n_ands[0], n_ands[1] + 1))):
+            leaves = []
+            for _ in range(int(rng.integers(leaves_per_and[0], leaves_per_and[1] + 1))):
+                stream = group[int(rng.integers(len(group)))]
+                leaves.append(
+                    Leaf(
+                        stream,
+                        int(rng.integers(d_range[0], d_range[1] + 1)),
+                        float(rng.uniform(*p_range)),
+                    )
+                )
+            ands.append(leaves)
+        used = {leaf.stream for leaves in ands for leaf in leaves}
+        return DnfTree(ands, {name: costs[name] for name in used})
+
+    def rewire(tree: DnfTree, home: int) -> DnfTree:
+        """Independently send each leaf to a random foreign stream."""
+        foreign = [name for name in all_names if name not in set(groups[home])]
+        ands = []
+        changed = False
+        for group_leaves in tree.ands:
+            leaves = []
+            for leaf in group_leaves:
+                if foreign and rng.random() < cross_cluster_prob:
+                    stream = foreign[int(rng.integers(len(foreign)))]
+                    leaves.append(Leaf(stream, leaf.items, leaf.prob))
+                    changed = True
+                else:
+                    leaves.append(leaf)
+            ands.append(leaves)
+        if not changed:
+            return tree
+        used = {leaf.stream for leaves in ands for leaf in leaves}
+        return DnfTree(ands, {name: costs[name] for name in used})
+
+    templates = [
+        [random_template(group) for _ in range(templates_per_cluster)]
+        for group in groups
+    ]
+    population: list[tuple[str, DnfTree]] = []
+    for q in range(n_queries):
+        home = q % n_clusters
+        template = templates[home][int(rng.integers(templates_per_cluster))]
+        tree = shuffled_isomorph(template, rng)
+        if cross_cluster_prob > 0.0:
+            tree = rewire(tree, home)
+        population.append((f"q{q:04d}", tree))
+    return population

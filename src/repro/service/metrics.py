@@ -72,6 +72,9 @@ class ServiceMetrics:
     registrations: int = 0
     deregistrations: int = 0
     replans: int = 0
+    #: Drift-triggered re-plans suppressed by :class:`~repro.adaptive.AdaptivePolicy`
+    #: hysteresis (``expected_saving`` below ``min_saving``).
+    replans_suppressed: int = 0
     plan_cache_hit_rate: float = 0.0
     round_costs: list[float] = field(default_factory=list)
     per_query: dict[str, QueryStats] = field(default_factory=dict)
@@ -126,7 +129,8 @@ class ServiceMetrics:
             f"  plan cache        hit rate {self.plan_cache_hit_rate:.1%}",
             f"  churn             {self.registrations} registered,"
             f" {self.deregistrations} deregistered,"
-            f" {self.replans} adaptive replans",
+            f" {self.replans} adaptive replans"
+            f" ({self.replans_suppressed} suppressed)",
         ]
         for name in sorted(self.per_query):
             stats = self.per_query[name]

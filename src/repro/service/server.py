@@ -18,6 +18,8 @@ optimized unit:
 
 from __future__ import annotations
 
+import functools
+import threading
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Mapping, Sequence, Union
 
@@ -59,6 +61,17 @@ TreeLike = Union[AndTree, DnfTree, QueryTree]
 
 #: Default admission scheduler: the paper's best polynomial heuristic.
 DEFAULT_SCHEDULER = "and-inc-c-over-p-dynamic"
+
+
+def _synchronized(method):
+    """Run ``method`` under the server's reentrant lock."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -125,6 +138,12 @@ class BatchReport:
 
 class QueryServer:
     """Multi-tenant continuous-query server over one shared stream cache.
+
+    The server is thread-safe: ``register``/``deregister``/``step``/
+    ``run_batch`` (and the re-plan entry points) serialize on one internal
+    reentrant lock, so background admission threads can add and remove
+    queries while another thread drives rounds. A batch holds the lock for
+    its whole duration — admissions land between batches, never mid-batch.
 
     Parameters
     ----------
@@ -203,6 +222,11 @@ class QueryServer:
         self._plan: SharedPlan | None = None
         self._vector_executors: dict[str, VectorizedExecutor] = {}
         self._round = 0
+        # One reentrant lock serializes every population mutation and every
+        # round against each other, so background admission threads can
+        # register/deregister while another thread steps or batches.
+        # Reentrant because run_batch -> step -> replan_canonical nest.
+        self._lock = threading.RLock()
 
     # -- population management -----------------------------------------
 
@@ -223,6 +247,7 @@ class QueryServer:
         except KeyError:
             raise AdmissionError(f"no query named {name!r} is registered") from None
 
+    @_synchronized
     def register(
         self,
         name: str,
@@ -301,6 +326,7 @@ class QueryServer:
             self.cache.advance(max_items - self.cache.now)
         return registered
 
+    @_synchronized
     def deregister(self, name: str) -> None:
         """Remove a query; its per-query metrics are retained."""
         if name not in self._queries:
@@ -361,6 +387,7 @@ class QueryServer:
 
     # -- execution ------------------------------------------------------
 
+    @_synchronized
     def shared_plan(self) -> SharedPlan:
         """The current population's global probe order (built lazily)."""
         if not self._queries:
@@ -386,6 +413,7 @@ class QueryServer:
 
     # -- adaptive re-planning -------------------------------------------
 
+    @_synchronized
     def replan_canonical(
         self,
         key: str,
@@ -421,19 +449,46 @@ class QueryServer:
         )
         folded = fold_base_probs(base_probs, form.fold_sizes)
         belief = form.reprobed_tree(folded)
-        invalidated = (
-            self.plan_cache.invalidate(key) if self.plan_cache is not None else 0
-        )
         by_scheduler: dict[str, list[RegisteredQuery]] = {}
         for query in members:
             by_scheduler.setdefault(query.plan.scheduler_name, []).append(query)
-        events: list[ReplanEvent] = []
+        # Phase 1: schedule every group under the new belief and apply the
+        # hysteresis gate. A *fully*-suppressed re-plan touches nothing — in
+        # particular it must not drop the (possibly cluster-shared) plan
+        # cache entries for schedules that stay in service. When any group
+        # does apply, the whole shape's cache entries are invalidated (all
+        # schedulers): the shape's belief moved, so its admission-keyed
+        # plans are stale even for groups whose swap was suppressed.
+        prepared: list[tuple[str, list[RegisteredQuery], Schedule, float, Schedule, float]] = []
         for scheduler_name, group in by_scheduler.items():
             scheduler = self._scheduler_by_name(scheduler_name)
             new_schedule = tuple(scheduler.schedule(belief))
             new_cost = dnf_schedule_cost(belief, new_schedule, validate=True)
             old_schedule = group[0].plan.schedule
             old_cost = dnf_schedule_cost(belief, old_schedule, validate=False)
+            if (
+                reason == "drift"
+                and self.adaptive is not None
+                and self.adaptive.policy.min_saving > 0.0
+                and old_cost - new_cost < self.adaptive.policy.min_saving
+            ):
+                # Hysteresis: the drifted belief is still adopted as the new
+                # baseline (rebase below, which also starts the cooldown), but
+                # a schedule swap expected to save less than min_saving per
+                # round is not worth the churn.
+                self.metrics.replans_suppressed += 1
+                continue
+            prepared.append(
+                (scheduler_name, group, new_schedule, new_cost, old_schedule, old_cost)
+            )
+        # Phase 2: apply the surviving groups.
+        invalidated = (
+            self.plan_cache.invalidate(key)
+            if prepared and self.plan_cache is not None
+            else 0
+        )
+        events: list[ReplanEvent] = []
+        for scheduler_name, group, new_schedule, new_cost, old_schedule, old_cost in prepared:
             plan = CachedPlan(
                 key=key,
                 scheduler_name=scheduler_name,
@@ -467,13 +522,15 @@ class QueryServer:
             events.append(event)
             self.replan_log.append(event)
             self.metrics.replans += 1
-        self._plan = None  # rebuild the merged shared plan lazily
+        if events:
+            self._plan = None  # rebuild the merged shared plan lazily
         if self.adaptive is not None:
             self.adaptive.rebase(key, self._round, base_probs)
             for event in events:
                 self.adaptive.record_event(event)
         return events
 
+    @_synchronized
     def replan_query(
         self, name: str, true_probs: Mapping[int, float]
     ) -> list[ReplanEvent]:
@@ -540,6 +597,7 @@ class QueryServer:
                 seen.add(id(oracle))
                 oracle.advance(rounds)
 
+    @_synchronized
     def step(self) -> dict[str, ExecutionResult]:
         """Advance the streams one tick and evaluate every registered query."""
         if not self._queries:
@@ -576,6 +634,7 @@ class QueryServer:
         self._advance_drifting_oracles(1)
         return results
 
+    @_synchronized
     def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
         """Run ``rounds`` consecutive steps and aggregate the outcome.
 

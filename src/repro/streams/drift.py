@@ -23,6 +23,7 @@ estimates the drifted probabilities back from observed outcomes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence, Union
 
@@ -203,12 +204,18 @@ class DriftingSource(Source):
         self.schedule = schedule
         self._rng = np.random.default_rng(seed)
         self._values: list[float] = []
+        self._extend_lock = threading.Lock()
 
     def value_at(self, tau: int) -> float:
         if tau < 0:
             raise StreamError(f"production index must be >= 0, got {tau}")
-        while len(self._values) <= tau:
-            produced = len(self._values)
-            prob = float(self.schedule.probs_at(produced)[0])
-            self._values.append(float(self._rng.random() < prob))
+        # Locked like _SequentialSource: one drifting tape may back several
+        # caches read from concurrent cluster shards, and each item must be
+        # drawn with its *own* production index's probability.
+        if tau >= len(self._values):
+            with self._extend_lock:
+                while len(self._values) <= tau:
+                    produced = len(self._values)
+                    prob = float(self.schedule.probs_at(produced)[0])
+                    self._values.append(float(self._rng.random() < prob))
         return self._values[tau]

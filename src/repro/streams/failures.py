@@ -18,6 +18,8 @@ index gives the same value/outcome), which the stateful cache tests rely on.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.errors import StreamError
@@ -44,15 +46,20 @@ class DropoutSource(Source):
         self.fill = fill
         self._rng = np.random.default_rng(seed)
         self._dropped: dict[int, bool] = {}
+        self._draw_lock = threading.Lock()
         self.drop_count = 0
 
     def _is_dropped(self, tau: int) -> bool:
         if tau not in self._dropped:
-            # draw lazily but memoize: the tape must stay deterministic
-            dropped = bool(self._rng.random() < self.drop_prob)
-            self._dropped[tau] = dropped
-            if dropped:
-                self.drop_count += 1
+            # Draw lazily but memoize (locked: one tape may back several
+            # caches on concurrent cluster shards) — the tape must stay
+            # deterministic.
+            with self._draw_lock:
+                if tau not in self._dropped:
+                    dropped = bool(self._rng.random() < self.drop_prob)
+                    self._dropped[tau] = dropped
+                    if dropped:
+                        self.drop_count += 1
         return self._dropped[tau]
 
     def value_at(self, tau: int) -> float:
@@ -81,13 +88,16 @@ class FailingSource(Source):
         self.fail_prob = float(fail_prob)
         self._rng = np.random.default_rng(seed)
         self._failed: dict[int, bool] = {}
+        self._draw_lock = threading.Lock()
         self.failure_count = 0
 
     def value_at(self, tau: int) -> float:
         if tau < 0:
             raise StreamError(f"production index must be >= 0, got {tau}")
         if tau not in self._failed:
-            self._failed[tau] = bool(self._rng.random() < self.fail_prob)
+            with self._draw_lock:
+                if tau not in self._failed:
+                    self._failed[tau] = bool(self._rng.random() < self.fail_prob)
         if self._failed[tau]:
             self.failure_count += 1
             raise StreamError(f"simulated sensor outage reading item {tau}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import math
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -58,11 +59,18 @@ class Source(abc.ABC):
 
 
 class _SequentialSource(Source):
-    """Base for sources whose items must be generated in order (memoized)."""
+    """Base for sources whose items must be generated in order (memoized).
+
+    Generation is guarded by a lock so one tape can back several caches read
+    from concurrent threads (e.g. two cluster shards sharing a cut stream);
+    the memoized prefix is append-only, so the lock-free fast path for
+    already-produced items stays consistent.
+    """
 
     def __init__(self, seed: int | None = None) -> None:
         self._rng = np.random.default_rng(seed)
         self._values: list[float] = []
+        self._extend_lock = threading.Lock()
 
     @abc.abstractmethod
     def _next(self, tau: int, rng: np.random.Generator) -> float:
@@ -71,8 +79,10 @@ class _SequentialSource(Source):
     def value_at(self, tau: int) -> float:
         if tau < 0:
             raise StreamError(f"production index must be >= 0, got {tau}")
-        while len(self._values) <= tau:
-            self._values.append(float(self._next(len(self._values), self._rng)))
+        if tau >= len(self._values):
+            with self._extend_lock:
+                while len(self._values) <= tau:
+                    self._values.append(float(self._next(len(self._values), self._rng)))
         return self._values[tau]
 
 

@@ -241,3 +241,72 @@ class TestEngineParity:
             e.round_index for e in vector.replan_log
         ]
         assert scalar.metrics.total_cost == pytest.approx(vector.metrics.total_cost)
+
+
+class TestReplanHysteresis:
+    """AdaptivePolicy.min_saving: skip schedule swaps that save too little."""
+
+    def hysteresis_policy(self, min_saving: float) -> AdaptivePolicy:
+        return AdaptivePolicy(
+            window=32,
+            threshold=0.25,
+            min_samples=12,
+            cooldown=8,
+            min_saving=min_saving,
+        )
+
+    def test_sub_threshold_drift_does_not_replan(self):
+        """Drift is detected, but an unreachable min_saving suppresses the swap."""
+        server = adaptive_server(self.hysteresis_policy(1e9))
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=7))
+        before = server.query("q0").schedule
+        server.run_batch(120)
+        assert server.metrics.replans == 0
+        assert server.replan_log == []
+        assert server.query("q0").schedule == before
+        assert server.metrics.replans_suppressed >= 1
+        # The suppressed decision still rebased the belief baseline, so the
+        # detector does not re-fire every cooldown window forever.
+        assert server.metrics.replans_suppressed <= 4
+
+    def test_suppressed_replan_keeps_plan_cache(self):
+        """A suppressed swap must not drop cache entries still in service."""
+        cache = PlanCache(capacity=16)
+        server = QueryServer(
+            drift_registry(),
+            scheduler=SCHEDULER,
+            plan_cache=cache,
+            adaptive=self.hysteresis_policy(1e9),
+        )
+        tree = flip_tree()
+        form = canonicalize(tree)
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=7))
+        assert (form.key, SCHEDULER) in cache
+        server.run_batch(120)
+        assert server.metrics.replans_suppressed >= 1
+        assert (form.key, SCHEDULER) in cache
+
+    def test_real_saving_passes_hysteresis(self):
+        """The same drift with a tiny threshold re-plans as before."""
+        server = adaptive_server(self.hysteresis_policy(1e-9))
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=7))
+        server.run_batch(120)
+        assert server.metrics.replans >= 1
+        assert server.metrics.replans_suppressed == 0
+
+    def test_forced_replan_bypasses_hysteresis(self):
+        server = adaptive_server(self.hysteresis_policy(1e9))
+        tree = flip_tree()
+        server.register("q0", tree, oracle=drifting_oracle(tree, 0, seed=9))
+        events = server.replan_query("q0", {0: 0.9})
+        assert events  # applied despite the unreachable min_saving
+        assert server.metrics.replans == len(events)
+        assert server.metrics.replans_suppressed == 0
+
+    def test_negative_min_saving_rejected(self):
+        from repro.errors import StreamError
+
+        with pytest.raises(StreamError):
+            AdaptivePolicy(min_saving=-0.5)

@@ -1,0 +1,108 @@
+"""Overlap-clustered population generator: structure, determinism, noise."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.partition import build_overlap_graph
+from repro.errors import StreamError
+from repro.generators import (
+    clustered_registry,
+    clustered_stream_groups,
+    overlap_clustered_population,
+)
+
+
+class TestClusteredStreams:
+    def test_groups_are_disjoint_and_named(self):
+        groups = clustered_stream_groups(3, 2)
+        assert groups == [["C0S0", "C0S1"], ["C1S0", "C1S1"], ["C2S0", "C2S1"]]
+        flat = [name for group in groups for name in group]
+        assert len(flat) == len(set(flat))
+
+    def test_registry_holds_every_stream(self):
+        registry = clustered_registry(3, 4, seed=5)
+        assert len(registry) == 12
+        for group in clustered_stream_groups(3, 4):
+            for name in group:
+                assert name in registry
+                assert registry.spec(name).cost_per_item > 0
+
+    def test_registry_is_deterministic_per_seed(self):
+        a = clustered_registry(2, 2, seed=9)
+        b = clustered_registry(2, 2, seed=9)
+        assert a.cost_table() == b.cost_table()
+        assert a.source("C0S0").value_at(5) == b.source("C0S0").value_at(5)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(StreamError):
+            clustered_stream_groups(0, 2)
+        with pytest.raises(StreamError):
+            clustered_stream_groups(2, 0)
+
+
+class TestOverlapClusteredPopulation:
+    def test_disjoint_population_components_are_the_clusters(self):
+        registry = clustered_registry(4, 3, seed=1)
+        population = overlap_clustered_population(40, registry, 4, 3, seed=2)
+        assert len(population) == 40
+        graph = build_overlap_graph(population, registry.cost_table())
+        components = graph.components()
+        assert len(components) == 4
+        # Round-robin assignment: q index mod 4 identifies the home cluster.
+        for component in components:
+            homes = {int(name[1:]) % 4 for name in component}
+            assert len(homes) == 1
+
+    def test_queries_stay_on_home_streams_without_noise(self):
+        registry = clustered_registry(3, 3, seed=3)
+        population = overlap_clustered_population(12, registry, 3, 3, seed=4)
+        for name, tree in population:
+            home = int(name[1:]) % 3
+            for leaf in tree.leaves:
+                assert leaf.stream.startswith(f"C{home}S")
+
+    def test_cross_cluster_noise_creates_cut_edges(self):
+        registry = clustered_registry(3, 3, seed=5)
+        population = overlap_clustered_population(
+            60, registry, 3, 3, cross_cluster_prob=0.5, seed=6
+        )
+        foreign_leaves = sum(
+            1
+            for name, tree in population
+            for leaf in tree.leaves
+            if not leaf.stream.startswith(f"C{int(name[1:]) % 3}S")
+        )
+        assert foreign_leaves > 0
+        graph = build_overlap_graph(population, registry.cost_table())
+        assert len(graph.components()) < 3  # noise merged some clusters
+
+    def test_deterministic_per_seed(self):
+        registry = clustered_registry(2, 3, seed=7)
+        a = overlap_clustered_population(10, registry, 2, 3, seed=8)
+        b = overlap_clustered_population(10, registry, 2, 3, seed=8)
+        assert [(name, tuple(tree.leaves)) for name, tree in a] == [
+            (name, tuple(tree.leaves)) for name, tree in b
+        ]
+
+    def test_tree_costs_match_registry(self):
+        registry = clustered_registry(2, 2, seed=9)
+        population = overlap_clustered_population(
+            8, registry, 2, 2, cross_cluster_prob=0.3, seed=10
+        )
+        costs = registry.cost_table()
+        for _, tree in population:
+            for stream, cost in tree.costs.items():
+                assert cost == costs[stream]
+
+    def test_validation(self):
+        registry = clustered_registry(2, 2, seed=11)
+        with pytest.raises(StreamError):
+            overlap_clustered_population(0, registry, 2, 2)
+        with pytest.raises(StreamError):
+            overlap_clustered_population(4, registry, 2, 2, cross_cluster_prob=1.5)
+        with pytest.raises(StreamError):
+            overlap_clustered_population(4, registry, 2, 2, templates_per_cluster=0)
+        with pytest.raises(StreamError):
+            # registry lacks cluster 2's streams
+            overlap_clustered_population(4, registry, 3, 2)

@@ -144,6 +144,50 @@ class TestServeSim:
         assert "hit rate" in capsys.readouterr().out
 
 
+class TestClusterSim:
+    def test_default_run_prints_comparison(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sim", "--queries", "30", "--clusters", "3",
+                    "--streams-per-cluster", "3", "--rounds", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "overlap-sharded" in out
+        assert "random-sharded" in out
+        assert "overlap-sharded vs single-shard" in out
+
+    def test_verify_flag_runs_parity_check(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sim", "--queries", "20", "--clusters", "2",
+                    "--streams-per-cluster", "3", "--rounds", "4", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parity:" in out
+        assert "identical between sharded and unsharded" in out
+
+    def test_vectorized_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sim", "--queries", "16", "--clusters", "2",
+                    "--streams-per-cluster", "3", "--rounds", "3",
+                    "--engine", "vectorized", "--shards", "2",
+                ]
+            )
+            == 0
+        )
+        assert "evals/s" in capsys.readouterr().out
+
+
 class TestDrift:
     def test_default_run_prints_comparison(self, capsys):
         assert (

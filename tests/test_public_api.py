@@ -29,6 +29,7 @@ class TestPublicApi:
             "repro.engine",
             "repro.service",
             "repro.adaptive",
+            "repro.cluster",
             "repro.lang",
             "repro.generators",
             "repro.experiments",
