@@ -14,7 +14,12 @@ package closes the loop:
   machine a :class:`~repro.service.server.QueryServer` consults every round:
   it pools outcomes per *canonical* leaf across isomorphic queries, detects
   divergence from the probabilities the current plan assumed, and proposes
-  updated probabilities for an incremental re-plan.
+  updated probabilities for an incremental re-plan (:class:`ShapeBelief`
+  snapshots carry that state across shard migrations);
+* :mod:`~repro.adaptive.elastic` — :class:`ElasticPolicy`, the cluster-level
+  sibling: thresholds on load imbalance, churn/drift counters and cut spend
+  that let a :class:`~repro.cluster.cluster.ClusterServer` split, drain and
+  rebalance its shards without operator calls.
 
 The server wires it in behind ``QueryServer(adaptive=AdaptivePolicy(...))``:
 on drift it re-runs the admission scheduler on the updated canonical leaves,
@@ -23,14 +28,17 @@ re-expands the schedule for every registered isomorph and rebuilds the
 merged :class:`~repro.service.shared_plan.SharedPlan`.
 """
 
-from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.controller import AdaptiveController, ShapeBelief
+from repro.adaptive.elastic import ElasticPolicy
 from repro.adaptive.policy import AdaptivePolicy, ReplanEvent
 from repro.adaptive.tracker import LeafPosterior, SelectivityTracker
 
 __all__ = [
     "AdaptivePolicy",
+    "ElasticPolicy",
     "ReplanEvent",
     "LeafPosterior",
     "SelectivityTracker",
     "AdaptiveController",
+    "ShapeBelief",
 ]

@@ -19,13 +19,14 @@ probabilities — consistent with how
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.adaptive.policy import AdaptivePolicy, ReplanEvent
-from repro.adaptive.tracker import SelectivityTracker
+from repro.adaptive.tracker import LeafPosterior, SelectivityTracker
 from repro.errors import StreamError
 
-__all__ = ["AdaptiveController", "fold_base_probs"]
+__all__ = ["AdaptiveController", "ShapeBelief", "fold_base_probs"]
 
 #: Clip proposed plan probabilities into the open interval the ratio
 #: schedulers require (they divide by both ``p`` and ``1 - p``).
@@ -50,6 +51,24 @@ def fold_base_probs(
             f"got {len(base_probs)} probabilities for {len(fold_sizes)} canonical leaves"
         )
     return tuple(_clip(float(p) ** int(k)) for p, k in zip(base_probs, fold_sizes))
+
+
+@dataclass(frozen=True)
+class ShapeBelief:
+    """One canonical shape's adaptive state, lifted out for transplant.
+
+    What a query migration must carry so the destination server keeps
+    serving the shape on the belief the source built up: the baseline
+    probabilities the current plan assumed, the duplicate-fold sizes, the
+    re-plan cooldown clock and an independent copy of every per-leaf
+    posterior. Produced by :meth:`AdaptiveController.export_shape`, consumed
+    by :meth:`AdaptiveController.import_shape`.
+    """
+
+    baseline: tuple[float, ...]
+    fold_sizes: tuple[int, ...]
+    last_replan: int | None
+    posteriors: tuple[LeafPosterior | None, ...]
 
 
 class AdaptiveController:
@@ -97,6 +116,45 @@ class AdaptiveController:
 
     def tracked_keys(self) -> tuple[str, ...]:
         return tuple(self._baseline)
+
+    def export_shape(self, key: str) -> ShapeBelief | None:
+        """Snapshot ``key``'s belief for migration (``None`` when untracked).
+
+        The posteriors are cloned, so exporting does not entangle the source
+        tracker with the destination when isomorphs of the shape remain
+        registered here.
+        """
+        baseline = self._baseline.get(key)
+        if baseline is None:
+            return None
+        return ShapeBelief(
+            baseline=baseline,
+            fold_sizes=self._fold[key],
+            last_replan=self._last_replan.get(key),
+            posteriors=tuple(
+                posterior.clone() if posterior is not None else None
+                for posterior in (
+                    self.tracker.get((key, gindex)) for gindex in range(len(baseline))
+                )
+            ),
+        )
+
+    def import_shape(self, key: str, belief: ShapeBelief) -> bool:
+        """Adopt a migrated shape's belief; returns False when already tracked.
+
+        A shape this controller already tracks keeps its own state — the
+        resident isomorphs' pooled evidence outranks a transplanted copy.
+        """
+        if key in self._baseline:
+            return False
+        self._baseline[key] = tuple(float(p) for p in belief.baseline)
+        self._fold[key] = tuple(int(k) for k in belief.fold_sizes)
+        if belief.last_replan is not None:
+            self._last_replan[key] = belief.last_replan
+        for gindex, posterior in enumerate(belief.posteriors):
+            if posterior is not None:
+                self.tracker.adopt((key, gindex), posterior)
+        return True
 
     def baseline(self, key: str) -> tuple[float, ...]:
         try:

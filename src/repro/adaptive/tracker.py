@@ -98,6 +98,20 @@ class LeafPosterior:
         self._recent.clear()
         self._recent_successes = 0
 
+    def clone(self) -> "LeafPosterior":
+        """An independent copy (same evidence, separately mutable).
+
+        Shard migration transplants posteriors between servers; a clone keeps
+        the source and destination trackers from sharing mutable state when
+        isomorphs of the same shape stay behind.
+        """
+        copy = LeafPosterior(window=self.window, prior=self.prior)
+        copy._recent.extend(self._recent)
+        copy._recent_successes = self._recent_successes
+        copy.trials = self.trials
+        copy.successes = self.successes
+        return copy
+
     def __repr__(self) -> str:
         return (
             f"LeafPosterior(mean={self.mean:.3f}, window_mean={self.window_mean:.3f}, "
@@ -145,6 +159,15 @@ class SelectivityTracker:
 
     def drop(self, key: Hashable) -> None:
         self._posteriors.pop(key, None)
+
+    def adopt(self, key: Hashable, posterior: LeafPosterior) -> None:
+        """Install a transplanted posterior for ``key`` (no-op if tracked).
+
+        An existing posterior wins: it already pools the local isomorphs'
+        evidence, which a migrated copy would clobber.
+        """
+        if key not in self._posteriors:
+            self._posteriors[key] = posterior
 
     def snapshot(self) -> dict[Hashable, tuple[float, int]]:
         """``key -> (window_mean, window_trials)`` for metrics export."""

@@ -34,7 +34,11 @@ Commands
     population served unsharded, on K stream-overlap shards (concurrent) and
     on K random shards, with the partition report and throughput/cost
     comparison. ``--verify`` runs the sharded-vs-unsharded differential
-    parity check first.
+    parity check first. ``--elastic`` instead serves a churn-over-time
+    population on a self-managing elastic cluster (auto split/drain/
+    rebalance); combined with ``--verify`` it first runs the elastic
+    differential gauntlet (split/drain/resize with auto-rebalance enabled
+    vs the unsharded server, bit-identical per-query costs).
 
 Examples
 --------
@@ -303,6 +307,8 @@ def cmd_drift(args: argparse.Namespace) -> int:
 def cmd_cluster_sim(args: argparse.Namespace) -> int:
     from repro.experiments.cluster import run_cluster_compare, verify_cluster_parity
 
+    if args.elastic:
+        return _cmd_cluster_sim_elastic(args)
     if args.verify:
         deltas = verify_cluster_parity(
             n_queries=min(args.queries, 80),
@@ -339,6 +345,60 @@ def cmd_cluster_sim(args: argparse.Namespace) -> int:
         f"throughput on {sharded.n_shards} shards ({sharded.workers} workers); "
         f"random partition: {report.speedup('random-sharded'):.2f}x"
     )
+    return 0
+
+
+def _cmd_cluster_sim_elastic(args: argparse.Namespace) -> int:
+    from repro.adaptive import ElasticPolicy
+    from repro.experiments.cluster import run_elastic_sim, verify_elastic_parity
+
+    target = max(8, args.queries // max(1, args.clusters))
+    policy = ElasticPolicy(
+        target_shard_queries=target,
+        min_split_size=max(4, target // 2),
+        churn_every=max(1, args.queries // 2),
+    )
+    if args.verify:
+        deltas = verify_elastic_parity(
+            n_queries=min(args.queries, 60),
+            n_clusters=args.clusters,
+            streams_per_cluster=args.streams_per_cluster,
+            rounds=min(args.rounds, 6),
+            engine=args.engine,
+            seed=args.seed,
+            elastic=policy,
+        )
+        print(
+            f"elastic parity: {len(deltas)} queries bit-identical to the "
+            f"unsharded server across the split/drain/resize gauntlet "
+            f"with auto-rebalance enabled (max cost delta "
+            f"{max(deltas.values()):.3g})"
+        )
+    report = run_elastic_sim(
+        n_queries=args.queries,
+        n_clusters=args.clusters,
+        streams_per_cluster=args.streams_per_cluster,
+        batches=args.batches,
+        rounds_per_batch=args.rounds,
+        policy=policy,
+        start_shards=args.shards if args.shards is not None else 2,
+        workers=args.workers,
+        scheduler=args.scheduler,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    print(
+        f"elastic serving: {report.batches} batches x {report.rounds_per_batch} "
+        f"rounds under churn (peak width {report.peak_width})"
+    )
+    print(ascii_table(report.summary_headers(), report.summary_rows()))
+    print(
+        f"total cost {report.total_cost:.6g}, {report.throughput:,.0f} evals/s, "
+        f"{report.splits} splits / {report.drains} drains / "
+        f"{report.rebalances} rebalances"
+    )
+    if report.final_partition is not None:
+        print(report.final_partition.describe())
     return 0
 
 
@@ -517,6 +577,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="first run the sharded-vs-unsharded differential parity check",
+    )
+    p_cluster.add_argument(
+        "--elastic",
+        action="store_true",
+        help="serve a churn-over-time population on a self-managing elastic "
+        "cluster (auto split/drain/rebalance) instead of the static comparison",
+    )
+    p_cluster.add_argument(
+        "--batches",
+        type=int,
+        default=12,
+        help="churn batches for --elastic (each runs --rounds rounds)",
     )
     p_cluster.set_defaults(func=cmd_cluster_sim)
 

@@ -15,13 +15,16 @@ cost model says sharing stops paying:
 * :mod:`~repro.cluster.router` — the front door scoring each admission
   against every shard's signature;
 * :mod:`~repro.cluster.cluster` — :class:`ClusterServer`: concurrent shard
-  batches on a thread pool, one cluster-wide plan cache, online
-  ``rebalance()``, and :class:`ClusterReport` aggregation.
+  batches on a thread pool, one cluster-wide plan cache, elastic width
+  (online ``split_shard``/``drain_shard``/``resize`` with full serving-state
+  migration, auto-managed by an :class:`~repro.adaptive.ElasticPolicy`),
+  online ``rebalance()``, and :class:`ClusterReport` aggregation.
 """
 
 from repro.cluster.cluster import (
     ClusterReport,
     ClusterServer,
+    ElasticEvent,
     RebalanceEvent,
     default_oracle_factory,
 )
@@ -30,9 +33,11 @@ from repro.cluster.partition import (
     Partition,
     PartitionReport,
     build_overlap_graph,
+    pack_pieces,
     partition_by_overlap,
     partition_report,
     random_partition,
+    shard_split_pieces,
     stream_weight_vector,
 )
 from repro.cluster.router import RoutingDecision, ShardRouter
@@ -52,6 +57,9 @@ __all__ = [
     "RoutingDecision",
     "ClusterServer",
     "ClusterReport",
+    "ElasticEvent",
     "RebalanceEvent",
     "default_oracle_factory",
+    "pack_pieces",
+    "shard_split_pieces",
 ]

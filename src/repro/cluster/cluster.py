@@ -15,10 +15,26 @@ All shards share one thread-safe :class:`~repro.service.plan_cache.PlanCache`,
 so a canonical query shape pays its scheduling cost once across the entire
 cluster, not once per shard.
 
+The cluster's width is *elastic*: :meth:`ClusterServer.split_shard` divides
+an overloaded shard along its stream-disjoint sub-clusters,
+:meth:`ClusterServer.drain_shard` migrates a shard's residents out through
+the router and retires it, and :meth:`ClusterServer.resize` composes both.
+Every move transplants the queries' full serving state — oracle instances,
+expanded schedules, cached plans, lifetime metrics, adaptive beliefs and the
+stream cache's held items — so placement changes never change what a query
+costs: a population served through any sequence of splits, drains and
+resizes produces per-query costs bit-identical to the unsharded server on
+the same seeds (the elasticity differential suite asserts exactly that).
+Wiring an :class:`~repro.adaptive.ElasticPolicy` makes the width
+self-managing: after each batch the cluster splits overloaded shards,
+drains underloaded ones and rebalances on churn/drift/cut-spend signals,
+without operator calls.
+
 :meth:`ClusterServer.run_batch` fans the round loop out over the shards and
 aggregates the per-shard reports into one :class:`ClusterReport`;
 :meth:`ClusterServer.rebalance` re-partitions the live population when churn
-or drift has degraded the placement.
+or drift has degraded the placement, migrating only the queries whose shard
+actually changes.
 """
 
 from __future__ import annotations
@@ -32,15 +48,19 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.adaptive.elastic import ElasticPolicy
 from repro.adaptive.policy import AdaptivePolicy
 from repro.cluster.partition import (
     Partition,
     PartitionReport,
     TreeLike,
     build_overlap_graph,
+    pack_pieces,
     partition_by_overlap,
     partition_report,
     random_partition,
+    shard_split_pieces,
+    stream_weight_vector,
 )
 from repro.cluster.router import ShardRouter
 from repro.cluster.shard import ShardServer
@@ -52,7 +72,13 @@ from repro.service.plan_cache import PlanCache
 from repro.service.server import DEFAULT_SCHEDULER, BatchReport, QueryServer
 from repro.streams.registry import StreamRegistry
 
-__all__ = ["ClusterReport", "ClusterServer", "RebalanceEvent", "default_oracle_factory"]
+__all__ = [
+    "ClusterReport",
+    "ClusterServer",
+    "ElasticEvent",
+    "RebalanceEvent",
+    "default_oracle_factory",
+]
 
 
 def _synchronized(method):
@@ -72,7 +98,10 @@ def default_oracle_factory(seed: int) -> Callable[[str], LeafOracle]:
     Because the oracle is derived from the query *name* (not from admission
     order or shard placement), a population served by any shard layout —
     including the unsharded single server — draws identical outcome streams,
-    which is what makes sharded-vs-unsharded runs exactly comparable.
+    which is what makes sharded-vs-unsharded runs exactly comparable, and
+    what keeps outcomes stable while elasticity moves queries between
+    shards (migrations carry the oracle *instance*, so even its consumed
+    random stream continues seamlessly).
     """
 
     def factory(name: str) -> LeafOracle:
@@ -100,6 +129,34 @@ class RebalanceEvent:
         )
 
 
+@dataclass(frozen=True)
+class ElasticEvent:
+    """One elastic topology change (operator-requested or policy-triggered)."""
+
+    #: "split" | "drain" | "drain-partial" | "grow" | "rebalance"
+    kind: str
+    #: Cluster rounds served when the event fired.
+    round_index: int
+    #: Subject shard: the split/drained shard, the spawned shard for "grow",
+    #: -1 for a rebalance (which touches the whole cluster).
+    shard_id: int
+    #: Shards that received queries (split targets, drain destinations).
+    new_shard_ids: tuple[int, ...]
+    #: Queries migrated by the event.
+    moves: int
+    #: "operator" for explicit calls, "auto:<signal>" for policy triggers.
+    trigger: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        targets = ",".join(str(sid) for sid in self.new_shard_ids) or "-"
+        return (
+            f"round {self.round_index}: {self.kind} shard {self.shard_id} "
+            f"-> [{targets}], {self.moves} queries moved ({self.trigger})"
+            + (f"; {self.detail}" if self.detail else "")
+        )
+
+
 @dataclass
 class ClusterReport:
     """Aggregate of one concurrent batch across every active shard."""
@@ -113,6 +170,15 @@ class ClusterReport:
     plan_cache_hit_rate: float
     router_overlap_hit_rate: float
     rebalances: int
+    #: Cluster width (shard count, including empty shards) after the batch
+    #: and any automatic elastic actions it triggered.
+    n_shards_total: int = 0
+    #: Lifetime elastic counters at report time.
+    splits: int = 0
+    drains: int = 0
+    #: Human-readable descriptions of the elastic actions the policy took
+    #: right after this batch (empty without an ElasticPolicy).
+    elastic_actions: tuple[str, ...] = ()
 
     # -- aggregates ------------------------------------------------------
 
@@ -180,8 +246,12 @@ class ClusterReport:
             f"{self.items_saved} saved",
             f"  plan-cache hit rate {self.plan_cache_hit_rate:.1%}, "
             f"router overlap hits {self.router_overlap_hit_rate:.1%}, "
-            f"{self.replans} replans, {self.rebalances} rebalances",
+            f"{self.replans} replans, {self.rebalances} rebalances, "
+            f"{self.splits} splits / {self.drains} drains "
+            f"(width {self.n_shards_total})",
         ]
+        for action in self.elastic_actions:
+            lines.append(f"  elastic: {action}")
         for shard_id in sorted(self.shard_reports):
             report = self.shard_reports[shard_id]
             lines.append(
@@ -193,7 +263,7 @@ class ClusterReport:
 
 
 class ClusterServer:
-    """A fixed-width cluster of stream-overlap shards behind a router.
+    """An elastic cluster of stream-overlap shards behind a router.
 
     Parameters
     ----------
@@ -202,8 +272,10 @@ class ClusterServer:
         over the same (thread-safe, memoized) source tapes, so two shards
         windowing one cut stream read identical values.
     n_shards:
-        Cluster width. Shards may stay empty when the population has fewer
-        overlap components than ``n_shards``.
+        Initial cluster width. Shards may stay empty when the population has
+        fewer overlap components than ``n_shards``; the width changes online
+        through :meth:`split_shard`, :meth:`drain_shard`, :meth:`resize` or
+        an :class:`~repro.adaptive.ElasticPolicy`.
     workers:
         Thread-pool width for concurrent shard batches; ``None`` sizes to
         ``min(active shards, cpu count)``, ``1`` runs shards serially.
@@ -221,7 +293,12 @@ class ClusterServer:
         ``seed`` and the query name (placement-independent outcomes).
     max_shard_queries:
         Per-shard admission capacity, enforced by the router and the
-        partitioner.
+        partitioner (and by migrations: a drain refuses to overfill its
+        destinations).
+    elastic:
+        An :class:`~repro.adaptive.ElasticPolicy` enabling automatic
+        split/drain/rebalance after each batch; ``None`` (default) leaves
+        the width entirely to the operator.
     """
 
     def __init__(
@@ -237,6 +314,7 @@ class ClusterServer:
         adaptive: AdaptivePolicy | None = None,
         oracle_factory: Callable[[str], LeafOracle] | None = None,
         max_shard_queries: int | None = None,
+        elastic: ElasticPolicy | None = None,
         seed: int = 0,
     ) -> None:
         if n_shards < 1:
@@ -246,8 +324,11 @@ class ClusterServer:
                 "adaptive must be an AdaptivePolicy (each shard builds its own "
                 f"controller), got {type(adaptive).__name__}"
             )
+        if elastic is not None and not isinstance(elastic, ElasticPolicy):
+            raise AdmissionError(
+                f"elastic must be an ElasticPolicy or None, got {type(elastic).__name__}"
+            )
         self.registry = registry
-        self.n_shards = n_shards
         self.workers = workers
         self.seed = seed
         self._scheduler = scheduler
@@ -255,6 +336,7 @@ class ClusterServer:
         self._warmup = warmup
         self._adaptive = adaptive
         self._max_shard_queries = max_shard_queries
+        self.elastic = elastic
         if isinstance(plan_cache, PlanCache):
             self.plan_cache: PlanCache | None = plan_cache
         elif plan_cache:
@@ -267,17 +349,33 @@ class ClusterServer:
         self.router = ShardRouter(
             costs=registry.cost_table(), max_shard_queries=max_shard_queries
         )
-        self.shards: list[ShardServer] = [
-            self._new_shard(shard_id) for shard_id in range(n_shards)
-        ]
+        #: Stable shard id -> live shard. Ids are never reused: a split's new
+        #: shards and a drain's retirement keep every id's history unambiguous.
+        self.shards: dict[int, ShardServer] = {}
+        self._next_shard_id = 0
+        for _ in range(n_shards):
+            self._spawn_shard()
         self._assignment: dict[str, int] = {}
         self._order: list[str] = []
         self.rebalances: list[RebalanceEvent] = []
-        # Cluster-level mutations (admission, departure, rebalance) and
-        # batches serialize on one reentrant lock, mirroring QueryServer's
-        # contract: background admission threads are safe, and a rebalance
-        # can never swap the shard set out from under an in-flight batch.
-        # Within a batch the shards still run concurrently on the pool.
+        #: Audit log of every topology change (splits, drains, grows,
+        #: rebalances), operator-requested and policy-triggered alike.
+        self.elastic_log: list[ElasticEvent] = []
+        self._rounds_served = 0
+        self._batches_since_check = 0
+        #: Cluster-level churn (admissions + departures; migrations excluded)
+        #: and retired-shard re-plan carry-over, for the elastic triggers.
+        self._churn = 0
+        self._churn_mark = 0
+        self._replans_retired = 0
+        self._replans_mark = 0
+        # Cluster-level mutations (admission, departure, split, drain,
+        # resize, rebalance) and batches serialize on one reentrant lock,
+        # mirroring QueryServer's contract: background admission threads are
+        # safe, and a topology change can never swap the shard set out from
+        # under an in-flight batch. Within a batch the shards still run
+        # concurrently on the pool. Reentrant because resize -> drain_shard
+        # and run_batch -> _auto_elastic -> split/drain/rebalance nest.
         self._lock = threading.RLock()
 
     def _new_shard(self, shard_id: int) -> ShardServer:
@@ -291,7 +389,24 @@ class ClusterServer:
         )
         return ShardServer(shard_id, server, self.registry.cost_table())
 
+    def _spawn_shard(self) -> ShardServer:
+        shard = self._new_shard(self._next_shard_id)
+        self._next_shard_id += 1
+        self.shards[shard.shard_id] = shard
+        return shard
+
+    def _shard(self, shard_id: int) -> ShardServer:
+        try:
+            return self.shards[shard_id]
+        except KeyError:
+            raise AdmissionError(f"no shard with id {shard_id}") from None
+
     # -- population ------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Current cluster width (live shards, including empty ones)."""
+        return len(self.shards)
 
     def __len__(self) -> int:
         return len(self._assignment)
@@ -314,7 +429,15 @@ class ClusterServer:
         return self.shards[self.shard_of(name)].server.query(name)
 
     def active_shards(self) -> list[ShardServer]:
-        return [shard for shard in self.shards if len(shard)]
+        return [shard for shard in self.shards.values() if len(shard)]
+
+    @property
+    def splits(self) -> int:
+        return sum(1 for event in self.elastic_log if event.kind == "split")
+
+    @property
+    def drains(self) -> int:
+        return sum(1 for event in self.elastic_log if event.kind == "drain")
 
     @_synchronized
     def register(
@@ -323,7 +446,7 @@ class ClusterServer:
         """Admit one query through the router; returns the chosen shard id."""
         if name in self._assignment:
             raise AdmissionError(f"query {name!r} is already registered")
-        decision = self.router.route(name, tree, self.shards)
+        decision = self.router.route(name, tree, list(self.shards.values()))
         shard = self.shards[decision.shard_id]
         shard.register(
             name, tree, oracle=oracle if oracle is not None else self.oracle_factory(name)
@@ -331,6 +454,10 @@ class ClusterServer:
         self.router.record(decision)
         self._assignment[name] = decision.shard_id
         self._order.append(name)
+        self._churn += 1
+        self._absorb_overlapping(
+            decision.shard_id, stream_weight_vector(tree, self.registry.cost_table())
+        )
         return decision.shard_id
 
     @_synchronized
@@ -345,9 +472,9 @@ class ClusterServer:
 
         ``method="overlap"`` runs the stream-overlap partitioner,
         ``method="random"`` the overlap-blind baseline. Piece ``i`` of the
-        partition lands on shard ``i``; queries register in population order
-        within each shard, so a 1-shard cluster is probe-for-probe identical
-        to the unsharded :class:`QueryServer`.
+        partition lands on the ``i``-th live shard (by ascending id); queries
+        register in population order within each shard, so a 1-shard cluster
+        is probe-for-probe identical to the unsharded :class:`QueryServer`.
         """
         if partition is None:
             costs = self.registry.cost_table()
@@ -373,7 +500,8 @@ class ClusterServer:
             )
         trees = dict(population)
         order = {name: i for i, (name, _) in enumerate(population)}
-        for shard_id, members in enumerate(partition.shards):
+        shard_ids = sorted(self.shards)
+        for shard_id, members in zip(shard_ids, partition.shards):
             shard = self.shards[shard_id]
             for name in sorted(members, key=order.__getitem__):
                 if name in self._assignment:
@@ -381,6 +509,9 @@ class ClusterServer:
                 shard.register(name, trees[name], oracle=self.oracle_factory(name))
                 self._assignment[name] = shard_id
                 self._order.append(name)
+        self._churn += len(population)
+        # Bulk registration grows signatures behind the router's back.
+        self.router.invalidate_signatures()
         return partition
 
     @_synchronized
@@ -389,6 +520,8 @@ class ClusterServer:
         self.shards[shard_id].deregister(name)
         del self._assignment[name]
         self._order.remove(name)
+        self._churn += 1
+        self.router.invalidate_signatures((shard_id,))
 
     # -- execution -------------------------------------------------------
 
@@ -409,6 +542,7 @@ class ClusterServer:
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 round_results = list(pool.map(lambda shard: shard.step(), active))
+        self._rounds_served += 1
         merged: dict[str, ExecutionResult] = {}
         for results in round_results:
             merged.update(results)
@@ -416,7 +550,14 @@ class ClusterServer:
 
     @_synchronized
     def run_batch(self, rounds: int, *, engine: str = "scalar") -> ClusterReport:
-        """Batch every active shard concurrently and aggregate the reports."""
+        """Batch every active shard concurrently and aggregate the reports.
+
+        With an :class:`~repro.adaptive.ElasticPolicy` configured, the
+        policy is evaluated right after the batch (still under the cluster
+        lock): the report's ``elastic_actions`` describe any splits, drains
+        or rebalances it fired, and ``shard_sizes`` reflect the population
+        as it was *during* the batch.
+        """
         active = self.active_shards()
         if not active:
             raise StreamError("no queries registered in any shard")
@@ -430,23 +571,283 @@ class ClusterServer:
                     pool.map(lambda shard: shard.run_batch(rounds, engine=engine), active)
                 )
         wall = time.perf_counter() - start
+        self._rounds_served += rounds
+        shard_reports = {
+            shard.shard_id: report for shard, report in zip(active, reports)
+        }
+        shard_seconds = {shard.shard_id: shard.last_batch_seconds for shard in active}
+        shard_sizes = {shard.shard_id: len(shard) for shard in active}
+        auto = self._auto_elastic() if self.elastic is not None else []
         return ClusterReport(
             rounds=rounds,
             workers=workers,
             wall_seconds=wall,
-            shard_reports={
-                shard.shard_id: report for shard, report in zip(active, reports)
-            },
-            shard_seconds={
-                shard.shard_id: shard.last_batch_seconds for shard in active
-            },
-            shard_sizes={shard.shard_id: len(shard) for shard in active},
+            shard_reports=shard_reports,
+            shard_seconds=shard_seconds,
+            shard_sizes=shard_sizes,
             plan_cache_hit_rate=(
                 self.plan_cache.hit_rate if self.plan_cache is not None else 0.0
             ),
             router_overlap_hit_rate=self.router.overlap_hit_rate,
             rebalances=len(self.rebalances),
+            n_shards_total=self.n_shards,
+            splits=self.splits,
+            drains=self.drains,
+            elastic_actions=tuple(event.describe() for event in auto),
         )
+
+    # -- migration -------------------------------------------------------
+
+    def _absorb_overlapping(self, home_id: int, weights: dict[str, float]) -> None:
+        """Keep stream-sharing queries co-resident after an admission.
+
+        A runtime arrival can *bridge* overlap components that were, until
+        now, legitimately disjoint — and therefore placed on different
+        shards. Leaving them apart would silently forfeit the sharing the
+        cost model pays for (the new query's windows get fetched on two
+        devices), so the smaller, already-routed pieces follow the admission
+        to its home shard. On a capacity-bound cluster a piece that does not
+        fit stays put (the cut is the price of the balance constraint).
+        """
+        home = self.shards[home_id]
+        new_streams = set(weights)
+        for sid in sorted(self.shards):
+            if sid == home_id:
+                continue
+            other = self.shards[sid]
+            if not len(other) or not (new_streams & set(other.signature)):
+                continue
+            population = [
+                (name, other.server.query(name).tree) for name in other.names
+            ]
+            graph = build_overlap_graph(population, self.registry.cost_table())
+            order = {name: index for index, name in enumerate(other.names)}
+            for component in graph.components():
+                component_streams: set[str] = set()
+                for name in component:
+                    component_streams.update(graph.weights[name])
+                if not (component_streams & new_streams):
+                    continue
+                members = sorted(component, key=order.__getitem__)
+                if (
+                    self._max_shard_queries is not None
+                    and len(home) + len(members) > self._max_shard_queries
+                ):
+                    continue
+                self._migrate_group(members, sid, home_id)
+
+    def _migrate_group(self, names: Sequence[str], src_id: int, dest_id: int) -> None:
+        """Move ``names`` (one stream-coherent group) between live shards.
+
+        The destination first adopts the source cache's held items for the
+        movers' streams (and its round clock, when behind), then each query
+        is transplanted verbatim — plan, schedule, oracle instance, lifetime
+        stats, adaptive belief. Order inside the group is the source shard's
+        registration order, so co-resident queries keep the same relative
+        merge order they had (and would have had on the unsharded server).
+        """
+        src, dest = self.shards[src_id], self.shards[dest_id]
+        streams: set[str] = set()
+        for name in names:
+            streams.update(src.server.query(name).tree.streams)
+        # Snapshot the donor state first: lifting the movers out applies the
+        # relevance rule to the source cache, purging streams only they used.
+        donor_now, stores = src.server.cache.export_stream_state(streams)
+        if dest.server.rounds_served < src.server.rounds_served:
+            dest.server.sync_round_clock(src.server.rounds_served)
+        for name in names:
+            snapshot = src.server.export_query(name)
+            dest.admit_migrated(snapshot)
+            self._assignment[name] = dest_id
+        # Adopt after the movers are registered, so the destination's own
+        # relevance horizon already covers their streams.
+        dest.server.cache.adopt_stream_state(donor_now, stores)
+        # Restore global admission order on the destination: merge tie-breaks
+        # follow registration order, which must not depend on travel history.
+        dest.server.reorder(
+            [name for name in self._order if name in dest.server]
+        )
+        src.rebuild_signature()
+        self.router.invalidate_signatures((src_id, dest_id))
+
+    @_synchronized
+    def split_shard(
+        self,
+        shard_id: int,
+        *,
+        into: int = 2,
+        allow_cut: bool = False,
+        trigger: str = "operator",
+    ) -> ElasticEvent | None:
+        """Divide a shard along its stream-disjoint sub-clusters, online.
+
+        The shard's resident population is re-clustered
+        (:func:`~repro.cluster.partition.shard_split_pieces`): connected
+        overlap components are free boundaries, so the default split moves
+        whole components onto freshly spawned shards and no query's cost
+        changes. ``allow_cut`` additionally permits label-propagation
+        community cuts when the shard is one connected component (bounded
+        duplicated spend in exchange for width). ``into`` caps how many
+        shards the population is spread over (LPT-packed); the largest group
+        stays put, the rest migrate with their cache state.
+
+        Returns the :class:`ElasticEvent`, or ``None`` when the shard has
+        nothing to split under the given policy (fewer than two residents,
+        or a single connected component without ``allow_cut``).
+        """
+        shard = self._shard(shard_id)
+        if into < 2:
+            raise AdmissionError(f"a split needs at least 2 groups, got {into}")
+        if len(shard) < 2:
+            return None
+        population = [(name, shard.server.query(name).tree) for name in shard.names]
+        graph = build_overlap_graph(population, self.registry.cost_table())
+        pieces = shard_split_pieces(graph, allow_cut=allow_cut)
+        if len(pieces) <= 1:
+            return None
+        groups = pack_pieces(pieces, into)
+        if len(groups) <= 1:
+            return None
+        report = partition_report(graph, groups, method="split")
+        order = {name: index for index, name in enumerate(shard.names)}
+        # Largest group stays resident (fewest moves); ties break to the
+        # group holding the earliest-admitted query, so splits are stable.
+        groups.sort(key=lambda group: (-len(group), min(order[n] for n in group)))
+        new_ids: list[int] = []
+        moves = 0
+        for group in groups[1:]:
+            new = self._spawn_shard()
+            members = sorted(group, key=order.__getitem__)
+            self._migrate_group(members, shard_id, new.shard_id)
+            new_ids.append(new.shard_id)
+            moves += len(members)
+        event = ElasticEvent(
+            kind="split",
+            round_index=self._rounds_served,
+            shard_id=shard_id,
+            new_shard_ids=tuple(new_ids),
+            moves=moves,
+            trigger=trigger,
+            detail=(
+                f"{len(pieces)} pieces into {len(groups)} shards, "
+                f"cut weight {report.cut_weight:.6g}"
+            ),
+        )
+        self.elastic_log.append(event)
+        return event
+
+    @_synchronized
+    def drain_shard(self, shard_id: int, *, trigger: str = "operator") -> ElasticEvent:
+        """Migrate a shard's residents out through the router and retire it.
+
+        Residents leave as whole overlap components (each component routed
+        as one group, so co-residence — and therefore every query's cost —
+        survives the move), destination-scored exactly like runtime
+        admissions. On a capacity-bound cluster a drain that cannot place
+        some component raises :class:`~repro.errors.AdmissionError`;
+        components already migrated stay at their destinations and the
+        source shard is *not* retired, leaving the cluster consistent — and
+        when anything did move, a ``"drain-partial"`` event is logged before
+        the raise, so the audit trail covers the migrations that happened.
+        """
+        shard = self._shard(shard_id)
+        others = [s for sid, s in self.shards.items() if sid != shard_id]
+        if not others:
+            raise AdmissionError("cannot drain the only shard in the cluster")
+        destinations: list[int] = []
+        moves = 0
+        if len(shard):
+            population = [(name, shard.server.query(name).tree) for name in shard.names]
+            graph = build_overlap_graph(population, self.registry.cost_table())
+            order = {name: index for index, name in enumerate(shard.names)}
+            try:
+                for component in graph.components():
+                    members = sorted(component, key=order.__getitem__)
+                    weights: dict[str, float] = {}
+                    for name in members:
+                        for stream, weight in graph.weights[name].items():
+                            if weight > weights.get(stream, 0.0):
+                                weights[stream] = weight
+                    decision = self.router.route_group(
+                        members[0], weights, others, group_size=len(members)
+                    )
+                    self._migrate_group(members, shard_id, decision.shard_id)
+                    destinations.append(decision.shard_id)
+                    moves += len(members)
+            except AdmissionError:
+                if moves:
+                    self.elastic_log.append(
+                        ElasticEvent(
+                            kind="drain-partial",
+                            round_index=self._rounds_served,
+                            shard_id=shard_id,
+                            new_shard_ids=tuple(dict.fromkeys(destinations)),
+                            moves=moves,
+                            trigger=trigger,
+                            detail="capacity exhausted mid-drain; shard retained",
+                        )
+                    )
+                raise
+        retired = self.shards.pop(shard_id)
+        self._replans_retired += retired.server.metrics.replans
+        self.router.invalidate_signatures((shard_id,))
+        event = ElasticEvent(
+            kind="drain",
+            round_index=self._rounds_served,
+            shard_id=shard_id,
+            new_shard_ids=tuple(dict.fromkeys(destinations)),
+            moves=moves,
+            trigger=trigger,
+        )
+        self.elastic_log.append(event)
+        return event
+
+    @_synchronized
+    def resize(
+        self, n: int, *, allow_cut: bool = False, trigger: str = "operator"
+    ) -> list[ElasticEvent]:
+        """Grow or shrink the cluster to width ``n``, online.
+
+        Shrinking drains the smallest shard (newest on ties) until the width
+        fits. Growing splits the largest splittable shard; when no shard can
+        split cleanly (every one is a single overlap component, or holds
+        fewer than two queries) an empty shard is spawned instead — the
+        router fills it with future cold admissions.
+        """
+        if n < 1:
+            raise AdmissionError(f"cluster width must be >= 1, got {n}")
+        events: list[ElasticEvent] = []
+        while len(self.shards) > n:
+            victim = min(
+                self.shards, key=lambda sid: (len(self.shards[sid]), -sid)
+            )
+            events.append(self.drain_shard(victim, trigger=trigger))
+        while len(self.shards) < n:
+            split_event: ElasticEvent | None = None
+            for sid in sorted(
+                self.shards, key=lambda sid: (-len(self.shards[sid]), sid)
+            ):
+                if len(self.shards[sid]) < 2:
+                    break
+                split_event = self.split_shard(
+                    sid, into=2, allow_cut=allow_cut, trigger=trigger
+                )
+                if split_event is not None:
+                    break
+            if split_event is None:
+                shard = self._spawn_shard()
+                split_event = ElasticEvent(
+                    kind="grow",
+                    round_index=self._rounds_served,
+                    shard_id=shard.shard_id,
+                    new_shard_ids=(shard.shard_id,),
+                    moves=0,
+                    trigger=trigger,
+                    detail="spawned empty (no clean split available)",
+                )
+                self.elastic_log.append(split_event)
+            events.append(split_event)
+        return events
 
     # -- placement maintenance -------------------------------------------
 
@@ -460,23 +861,28 @@ class ClusterServer:
         if not population:
             raise StreamError("no queries registered in any shard")
         graph = build_overlap_graph(population, self.registry.cost_table())
-        shards = [shard.names for shard in self.shards if len(shard)]
+        shards = [shard.names for shard in self.shards.values() if len(shard)]
         return partition_report(graph, shards, method="current")
 
     @_synchronized
     def rebalance(
-        self, *, force: bool = False, min_kept_gain: float = 0.0
+        self,
+        *,
+        force: bool = False,
+        min_kept_gain: float = 0.0,
+        trigger: str = "operator",
     ) -> RebalanceEvent | None:
         """Re-partition the live population when placement has degraded.
 
         Computes a fresh overlap partition of the current residents; when it
         keeps strictly more overlap weight than the current placement (by at
-        least ``min_kept_gain``), or when ``force`` is set, the cluster is
-        rebuilt along it: fresh shard servers (fresh caches — they re-warm),
-        every query re-registered on its new shard with its *same* oracle
-        instance (outcome streams continue seamlessly) and its admission
-        scheduler. Returns the event, or ``None`` when the current placement
-        is already good enough.
+        least ``min_kept_gain``), or when ``force`` is set, the population is
+        re-placed along it — by *migrating only the queries whose shard
+        changes*. Each mover carries its full serving state (oracle
+        instance, plan, schedule, metrics, belief, cached stream items), so
+        a rebalance repairs the topology without re-warming caches or
+        touching the shared plan cache. Returns the event, or ``None`` when
+        the current placement is already good enough.
         """
         population = self._live_population()
         if not population:
@@ -486,7 +892,7 @@ class ClusterServer:
         graph = build_overlap_graph(population, self.registry.cost_table())
         old_report = partition_report(
             graph,
-            [shard.names for shard in self.shards if len(shard)],
+            [shard.names for shard in self.shards.values() if len(shard)],
             method="current",
         )
         candidate = partition_by_overlap(
@@ -499,36 +905,171 @@ class ClusterServer:
         improved = candidate.report.intra_weight > old_report.intra_weight + min_kept_gain
         if not (improved or force):
             return None
-        oracles = {name: self.query(name).oracle for name in self._order}
-        schedulers = {
-            name: self.query(name).plan.scheduler_name for name in self._order
-        }
-        trees = dict(population)
-        old_assignment = dict(self._assignment)
-        self.shards = [self._new_shard(shard_id) for shard_id in range(self.n_shards)]
-        self._assignment = {}
-        order, self._order = self._order, []
-        placement = candidate.shard_of()
-        for name in order:
-            shard_id = placement[name]
-            self.shards[shard_id].register(
-                name, trees[name], oracle=oracles[name], scheduler=schedulers[name]
-            )
-            self._assignment[name] = shard_id
-            self._order.append(name)
-        moves = sum(
-            1 for name in order if old_assignment[name] != self._assignment[name]
-        )
+        # Pin each candidate piece to the live shard already holding most of
+        # it (largest pieces claim first), so the migration set is minimal.
+        unused = sorted(self.shards)
+        target: dict[str, int] = {}
+        for piece in sorted(candidate.shards, key=len, reverse=True):
+            stay_counts = {
+                sid: sum(1 for name in piece if self._assignment[name] == sid)
+                for sid in unused
+            }
+            best = max(unused, key=lambda sid: (stay_counts[sid], -sid))
+            unused.remove(best)
+            for name in piece:
+                target[name] = best
+        groups: dict[tuple[int, int], list[str]] = {}
+        for name in self._order:
+            src, dest = self._assignment[name], target[name]
+            if src != dest:
+                groups.setdefault((src, dest), []).append(name)
+        for (src, dest), names in groups.items():
+            self._migrate_group(names, src, dest)
+        moves = sum(len(names) for names in groups.values())
+        # Wholesale placement change: every cached router signature is stale.
+        self.router.invalidate_signatures()
         event = RebalanceEvent(
             old_report=old_report, new_report=candidate.report, moves=moves
         )
         self.rebalances.append(event)
+        self.elastic_log.append(
+            ElasticEvent(
+                kind="rebalance",
+                round_index=self._rounds_served,
+                shard_id=-1,
+                new_shard_ids=tuple(sorted({dest for _, dest in groups})),
+                moves=moves,
+                trigger=trigger,
+                detail=event.describe(),
+            )
+        )
         return event
+
+    # -- automatic elasticity --------------------------------------------
+
+    def _auto_elastic(self) -> list[ElasticEvent]:
+        """Evaluate the :class:`ElasticPolicy` once (called after a batch)."""
+        policy = self.elastic
+        assert policy is not None
+        self._batches_since_check += 1
+        if self._batches_since_check < policy.check_every:
+            return []
+        self._batches_since_check = 0
+        events: list[ElasticEvent] = []
+        # Retire empty shards first (newest first), down to the floor.
+        if policy.drain_empty:
+            for sid in sorted(self.shards, reverse=True):
+                if len(self.shards) <= max(policy.min_shards, 1):
+                    break
+                if len(self.shards[sid]) == 0:
+                    events.append(self.drain_shard(sid, trigger="auto:empty"))
+        total = len(self)
+        # Consolidate around the occupancy target: when the population would
+        # fit comfortably in fewer shards, retire the smallest one per check
+        # (gradual, so a transient dip does not collapse the cluster).
+        if total and policy.target_shard_queries > 0:
+            desired = max(
+                max(policy.min_shards, 1),
+                -(-total // policy.target_shard_queries),  # ceil
+            )
+            if len(self.shards) > desired:
+                victim = min(
+                    self.shards, key=lambda sid: (len(self.shards[sid]), -sid)
+                )
+                # Hysteresis: one shard over the target width is tolerated
+                # unless the victim is well under half-full, so the
+                # consolidate and overload triggers cannot ping-pong one
+                # query group between topologies on consecutive batches.
+                decisive = (
+                    len(self.shards) - desired >= 2
+                    or len(self.shards[victim]) * 2 < policy.target_shard_queries
+                )
+                if decisive:
+                    mark = len(self.elastic_log)
+                    try:
+                        events.append(
+                            self.drain_shard(victim, trigger="auto:consolidate")
+                        )
+                    except AdmissionError:
+                        # No destination had room for every component; keep
+                        # the shard but surface any partial migration.
+                        events.extend(self.elastic_log[mark:])
+        width = len(self.shards)
+        ideal = total / width if width else 0.0
+        # Drain the most underloaded shard.
+        if total and policy.drain_below > 0.0 and width > max(policy.min_shards, 1):
+            active = [sid for sid in self.shards if len(self.shards[sid])]
+            if len(active) > 1:
+                victim = min(active, key=lambda sid: (len(self.shards[sid]), -sid))
+                if len(self.shards[victim]) < policy.drain_below * ideal:
+                    mark = len(self.elastic_log)
+                    try:
+                        events.append(
+                            self.drain_shard(victim, trigger="auto:underload")
+                        )
+                    except AdmissionError:
+                        # No destination had room for every component; keep
+                        # the shard but surface any partial migration.
+                        events.extend(self.elastic_log[mark:])
+        # Split the most overloaded shard — unless this check already
+        # drained (one width change per check keeps a drain's fallout from
+        # immediately bouncing queries back out of the destination).
+        width = len(self.shards)
+        ideal = total / width if width else 0.0
+        drained = any(
+            event.kind.startswith("drain") and event.moves for event in events
+        )
+        if total and not drained and width < policy.max_shards:
+            busiest = max(
+                self.shards, key=lambda sid: (len(self.shards[sid]), -sid)
+            )
+            size = len(self.shards[busiest])
+            overloaded = size > policy.split_above * ideal or (
+                policy.target_shard_queries > 0 and size > policy.target_shard_queries
+            )
+            if size >= policy.min_split_size and overloaded:
+                if policy.target_shard_queries > 0:
+                    wanted = -(-size // policy.target_shard_queries)  # ceil
+                else:
+                    wanted = 2
+                into = max(2, min(wanted, policy.max_shards - width + 1))
+                event = self.split_shard(
+                    busiest,
+                    into=into,
+                    allow_cut=policy.allow_cut_splits,
+                    trigger="auto:overload",
+                )
+                if event is not None:
+                    events.append(event)
+        # Rebalance on churn, drift or cut-spend signals.
+        due: list[str] = []
+        if policy.churn_every and self._churn - self._churn_mark >= policy.churn_every:
+            due.append("churn")
+        replans_total = self._replans_retired + sum(
+            shard.server.metrics.replans for shard in self.shards.values()
+        )
+        if (
+            policy.replans_every
+            and replans_total - self._replans_mark >= policy.replans_every
+        ):
+            due.append("drift")
+        if policy.min_kept_fraction > 0.0 and total > 1 and len(self.active_shards()) > 1:
+            if self.partition_report().kept_fraction < policy.min_kept_fraction:
+                due.append("cut-spend")
+        if due and total:
+            reason = "auto:" + "+".join(due)
+            self._churn_mark = self._churn
+            self._replans_mark = replans_total
+            if self.rebalance(trigger=reason) is not None:
+                events.append(self.elastic_log[-1])
+        return events
 
     # -- observability ---------------------------------------------------
 
     def shard_metrics(self) -> dict[int, ServiceMetrics]:
-        return {shard.shard_id: shard.server.metrics for shard in self.shards}
+        return {
+            shard_id: shard.server.metrics for shard_id, shard in self.shards.items()
+        }
 
     def describe(self) -> str:
         lines = [
@@ -541,13 +1082,15 @@ class ClusterServer:
                 else "n/a"
             )
             + f", router overlap hits {self.router.overlap_hit_rate:.1%}, "
-            f"{len(self.rebalances)} rebalances",
+            f"{len(self.rebalances)} rebalances, "
+            f"{self.splits} splits / {self.drains} drains",
         ]
-        for shard in self.shards:
+        for shard_id in sorted(self.shards):
+            shard = self.shards[shard_id]
             if not len(shard):
                 continue
             lines.append(
-                f"  shard {shard.shard_id}: {len(shard)} queries over "
+                f"  shard {shard_id}: {len(shard)} queries over "
                 f"{len(shard.streams)} streams, "
                 f"{shard.server.metrics.rounds} rounds served"
             )

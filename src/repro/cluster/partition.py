@@ -39,9 +39,11 @@ __all__ = [
     "Partition",
     "PartitionReport",
     "build_overlap_graph",
+    "pack_pieces",
     "partition_by_overlap",
     "partition_report",
     "random_partition",
+    "shard_split_pieces",
     "stream_weight_vector",
 ]
 
@@ -424,6 +426,36 @@ def _label_propagation_refine(
     for name in covered:
         rebuilt[assignment[name]].append(name)
     return [shard for shard in rebuilt if shard]
+
+
+def shard_split_pieces(graph: OverlapGraph, *, allow_cut: bool = False) -> list[list[str]]:
+    """The pieces one shard's population divides into, cheapest cut first.
+
+    Connected components of the shard-local overlap graph are the *free*
+    split boundaries: no shared stream crosses them, so dividing along them
+    changes no query's cost. A single-component (monolithic) population has
+    no free boundary; with ``allow_cut`` it is divided along its
+    label-propagation communities instead — the partitioner's noise-cut
+    structure, which keeps dense sub-clusters whole but does duplicate the
+    cut streams' spend. Returns one piece when the population is
+    unsplittable under the given policy.
+    """
+    pieces = graph.components()
+    if len(pieces) == 1 and allow_cut:
+        pieces = _community_split(graph, pieces[0])
+    return pieces
+
+
+def pack_pieces(pieces: Sequence[Sequence[str]], k: int) -> list[list[str]]:
+    """LPT-pack ``pieces`` into at most ``k`` balanced groups (largest first
+    onto the lightest group; deterministic, stable for equal sizes)."""
+    if k < 1:
+        raise StreamError(f"need at least one group, got {k}")
+    groups: list[list[str]] = [[] for _ in range(min(k, len(pieces)))]
+    for piece in sorted(pieces, key=len, reverse=True):
+        lightest = min(range(len(groups)), key=lambda i: (len(groups[i]), i))
+        groups[lightest].extend(piece)
+    return [group for group in groups if group]
 
 
 def partition_by_overlap(

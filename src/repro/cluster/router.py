@@ -9,12 +9,22 @@ the least-loaded shard when no shard holds any of the query's streams (a
 cold stream group starts wherever there is room). Capacity-full shards are
 skipped; ties break to the lighter, then lower-numbered shard, so routing is
 deterministic.
+
+:meth:`ShardRouter.route_group` scores a whole migration group (a drained
+shard's stream-disjoint component) the same way, so elastic moves and
+admissions share one placement objective.
+
+Signatures are snapshotted into a per-shard cache so admission storms don't
+re-copy every shard's signature per decision; any structural change to a
+shard's population (admission, departure, migration, rebalance) must drop
+its entry via :meth:`ShardRouter.invalidate_signatures` — a stale snapshot
+routes queries to shards whose streams have moved away.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.cluster.partition import TreeLike, stream_weight_vector
 from repro.cluster.shard import ShardServer
@@ -25,7 +35,7 @@ __all__ = ["RoutingDecision", "ShardRouter"]
 
 @dataclass(frozen=True)
 class RoutingDecision:
-    """Where one admission went and why."""
+    """Where one admission (or migration group) went and why."""
 
     query: str
     shard_id: int
@@ -42,6 +52,31 @@ class ShardRouter:
     costs: Mapping[str, float]
     max_shard_queries: int | None = None
     decisions: list[RoutingDecision] = field(default_factory=list)
+    #: shard id -> snapshotted signature, refreshed lazily on first use and
+    #: dropped whenever the shard's population changes.
+    _signatures: dict[int, dict[str, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _signature(self, shard: ShardServer) -> dict[str, float]:
+        cached = self._signatures.get(shard.shard_id)
+        if cached is None:
+            cached = dict(shard.signature)
+            self._signatures[shard.shard_id] = cached
+        return cached
+
+    def invalidate_signatures(self, shard_ids: Iterable[int] | None = None) -> None:
+        """Drop cached signatures (all of them when ``shard_ids`` is None).
+
+        Must be called whenever shard populations change behind the router's
+        back — bulk registration, departures, migrations, rebalances —
+        otherwise stale snapshots keep routing to shards whose streams left.
+        """
+        if shard_ids is None:
+            self._signatures.clear()
+        else:
+            for shard_id in shard_ids:
+                self._signatures.pop(shard_id, None)
 
     def route(
         self, name: str, tree: TreeLike, shards: Sequence[ShardServer]
@@ -52,19 +87,40 @@ class ShardRouter:
         actually succeeds, so a rejected registration never skews the
         routing statistics.
         """
+        return self.route_group(
+            name, stream_weight_vector(tree, self.costs), shards
+        )
+
+    def route_group(
+        self,
+        label: str,
+        weights: Mapping[str, float],
+        shards: Sequence[ShardServer],
+        *,
+        group_size: int = 1,
+    ) -> RoutingDecision:
+        """Pick a shard for a stream weight vector covering ``group_size``
+        queries (a single admission, or a whole migration group moving as a
+        unit). Pure: records nothing.
+
+        Raises :class:`~repro.errors.AdmissionError` when no shard exists or
+        none has capacity for the whole group.
+        """
         if not shards:
             raise AdmissionError("cluster has no shards to route to")
-        weights = stream_weight_vector(tree, self.costs)
+        if group_size < 1:
+            raise AdmissionError(f"group size must be >= 1, got {group_size}")
         best_id: int | None = None
         best_key: tuple[float, int, int] | None = None
         for shard in shards:
             if (
                 self.max_shard_queries is not None
-                and len(shard) >= self.max_shard_queries
+                and len(shard) + group_size > self.max_shard_queries
             ):
                 continue
+            signature = self._signature(shard)
             overlap = sum(
-                min(weight, shard.signature.get(stream, 0.0))
+                min(weight, signature.get(stream, 0.0))
                 for stream, weight in weights.items()
             )
             # Maximize overlap, then prefer the lighter, lower-numbered shard.
@@ -75,20 +131,26 @@ class ShardRouter:
         if best_id is None:
             raise AdmissionError(
                 f"all {len(shards)} shards are at capacity "
-                f"({self.max_shard_queries} queries)"
+                f"({self.max_shard_queries} queries; group of {group_size} "
+                f"would not fit anywhere)"
             )
         assert best_key is not None
         overlap = -best_key[0]
         return RoutingDecision(
-            query=name,
+            query=label,
             shard_id=best_id,
             overlap=overlap,
             reason="overlap" if overlap > 0.0 else "least-loaded",
         )
 
     def record(self, decision: RoutingDecision) -> None:
-        """Log a decision whose admission went through."""
+        """Log a decision whose admission went through.
+
+        The admitted shard's signature just grew, so its snapshot is dropped
+        (the other shards were not touched by this admission).
+        """
         self.decisions.append(decision)
+        self._signatures.pop(decision.shard_id, None)
 
     @property
     def overlap_hits(self) -> int:

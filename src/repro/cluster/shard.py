@@ -16,7 +16,7 @@ from typing import Mapping
 from repro.core.tree import DnfTree
 from repro.engine.executor import ExecutionResult, LeafOracle
 from repro.errors import AdmissionError
-from repro.service.server import BatchReport, QueryServer, TreeLike
+from repro.service.server import BatchReport, QueryServer, QuerySnapshot, TreeLike
 from repro.cluster.partition import stream_weight_vector
 
 __all__ = ["ShardServer"]
@@ -71,9 +71,20 @@ class ShardServer:
                 f"query {name!r} is not resident on shard {self.shard_id}"
             )
         self.server.deregister(name)
-        self._rebuild_signature()
+        self.rebuild_signature()
 
-    def _rebuild_signature(self) -> None:
+    # -- migration -------------------------------------------------------
+
+    def admit_migrated(self, snapshot: QuerySnapshot) -> None:
+        """Adopt a migrated query verbatim; grows the signature incrementally."""
+        self.server.admit_migrated(snapshot)
+        for stream, weight in stream_weight_vector(
+            snapshot.query.tree, self._costs
+        ).items():
+            if weight > self.signature.get(stream, 0.0):
+                self.signature[stream] = weight
+
+    def rebuild_signature(self) -> None:
         self.signature = {}
         for name in self.server.registered:
             tree: DnfTree = self.server.query(name).tree

@@ -21,12 +21,15 @@ unsharded server's per-query costs and outcomes exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.adaptive.elastic import ElasticPolicy
 from repro.cluster.cluster import ClusterServer, default_oracle_factory
 from repro.cluster.partition import PartitionReport
 from repro.errors import StreamError
+from repro.generators.churn import churn_schedule, events_by_batch
 from repro.generators.overlap_populations import (
     clustered_registry,
     overlap_clustered_population,
@@ -36,8 +39,11 @@ from repro.service.server import DEFAULT_SCHEDULER, QueryServer
 __all__ = [
     "ClusterModeResult",
     "ClusterCompareReport",
+    "ElasticSimReport",
     "run_cluster_compare",
+    "run_elastic_sim",
     "verify_cluster_parity",
+    "verify_elastic_parity",
 ]
 
 
@@ -305,3 +311,251 @@ def verify_cluster_parity(
                 "sharded and unsharded serving"
             )
     return deltas
+
+
+def verify_elastic_parity(
+    *,
+    n_queries: int = 48,
+    n_clusters: int = 4,
+    streams_per_cluster: int = 3,
+    rounds: int = 4,
+    engine: str = "scalar",
+    seed: int = 0,
+    elastic: ElasticPolicy | None = None,
+    atol: float = 0.0,
+) -> dict[str, float]:
+    """Differential check: elastic topology changes never change any cost.
+
+    Drives one clustered population through a scripted gauntlet of online
+    topology changes — batch, split the busiest shard, batch, grow to
+    ``n_clusters`` shards, batch, drain a shard, batch, shrink back to two
+    shards, batch — while an unsharded :class:`QueryServer` with the same
+    per-name oracles serves the identical batch sequence. Per-query costs
+    accumulated over the whole run must agree to ``atol`` (default:
+    bit-identical) and TRUE counts exactly, or :class:`StreamError` is
+    raised. Passing an :class:`~repro.adaptive.ElasticPolicy` additionally
+    lets auto-rebalance fire mid-gauntlet; migration-based rebalancing is
+    cost-preserving on clean populations, so parity must still hold.
+    Returns per-query absolute cost deltas.
+    """
+    registry = clustered_registry(n_clusters, streams_per_cluster, seed=seed)
+    population = overlap_clustered_population(
+        n_queries,
+        registry,
+        n_clusters,
+        streams_per_cluster,
+        cross_cluster_prob=0.0,
+        seed=seed + 1,
+    )
+    cluster = ClusterServer(
+        registry, n_shards=2, seed=seed + 2, elastic=elastic
+    )
+    cluster.register_population(population)
+    single = QueryServer(registry)
+    factory = default_oracle_factory(seed + 2)
+    for name, tree in population:
+        single.register(name, tree, oracle=factory(name))
+
+    cluster_cost: dict[str, float] = {name: 0.0 for name, _ in population}
+    single_cost: dict[str, float] = {name: 0.0 for name, _ in population}
+    cluster_true: dict[str, float] = {name: 0.0 for name, _ in population}
+    single_true: dict[str, float] = {name: 0.0 for name, _ in population}
+
+    def run_phase() -> None:
+        creport = cluster.run_batch(rounds, engine=engine)
+        sreport = single.run_batch(rounds, engine=engine)
+        for name in sreport.per_query_cost:
+            cluster_cost[name] += creport.per_query_cost[name]
+            single_cost[name] += sreport.per_query_cost[name]
+            cluster_true[name] += creport.per_query_true_rate[name] * rounds
+            single_true[name] += sreport.per_query_true_rate[name] * rounds
+
+    run_phase()
+    busiest = max(cluster.shards, key=lambda sid: len(cluster.shards[sid]))
+    cluster.split_shard(busiest, into=2)
+    run_phase()
+    cluster.resize(n_clusters)
+    run_phase()
+    victim = min(
+        (sid for sid in cluster.shards if len(cluster.shards[sid])),
+        key=lambda sid: len(cluster.shards[sid]),
+    )
+    cluster.drain_shard(victim)
+    run_phase()
+    cluster.resize(2)
+    run_phase()
+
+    deltas: dict[str, float] = {}
+    for name in single_cost:
+        delta = abs(single_cost[name] - cluster_cost[name])
+        deltas[name] = delta
+        if delta > atol:
+            raise StreamError(
+                f"elastic parity violation: query {name!r} cost differs by "
+                f"{delta:.3g} across the split/drain/resize gauntlet"
+            )
+        if single_true[name] != cluster_true[name]:
+            raise StreamError(
+                f"elastic parity violation: query {name!r} TRUE count differs "
+                "across the split/drain/resize gauntlet"
+            )
+    return deltas
+
+
+@dataclass
+class ElasticSimReport:
+    """Timeline of an elastic cluster serving a churning population."""
+
+    batches: int
+    rounds_per_batch: int
+    #: Per batch: (batch, admitted, departed, population, width, cost, actions).
+    timeline: list[tuple[int, int, int, int, int, float, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    total_cost: float = 0.0
+    wall_seconds: float = 0.0
+    evals: int = 0
+    splits: int = 0
+    drains: int = 0
+    rebalances: int = 0
+    final_partition: PartitionReport | None = None
+
+    @property
+    def throughput(self) -> float:
+        return self.evals / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def peak_width(self) -> int:
+        return max((row[4] for row in self.timeline), default=0)
+
+    @staticmethod
+    def summary_headers() -> tuple[str, ...]:
+        return ("batch", "+in", "-out", "queries", "shards", "cost", "elastic actions")
+
+    def summary_rows(self) -> list[tuple]:
+        rows = []
+        for batch, admitted, departed, population, width, cost, actions in self.timeline:
+            rows.append(
+                (
+                    batch,
+                    admitted,
+                    departed,
+                    population,
+                    width,
+                    f"{cost:.6g}",
+                    "; ".join(a.split(": ", 1)[-1] for a in actions) or "-",
+                )
+            )
+        return rows
+
+    def to_record(self) -> dict:
+        """JSON-ready record for the benchmark trajectory."""
+        return {
+            "batches": self.batches,
+            "rounds_per_batch": self.rounds_per_batch,
+            "total_cost": self.total_cost,
+            "wall_seconds": self.wall_seconds,
+            "throughput": self.throughput,
+            "evals": self.evals,
+            "splits": self.splits,
+            "drains": self.drains,
+            "rebalances": self.rebalances,
+            "peak_width": self.peak_width,
+            "final_partition": (
+                self.final_partition.to_record()
+                if self.final_partition is not None
+                else None
+            ),
+            "width_timeline": [row[4] for row in self.timeline],
+        }
+
+
+def run_elastic_sim(
+    *,
+    n_queries: int = 240,
+    n_clusters: int = 6,
+    streams_per_cluster: int = 4,
+    batches: int = 12,
+    rounds_per_batch: int = 4,
+    mean_lifetime: float = 6.0,
+    policy: ElasticPolicy | None = None,
+    start_shards: int = 2,
+    workers: int | None = None,
+    scheduler: str = DEFAULT_SCHEDULER,
+    engine: str = "scalar",
+    warmup: int = 64,
+    seed: int = 0,
+) -> ElasticSimReport:
+    """Serve a churn-over-time population on a self-managing elastic cluster.
+
+    A :func:`~repro.generators.churn.churn_schedule` drives admissions and
+    departures between batches; the cluster starts at ``start_shards`` wide
+    and the :class:`~repro.adaptive.ElasticPolicy` (default: an occupancy
+    target sized to the expected per-cluster load) grows, shrinks and
+    rebalances it as the population churns. The report's timeline records
+    the width trajectory and every elastic action taken.
+    """
+    if policy is None:
+        target = max(8, n_queries // max(1, n_clusters))
+        policy = ElasticPolicy(
+            target_shard_queries=target,
+            min_split_size=max(4, target // 2),
+            churn_every=max(1, n_queries // 2),
+        )
+    registry = clustered_registry(n_clusters, streams_per_cluster, seed=seed)
+    schedule = events_by_batch(
+        churn_schedule(
+            n_queries,
+            registry,
+            n_clusters,
+            streams_per_cluster,
+            batches=batches,
+            mean_lifetime=mean_lifetime,
+            seed=seed + 1,
+        )
+    )
+    cluster = ClusterServer(
+        registry,
+        n_shards=start_shards,
+        workers=workers,
+        scheduler=scheduler,
+        warmup=warmup,
+        elastic=policy,
+        seed=seed + 2,
+    )
+    report = ElasticSimReport(batches=batches, rounds_per_batch=rounds_per_batch)
+    for batch in range(batches):
+        admitted = departed = 0
+        for event in schedule.get(batch, []):
+            if event.action == "depart":
+                if event.name in cluster:
+                    cluster.deregister(event.name)
+                    departed += 1
+            else:
+                cluster.register(event.name, event.tree)
+                admitted += 1
+        if not len(cluster):
+            report.timeline.append((batch, admitted, departed, 0, cluster.n_shards, 0.0, ()))
+            continue
+        start = time.perf_counter()
+        batch_report = cluster.run_batch(rounds_per_batch, engine=engine)
+        report.wall_seconds += time.perf_counter() - start
+        report.total_cost += batch_report.total_cost
+        report.evals += batch_report.evals
+        report.timeline.append(
+            (
+                batch,
+                admitted,
+                departed,
+                len(cluster),
+                cluster.n_shards,
+                batch_report.total_cost,
+                batch_report.elastic_actions,
+            )
+        )
+    report.splits = cluster.splits
+    report.drains = cluster.drains
+    report.rebalances = len(cluster.rebalances)
+    if len(cluster):
+        report.final_partition = cluster.partition_report()
+    return report

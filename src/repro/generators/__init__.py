@@ -14,6 +14,7 @@ from repro.generators.configs import (
     fig5_configs,
     fig6_configs,
 )
+from repro.generators.churn import ChurnEvent, churn_schedule, events_by_batch
 from repro.generators.overlap_populations import (
     clustered_registry,
     clustered_stream_groups,
@@ -60,4 +61,7 @@ __all__ = [
     "clustered_stream_groups",
     "clustered_registry",
     "overlap_clustered_population",
+    "ChurnEvent",
+    "churn_schedule",
+    "events_by_batch",
 ]

@@ -1,0 +1,110 @@
+"""Churn-over-time populations: queries that arrive, live and depart.
+
+The elastic serving layer's whole job is coping with a population that is
+never static — dashboards open and close, alert packs deploy and retire.
+This module turns an overlap-clustered population
+(:func:`~repro.generators.overlap_populations.overlap_clustered_population`)
+into a *schedule* of admissions and departures over a run of serving
+batches: each query draws an arrival batch and a geometric lifetime, and
+the resulting :class:`ChurnEvent` stream (departures before arrivals within
+a batch, both in deterministic order) drives
+:func:`~repro.experiments.cluster.run_elastic_sim` and the
+``repro cluster-sim --elastic`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tree import DnfTree
+from repro.errors import StreamError
+from repro.generators.overlap_populations import overlap_clustered_population
+from repro.streams.registry import StreamRegistry
+
+__all__ = ["ChurnEvent", "churn_schedule", "events_by_batch"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One population change, applied just before its batch runs."""
+
+    batch: int
+    #: "admit" or "depart".
+    action: str
+    name: str
+    #: The query tree for admissions; ``None`` for departures.
+    tree: DnfTree | None = None
+
+
+def churn_schedule(
+    n_queries: int,
+    registry: StreamRegistry,
+    n_clusters: int,
+    streams_per_cluster: int,
+    *,
+    batches: int = 12,
+    arrival_fraction: float = 0.75,
+    mean_lifetime: float = 6.0,
+    seed: int = 0,
+    **population_kwargs,
+) -> list[ChurnEvent]:
+    """Draw a churn-over-time schedule over an overlap-clustered population.
+
+    Parameters
+    ----------
+    batches:
+        Length of the serving run, in batches.
+    arrival_fraction:
+        Arrivals are spread uniformly over the first ``arrival_fraction`` of
+        the run (late arrivals would never be observed serving).
+    mean_lifetime:
+        Mean of the geometric lifetime (in batches) drawn per query; queries
+        outliving the run simply never depart.
+    population_kwargs:
+        Forwarded to :func:`overlap_clustered_population` (templates,
+        cross-cluster noise, tree shape ranges).
+
+    The first query always arrives at batch 0, so the run starts non-empty.
+    Events are ordered by batch, departures before arrivals, then by query
+    name — fully deterministic per seed.
+    """
+    if batches < 1:
+        raise StreamError(f"need at least one batch, got {batches}")
+    if not 0.0 < arrival_fraction <= 1.0:
+        raise StreamError(
+            f"arrival_fraction must be in (0, 1], got {arrival_fraction}"
+        )
+    if mean_lifetime < 1.0:
+        raise StreamError(f"mean_lifetime must be >= 1 batch, got {mean_lifetime}")
+    population = overlap_clustered_population(
+        n_queries,
+        registry,
+        n_clusters,
+        streams_per_cluster,
+        seed=seed,
+        **population_kwargs,
+    )
+    rng = np.random.default_rng(seed + 0x5EED)
+    span = max(1, int(round(arrival_fraction * batches)))
+    events: list[ChurnEvent] = []
+    for index, (name, tree) in enumerate(population):
+        arrival = 0 if index == 0 else int(rng.integers(0, span))
+        # numpy's geometric has support {1, 2, ...} and mean exactly
+        # mean_lifetime — every query serves at least one batch.
+        lifetime = int(rng.geometric(1.0 / mean_lifetime))
+        events.append(ChurnEvent(batch=arrival, action="admit", name=name, tree=tree))
+        departure = arrival + lifetime
+        if departure < batches:
+            events.append(ChurnEvent(batch=departure, action="depart", name=name))
+    events.sort(key=lambda e: (e.batch, 0 if e.action == "depart" else 1, e.name))
+    return events
+
+
+def events_by_batch(events: list[ChurnEvent]) -> dict[int, list[ChurnEvent]]:
+    """Group a churn schedule by batch (preserving the schedule's order)."""
+    grouped: dict[int, list[ChurnEvent]] = {}
+    for event in events:
+        grouped.setdefault(event.batch, []).append(event)
+    return grouped

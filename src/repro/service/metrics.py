@@ -71,6 +71,12 @@ class ServiceMetrics:
     items_saved: int = 0
     registrations: int = 0
     deregistrations: int = 0
+    #: Queries transplanted in/out by shard migration (split/drain/rebalance).
+    #: Deliberately separate from registrations/deregistrations: a migration
+    #: is a placement change, not population churn, and elastic policies key
+    #: off the churn counters.
+    migrations_in: int = 0
+    migrations_out: int = 0
     replans: int = 0
     #: Drift-triggered re-plans suppressed by :class:`~repro.adaptive.AdaptivePolicy`
     #: hysteresis (``expected_saving`` below ``min_saving``).
@@ -129,6 +135,7 @@ class ServiceMetrics:
             f"  plan cache        hit rate {self.plan_cache_hit_rate:.1%}",
             f"  churn             {self.registrations} registered,"
             f" {self.deregistrations} deregistered,"
+            f" {self.migrations_in}/{self.migrations_out} migrated in/out,"
             f" {self.replans} adaptive replans"
             f" ({self.replans_suppressed} suppressed)",
         ]

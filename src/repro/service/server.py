@@ -23,7 +23,7 @@ import threading
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Mapping, Sequence, Union
 
-from repro.adaptive.controller import AdaptiveController, fold_base_probs
+from repro.adaptive.controller import AdaptiveController, ShapeBelief, fold_base_probs
 from repro.adaptive.policy import AdaptivePolicy, ReplanEvent
 from repro.core.cost import dnf_schedule_cost
 from repro.core.heuristics.base import Scheduler, get_scheduler
@@ -44,7 +44,7 @@ from repro.engine.vectorized import BatchResult, VectorizedExecutor
 from repro.engine.workload import compute_max_windows
 from repro.errors import AdmissionError, StreamError
 from repro.service.canonical import CanonicalForm, _as_dnf, canonicalize
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import QueryStats, ServiceMetrics
 from repro.service.plan_cache import CachedPlan, PlanCache
 from repro.service.shared_plan import (
     Probe,
@@ -55,7 +55,13 @@ from repro.service.shared_plan import (
 )
 from repro.streams.registry import StreamRegistry
 
-__all__ = ["RegisteredQuery", "BatchReport", "QueryServer", "run_isolated"]
+__all__ = [
+    "RegisteredQuery",
+    "QuerySnapshot",
+    "BatchReport",
+    "QueryServer",
+    "run_isolated",
+]
 
 TreeLike = Union[AndTree, DnfTree, QueryTree]
 
@@ -97,6 +103,26 @@ class RegisteredQuery:
     def belief_tree(self) -> DnfTree:
         """The tree whose probabilities the current plan was computed with."""
         return self.planning_tree if self.planning_tree is not None else self.tree
+
+
+@dataclass(frozen=True)
+class QuerySnapshot:
+    """One registered query lifted out of a server for transplant.
+
+    Produced by :meth:`QueryServer.export_query`, consumed by
+    :meth:`QueryServer.admit_migrated`. Carries everything a placement move
+    must preserve for the destination to serve the query exactly as the
+    source would have: the full :class:`RegisteredQuery` (tree, expanded
+    schedule, cached plan, belief tree and — critically — the *same* oracle
+    instance, so outcome streams continue seamlessly), the query's lifetime
+    :class:`~repro.service.metrics.QueryStats` (accounting is conserved
+    across moves, not double-counted or lost) and, when the source was
+    adaptive, its canonical shape's :class:`~repro.adaptive.ShapeBelief`.
+    """
+
+    query: RegisteredQuery
+    stats: QueryStats | None
+    belief: ShapeBelief | None
 
 
 @dataclass
@@ -231,6 +257,26 @@ class QueryServer:
     # -- population management -----------------------------------------
 
     @property
+    def rounds_served(self) -> int:
+        """Rounds this server has executed (its logical clock)."""
+        return self._round
+
+    @_synchronized
+    def sync_round_clock(self, round_index: int) -> None:
+        """Fast-forward this server's round clock to a sibling's.
+
+        Shard migration support: a freshly spawned (or long-idle) shard
+        adopting queries from an older one must agree with it on what round
+        it is, or transplanted re-plan cooldowns and blocked-rotation phases
+        lose their meaning. The clock only moves forward.
+        """
+        if round_index < self._round:
+            raise StreamError(
+                f"cannot rewind the round clock from {self._round} to {round_index}"
+            )
+        self._round = round_index
+
+    @property
     def registered(self) -> tuple[str, ...]:
         """Names of the admitted queries, in registration order."""
         return tuple(self._queries)
@@ -339,10 +385,104 @@ class QueryServer:
             if not any(q.canonical.key == key for q in self._queries.values()):
                 self.adaptive.retire(key)
 
+    @_synchronized
+    def export_query(self, name: str) -> QuerySnapshot:
+        """Lift ``name`` out of this server for transplant into another.
+
+        Unlike :meth:`deregister`, an export is a *placement* change, not
+        churn: the query's lifetime stats leave with it (so cluster-wide
+        accounting is conserved), its canonical shape's adaptive belief is
+        snapshotted before the shape is retired, and the churn counters are
+        untouched (``migrations_out`` is incremented instead). The returned
+        snapshot re-enters a server through :meth:`admit_migrated` with the
+        exact plan, schedule and oracle state it left with.
+        """
+        query = self.query(name)
+        belief = (
+            self.adaptive.export_shape(query.canonical.key)
+            if self.adaptive is not None
+            else None
+        )
+        stats = self.metrics.per_query.pop(name, None)
+        del self._queries[name]
+        self._after_population_change()
+        self.metrics.migrations_out += 1
+        if self.adaptive is not None:
+            key = query.canonical.key
+            if not any(q.canonical.key == key for q in self._queries.values()):
+                self.adaptive.retire(key)
+        return QuerySnapshot(query=query, stats=stats, belief=belief)
+
+    @_synchronized
+    def admit_migrated(self, snapshot: QuerySnapshot) -> RegisteredQuery:
+        """Install a migrated query verbatim — no re-canonicalization, no
+        re-planning, no plan-cache traffic.
+
+        The snapshot's schedule was computed by the same deterministic
+        scheduler this cluster's servers share, so re-deriving it could only
+        reproduce it (placement must never change what a query costs) —
+        installing it directly also leaves the (possibly cluster-shared)
+        plan cache entries exactly as they were. The shape's adaptive belief
+        transplants with it when this server is adaptive and does not
+        already track the shape.
+        """
+        query = snapshot.query
+        if query.name in self._queries:
+            raise AdmissionError(f"query {query.name!r} is already registered")
+        if self.max_queries is not None and len(self._queries) >= self.max_queries:
+            raise AdmissionError(
+                f"server is full ({self.max_queries} queries); cannot adopt "
+                f"migrated query {query.name!r}"
+            )
+        self.registry.validate_tree_streams(tuple(query.tree.streams))
+        if self.adaptive is not None and snapshot.belief is not None:
+            self.adaptive.import_shape(query.canonical.key, snapshot.belief)
+        # A stale compiled executor for this name must never serve a new tree.
+        self._vector_executors.pop(query.name, None)
+        self._queries[query.name] = query
+        self._after_population_change()
+        self.metrics.migrations_in += 1
+        if snapshot.stats is not None:
+            self.metrics.per_query[query.name] = snapshot.stats
+        max_items = max(leaf.items for leaf in query.tree.leaves)
+        if max_items > self.cache.now:
+            self.cache.advance(max_items - self.cache.now)
+        return query
+
+    @_synchronized
+    def reorder(self, names: Sequence[str]) -> None:
+        """Re-key the registration order to ``names`` (a permutation).
+
+        Registration order is load-bearing: it is the tie-break order of the
+        shared-plan merge and the rotation base of the blocked round-robin.
+        After a migration lands mid-population, the cluster restores its
+        global admission order here so a query's merge position — and
+        therefore its cost — is independent of how it travelled.
+        """
+        if sorted(names) != sorted(self._queries):
+            raise AdmissionError(
+                f"reorder must permute the registered names; got {sorted(names)!r} "
+                f"vs {sorted(self._queries)!r}"
+            )
+        self._queries = {name: self._queries[name] for name in names}
+        self._plan = None  # merge order changed; rebuild lazily
+
     def _after_population_change(self) -> None:
+        old_windows = self._max_windows
         self._max_windows = compute_max_windows(
             [query.tree for query in self._queries.values()]
         )
+        # Relevance rule: items outside the (possibly shrunken) windows of
+        # the *current* population are no longer held (paper §I) — departed
+        # queries leave no placement-dependent residual warmth behind. Pure
+        # growth (every old horizon still covered) cannot evict anything, so
+        # admissions skip the cache scan.
+        shrank = any(
+            self._max_windows.get(stream, 0) < window
+            for stream, window in old_windows.items()
+        )
+        if shrank:
+            self.cache.retain_relevant(self._max_windows)
         self._plan = None  # rebuilt lazily on the next step
         self._vector_executors = {
             name: executor

@@ -169,6 +169,79 @@ class DataItemCache:
                 for tau in stale:
                     del store[tau]
 
+    def retain_relevant(self, max_windows: Mapping[str, int]) -> None:
+        """Re-apply the relevance rule after the serving population changed.
+
+        Paper §I: an item is relevant only while it is within the maximum
+        window *some query* applies to its stream. When a query departs, its
+        streams' windows may shrink — or vanish entirely — so items that
+        were relevant a moment ago no longer are: drop items older than each
+        stream's new horizon, and every item of streams no resident query
+        windows at all. Besides matching the paper's semantics (and bounding
+        memory on a long-running server), this is what keeps residual cache
+        warmth *placement-independent*: a departed query leaves the same
+        (empty) trace behind on a shard as on the unsharded server, so later
+        admissions cost the same wherever they land.
+        """
+        for stream, store in self._store.items():
+            window = max_windows.get(stream)
+            if window is None:
+                store.clear()
+                continue
+            horizon = self.now - window
+            stale = [tau for tau in store if tau < horizon]
+            for tau in stale:
+                del store[tau]
+
+    def export_stream_state(
+        self, streams
+    ) -> tuple[int, dict[str, dict[int, float]]]:
+        """Snapshot this cache's clock and held items for ``streams``.
+
+        Taken by shard migration *before* the movers are lifted out (a
+        departing population purges its streams' items under the relevance
+        rule); the snapshot is handed to the destination's
+        :meth:`adopt_stream_state` once the movers are registered there.
+        """
+        return self.now, {
+            stream: dict(self._store.get(stream, {})) for stream in streams
+        }
+
+    def adopt_stream_state(
+        self, donor_now: int, stores: Mapping[str, Mapping[int, float]]
+    ) -> None:
+        """Transplant a donor cache's held items into this cache.
+
+        Shard migration support: when queries move between serving shards,
+        the destination adopts the source cache's state for the moved
+        streams, so the movers' next fetch pays exactly the increment they
+        would have paid had they never moved (no artificial cold-start
+        spend). Items already held here win — they are the same source tape
+        values anyway.
+
+        The two caches may disagree on device time. If this cache is behind
+        and holds nothing yet (a freshly spawned or never-batched shard), its
+        clock is fast-forwarded to the donor's; otherwise item indices are
+        translated by the clock delta, preserving each item's *recency* —
+        the quantity the cost model charges by — at the expense of
+        value-level fidelity, which only matters to predicate oracles and is
+        exact whenever the clocks agree.
+        """
+        for stream in stores:
+            if stream not in self.sources:
+                raise StreamError(f"unknown stream {stream!r}")
+        if donor_now > self.now and not any(self._store.values()):
+            self.now = donor_now
+        delta = self.now - donor_now
+        for stream, source_store in stores.items():
+            if not source_store:
+                continue
+            store = self._store.setdefault(stream, {})
+            for tau, value in source_store.items():
+                shifted = tau + delta
+                if 0 <= shifted < self.now and shifted not in store:
+                    store[shifted] = value
+
     def clear(self) -> None:
         for store in self._store.values():
             store.clear()

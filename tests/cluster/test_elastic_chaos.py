@@ -1,0 +1,185 @@
+"""Threaded elasticity chaos: resizes and admissions hammering live batches.
+
+The cluster's concurrency contract: every topology change (split, drain,
+resize, rebalance) serializes with batches and admissions on the cluster
+RLock, while shards inside a batch still run concurrently on the pool. These
+tests race all three against each other and assert the invariants that make
+elasticity safe to run in production:
+
+* **no lost queries** — everything admitted is resident exactly once;
+* **no double-serving** — every batch evaluates each then-resident query
+  exactly once, and a query's lifetime stats exist on exactly one shard;
+* **accounting conserved** — per-query lifetime cost equals the sum of the
+  batch reports' per-query costs, across every migration the resizes caused.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.adaptive import ElasticPolicy
+from repro.cluster import ClusterServer, ClusterReport
+from repro.generators import clustered_registry, overlap_clustered_population
+
+
+def build(seed: int, n_queries: int = 36, clusters: int = 4):
+    registry = clustered_registry(clusters, 3, seed=seed)
+    population = overlap_clustered_population(
+        n_queries, registry, clusters, 3, seed=seed + 1
+    )
+    return registry, population
+
+
+class TestElasticChaos:
+    def test_resize_and_admissions_during_concurrent_batches(self):
+        registry, population = build(seed=71)
+        initial, late = population[:18], population[18:]
+        cluster = ClusterServer(registry, n_shards=2, seed=72)
+        cluster.register_population(initial)
+
+        errors: list[BaseException] = []
+        reports: list[ClusterReport] = []
+        barrier = threading.Barrier(3)
+
+        def admitter() -> None:
+            barrier.wait()
+            try:
+                for name, tree in late:
+                    cluster.register(name, tree)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def resizer() -> None:
+            barrier.wait()
+            try:
+                for width in (5, 1, 4, 2, 6, 3):
+                    cluster.resize(width)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def batcher() -> None:
+            barrier.wait()
+            try:
+                for _ in range(8):
+                    reports.append(cluster.run_batch(2))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=admitter),
+            threading.Thread(target=resizer),
+            threading.Thread(target=batcher),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert cluster.n_shards == 3  # last resize won
+
+        # No lost queries: everything admitted is resident exactly once.
+        expected = {name for name, _ in population}
+        assert set(cluster.registered) == expected
+        resident = [
+            name for shard in cluster.shards.values() for name in shard.names
+        ]
+        assert sorted(resident) == sorted(expected)
+        for name in expected:
+            assert name in cluster.shards[cluster.shard_of(name)]
+
+        # No double-serving inside any batch: one result slot per resident,
+        # and the batch covered exactly the then-resident population.
+        for report in reports:
+            names = list(report.per_query_cost)
+            assert len(names) == len(set(names))
+            assert len(names) == report.n_queries
+
+        # Accounting conserved across every migration: lifetime stats exist
+        # exactly once, and their totals equal what the batches reported.
+        lifetime: dict[str, float] = {}
+        rounds_lifetime: dict[str, int] = {}
+        for shard in cluster.shards.values():
+            for name, stats in shard.server.metrics.per_query.items():
+                assert name not in lifetime, f"{name!r} double-counted"
+                lifetime[name] = stats.cost
+                rounds_lifetime[name] = stats.rounds
+        batch_totals: dict[str, float] = {}
+        batch_rounds: dict[str, int] = {}
+        for report in reports:
+            for name, cost in report.per_query_cost.items():
+                batch_totals[name] = batch_totals.get(name, 0.0) + cost
+                batch_rounds[name] = batch_rounds.get(name, 0) + report.rounds
+        assert set(batch_totals) <= set(lifetime)
+        for name, cost in batch_totals.items():
+            assert lifetime[name] == pytest.approx(cost)
+            assert rounds_lifetime[name] == batch_rounds[name]
+        assert sum(lifetime.values()) == pytest.approx(
+            sum(report.total_cost for report in reports)
+        )
+
+    def test_policy_driven_cluster_survives_hammering(self):
+        """Auto-elastic decisions racing churn threads stay consistent."""
+        registry, population = build(seed=81, n_queries=40)
+        policy = ElasticPolicy(
+            target_shard_queries=10, min_split_size=4, churn_every=16
+        )
+        cluster = ClusterServer(registry, n_shards=1, seed=82, elastic=policy)
+        cluster.register_population(population[:10])
+
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(3)
+
+        def churner() -> None:
+            barrier.wait()
+            try:
+                for name, tree in population[10:]:
+                    cluster.register(name, tree)
+                for name, _ in population[10:30]:
+                    cluster.deregister(name)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def batcher() -> None:
+            barrier.wait()
+            try:
+                for _ in range(10):
+                    cluster.run_batch(1)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def inspector() -> None:
+            barrier.wait()
+            try:
+                for _ in range(10):
+                    cluster.describe()
+                    cluster.shard_metrics()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churner),
+            threading.Thread(target=batcher),
+            threading.Thread(target=inspector),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        expected = {name for name, _ in population[:10]} | {
+            name for name, _ in population[30:]
+        }
+        assert set(cluster.registered) == expected
+        resident = [
+            name for shard in cluster.shards.values() for name in shard.names
+        ]
+        assert sorted(resident) == sorted(expected)
+        # The elastic log is a consistent audit trail.
+        for event in cluster.elastic_log:
+            assert event.kind in (
+                "split", "drain", "drain-partial", "grow", "rebalance"
+            )

@@ -4,8 +4,22 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import AndTree, DnfTree, Leaf
+
+# Hypothesis profiles: "ci" (selected with --hypothesis-profile=ci) drops the
+# per-example deadline — shared CI runners have noisy clocks, and the
+# stateful elasticity suites run whole serving batches per step — and trims
+# example counts so tier-1 stays fast; "dev" keeps default example counts but
+# also no deadline, for local soak runs.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
 
 
 @pytest.fixture

@@ -1,0 +1,72 @@
+"""Churn-over-time schedule generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.generators import (
+    ChurnEvent,
+    churn_schedule,
+    clustered_registry,
+    events_by_batch,
+)
+
+
+@pytest.fixture
+def registry():
+    return clustered_registry(3, 3, seed=7)
+
+
+class TestChurnSchedule:
+    def test_deterministic_per_seed(self, registry):
+        a = churn_schedule(20, registry, 3, 3, batches=10, seed=5)
+        b = churn_schedule(20, registry, 3, 3, batches=10, seed=5)
+        assert [(e.batch, e.action, e.name) for e in a] == [
+            (e.batch, e.action, e.name) for e in b
+        ]
+        c = churn_schedule(20, registry, 3, 3, batches=10, seed=6)
+        assert [(e.batch, e.action, e.name) for e in a] != [
+            (e.batch, e.action, e.name) for e in c
+        ]
+
+    def test_every_query_admitted_once_departures_follow(self, registry):
+        events = churn_schedule(30, registry, 3, 3, batches=12, seed=1)
+        admitted = [e for e in events if e.action == "admit"]
+        departed = [e for e in events if e.action == "depart"]
+        assert len(admitted) == 30
+        assert len({e.name for e in admitted}) == 30
+        assert all(e.tree is not None for e in admitted)
+        assert all(e.tree is None for e in departed)
+        arrival = {e.name: e.batch for e in admitted}
+        for event in departed:
+            assert event.batch > arrival[event.name]
+            assert event.batch < 12
+
+    def test_run_starts_nonempty_and_ordered(self, registry):
+        events = churn_schedule(15, registry, 3, 3, batches=8, seed=3)
+        assert events[0].batch == 0
+        assert any(e.batch == 0 and e.action == "admit" for e in events)
+        keys = [
+            (e.batch, 0 if e.action == "depart" else 1, e.name) for e in events
+        ]
+        assert keys == sorted(keys)
+
+    def test_events_by_batch_groups_in_order(self, registry):
+        events = churn_schedule(15, registry, 3, 3, batches=8, seed=3)
+        grouped = events_by_batch(events)
+        flattened = [e for batch in sorted(grouped) for e in grouped[batch]]
+        assert flattened == events
+
+    def test_validation(self, registry):
+        with pytest.raises(StreamError):
+            churn_schedule(10, registry, 3, 3, batches=0)
+        with pytest.raises(StreamError):
+            churn_schedule(10, registry, 3, 3, arrival_fraction=0.0)
+        with pytest.raises(StreamError):
+            churn_schedule(10, registry, 3, 3, mean_lifetime=0.5)
+
+    def test_event_dataclass(self):
+        event = ChurnEvent(batch=2, action="depart", name="q1")
+        assert event.tree is None
+        assert event.batch == 2

@@ -187,6 +187,37 @@ class TestClusterSim:
         )
         assert "evals/s" in capsys.readouterr().out
 
+    def test_elastic_churn_sim(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sim", "--elastic", "--queries", "40",
+                    "--clusters", "3", "--streams-per-cluster", "3",
+                    "--rounds", "2", "--batches", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "elastic serving:" in out
+        assert "elastic actions" in out
+        assert "splits" in out
+
+    def test_elastic_verify_gauntlet(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sim", "--elastic", "--verify", "--queries", "24",
+                    "--clusters", "3", "--streams-per-cluster", "3",
+                    "--rounds", "3", "--batches", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "elastic parity:" in out
+        assert "bit-identical" in out
+
 
 class TestDrift:
     def test_default_run_prints_comparison(self, capsys):
