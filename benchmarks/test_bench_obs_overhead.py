@@ -1,0 +1,99 @@
+"""Telemetry overhead guard: disabled telemetry must be free.
+
+The observability layer is designed so a server constructed without
+telemetry — or with ``Telemetry(enabled=False)`` — pays only a per-batch
+attribute check, never per-round or per-probe work. This micro-benchmark
+enforces that contract in CI: it times ``run_batch`` in three modes
+(``none``: no telemetry object at all, the pre-telemetry baseline;
+``disabled``: a telemetry object with recording off; ``enabled``: full
+recording) with the repeats *interleaved* so thermal/scheduler drift hits
+every mode equally, takes the min over repeats as the noise-resistant
+estimate, and asserts the disabled mode is within 3% of the baseline.
+
+The enabled-mode ratio is recorded (not asserted) so the perf trajectory
+of the recording path itself stays visible across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_json, emit_report, full_scale
+
+from repro.engine import BernoulliOracle
+from repro.experiments import ascii_table
+from repro.obs import Telemetry
+from repro.service import QueryServer, synthetic_population, synthetic_registry
+
+N_QUERIES = 100
+ROUNDS = 60
+OVERHEAD_BUDGET = 1.03
+
+MODES = ("none", "disabled", "enabled")
+
+
+def repeats() -> int:
+    return 9 if full_scale() else 5
+
+
+def make_telemetry(mode: str) -> Telemetry | None:
+    if mode == "none":
+        return None
+    # In-memory only: sink I/O is a real cost of *enabled* telemetry in
+    # production, but this guard isolates the instrumentation overhead.
+    return Telemetry(enabled=(mode == "enabled"))
+
+
+def timed_batch(mode: str) -> float:
+    registry = synthetic_registry(8, seed=21)
+    population = synthetic_population(N_QUERIES, registry, seed=22)
+    server = QueryServer(
+        registry, BernoulliOracle(seed=23), telemetry=make_telemetry(mode)
+    )
+    for name, tree in population:
+        server.register(name, tree)
+    # Warm plan/window caches so the timed region is steady-state serving.
+    server.run_batch(2, engine="vectorized")
+    start = time.perf_counter()
+    server.run_batch(ROUNDS, engine="vectorized")
+    return time.perf_counter() - start
+
+
+class TestTelemetryOverhead:
+    def test_disabled_telemetry_within_budget(self):
+        samples: dict[str, list[float]] = {mode: [] for mode in MODES}
+        for _ in range(repeats()):
+            for mode in MODES:
+                samples[mode].append(timed_batch(mode))
+        best = {mode: min(times) for mode, times in samples.items()}
+        disabled_ratio = best["disabled"] / best["none"]
+        enabled_ratio = best["enabled"] / best["none"]
+
+        rows = [
+            (
+                mode,
+                f"{best[mode] * 1e3:.2f}",
+                f"{N_QUERIES * ROUNDS / best[mode]:,.0f}",
+                f"{best[mode] / best['none']:.3f}x",
+            )
+            for mode in MODES
+        ]
+        table = ascii_table(("mode", "best ms", "evals/s", "vs baseline"), rows)
+        emit_report("obs_overhead", table)
+        emit_json(
+            "obs_overhead",
+            {
+                "n_queries": N_QUERIES,
+                "rounds": ROUNDS,
+                "repeats": repeats(),
+                "best_seconds": best,
+                "samples_seconds": samples,
+                "disabled_ratio": disabled_ratio,
+                "enabled_ratio": enabled_ratio,
+                "budget": OVERHEAD_BUDGET,
+            },
+        )
+        assert disabled_ratio <= OVERHEAD_BUDGET, (
+            f"disabled-telemetry run_batch is {disabled_ratio:.3f}x the"
+            f" no-telemetry baseline (budget {OVERHEAD_BUDGET}x)"
+        )

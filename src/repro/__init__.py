@@ -51,6 +51,13 @@ from repro.errors import (
     ParseError,
     ReproError,
     StreamError,
+    TelemetryError,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    render_prometheus,
 )
 from repro.adaptive import AdaptivePolicy, ReplanEvent
 from repro.cluster import (
@@ -115,6 +122,11 @@ __all__ = [
     "Partition",
     "PartitionReport",
     "partition_by_overlap",
+    # observability
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
+    "render_prometheus",
     # errors
     "ReproError",
     "InvalidLeafError",
@@ -124,4 +136,5 @@ __all__ = [
     "ParseError",
     "StreamError",
     "AdmissionError",
+    "TelemetryError",
 ]

@@ -39,6 +39,11 @@ Commands
     rebalance); combined with ``--verify`` it first runs the elastic
     differential gauntlet (split/drain/resize with auto-rebalance enabled
     vs the unsharded server, bit-identical per-query costs).
+``metrics``
+    Replay a ``--telemetry`` JSONL file (written by ``serve-sim``, ``drift``
+    or ``cluster-sim``) into a metrics report: span/event counts, counters,
+    gauges and histogram percentiles — or the raw snapshot as Prometheus
+    text exposition (``--format prometheus``) / JSON (``--format json``).
 
 Examples
 --------
@@ -54,12 +59,15 @@ Examples
     python -m repro serve-sim --queries 100 --rounds 50 --compare-isolated
     python -m repro drift --rounds 360 --drift-round 120 --queries 12
     python -m repro cluster-sim --queries 300 --clusters 8 --rounds 10 --verify
+    python -m repro cluster-sim --elastic --telemetry out.jsonl
+    python -m repro metrics out.jsonl --format prometheus
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -91,6 +99,25 @@ def _load_tree(spec: str) -> DnfTree:
             return tree.to_dnf()  # type: ignore[union-attr]
         return tree.as_dnf()  # type: ignore[union-attr]
     return parse_query(spec).as_dnf()
+
+
+def _open_telemetry(args: argparse.Namespace):
+    """Build a Telemetry when ``--telemetry PATH`` was given, else ``None``."""
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry(sink=path)
+
+
+def _finish_telemetry(tel, args: argparse.Namespace) -> None:
+    """Append the final metrics snapshot to the sink and close it."""
+    if tel is None:
+        return
+    tel.write_snapshot()
+    tel.close()
+    print(f"telemetry written to {args.telemetry} ({tel.tracer.emitted} records)")
 
 
 def _parse_order(text: str, size: int) -> tuple[int, ...]:
@@ -237,12 +264,14 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         n_templates=args.templates,
         seed=args.seed + 1,
     )
+    telemetry = _open_telemetry(args)
     server = QueryServer(
         registry,
         BernoulliOracle(seed=args.seed),
         scheduler=args.scheduler,
         plan_cache=0 if args.no_plan_cache else args.plan_cache_capacity,
         shared_plan=not args.no_shared_plan,
+        telemetry=telemetry,
     )
     for name, tree in population:
         server.register(name, tree)
@@ -270,6 +299,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         if isolated_sum > 0:
             rows.append(("sharing speedup", f"{isolated_sum / max(report.total_cost, 1e-12):.2f}x"))
     print(ascii_table(("metric", "value"), rows))
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -283,6 +313,7 @@ def cmd_drift(args: argparse.Namespace) -> int:
         min_samples=args.min_samples,
         cooldown=args.cooldown,
     )
+    telemetry = _open_telemetry(args)
     report = run_drift(
         n_queries=args.queries,
         cluster_size=args.cluster_size,
@@ -292,6 +323,7 @@ def cmd_drift(args: argparse.Namespace) -> int:
         engine=args.engine,
         scheduler=args.scheduler,
         policy=policy,
+        telemetry=telemetry,
     )
     print(report.describe())
     print(ascii_table(report.summary_headers(), report.summary_rows()))
@@ -301,6 +333,7 @@ def cmd_drift(args: argparse.Namespace) -> int:
         f" static {report.static_vs_oracle:.3f}x"
         f" (detection lag {lag if lag is not None else 'n/a'} rounds)"
     )
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -322,6 +355,7 @@ def cmd_cluster_sim(args: argparse.Namespace) -> int:
             f"parity: {len(deltas)} queries identical between sharded and "
             f"unsharded serving (max cost delta {max(deltas.values()):.3g})"
         )
+    telemetry = _open_telemetry(args)
     report = run_cluster_compare(
         n_queries=args.queries,
         n_clusters=args.clusters,
@@ -333,6 +367,7 @@ def cmd_cluster_sim(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         engine=args.engine,
         seed=args.seed,
+        telemetry=telemetry,
     )
     sharded = report.result("overlap-sharded")
     print(
@@ -345,6 +380,7 @@ def cmd_cluster_sim(args: argparse.Namespace) -> int:
         f"throughput on {sharded.n_shards} shards ({sharded.workers} workers); "
         f"random partition: {report.speedup('random-sharded'):.2f}x"
     )
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -374,6 +410,7 @@ def _cmd_cluster_sim_elastic(args: argparse.Namespace) -> int:
             f"with auto-rebalance enabled (max cost delta "
             f"{max(deltas.values()):.3g})"
         )
+    telemetry = _open_telemetry(args)
     report = run_elastic_sim(
         n_queries=args.queries,
         n_clusters=args.clusters,
@@ -386,6 +423,7 @@ def _cmd_cluster_sim_elastic(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         engine=args.engine,
         seed=args.seed,
+        telemetry=telemetry,
     )
     print(
         f"elastic serving: {report.batches} batches x {report.rounds_per_batch} "
@@ -399,6 +437,71 @@ def _cmd_cluster_sim_elastic(args: argparse.Namespace) -> int:
     )
     if report.final_partition is not None:
         print(report.final_partition.describe())
+    _finish_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import latest_snapshot, read_jsonl, render_prometheus
+
+    try:
+        records = read_jsonl(args.path)
+    except OSError as exc:
+        raise ReproError(f"cannot read telemetry file: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"not a JSONL telemetry file: {exc}") from None
+    snapshot = latest_snapshot(records)
+    if snapshot is None:
+        raise ReproError(
+            f"{args.path} holds no metrics snapshot; re-run the producing "
+            "command with --telemetry (snapshots are appended at exit)"
+        )
+    if args.format == "json":
+        print(json.dumps(snapshot["metrics"], indent=2, sort_keys=True))
+        return 0
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus(snapshot))
+        return 0
+    # summary: traced activity, then the registry's cells.
+    spans: dict[str, int] = {}
+    events: dict[str, int] = {}
+    for record in records:
+        if record.get("type") == "span":
+            spans[record["name"]] = spans.get(record["name"], 0) + 1
+        elif record.get("type") == "event":
+            events[record["name"]] = events.get(record["name"], 0) + 1
+    print(f"{args.path}: {len(records)} records")
+    if spans:
+        print("  spans:  " + ", ".join(f"{k} x{v}" for k, v in sorted(spans.items())))
+    if events:
+        print("  events: " + ", ".join(f"{k} x{v}" for k, v in sorted(events.items())))
+    metrics = snapshot["metrics"]
+    rows = []
+    for cell in metrics["counters"]:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(cell["labels"].items()))
+        rows.append((f"{cell['name']}{{{labels}}}" if labels else cell["name"], f"{cell['value']:.6g}"))
+    for cell in metrics["gauges"]:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(cell["labels"].items()))
+        rows.append((f"{cell['name']}{{{labels}}}" if labels else cell["name"], f"{cell['value']:.6g}"))
+    if rows:
+        print(ascii_table(("metric", "value"), rows))
+    hist_rows = []
+    for cell in metrics["histograms"]:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(cell["labels"].items()))
+        name = f"{cell['name']}{{{labels}}}" if labels else cell["name"]
+        hist_rows.append(
+            (
+                name,
+                str(cell["count"]),
+                f"{cell['mean']:.6g}",
+                f"{cell['p50']:.6g}",
+                f"{cell['p95']:.6g}",
+                f"{cell['p99']:.6g}",
+                f"{cell['max']:.6g}",
+            )
+        )
+    if hist_rows:
+        print(ascii_table(("histogram", "count", "mean", "p50", "p95", "p99", "max"), hist_rows))
     return 0
 
 
@@ -505,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="round loop: per-probe scalar walk, or bulk-resolved vectorized batches",
     )
+    p_serve.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace (spans, events, final metrics snapshot) to PATH",
+    )
     p_serve.set_defaults(func=cmd_serve_sim)
 
     p_drift = sub.add_parser(
@@ -539,6 +649,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_drift.add_argument(
         "--cooldown", type=int, default=16, help="min rounds between replans per shape"
+    )
+    p_drift.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the adaptive mode's JSONL trace (replan events included) to PATH",
     )
     p_drift.set_defaults(func=cmd_drift)
 
@@ -590,7 +707,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=12,
         help="churn batches for --elastic (each runs --rounds rounds)",
     )
+    p_cluster.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace (batch/shard spans, elastic-action events, "
+        "final metrics snapshot) to PATH",
+    )
     p_cluster.set_defaults(func=cmd_cluster_sim)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="replay a --telemetry JSONL file into a metrics report"
+    )
+    p_metrics.add_argument("path", type=Path, help="JSONL file written by --telemetry")
+    p_metrics.add_argument(
+        "--format",
+        choices=("summary", "prometheus", "json"),
+        default="summary",
+        help="summary table (default), Prometheus text exposition, or raw JSON",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
 
     return parser
 
@@ -603,6 +740,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro metrics ... | head`): not an
+        # error. Detach stdout so interpreter shutdown doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
 
 
 if __name__ == "__main__":  # pragma: no cover

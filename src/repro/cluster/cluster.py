@@ -67,6 +67,7 @@ from repro.cluster.shard import ShardServer
 from repro.core.heuristics.base import Scheduler
 from repro.engine.executor import BernoulliOracle, ExecutionResult, LeafOracle
 from repro.errors import AdmissionError, StreamError
+from repro.obs import MetricsRegistry, Telemetry
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import PlanCache
 from repro.service.server import DEFAULT_SCHEDULER, BatchReport, QueryServer
@@ -159,7 +160,15 @@ class ElasticEvent:
 
 @dataclass
 class ClusterReport:
-    """Aggregate of one concurrent batch across every active shard."""
+    """Aggregate of one concurrent batch across every active shard.
+
+    The cost/probe/item aggregates are *stored fields*, not recomputed
+    sums: :meth:`ClusterServer.run_batch` first records each shard's batch
+    totals into the cluster's metrics registry, then derives these fields
+    from the registry's counter deltas. The report and any exported metrics
+    snapshot therefore read from one source of truth and can never diverge
+    (a regression test asserts the equality).
+    """
 
     rounds: int
     workers: int
@@ -179,6 +188,13 @@ class ClusterReport:
     #: Human-readable descriptions of the elastic actions the policy took
     #: right after this batch (empty without an ElasticPolicy).
     elastic_actions: tuple[str, ...] = ()
+    #: Batch aggregates, derived from the metrics registry's counter deltas.
+    total_cost: float = 0.0
+    probes: int = 0
+    free_probes: int = 0
+    items_fetched: int = 0
+    items_saved: int = 0
+    replans: int = 0
 
     # -- aggregates ------------------------------------------------------
 
@@ -197,10 +213,6 @@ class ClusterReport:
         return self.evals / self.wall_seconds if self.wall_seconds > 0 else float("inf")
 
     @property
-    def total_cost(self) -> float:
-        return sum(report.total_cost for report in self.shard_reports.values())
-
-    @property
     def per_query_cost(self) -> dict[str, float]:
         merged: dict[str, float] = {}
         for report in self.shard_reports.values():
@@ -213,26 +225,6 @@ class ClusterReport:
         for report in self.shard_reports.values():
             merged.update(report.per_query_true_rate)
         return merged
-
-    @property
-    def probes(self) -> int:
-        return sum(report.probes for report in self.shard_reports.values())
-
-    @property
-    def free_probes(self) -> int:
-        return sum(report.free_probes for report in self.shard_reports.values())
-
-    @property
-    def items_fetched(self) -> int:
-        return sum(report.items_fetched for report in self.shard_reports.values())
-
-    @property
-    def items_saved(self) -> int:
-        return sum(report.items_saved for report in self.shard_reports.values())
-
-    @property
-    def replans(self) -> int:
-        return sum(report.replans for report in self.shard_reports.values())
 
     def summary(self) -> str:
         busiest = max(self.shard_seconds.values(), default=0.0)
@@ -299,6 +291,15 @@ class ClusterServer:
         An :class:`~repro.adaptive.ElasticPolicy` enabling automatic
         split/drain/rebalance after each batch; ``None`` (default) leaves
         the width entirely to the operator.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` shared by the cluster and every
+        shard's :class:`QueryServer` (both halves are thread-safe; shard
+        identity rides on metric labels). Batches run inside
+        ``"cluster-batch"`` spans, every elastic action and migration is a
+        traced event, and per-shard wall-clock lands in labelled
+        histograms. ``None`` (default) records nothing — the cluster still
+        keeps a private registry so :class:`ClusterReport` aggregates stay
+        registry-derived, but it is touched once per batch, never per round.
     """
 
     def __init__(
@@ -316,6 +317,7 @@ class ClusterServer:
         max_shard_queries: int | None = None,
         elastic: ElasticPolicy | None = None,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if n_shards < 1:
             raise AdmissionError(f"need at least one shard, got {n_shards}")
@@ -346,6 +348,11 @@ class ClusterServer:
         self.oracle_factory = (
             oracle_factory if oracle_factory is not None else default_oracle_factory(seed)
         )
+        self.telemetry = telemetry
+        # Batch aggregates flow registry -> report even without telemetry:
+        # the private registry makes the derivation unconditional (one source
+        # of truth), at the cost of a handful of counter ops per *batch*.
+        self._registry = telemetry.registry if telemetry is not None else MetricsRegistry()
         self.router = ShardRouter(
             costs=registry.cost_table(), max_shard_queries=max_shard_queries
         )
@@ -386,6 +393,7 @@ class ClusterServer:
             shared_plan=self._shared_plan,
             warmup=self._warmup,
             adaptive=self._adaptive,
+            telemetry=self.telemetry,
         )
         return ShardServer(shard_id, server, self.registry.cost_table())
 
@@ -558,6 +566,21 @@ class ClusterServer:
         or rebalances it fired, and ``shard_sizes`` reflect the population
         as it was *during* the batch.
         """
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return self._run_batch_impl(rounds, engine=engine)
+        with tel.span(
+            "cluster-batch", rounds=rounds, engine=engine, queries=len(self)
+        ) as attrs:
+            report = self._run_batch_impl(rounds, engine=engine)
+            attrs["shards"] = len(report.shard_reports)
+            attrs["workers"] = report.workers
+            attrs["total_cost"] = report.total_cost
+            attrs["wall_seconds"] = report.wall_seconds
+            attrs["elastic_actions"] = len(report.elastic_actions)
+        return report
+
+    def _run_batch_impl(self, rounds: int, *, engine: str) -> ClusterReport:
         active = self.active_shards()
         if not active:
             raise StreamError("no queries registered in any shard")
@@ -578,7 +601,46 @@ class ClusterServer:
         shard_seconds = {shard.shard_id: shard.last_batch_seconds for shard in active}
         shard_sizes = {shard.shard_id: len(shard) for shard in active}
         auto = self._auto_elastic() if self.elastic is not None else []
-        return ClusterReport(
+        # Registry first, report second: the batch totals are recorded as
+        # counter increments, and the report's aggregate fields are the
+        # resulting *deltas* — so the dataclass and an exported snapshot can
+        # never disagree (they are the same numbers, read once).
+        reg = self._registry
+        befores = {
+            name: reg.value(name)
+            for name in (
+                "repro_cluster_cost_total",
+                "repro_cluster_probes_total",
+                "repro_cluster_free_probes_total",
+                "repro_cluster_items_fetched_total",
+                "repro_cluster_items_saved_total",
+                "repro_cluster_replans_total",
+            )
+        }
+        reg.counter("repro_cluster_batches_total").inc()
+        reg.counter("repro_cluster_rounds_total").inc(rounds)
+        reg.counter("repro_cluster_cost_total").inc(
+            sum(report.total_cost for report in reports)
+        )
+        reg.counter("repro_cluster_probes_total").inc(
+            sum(report.probes for report in reports)
+        )
+        reg.counter("repro_cluster_free_probes_total").inc(
+            sum(report.free_probes for report in reports)
+        )
+        reg.counter("repro_cluster_items_fetched_total").inc(
+            sum(report.items_fetched for report in reports)
+        )
+        reg.counter("repro_cluster_items_saved_total").inc(
+            sum(report.items_saved for report in reports)
+        )
+        reg.counter("repro_cluster_replans_total").inc(
+            sum(report.replans for report in reports)
+        )
+        reg.gauge("repro_cluster_shards").set(self.n_shards)
+        reg.gauge("repro_cluster_queries").set(len(self))
+        reg.histogram("repro_cluster_batch_seconds").observe(wall)
+        report = ClusterReport(
             rounds=rounds,
             workers=workers,
             wall_seconds=wall,
@@ -594,7 +656,30 @@ class ClusterServer:
             splits=self.splits,
             drains=self.drains,
             elastic_actions=tuple(event.describe() for event in auto),
+            total_cost=reg.value("repro_cluster_cost_total")
+            - befores["repro_cluster_cost_total"],
+            probes=int(
+                reg.value("repro_cluster_probes_total")
+                - befores["repro_cluster_probes_total"]
+            ),
+            free_probes=int(
+                reg.value("repro_cluster_free_probes_total")
+                - befores["repro_cluster_free_probes_total"]
+            ),
+            items_fetched=int(
+                reg.value("repro_cluster_items_fetched_total")
+                - befores["repro_cluster_items_fetched_total"]
+            ),
+            items_saved=int(
+                reg.value("repro_cluster_items_saved_total")
+                - befores["repro_cluster_items_saved_total"]
+            ),
+            replans=int(
+                reg.value("repro_cluster_replans_total")
+                - befores["repro_cluster_replans_total"]
+            ),
         )
+        return report
 
     # -- migration -------------------------------------------------------
 
@@ -636,6 +721,27 @@ class ClusterServer:
                     continue
                 self._migrate_group(members, sid, home_id)
 
+    def _log_elastic(self, event: ElasticEvent, duration: float = 0.0) -> ElasticEvent:
+        """Append to the audit log and mirror the action into telemetry."""
+        self.elastic_log.append(event)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.registry.counter(
+                "repro_elastic_actions_total", kind=event.kind
+            ).inc()
+            tel.event(
+                "elastic-action",
+                kind=event.kind,
+                round=event.round_index,
+                shard=event.shard_id,
+                new_shards=list(event.new_shard_ids),
+                moves=event.moves,
+                trigger=event.trigger,
+                detail=event.detail,
+                duration=duration,
+            )
+        return event
+
     def _migrate_group(self, names: Sequence[str], src_id: int, dest_id: int) -> None:
         """Move ``names`` (one stream-coherent group) between live shards.
 
@@ -646,6 +752,18 @@ class ClusterServer:
         registration order, so co-resident queries keep the same relative
         merge order they had (and would have had on the unsharded server).
         """
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            with tel.span(
+                "migration", src=src_id, dest=dest_id, queries=len(names)
+            ):
+                self._migrate_group_impl(names, src_id, dest_id)
+        else:
+            self._migrate_group_impl(names, src_id, dest_id)
+
+    def _migrate_group_impl(
+        self, names: Sequence[str], src_id: int, dest_id: int
+    ) -> None:
         src, dest = self.shards[src_id], self.shards[dest_id]
         streams: set[str] = set()
         for name in names:
@@ -700,6 +818,7 @@ class ClusterServer:
             raise AdmissionError(f"a split needs at least 2 groups, got {into}")
         if len(shard) < 2:
             return None
+        op_start = time.perf_counter()
         population = [(name, shard.server.query(name).tree) for name in shard.names]
         graph = build_overlap_graph(population, self.registry.cost_table())
         pieces = shard_split_pieces(graph, allow_cut=allow_cut)
@@ -733,7 +852,7 @@ class ClusterServer:
                 f"cut weight {report.cut_weight:.6g}"
             ),
         )
-        self.elastic_log.append(event)
+        self._log_elastic(event, duration=time.perf_counter() - op_start)
         return event
 
     @_synchronized
@@ -754,6 +873,7 @@ class ClusterServer:
         others = [s for sid, s in self.shards.items() if sid != shard_id]
         if not others:
             raise AdmissionError("cannot drain the only shard in the cluster")
+        op_start = time.perf_counter()
         destinations: list[int] = []
         moves = 0
         if len(shard):
@@ -776,7 +896,7 @@ class ClusterServer:
                     moves += len(members)
             except AdmissionError:
                 if moves:
-                    self.elastic_log.append(
+                    self._log_elastic(
                         ElasticEvent(
                             kind="drain-partial",
                             round_index=self._rounds_served,
@@ -785,7 +905,8 @@ class ClusterServer:
                             moves=moves,
                             trigger=trigger,
                             detail="capacity exhausted mid-drain; shard retained",
-                        )
+                        ),
+                        duration=time.perf_counter() - op_start,
                     )
                 raise
         retired = self.shards.pop(shard_id)
@@ -799,7 +920,7 @@ class ClusterServer:
             moves=moves,
             trigger=trigger,
         )
-        self.elastic_log.append(event)
+        self._log_elastic(event, duration=time.perf_counter() - op_start)
         return event
 
     @_synchronized
@@ -845,7 +966,7 @@ class ClusterServer:
                     trigger=trigger,
                     detail="spawned empty (no clean split available)",
                 )
-                self.elastic_log.append(split_event)
+                self._log_elastic(split_event)
             events.append(split_event)
         return events
 
@@ -887,6 +1008,7 @@ class ClusterServer:
         population = self._live_population()
         if not population:
             raise StreamError("no queries registered in any shard")
+        op_start = time.perf_counter()
         # One overlap graph serves both the current placement's score and
         # the candidate partition.
         graph = build_overlap_graph(population, self.registry.cost_table())
@@ -932,7 +1054,7 @@ class ClusterServer:
             old_report=old_report, new_report=candidate.report, moves=moves
         )
         self.rebalances.append(event)
-        self.elastic_log.append(
+        self._log_elastic(
             ElasticEvent(
                 kind="rebalance",
                 round_index=self._rounds_served,
@@ -941,7 +1063,8 @@ class ClusterServer:
                 moves=moves,
                 trigger=trigger,
                 detail=event.describe(),
-            )
+            ),
+            duration=time.perf_counter() - op_start,
         )
         return event
 

@@ -98,8 +98,30 @@ class ShardServer:
         return self.server.step()
 
     def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
-        """Timed batch; wall seconds land in :attr:`last_batch_seconds`."""
+        """Timed batch; wall seconds land in :attr:`last_batch_seconds`.
+
+        With telemetry enabled on the underlying server, the batch runs
+        inside a ``"shard-batch"`` span and the wall time is also observed
+        into the ``repro_shard_batch_seconds{shard=...}`` histogram — the
+        per-shard latency distribution the cluster-level report derives its
+        timing views from.
+        """
+        tel = self.server.telemetry
         start = time.perf_counter()
-        report = self.server.run_batch(rounds, engine=engine)
-        self.last_batch_seconds = time.perf_counter() - start
+        if tel is not None and tel.enabled:
+            with tel.span(
+                "shard-batch",
+                shard=self.shard_id,
+                rounds=rounds,
+                queries=len(self.server),
+            ) as attrs:
+                report = self.server.run_batch(rounds, engine=engine)
+                attrs["total_cost"] = report.total_cost
+            self.last_batch_seconds = time.perf_counter() - start
+            tel.registry.histogram(
+                "repro_shard_batch_seconds", shard=str(self.shard_id)
+            ).observe(self.last_batch_seconds)
+        else:
+            report = self.server.run_batch(rounds, engine=engine)
+            self.last_batch_seconds = time.perf_counter() - start
         return report

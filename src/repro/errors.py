@@ -17,6 +17,7 @@ __all__ = [
     "ParseError",
     "StreamError",
     "AdmissionError",
+    "TelemetryError",
 ]
 
 
@@ -50,3 +51,7 @@ class StreamError(ReproError, ValueError):
 
 class AdmissionError(ReproError, RuntimeError):
     """A serving-layer admission limit rejected a query (server full, duplicate name, ...)."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """An observability operation was misused (metric type clash, bad bucket bounds, ...)."""

@@ -30,6 +30,7 @@ from repro.cluster.cluster import ClusterServer, default_oracle_factory
 from repro.cluster.partition import PartitionReport
 from repro.errors import StreamError
 from repro.generators.churn import churn_schedule, events_by_batch
+from repro.obs import Telemetry
 from repro.generators.overlap_populations import (
     clustered_registry,
     overlap_clustered_population,
@@ -188,6 +189,7 @@ def run_cluster_compare(
     engine: str = "scalar",
     warmup: int = 64,
     seed: int = 0,
+    telemetry: "Telemetry | None" = None,
 ) -> ClusterCompareReport:
     """Serve one overlap-clustered population three ways and compare.
 
@@ -197,6 +199,10 @@ def run_cluster_compare(
     placement). Every mode rebuilds the identical environment per ``seed``
     and draws per-query oracles by name, so cost differences are placement
     effects, not sampling noise.
+
+    ``telemetry`` instruments the *overlap-sharded* mode only (the mode the
+    comparison is about); wiring it into all three would interleave three
+    unrelated runs in one trace.
     """
     if n_shards is None:
         n_shards = n_clusters
@@ -223,6 +229,7 @@ def run_cluster_compare(
             scheduler=scheduler,
             warmup=warmup,
             seed=seed,
+            telemetry=telemetry if label == "overlap-sharded" else None,
         )
         partition = cluster.register_population(population, method=method)
         report = cluster.run_batch(rounds, engine=engine)
@@ -485,6 +492,7 @@ def run_elastic_sim(
     engine: str = "scalar",
     warmup: int = 64,
     seed: int = 0,
+    telemetry: "Telemetry | None" = None,
 ) -> ElasticSimReport:
     """Serve a churn-over-time population on a self-managing elastic cluster.
 
@@ -522,6 +530,7 @@ def run_elastic_sim(
         warmup=warmup,
         elastic=policy,
         seed=seed + 2,
+        telemetry=telemetry,
     )
     report = ElasticSimReport(batches=batches, rounds_per_batch=rounds_per_batch)
     for batch in range(batches):

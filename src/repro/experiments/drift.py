@@ -35,6 +35,7 @@ from repro.core.tree import DnfTree
 from repro.engine.executor import DriftingBernoulliOracle
 from repro.errors import StreamError
 from repro.generators.drift_scenarios import step_drift_by_stream
+from repro.obs import Telemetry
 from repro.service.server import DEFAULT_SCHEDULER, QueryServer
 from repro.service.simulate import shuffled_isomorph
 from repro.streams.drift import DriftSchedule
@@ -214,9 +215,12 @@ def _serve(
     expensive_cost: float,
     n_clusters: int,
     oracle_replan_round: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> tuple[QueryServer, DriftModeResult, str]:
     registry = _drift_registry(registry_seed, cheap_cost, expensive_cost, n_clusters)
-    server = QueryServer(registry, scheduler=scheduler, adaptive=adaptive)
+    server = QueryServer(
+        registry, scheduler=scheduler, adaptive=adaptive, telemetry=telemetry
+    )
     for ordinal, (name, tree, drift) in enumerate(population):
         server.register(
             name,
@@ -267,6 +271,7 @@ def run_drift(
     steady_prob: float = 0.6,
     cheap_cost: float = 1.0,
     expensive_cost: float = 5.0,
+    telemetry: Telemetry | None = None,
 ) -> DriftReport:
     """Run the three serving modes over one identical drift scenario.
 
@@ -274,6 +279,10 @@ def run_drift(
     oracles seeded identically, and a drifting oracle's random-tape
     consumption is independent of the executing plan — so the three cost
     trajectories are exactly comparable, round by round.
+
+    ``telemetry`` instruments the *adaptive* mode only — the mode whose
+    replan events the trace is for; the static and oracle baselines run
+    untraced so the timeline stays a single coherent story.
     """
     if not 0 < drift_round < rounds:
         raise StreamError(
@@ -299,7 +308,9 @@ def run_drift(
         n_clusters=_n_clusters(n_queries, cluster_size),
     )
     _, static, _ = _serve(population, seed, seed, adaptive=None, **common)
-    _, adaptive, _ = _serve(population, seed, seed, adaptive=policy, **common)
+    _, adaptive, _ = _serve(
+        population, seed, seed, adaptive=policy, telemetry=telemetry, **common
+    )
     _, oracle, _ = _serve(
         population, seed, seed, adaptive=None, oracle_replan_round=drift_round, **common
     )

@@ -1,0 +1,42 @@
+"""Zero-dependency observability: metrics, tracing, and exporters.
+
+The package has three layers, each usable on its own:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket mergeable histograms (percentiles by
+  bucket interpolation, exact merge across shards);
+* :mod:`repro.obs.trace` — a :class:`Tracer` recording spans and events
+  into a bounded ring and an optional JSON-lines sink;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the serving
+  stack passes around, with an ``enabled`` switch that makes every entry
+  point a no-op (the hot paths guard on it so disabled telemetry is free).
+
+:mod:`repro.obs.export` renders snapshots as Prometheus exposition text and
+replays JSONL sinks (``repro metrics``).
+"""
+
+from repro.obs.export import latest_snapshot, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "exponential_buckets",
+    "latest_snapshot",
+    "read_jsonl",
+    "render_prometheus",
+]

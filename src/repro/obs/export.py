@@ -1,0 +1,109 @@
+"""Exporters: Prometheus text format and JSONL snapshot helpers.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+(or a snapshot dict previously produced by ``registry.snapshot()`` /
+``Telemetry.snapshot()``) into the Prometheus text exposition format:
+counters and gauges as single samples, histograms as cumulative
+``_bucket{le="..."}`` series plus ``_sum`` and ``_count``. The renderer is
+pure — it never touches the network — so ``repro metrics --format
+prometheus`` can replay a JSONL sink offline into something a Prometheus
+``textfile`` collector (or a human) can read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "latest_snapshot"]
+
+
+def _fmt_value(value: float) -> str:
+    """Render a float the way Prometheus expects (integers without .0 noise)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(val))}"' for key, val in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(source: MetricsRegistry | dict) -> str:
+    """Render a registry or snapshot dict as Prometheus exposition text."""
+    if isinstance(source, MetricsRegistry):
+        snap = source.snapshot()
+    elif isinstance(source, dict):
+        snap = source.get("metrics", source)
+    else:
+        raise TelemetryError(
+            f"expected MetricsRegistry or snapshot dict, got {type(source).__name__}"
+        )
+    if not isinstance(snap, dict) or not {"counters", "gauges", "histograms"} <= set(
+        snap
+    ):
+        raise TelemetryError("not a metrics snapshot: missing counters/gauges/histograms")
+
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for cell in snap["counters"]:
+        header(cell["name"], "counter")
+        lines.append(
+            f"{cell['name']}{_fmt_labels(cell['labels'])} {_fmt_value(cell['value'])}"
+        )
+    for cell in snap["gauges"]:
+        header(cell["name"], "gauge")
+        lines.append(
+            f"{cell['name']}{_fmt_labels(cell['labels'])} {_fmt_value(cell['value'])}"
+        )
+    for cell in snap["histograms"]:
+        name = cell["name"]
+        header(name, "histogram")
+        labels = cell["labels"]
+        cumulative = 0
+        for bound, count in zip(cell["bounds"], cell["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_fmt_labels(labels, {'le': _fmt_value(bound)})}"
+                f" {cumulative}"
+            )
+        # The +Inf bucket includes the overflow count beyond the last bound.
+        lines.append(
+            f"{name}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {cell['count']}"
+        )
+        lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(cell['sum'])}")
+        lines.append(f"{name}_count{_fmt_labels(labels)} {cell['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def latest_snapshot(records: Iterable[dict]) -> dict | None:
+    """Return the last ``type == "snapshot"`` record from a JSONL replay."""
+    found: dict | None = None
+    for record in records:
+        if isinstance(record, dict) and record.get("type") == "snapshot":
+            found = record
+    return found

@@ -1,0 +1,415 @@
+"""Lock-safe metrics primitives: counters, gauges and mergeable histograms.
+
+The registry is the cluster's single source of numeric truth: every
+subsystem (server round loop, shard batches, elastic policy, migrations)
+records into one :class:`MetricsRegistry`, and every consumer — the
+``repro metrics`` CLI, the Prometheus exporter, :class:`ClusterReport` —
+reads the *same* cells, so a report and an export can never disagree.
+
+Histograms use fixed bucket boundaries shared by construction, which makes
+them **mergeable**: two histograms over the same bounds combine by adding
+bucket counts (exactly associative), so per-shard latency distributions roll
+up into a cluster distribution without approximation beyond the bucket
+resolution already paid at observe time. Percentiles (p50/p95/p99) come from
+linear interpolation inside the covering bucket, clamped to the observed
+min/max — accurate to one bucket width by construction.
+
+Everything here is dependency-free and thread-safe: each metric carries its
+own small lock (observations from concurrent shard threads may target the
+same cell), and the registry serializes get-or-create.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping, Sequence, Union
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricKey",
+    "DEFAULT_BUCKETS",
+    "exponential_buckets",
+]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` geometric bucket upper bounds: start, start*factor, ..."""
+    if start <= 0.0:
+        raise TelemetryError(f"bucket start must be > 0, got {start}")
+    if factor <= 1.0:
+        raise TelemetryError(f"bucket factor must be > 1, got {factor}")
+    if count < 1:
+        raise TelemetryError(f"need at least one bucket, got {count}")
+    bounds = []
+    edge = float(start)
+    for _ in range(count):
+        bounds.append(edge)
+        edge *= factor
+    return tuple(bounds)
+
+
+#: Default latency/cost bucket bounds: 5 per decade from 1e-6 to 1e6 —
+#: wide enough for sub-microsecond wall clocks and thousand-unit round
+#: costs alike, at <=~58% relative error per bucket (10^(1/5)).
+DEFAULT_BUCKETS = exponential_buckets(1e-6, 10.0 ** 0.2, 61)
+
+#: A metric cell's identity: (name, sorted (label, value) pairs).
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing float cell."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counters only increase; got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> float:
+        with self._lock:
+            return self.value
+
+    def __getstate__(self) -> float:
+        return self.snapshot()
+
+    def __setstate__(self, state: float) -> None:
+        self._lock = threading.Lock()
+        self.value = float(state)
+
+
+class Gauge:
+    """A set-to-current-value cell (cluster width, resident queries, ...)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> float:
+        with self._lock:
+            return self.value
+
+    def __getstate__(self) -> float:
+        return self.snapshot()
+
+    def __setstate__(self, state: float) -> None:
+        self._lock = threading.Lock()
+        self.value = float(state)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles, mergeable.
+
+    ``bounds`` are the buckets' inclusive upper edges; one implicit overflow
+    bucket catches everything above the last edge. Two histograms with equal
+    bounds merge by adding counts — an exactly associative and commutative
+    operation (the property suite asserts it), which is what lets per-shard
+    distributions roll up into cluster distributions losslessly.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "vmin", "vmax", "_lock")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        chosen = tuple(float(b) for b in (DEFAULT_BUCKETS if bounds is None else bounds))
+        if not chosen:
+            raise TelemetryError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(chosen, chosen[1:])):
+            raise TelemetryError(f"bucket bounds must strictly increase: {chosen}")
+        self.bounds = chosen
+        self.counts = [0] * (len(chosen) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        # Binary search over the (short, fixed) bounds tuple.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = self._bucket_index(value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated ``q``-th percentile (``q`` in [0, 100]); 0.0 when empty.
+
+        The covering bucket is found by cumulative count; the value is
+        linearly interpolated inside it between the bucket's edges (the
+        observed min/max stand in for the open outer edges), so the result
+        always lies in the same bucket as the exact nearest-rank value.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise TelemetryError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self.count:
+                return 0.0
+            rank = q / 100.0 * self.count
+            if rank <= 0.0:
+                return self.vmin
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                if not bucket_count:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    lo = self.vmin if index == 0 else self.bounds[index - 1]
+                    hi = (
+                        self.vmax
+                        if index == len(self.bounds)
+                        else min(self.bounds[index], self.vmax)
+                    )
+                    lo = max(lo, self.vmin)
+                    if hi <= lo:
+                        return min(max(lo, self.vmin), self.vmax)
+                    fraction = (rank - cumulative) / bucket_count
+                    value = lo + fraction * (hi - lo)
+                    return min(max(value, self.vmin), self.vmax)
+                cumulative += bucket_count
+            return self.vmax  # pragma: no cover - cumulative always covers
+
+    def quantiles(self) -> dict[str, float]:
+        """The standard serving-team trio (plus mean), JSON-ready."""
+        return {
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "mean": self.mean,
+        }
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' observations."""
+        if self.bounds != other.bounds:
+            raise TelemetryError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        merged = Histogram(self.bounds)
+        # Lock in id order (and only once for a self-merge) so two threads
+        # merging the same pair in opposite directions cannot deadlock.
+        if other is self:
+            locks = (self._lock,)
+        else:
+            first, second = sorted((self, other), key=id)
+            locks = (first._lock, second._lock)
+        for lock in locks:
+            lock.acquire()
+        try:
+            merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+            merged.count = self.count + other.count
+            merged.total = self.total + other.total
+            merged.vmin = min(self.vmin, other.vmin)
+            merged.vmax = max(self.vmax, other.vmax)
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        return merged
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.total,
+                "min": self.vmin if self.count else 0.0,
+                "max": self.vmax if self.count else 0.0,
+            }
+
+    @classmethod
+    def from_snapshot(cls, record: Mapping) -> "Histogram":
+        histogram = cls(record["bounds"])
+        histogram.counts = list(record["counts"])
+        histogram.count = int(record["count"])
+        histogram.total = float(record["sum"])
+        if histogram.count:
+            histogram.vmin = float(record["min"])
+            histogram.vmax = float(record["max"])
+        return histogram
+
+    # Locks are not picklable; a pickled histogram rehydrates a fresh one
+    # (the planned process-mode cluster ships snapshots between workers).
+    def __getstate__(self) -> dict:
+        return self.snapshot()
+
+    def __setstate__(self, state: dict) -> None:
+        restored = Histogram.from_snapshot(state)
+        for slot in ("bounds", "counts", "count", "total", "vmin", "vmax"):
+            setattr(self, slot, getattr(restored, slot))
+        self._lock = threading.Lock()
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled metric cells.
+
+    A cell's identity is ``(name, sorted label items)``; asking for an
+    existing cell with a different metric type raises
+    :class:`~repro.errors.TelemetryError` (one name, one type). All methods
+    are thread-safe; the returned cells carry their own locks, so hot paths
+    may cache them and record without touching the registry again.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[MetricKey, Metric] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Mapping[str, str]) -> MetricKey:
+        if not name:
+            raise TelemetryError("metric name must be non-empty")
+        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+    def _get_or_create(self, key: MetricKey, kind: type, factory) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            elif not isinstance(metric, kind):
+                raise TelemetryError(
+                    f"metric {key[0]!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(self._key(name, labels), Counter, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(self._key(name, labels), Gauge, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None, **labels: str
+    ) -> Histogram:
+        return self._get_or_create(
+            self._key(name, labels), Histogram, lambda: Histogram(bounds)
+        )
+
+    # -- reading --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def collect(self) -> Iterator[tuple[str, dict[str, str], Metric]]:
+        """Every cell as ``(name, labels, metric)``, sorted by identity."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), metric in items:
+            yield name, dict(labels), metric
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge cell; 0.0 when absent."""
+        key = self._key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise TelemetryError(f"{name!r} is a histogram; use get_histogram")
+        return metric.snapshot()
+
+    def get_histogram(self, name: str, **labels: str) -> Histogram | None:
+        key = self._key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+        if metric is None:
+            return None
+        if not isinstance(metric, Histogram):
+            raise TelemetryError(f"{name!r} is not a histogram")
+        return metric
+
+    def merged_histogram(self, name: str) -> Histogram | None:
+        """All of ``name``'s labelled cells merged into one distribution."""
+        cells = [
+            metric
+            for cell_name, _, metric in self.collect()
+            if cell_name == name and isinstance(metric, Histogram)
+        ]
+        if not cells:
+            return None
+        merged = cells[0]
+        for cell in cells[1:]:
+            merged = merged.merge(cell)
+        return merged
+
+    def snapshot(self) -> dict:
+        """One JSON-ready record of every cell (histograms with quantiles)."""
+        counters: list[dict] = []
+        gauges: list[dict] = []
+        histograms: list[dict] = []
+        for name, labels, metric in self.collect():
+            if isinstance(metric, Counter):
+                counters.append(
+                    {"name": name, "labels": labels, "value": metric.snapshot()}
+                )
+            elif isinstance(metric, Gauge):
+                gauges.append(
+                    {"name": name, "labels": labels, "value": metric.snapshot()}
+                )
+            else:
+                record = metric.snapshot()
+                record.update(metric.quantiles())
+                record["name"] = name
+                record["labels"] = labels
+                histograms.append(record)
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    # The cells rehydrate their own locks on unpickle; the registry only
+    # needs to hand over the cell table and rebuild its table lock.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"metrics": dict(self._metrics)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._metrics = dict(state["metrics"])

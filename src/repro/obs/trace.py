@@ -1,0 +1,164 @@
+"""Lightweight tracing: spans and events into a bounded ring + JSONL sink.
+
+A :class:`Tracer` records two kinds of structured records:
+
+* **spans** — ``with tracer.span("batch", rounds=10) as attrs: ...`` times a
+  region (wall-clock start, monotonic duration) and captures attributes; the
+  body may add attributes to ``attrs`` (e.g. a result count known only at
+  the end);
+* **events** — ``tracer.event("replan", key=..., reason=...)`` are
+  zero-duration marks for discrete happenings (re-plans, migrations,
+  elastic actions).
+
+Records land in a bounded in-memory ring (a ``deque(maxlen=...)``, so a
+long-running server never grows without bound) and, when a sink is
+configured, are appended to a JSON-lines file as they complete — one JSON
+object per line, replayable by ``repro metrics`` and
+``examples/telemetry_dashboard.py``. All entry points are thread-safe: the
+ring and the sink share one lock, so concurrent shard threads can never
+interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+__all__ = ["Tracer", "read_jsonl"]
+
+SinkLike = Union[str, Path, IO[str], None]
+
+
+class Tracer:
+    """Thread-safe span/event recorder with a bounded ring and JSONL sink.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size: only the most recent ``capacity`` records stay in memory
+        (the sink, when set, still receives every record).
+    sink:
+        ``None`` (in-memory only), a path (opened for writing, owned and
+        closed by the tracer) or an open text file object (borrowed).
+    """
+
+    def __init__(self, capacity: int = 4096, sink: SinkLike = None) -> None:
+        if capacity < 1:
+            from repro.errors import TelemetryError
+
+            raise TelemetryError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._owns_sink = False
+        self._sink: IO[str] | None = None
+        if isinstance(sink, (str, Path)):
+            self._sink = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        elif sink is not None:
+            self._sink = sink
+
+    # -- recording ------------------------------------------------------
+
+    def _record(self, record: dict) -> None:
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._ring.append(record)
+            if self._sink is not None:
+                self._sink.write(json.dumps(record, default=str) + "\n")
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Time a region; yields the mutable attribute dict."""
+        wall = time.time()
+        start = time.perf_counter()
+        try:
+            yield attrs
+        finally:
+            self._record(
+                {
+                    "type": "span",
+                    "name": name,
+                    "ts": wall,
+                    "dur": time.perf_counter() - start,
+                    "thread": threading.get_ident(),
+                    "attrs": attrs,
+                }
+            )
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-duration mark."""
+        self._record(
+            {
+                "type": "event",
+                "name": name,
+                "ts": time.time(),
+                "dur": 0.0,
+                "thread": threading.get_ident(),
+                "attrs": attrs,
+            }
+        )
+
+    def emit(self, record: dict) -> None:
+        """Append an arbitrary record (e.g. a final metrics snapshot)."""
+        self._record(dict(record))
+
+    # -- reading / lifecycle --------------------------------------------
+
+    def records(self) -> list[dict]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        return [
+            r
+            for r in self.records()
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: str | None = None) -> list[dict]:
+        return [
+            r
+            for r in self.records()
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    @property
+    def emitted(self) -> int:
+        """Lifetime record count (the ring keeps only the newest)."""
+        with self._lock:
+            return self._seq
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and, when the tracer opened the sink itself, close it."""
+        with self._lock:
+            if self._sink is None:
+                return
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+
+def read_jsonl(source: str | Path | IO[str]) -> list[dict]:
+    """Parse a JSON-lines telemetry sink back into records."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+    if isinstance(source, io.TextIOBase):
+        return [json.loads(line) for line in source if line.strip()]
+    return [json.loads(line) for line in source if line.strip()]

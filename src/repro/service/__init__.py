@@ -15,13 +15,19 @@ single-query machinery into a multi-tenant server:
   (register/deregister/step/run_batch) plus the :func:`run_isolated`
   no-sharing baseline;
 * :mod:`~repro.service.metrics` — per-query and aggregate counters (cost,
-  probes saved by sharing, plan-cache hit rate, p50/p95 round cost);
+  probes saved by sharing, plan-cache hit rate, p50/p95/p99 round cost,
+  routed through the :mod:`repro.obs` histogram buckets);
 * :mod:`~repro.service.simulate` — synthetic template-based populations for
   demos and benchmarks.
 """
 
 from repro.service.canonical import CanonicalForm, canonical_key, canonicalize
-from repro.service.metrics import QueryStats, ServiceMetrics, percentile
+from repro.service.metrics import (
+    ROUND_COST_WINDOW,
+    QueryStats,
+    ServiceMetrics,
+    percentile,
+)
 from repro.service.plan_cache import CachedPlan, PlanCache
 from repro.service.server import (
     BatchReport,
@@ -60,6 +66,7 @@ __all__ = [
     "ServiceMetrics",
     "QueryStats",
     "percentile",
+    "ROUND_COST_WINDOW",
     "shuffled_isomorph",
     "synthetic_population",
     "synthetic_registry",

@@ -4,26 +4,48 @@ The serving layer's whole value proposition — plans paid once, windows paid
 once — must be *measurable*, so the server maintains a
 :class:`ServiceMetrics` ledger: per-query cost/probe/outcome counters,
 aggregate sharing counters (items saved, free probes), the plan cache's
-hit rate, and a per-round cost series for tail percentiles (p50/p95).
+hit rate, and a per-round cost series for tail percentiles (p50/p95/p99).
+
+The percentile properties route through :class:`repro.obs.Histogram` —
+the same fixed-bucket interpolation the cluster's telemetry histograms
+use — so a shard's ``ServiceMetrics`` percentiles and the cluster-level
+metrics registry agree on what "p99 round cost" means (one bucketing
+scheme, one interpolation rule). The exact nearest-rank :func:`percentile`
+stays available for callers that want the raw order statistic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import Histogram
+
 __all__ = ["QueryStats", "ServiceMetrics", "percentile", "ROUND_COST_WINDOW"]
 
-#: Sliding-window size for the per-round cost series (p50/p95 scope).
+#: Sliding-window size for the per-round cost series. The server runs
+#: indefinitely, so the ledger cannot keep every round's cost: the window
+#: bounds memory at a few pages while keeping the percentile scope recent
+#: enough to reflect the *current* population (a re-plan or churn event
+#: washes out of the tail statistics within one window, not never). Lifetime
+#: aggregates (``rounds``/``total_cost``) are unaffected by the truncation.
 ROUND_COST_WINDOW = 4096
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]); 0.0 when empty."""
-    if not values:
-        return 0.0
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Robust on degenerate windows: an empty ``values`` yields 0.0 (after
+    ``q`` validation — an out-of-range ``q`` is a caller bug regardless of
+    the data) and a singleton window yields its only element for every
+    ``q``.
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
     ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
     rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
     return ordered[rank]
 
@@ -103,13 +125,30 @@ class ServiceMetrics:
     def mean_round_cost(self) -> float:
         return self.total_cost / self.rounds if self.rounds else 0.0
 
+    def round_cost_histogram(self) -> Histogram:
+        """The sliding window loaded into a telemetry histogram.
+
+        Built on demand (report time, never the round loop) so the
+        percentile properties interpolate with exactly the bucketing the
+        cluster's metrics registry uses — service-level and cluster-level
+        percentiles are the same function of the same buckets.
+        """
+        hist = Histogram()
+        for cost in self.round_costs:
+            hist.observe(cost)
+        return hist
+
     @property
     def p50_round_cost(self) -> float:
-        return percentile(self.round_costs, 50.0)
+        return self.round_cost_histogram().percentile(50.0)
 
     @property
     def p95_round_cost(self) -> float:
-        return percentile(self.round_costs, 95.0)
+        return self.round_cost_histogram().percentile(95.0)
+
+    @property
+    def p99_round_cost(self) -> float:
+        return self.round_cost_histogram().percentile(99.0)
 
     @property
     def free_probe_rate(self) -> float:
@@ -127,7 +166,8 @@ class ServiceMetrics:
             f"service: {self.rounds} rounds, {len(self.per_query)} queries tracked",
             f"  total cost        {self.total_cost:.6g}"
             f" ({self.mean_round_cost:.6g}/round,"
-            f" p50 {self.p50_round_cost:.6g}, p95 {self.p95_round_cost:.6g})",
+            f" p50 {self.p50_round_cost:.6g}, p95 {self.p95_round_cost:.6g},"
+            f" p99 {self.p99_round_cost:.6g})",
             f"  probes            {self.total_probes}"
             f" ({self.free_probe_rate:.1%} free via sharing)",
             f"  items             {self.items_fetched} fetched,"

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import functools
 import threading
+import time
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Mapping, Sequence, Union
 
@@ -43,6 +44,7 @@ from repro.engine.executor import (
 from repro.engine.vectorized import BatchResult, VectorizedExecutor
 from repro.engine.workload import compute_max_windows
 from repro.errors import AdmissionError, StreamError
+from repro.obs import Telemetry
 from repro.service.canonical import CanonicalForm, _as_dnf, canonicalize
 from repro.service.metrics import QueryStats, ServiceMetrics
 from repro.service.plan_cache import CachedPlan, PlanCache
@@ -200,6 +202,12 @@ class QueryServer:
         :class:`~repro.adaptive.AdaptiveController`) enabling online
         selectivity tracking and drift-triggered re-planning; ``None``
         (default) serves every query on its admission-time plan forever.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` receiving per-round latency/cost
+        histograms, probe counters, batch spans and replan/migration events.
+        ``None`` (default) costs one pointer comparison per round; a
+        disabled telemetry costs the same (the hot paths never time or
+        record unless ``telemetry.enabled``).
     """
 
     def __init__(
@@ -213,6 +221,7 @@ class QueryServer:
         max_queries: int | None = None,
         warmup: int = 64,
         adaptive: AdaptivePolicy | AdaptiveController | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.registry = registry
         self.default_oracle = oracle if oracle is not None else BernoulliOracle()
@@ -243,6 +252,7 @@ class QueryServer:
                 f"got {type(adaptive).__name__}"
             )
         self.replan_log: list[ReplanEvent] = []
+        self.telemetry = telemetry
         self._queries: dict[str, RegisteredQuery] = {}
         self._max_windows: dict[str, int] = {}
         self._plan: SharedPlan | None = None
@@ -407,6 +417,10 @@ class QueryServer:
         del self._queries[name]
         self._after_population_change()
         self.metrics.migrations_out += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.registry.counter("repro_migrations_total", direction="out").inc()
+            tel.event("migration-out", query=name, round=self._round)
         if self.adaptive is not None:
             key = query.canonical.key
             if not any(q.canonical.key == key for q in self._queries.values()):
@@ -442,6 +456,10 @@ class QueryServer:
         self._queries[query.name] = query
         self._after_population_change()
         self.metrics.migrations_in += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.registry.counter("repro_migrations_total", direction="in").inc()
+            tel.event("migration-in", query=query.name, round=self._round)
         if snapshot.stats is not None:
             self.metrics.per_query[query.name] = snapshot.stats
         max_items = max(leaf.items for leaf in query.tree.leaves)
@@ -662,6 +680,21 @@ class QueryServer:
             events.append(event)
             self.replan_log.append(event)
             self.metrics.replans += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            for event in events:
+                tel.registry.counter("repro_replans_total").inc()
+                tel.event(
+                    "replan",
+                    key=key,
+                    reason=reason,
+                    round=self._round,
+                    queries=len(event.queries),
+                    drifted=list(event.drifted_leaves),
+                    old_cost=event.old_cost,
+                    new_cost=event.new_cost,
+                    saving=event.old_cost - event.new_cost,
+                )
         if events:
             self._plan = None  # rebuild the merged shared plan lazily
         if self.adaptive is not None:
@@ -737,11 +770,38 @@ class QueryServer:
                 seen.add(id(oracle))
                 oracle.advance(rounds)
 
+    def _record_round_telemetry(
+        self,
+        tel: Telemetry,
+        stats: RoundStats,
+        per_query_cost: Mapping[str, float],
+        wall_seconds: float,
+    ) -> None:
+        """One round's worth of metrics into the registry (enabled path only).
+
+        Recording is per *round*, never per probe: the scalar and vectorized
+        loops both call this exactly once after their round accounting, so
+        the instrumented hot paths stay allocation-free between rounds.
+        """
+        reg = tel.registry
+        reg.counter("repro_rounds_total").inc()
+        reg.counter("repro_probes_total").inc(stats.probes)
+        reg.counter("repro_free_probes_total").inc(stats.free_probes)
+        reg.counter("repro_items_fetched_total").inc(stats.items_fetched)
+        reg.counter("repro_items_saved_total").inc(stats.items_saved)
+        reg.histogram("repro_round_cost").observe(stats.cost)
+        reg.histogram("repro_round_seconds").observe(wall_seconds)
+        for name, cost in per_query_cost.items():
+            reg.histogram("repro_query_round_cost", query=name).observe(cost)
+
     @_synchronized
     def step(self) -> dict[str, ExecutionResult]:
         """Advance the streams one tick and evaluate every registered query."""
         if not self._queries:
             raise StreamError("no queries registered")
+        tel = self.telemetry
+        recording = tel is not None and tel.enabled
+        wall_start = time.perf_counter() if recording else 0.0
         self.cache.advance(1, max_windows=self._max_windows)
         plan = self.shared_plan() if self.shared_plan_enabled else self._blocked_probes()
         results, stats = execute_round(
@@ -772,6 +832,23 @@ class QueryServer:
                 self._observe_outcomes(self._queries[name], result.outcomes)
             self._maybe_replan()
         self._advance_drifting_oracles(1)
+        if recording:
+            self._record_round_telemetry(
+                tel,
+                stats,
+                {name: result.cost for name, result in results.items()},
+                time.perf_counter() - wall_start,
+            )
+            if tel.detail:
+                for name, result in results.items():
+                    tel.event(
+                        "query-resolution",
+                        query=name,
+                        round=self._round,
+                        cost=result.cost,
+                        value=bool(result.value),
+                        probes=result.n_evaluated,
+                    )
         return results
 
     @_synchronized
@@ -793,8 +870,24 @@ class QueryServer:
             raise StreamError(f"unknown batch engine {engine!r}")
         if rounds < 1:
             raise StreamError(f"need at least one round, got {rounds}")
-        if engine == "vectorized":
-            return self._run_batch_vectorized(rounds)
+        runner = (
+            self._run_batch_vectorized
+            if engine == "vectorized"
+            else self._run_batch_scalar
+        )
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return runner(rounds)
+        with tel.span(
+            "batch", engine=engine, rounds=rounds, queries=len(self._queries)
+        ) as attrs:
+            report = runner(rounds)
+            attrs["total_cost"] = report.total_cost
+            attrs["probes"] = report.probes
+            attrs["replans"] = report.replans
+        return report
+
+    def _run_batch_scalar(self, rounds: int) -> BatchReport:
         start_probes = self.metrics.total_probes
         start_free = self.metrics.free_probes
         start_fetched = self.metrics.items_fetched
@@ -887,6 +980,8 @@ class QueryServer:
                     "run_batch(engine='scalar')"
                 )
         start_replans = self.metrics.replans
+        tel = self.telemetry
+        recording = tel is not None and tel.enabled
         outcome_matrices: dict[str, np.ndarray] = {}
         batches: dict[str, BatchResult] = {}
         # First batch row each query's current BatchResult corresponds to
@@ -905,6 +1000,7 @@ class QueryServer:
         round_costs: list[float] = []
         batch_probes = batch_free = batch_fetched = batch_saved = 0
         for r in range(rounds):
+            wall_start = time.perf_counter() if recording else 0.0
             self.cache.advance(1, max_windows=self._max_windows)
             probes = (
                 self.shared_plan().probes if shared else self._blocked_probes().probes
@@ -938,6 +1034,7 @@ class QueryServer:
             self.metrics.items_saved += stats.items_saved
             if self.plan_cache is not None:
                 self.metrics.plan_cache_hit_rate = self.plan_cache.hit_rate
+            round_values: dict[str, bool] = {}
             for name in self._queries:
                 query_stats = self.metrics.query_stats(name)
                 query_stats.rounds += 1
@@ -946,7 +1043,9 @@ class QueryServer:
                 query_stats.items_fetched += stats.query_items_fetched.get(name, 0)
                 query_stats.items_saved += stats.query_items_saved.get(name, 0)
                 per_query_cost[name] += query_cost[name]
-                if batches[name].values[r - offsets[name]]:
+                value = bool(batches[name].values[r - offsets[name]])
+                round_values[name] = value
+                if value:
                     query_stats.true_count += 1
                     true_counts[name] += 1
             # Sum the round total per query (registration order) exactly like
@@ -982,6 +1081,20 @@ class QueryServer:
                             outcomes=outcome_matrices[name][r + 1 :],
                         )
                         offsets[name] = r + 1
+            if recording:
+                self._record_round_telemetry(
+                    tel, stats, query_cost, time.perf_counter() - wall_start
+                )
+                if tel.detail:
+                    for name in self._queries:
+                        tel.event(
+                            "query-resolution",
+                            query=name,
+                            round=self._round,
+                            cost=query_cost[name],
+                            value=round_values[name],
+                            probes=query_probes[name],
+                        )
         return BatchReport(
             rounds=rounds,
             total_cost=sum(round_costs),

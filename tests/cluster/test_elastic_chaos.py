@@ -22,6 +22,7 @@ import pytest
 from repro.adaptive import ElasticPolicy
 from repro.cluster import ClusterServer, ClusterReport
 from repro.generators import clustered_registry, overlap_clustered_population
+from repro.obs import Telemetry, render_prometheus
 
 
 def build(seed: int, n_queries: int = 36, clusters: int = 4):
@@ -183,3 +184,93 @@ class TestElasticChaos:
             assert event.kind in (
                 "split", "drain", "drain-partial", "grow", "rebalance"
             )
+
+    def test_telemetry_stays_consistent_under_hammering(self):
+        """One shared Telemetry hammered by resizes, admissions and batches
+        must stay internally consistent: contiguous trace sequence numbers,
+        counters that equal what the batch reports said, per-shard
+        histograms that roll up to one observation per shard-batch span,
+        and a snapshot that still renders as Prometheus text."""
+        registry, population = build(seed=91)
+        initial, late = population[:18], population[18:]
+        telemetry = Telemetry(capacity=100_000)
+        cluster = ClusterServer(registry, n_shards=2, seed=92, telemetry=telemetry)
+        cluster.register_population(initial)
+
+        errors: list[BaseException] = []
+        reports: list[ClusterReport] = []
+        barrier = threading.Barrier(3)
+
+        def admitter() -> None:
+            barrier.wait()
+            try:
+                for name, tree in late:
+                    cluster.register(name, tree)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def resizer() -> None:
+            barrier.wait()
+            try:
+                for width in (4, 1, 3, 2):
+                    cluster.resize(width)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def batcher() -> None:
+            barrier.wait()
+            try:
+                for _ in range(6):
+                    reports.append(cluster.run_batch(2))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=admitter),
+            threading.Thread(target=resizer),
+            threading.Thread(target=batcher),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        reg = telemetry.registry
+
+        # Trace integrity: no torn or dropped records under concurrency.
+        records = telemetry.tracer.records()
+        assert [r["seq"] for r in records] == list(
+            range(1, telemetry.tracer.emitted + 1)
+        )
+
+        # Counter/report agreement, summed over every racing batch.
+        assert reg.value("repro_cluster_batches_total") == len(reports)
+        assert reg.value("repro_cluster_rounds_total") == sum(
+            r.rounds for r in reports
+        )
+        assert reg.value("repro_cluster_cost_total") == pytest.approx(
+            sum(r.total_cost for r in reports)
+        )
+        # Every shard-batch span left exactly one histogram observation,
+        # and the labelled cells merge losslessly into the cluster view;
+        # the shard-level round counter totals the spans' round counts.
+        shard_spans = telemetry.tracer.spans("shard-batch")
+        assert reg.value("repro_rounds_total") == sum(
+            s["attrs"]["rounds"] for s in shard_spans
+        )
+        merged = reg.merged_histogram("repro_shard_batch_seconds")
+        assert merged is not None and merged.count == len(shard_spans)
+
+        # Migrations balance and elastic actions all hit the counter.
+        assert reg.value("repro_migrations_total", direction="in") == reg.value(
+            "repro_migrations_total", direction="out"
+        )
+        logged = sum(
+            reg.value("repro_elastic_actions_total", kind=kind)
+            for kind in ("split", "drain", "drain-partial", "grow", "rebalance")
+        )
+        assert logged == len(cluster.elastic_log)
+
+        # The final snapshot still renders.
+        assert "repro_cluster_rounds_total" in render_prometheus(reg)

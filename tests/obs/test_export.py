@@ -1,0 +1,69 @@
+"""Prometheus exposition rendering, golden-file pinned."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import MetricsRegistry, render_prometheus
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A small deterministic registry covering every rendering feature:
+    labelled/unlabelled counters, a gauge, a labelled histogram with
+    overflow, and a label value needing escaping."""
+    reg = MetricsRegistry()
+    reg.counter("repro_rounds_total").inc(12)
+    reg.counter("repro_migrations_total", direction="in").inc(3)
+    reg.counter("repro_migrations_total", direction="out").inc(3)
+    reg.counter("repro_odd_total", note='say "hi"\n').inc(1.5)
+    reg.gauge("repro_cluster_shards").set(4)
+    hist = reg.histogram("repro_shard_batch_seconds", (0.1, 1.0, 10.0), shard="0")
+    for value in (0.05, 0.5, 0.5, 2.0, 100.0):
+        hist.observe(value)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_matches_golden_file(self):
+        rendered = render_prometheus(golden_registry())
+        golden = (DATA_DIR / "prometheus_golden.txt").read_text()
+        assert rendered == golden
+
+    def test_registry_and_snapshot_render_identically(self):
+        reg = golden_registry()
+        assert render_prometheus(reg) == render_prometheus(reg.snapshot())
+
+    def test_accepts_telemetry_snapshot_envelope(self):
+        reg = golden_registry()
+        wrapped = {"type": "snapshot", "metrics": reg.snapshot()}
+        assert render_prometheus(wrapped) == render_prometheus(reg)
+
+    def test_histogram_buckets_are_cumulative_and_inf_includes_overflow(self):
+        text = render_prometheus(golden_registry())
+        lines = [l for l in text.splitlines() if l.startswith("repro_shard_batch")]
+        by_suffix = {line.rsplit(" ", 1)[0]: line.rsplit(" ", 1)[1] for line in lines}
+        assert by_suffix['repro_shard_batch_seconds_bucket{le="0.1",shard="0"}'] == "1"
+        assert by_suffix['repro_shard_batch_seconds_bucket{le="1",shard="0"}'] == "3"
+        assert by_suffix['repro_shard_batch_seconds_bucket{le="10",shard="0"}'] == "4"
+        # 100.0 lands beyond the last bound: only +Inf (and _count) see it.
+        assert by_suffix['repro_shard_batch_seconds_bucket{le="+Inf",shard="0"}'] == "5"
+        assert by_suffix['repro_shard_batch_seconds_count{shard="0"}'] == "5"
+
+    def test_type_header_emitted_once_per_family(self):
+        text = render_prometheus(golden_registry())
+        assert text.count("# TYPE repro_migrations_total counter") == 1
+        assert text.count("repro_migrations_total{") == 2
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_rejects_non_snapshots(self):
+        with pytest.raises(TelemetryError):
+            render_prometheus(42)
+        with pytest.raises(TelemetryError):
+            render_prometheus({"metrics": {"counters": []}})

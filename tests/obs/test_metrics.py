@@ -1,0 +1,221 @@
+"""Metrics registry and histogram unit + property tests."""
+
+from __future__ import annotations
+
+import math
+import pickle
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.obs import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+values = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(values, min_size=0, max_size=40)
+
+
+def fill(vals) -> Histogram:
+    hist = Histogram()
+    for v in vals:
+        hist.observe(v)
+    return hist
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.snapshot() == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            Counter().inc(-1.0)
+
+    def test_gauge_tracks_last_set(self):
+        gauge = Gauge()
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.snapshot() == 2.0
+
+
+class TestHistogram:
+    def test_default_buckets_cover_twelve_decades(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(1e6)
+        assert len(DEFAULT_BUCKETS) == 61  # 5 per decade over 12 decades
+
+    def test_exponential_buckets_validated(self):
+        assert exponential_buckets(1.0, 2.0, 3) == (1.0, 2.0, 4.0)
+        for bad in ((0.0, 2.0, 3), (1.0, 1.0, 3), (1.0, 2.0, 0)):
+            with pytest.raises(TelemetryError):
+                exponential_buckets(*bad)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99.0) == 0.0
+
+    def test_percentile_rejects_out_of_range_q(self):
+        with pytest.raises(TelemetryError):
+            Histogram().percentile(101.0)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = fill([2.0, 3.0, 5.0])
+        assert hist.percentile(0.0) == 2.0
+        assert hist.percentile(100.0) == 5.0
+        assert 2.0 <= hist.percentile(50.0) <= 5.0
+
+    def test_merge_requires_equal_bounds(self):
+        with pytest.raises(TelemetryError):
+            Histogram([1.0, 2.0]).merge(Histogram([1.0, 3.0]))
+
+    def test_self_merge_doubles_without_deadlock(self):
+        hist = fill([1.0, 10.0])
+        doubled = hist.merge(hist)
+        assert doubled.count == 4
+        assert doubled.total == pytest.approx(22.0)
+
+    def test_snapshot_roundtrip(self):
+        hist = fill([0.5, 7.0, 7.0])
+        clone = Histogram.from_snapshot(hist.snapshot())
+        assert clone.counts == hist.counts
+        assert clone.percentile(50.0) == hist.percentile(50.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=samples, b=samples, c=samples)
+    def test_merge_is_associative_and_commutative(self, a, b, c):
+        ha, hb, hc = fill(a), fill(b), fill(c)
+        left = ha.merge(hb).merge(hc)
+        right = ha.merge(hb.merge(hc))
+        flipped = hc.merge(hb).merge(ha)
+        for other in (right, flipped):
+            assert left.counts == other.counts
+            assert left.count == other.count
+            assert left.vmin == other.vmin and left.vmax == other.vmax
+            assert math.isclose(left.total, other.total, rel_tol=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vals=st.lists(values, min_size=1, max_size=40), q=st.floats(0.0, 100.0))
+    def test_percentile_lands_in_exact_values_bucket(self, vals, q):
+        """The interpolated percentile shares a bucket with the exact
+        nearest-rank order statistic, so it is never off by more than one
+        bucket width."""
+        hist = fill(vals)
+        ordered = sorted(vals)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1))
+        exact = ordered[rank]
+        approx = hist.percentile(q)
+        assert hist._bucket_index(exact) == hist._bucket_index(approx)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vals=st.lists(values, min_size=1, max_size=40))
+    def test_percentile_bounds_and_mean(self, vals):
+        hist = fill(vals)
+        assert hist.percentile(0.0) == pytest.approx(min(vals))
+        assert hist.percentile(100.0) == pytest.approx(max(vals))
+        assert hist.mean == pytest.approx(sum(vals) / len(vals))
+
+
+class TestMetricsRegistry:
+    def test_labels_create_distinct_cells(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", shard="0").inc()
+        reg.counter("hits", shard="1").inc(2)
+        assert reg.value("hits", shard="0") == 1.0
+        assert reg.value("hits", shard="1") == 2.0
+        assert reg.value("hits", shard="9") == 0.0
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x")
+
+    def test_value_on_histogram_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(1.0)
+        with pytest.raises(TelemetryError):
+            reg.value("lat")
+
+    def test_merged_histogram_rolls_up_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", shard="0").observe(1.0)
+        reg.histogram("lat", shard="1").observe(100.0)
+        merged = reg.merged_histogram("lat")
+        assert merged is not None
+        assert merged.count == 2
+        assert merged.percentile(100.0) == 100.0
+        assert reg.merged_histogram("missing") is None
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.gauge("g").set(3)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert [cell["name"] for cell in snap["counters"]] == ["a", "b"]
+        assert snap["gauges"][0]["value"] == 3.0
+        hist = snap["histograms"][0]
+        assert hist["count"] == 1 and hist["sum"] == 0.25
+        assert "p99" in hist
+
+    def test_registry_pickles_with_live_locks(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        clone = pickle.loads(pickle.dumps(reg))
+        clone.counter("c").inc()
+        assert clone.value("c") == 2.0
+        assert reg.value("c") == 1.0
+
+    def test_concurrent_observation_loses_nothing(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                reg.counter("ops").inc()
+                reg.histogram("lat", shard=str(tid % 2)).observe(0.001 * (i + 1))
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert reg.value("ops") == n_threads * per_thread
+        merged = reg.merged_histogram("lat")
+        assert merged is not None and merged.count == n_threads * per_thread
+
+    def test_concurrent_cross_merges_do_not_deadlock(self):
+        a, b = fill([1.0] * 100), fill([2.0] * 100)
+        results: list[Histogram] = []
+        barrier = threading.Barrier(2)
+
+        def merger(first: Histogram, second: Histogram) -> None:
+            barrier.wait()
+            for _ in range(200):
+                results.append(first.merge(second))
+
+        threads = [
+            threading.Thread(target=merger, args=(a, b)),
+            threading.Thread(target=merger, args=(b, a)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "merge deadlocked"
+        assert all(merged.count == 200 for merged in results)

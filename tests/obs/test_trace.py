@@ -1,0 +1,130 @@
+"""Tracer ring/sink behaviour and thread-safety."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import Tracer, read_jsonl
+
+
+class TestTracerBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(TelemetryError):
+            Tracer(capacity=0)
+
+    def test_span_times_region_and_captures_attrs(self):
+        tracer = Tracer()
+        with tracer.span("batch", rounds=4) as attrs:
+            attrs["total_cost"] = 7.5
+        (span,) = tracer.spans("batch")
+        assert span["dur"] >= 0.0
+        assert span["attrs"] == {"rounds": 4, "total_cost": 7.5}
+        assert span["seq"] == 1
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("batch"):
+                raise RuntimeError("boom")
+        assert len(tracer.spans("batch")) == 1
+
+    def test_event_is_zero_duration(self):
+        tracer = Tracer()
+        tracer.event("replan", key="k", reason="drift")
+        (event,) = tracer.events("replan")
+        assert event["dur"] == 0.0
+        assert event["attrs"]["reason"] == "drift"
+
+    def test_filters_by_name_and_type(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.event("a")
+        tracer.event("b")
+        assert len(tracer.spans()) == 1
+        assert len(tracer.events()) == 2
+        assert len(tracer.events("b")) == 1
+
+    def test_ring_is_bounded_but_emitted_is_lifetime(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.event("tick", i=i)
+        records = tracer.records()
+        assert len(records) == 3
+        assert [r["attrs"]["i"] for r in records] == [7, 8, 9]
+        assert tracer.emitted == 10
+
+    def test_seq_is_monotonic_across_record_kinds(self):
+        tracer = Tracer()
+        tracer.event("e")
+        with tracer.span("s"):
+            pass
+        tracer.emit({"type": "snapshot"})
+        assert [r["seq"] for r in tracer.records()] == [1, 2, 3]
+
+
+class TestSink:
+    def test_borrowed_sink_receives_every_record(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=2, sink=sink)
+        for i in range(5):
+            tracer.event("tick", i=i)
+        tracer.close()
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        # The ring dropped the oldest three; the sink kept all five.
+        assert len(lines) == 5
+        assert len(tracer.records()) == 2
+
+    def test_path_sink_owned_and_replayable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=path)
+        with tracer.span("batch", rounds=2):
+            tracer.event("replan", key="k")
+        tracer.emit({"type": "snapshot", "metrics": {}})
+        tracer.close()
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["event", "span", "snapshot"]
+        # Closing again is a no-op, and the file handle really is closed.
+        tracer.close()
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event"}\n\n{"type": "span"}\n')
+        assert len(read_jsonl(path)) == 2
+
+
+class TestTracerThreadSafety:
+    def test_concurrent_spans_and_events_never_tear(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(capacity=10_000, sink=path)
+        n_threads, per_thread = 6, 200
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                if i % 2:
+                    tracer.event("tick", tid=tid, i=i)
+                else:
+                    with tracer.span("work", tid=tid) as attrs:
+                        attrs["i"] = i
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tracer.close()
+
+        total = n_threads * per_thread
+        assert tracer.emitted == total
+        # Every sink line parses (no interleaved partial writes) and seq
+        # numbers are exactly 1..total with no gaps or duplicates.
+        records = read_jsonl(path)
+        assert sorted(r["seq"] for r in records) == list(range(1, total + 1))
+        assert len(tracer.records()) == total

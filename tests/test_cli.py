@@ -305,3 +305,100 @@ class TestExhaustiveSchedulerRegistryEntry:
         scheduler = get_scheduler("optimal")
         schedule = scheduler.schedule(tree)
         assert schedule == optimal_depth_first(tree).schedule
+
+
+class TestTelemetryFlag:
+    def run_traced(self, tmp_path, capsys, argv):
+        path = tmp_path / "out.jsonl"
+        assert main(argv + ["--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"telemetry written to {path}" in out
+        return path
+
+    def test_serve_sim_writes_replayable_sink(self, tmp_path, capsys):
+        from repro.obs import latest_snapshot, read_jsonl
+
+        path = self.run_traced(
+            tmp_path, capsys,
+            ["serve-sim", "--queries", "12", "--rounds", "4"],
+        )
+        records = read_jsonl(path)
+        snapshot = latest_snapshot(records)
+        assert snapshot is not None
+        names = {cell["name"] for cell in snapshot["metrics"]["counters"]}
+        assert "repro_rounds_total" in names
+
+    def test_cluster_sim_elastic_traces_topology_changes(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = self.run_traced(
+            tmp_path, capsys,
+            [
+                "cluster-sim", "--elastic", "--queries", "40",
+                "--batches", "3", "--rounds", "3",
+            ],
+        )
+        records = read_jsonl(path)
+        types = {(r.get("type"), r.get("name")) for r in records}
+        assert ("span", "batch") in types
+        assert ("span", "shard-batch") in types
+        assert ("span", "cluster-batch") in types
+        assert ("event", "elastic-action") in types
+        assert ("snapshot", None) in types
+
+    def test_drift_traces_adaptive_replans(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = self.run_traced(
+            tmp_path, capsys,
+            ["drift", "--queries", "6", "--rounds", "60", "--drift-round", "20"],
+        )
+        records = read_jsonl(path)
+        assert any(r.get("name") == "replan" for r in records)
+
+
+class TestMetricsCommand:
+    def make_sink(self, tmp_path, capsys) -> str:
+        path = tmp_path / "out.jsonl"
+        assert (
+            main(
+                [
+                    "serve-sim", "--queries", "10", "--rounds", "4",
+                    "--telemetry", str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return str(path)
+
+    def test_summary_lists_spans_and_metrics(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        assert main(["metrics", sink]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out and "batch" in out
+        assert "repro_rounds_total" in out
+        assert "repro_round_cost" in out  # histogram table
+
+    def test_prometheus_format(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        assert main(["metrics", sink, "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_rounds_total counter" in out
+        assert 'repro_round_cost_bucket{le="+Inf"}' in out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        assert main(["metrics", sink, "--format", "json"]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert {"counters", "gauges", "histograms"} <= set(metrics)
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read telemetry file" in capsys.readouterr().err
+
+    def test_snapshotless_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"type": "event", "name": "tick"}\n')
+        assert main(["metrics", str(path)]) == 2
+        assert "no metrics snapshot" in capsys.readouterr().err

@@ -34,6 +34,7 @@ class TestPublicApi:
             "repro.generators",
             "repro.experiments",
             "repro.parallel",
+            "repro.obs",
             "repro.errors",
         ],
     )
