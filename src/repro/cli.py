@@ -349,6 +349,7 @@ def cmd_cluster_sim(args: argparse.Namespace) -> int:
             streams_per_cluster=args.streams_per_cluster,
             rounds=min(args.rounds, 10),
             engine=args.engine,
+            executor=args.executor,
             seed=args.seed,
         )
         print(
@@ -364,6 +365,7 @@ def cmd_cluster_sim(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         cross_cluster_prob=args.cross_overlap,
         workers=args.workers,
+        executor=args.executor,
         scheduler=args.scheduler,
         engine=args.engine,
         seed=args.seed,
@@ -401,6 +403,7 @@ def _cmd_cluster_sim_elastic(args: argparse.Namespace) -> int:
             streams_per_cluster=args.streams_per_cluster,
             rounds=min(args.rounds, 6),
             engine=args.engine,
+            executor=args.executor,
             seed=args.seed,
             elastic=policy,
         )
@@ -420,6 +423,7 @@ def _cmd_cluster_sim_elastic(args: argparse.Namespace) -> int:
         policy=policy,
         start_shards=args.shards if args.shards is not None else 2,
         workers=args.workers,
+        executor=args.executor,
         scheduler=args.scheduler,
         engine=args.engine,
         seed=args.seed,
@@ -689,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cluster.add_argument(
         "--engine", choices=("scalar", "vectorized"), default="scalar"
+    )
+    p_cluster.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="shard execution mode: threads in-process (default) or one "
+        "spawned worker process per shard (GIL-free CPU scaling)",
     )
     p_cluster.add_argument(
         "--verify",

@@ -42,6 +42,7 @@ from repro.cluster.partition import (
 )
 from repro.cluster.router import RoutingDecision, ShardRouter
 from repro.cluster.shard import ShardServer
+from repro.cluster.worker import RemotePlanCache, ShardWorkerProxy, WorkerConfig
 
 __all__ = [
     "OverlapGraph",
@@ -62,4 +63,7 @@ __all__ = [
     "default_oracle_factory",
     "pack_pieces",
     "shard_split_pieces",
+    "WorkerConfig",
+    "ShardWorkerProxy",
+    "RemotePlanCache",
 ]

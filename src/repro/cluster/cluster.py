@@ -93,6 +93,24 @@ def _synchronized(method):
     return wrapper
 
 
+class _NameSeededOracleFactory:
+    """Picklable ``name -> BernoulliOracle`` factory (see default_oracle_factory).
+
+    A class rather than a closure so the factory itself can cross a process
+    boundary (closures do not pickle); two factories with the same seed are
+    interchangeable, wherever they were built.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def __call__(self, name: str) -> LeafOracle:
+        return BernoulliOracle(
+            seed=(self.seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8")))
+            & 0x7FFFFFFF
+        )
+
+
 def default_oracle_factory(seed: int) -> Callable[[str], LeafOracle]:
     """Deterministic per-query Bernoulli oracles: seed mixed with the name.
 
@@ -102,15 +120,10 @@ def default_oracle_factory(seed: int) -> Callable[[str], LeafOracle]:
     which is what makes sharded-vs-unsharded runs exactly comparable, and
     what keeps outcomes stable while elasticity moves queries between
     shards (migrations carry the oracle *instance*, so even its consumed
-    random stream continues seamlessly).
+    random stream continues seamlessly). The returned factory is picklable,
+    so process-mode workers can reconstruct identical oracles in-worker.
     """
-
-    def factory(name: str) -> LeafOracle:
-        return BernoulliOracle(
-            seed=(seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) & 0x7FFFFFFF
-        )
-
-    return factory
+    return _NameSeededOracleFactory(seed)
 
 
 @dataclass(frozen=True)
@@ -270,7 +283,21 @@ class ClusterServer:
         an :class:`~repro.adaptive.ElasticPolicy`.
     workers:
         Thread-pool width for concurrent shard batches; ``None`` sizes to
-        ``min(active shards, cpu count)``, ``1`` runs shards serially.
+        ``min(active shards, cpu count)`` (``executor="thread"``) or to the
+        active shard count (``executor="process"``, where parent threads
+        only wait on pipes), ``1`` runs shards serially.
+    executor:
+        ``"thread"`` (default) runs every shard in-process on a thread pool
+        — zero serialization cost, but the GIL keeps the batch on one core.
+        ``"process"`` spawns one worker process per shard
+        (:mod:`repro.cluster.worker`): shards batch on separate cores, the
+        cluster-wide plan cache is served read-through over the command
+        channel, migrations ship ``QuerySnapshot`` + stream state as plain
+        data, and workers return pickled metrics deltas merged losslessly
+        into the cluster registry — per-query outcomes are bit-identical
+        across both executors (the parity suites assert it). Call
+        :meth:`close` (or use the cluster as a context manager) to shut
+        workers down.
     scheduler, shared_plan, warmup, adaptive:
         Forwarded to every shard's :class:`QueryServer`; ``adaptive`` must be
         an :class:`~repro.adaptive.AdaptivePolicy` (pure config — each shard
@@ -308,6 +335,7 @@ class ClusterServer:
         *,
         n_shards: int = 4,
         workers: int | None = None,
+        executor: str = "thread",
         scheduler: str | Scheduler = DEFAULT_SCHEDULER,
         plan_cache: PlanCache | int | None = 256,
         shared_plan: bool = True,
@@ -321,6 +349,10 @@ class ClusterServer:
     ) -> None:
         if n_shards < 1:
             raise AdmissionError(f"need at least one shard, got {n_shards}")
+        if executor not in ("thread", "process"):
+            raise AdmissionError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         if adaptive is not None and not isinstance(adaptive, AdaptivePolicy):
             raise AdmissionError(
                 "adaptive must be an AdaptivePolicy (each shard builds its own "
@@ -332,6 +364,7 @@ class ClusterServer:
             )
         self.registry = registry
         self.workers = workers
+        self.executor = executor
         self.seed = seed
         self._scheduler = scheduler
         self._shared_plan = shared_plan
@@ -386,6 +419,27 @@ class ClusterServer:
         self._lock = threading.RLock()
 
     def _new_shard(self, shard_id: int) -> ShardServer:
+        if self.executor == "process":
+            from repro.cluster.worker import ShardWorkerProxy, WorkerConfig
+
+            telemetry_on = self.telemetry is not None and self.telemetry.enabled
+            config = WorkerConfig(
+                shard_id=shard_id,
+                registry=self.registry,
+                scheduler=self._scheduler,
+                shared_plan=self._shared_plan,
+                warmup=self._warmup,
+                adaptive=self._adaptive,
+                use_plan_cache=self.plan_cache is not None,
+                telemetry_enabled=telemetry_on,
+                telemetry_detail=telemetry_on and self.telemetry.detail,
+            )
+            return ShardWorkerProxy(
+                config,
+                plan_cache=self.plan_cache,
+                registry_sink=self._registry,
+                costs=self.registry.cost_table(),
+            )
         server = QueryServer(
             self.registry,
             scheduler=self._scheduler,
@@ -536,6 +590,11 @@ class ClusterServer:
     def _effective_workers(self, active: int) -> int:
         if self.workers is not None:
             return max(1, self.workers)
+        if self.executor == "process":
+            # Parent threads only block on worker pipes — one per active
+            # shard keeps every worker process busy regardless of how many
+            # cores the *parent* sees.
+            return max(1, active)
         return max(1, min(active, os.cpu_count() or 1))
 
     @_synchronized
@@ -911,6 +970,7 @@ class ClusterServer:
                 raise
         retired = self.shards.pop(shard_id)
         self._replans_retired += retired.server.metrics.replans
+        retired.close()  # a process-mode shard's worker exits here
         self.router.invalidate_signatures((shard_id,))
         event = ElasticEvent(
             kind="drain",
@@ -1186,6 +1246,26 @@ class ClusterServer:
             if self.rebalance(trigger=reason) is not None:
                 events.append(self.elastic_log[-1])
         return events
+
+    # -- lifecycle -------------------------------------------------------
+
+    @_synchronized
+    def close(self) -> None:
+        """Release shard resources; mandatory for ``executor="process"``.
+
+        Thread-mode shards hold nothing that needs releasing (close is a
+        no-op there); process-mode shards shut their worker processes down.
+        Idempotent, and the cluster object stays inspectable afterwards —
+        only execution and migration calls require live shards.
+        """
+        for shard in self.shards.values():
+            shard.close()
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- observability ---------------------------------------------------
 

@@ -92,6 +92,16 @@ class ShardServer:
                 if weight > self.signature.get(stream, 0.0):
                     self.signature[stream] = weight
 
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release shard resources — a no-op for in-process shards.
+
+        Exists so the cluster can treat thread shards and process-mode
+        worker proxies (:class:`repro.cluster.worker.ShardWorkerProxy`,
+        whose close shuts the worker process down) uniformly.
+        """
+
     # -- execution -------------------------------------------------------
 
     def step(self) -> dict[str, ExecutionResult]:

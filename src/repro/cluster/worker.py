@@ -1,0 +1,487 @@
+"""Process-mode shard transport: spawn workers, RPC proxies, shared plan cache.
+
+Thread-mode shards share one address space, so the GIL serializes their
+probe loops and a 4-shard batch still runs on one core. This module moves
+each shard into its own worker process (``spawn`` start method — fork would
+clone the parent's held locks and deadlock; spawn also matches macOS/Windows
+and the 3.14 default) and gives the parent a proxy that duck-types
+:class:`~repro.cluster.shard.ShardServer`, so :class:`ClusterServer` drives
+remote shards through the same call sites as local ones.
+
+Design constraints, in order:
+
+* **Plain-data handoffs.** Everything crossing the pipe is picklable by
+  construction: ``QuerySnapshot`` + exported stream state for migrations,
+  ``BatchReport``/``ExecutionResult`` for execution, ``MetricsRegistry``
+  deltas for telemetry. No shared memory, no file descriptors.
+* **Placement- and executor-independent outcomes.** The worker rebuilds its
+  shard from a pickled :class:`WorkerConfig` — the stream registry's
+  memoized tapes travel with it, and sequential sources extend
+  deterministically by seed, so a worker's copy of a tape produces exactly
+  the values the parent's (or an unsharded server's) copy would. Oracle
+  *instances* are pickled across on admission and migration, carrying their
+  consumed RNG state, so outcome streams continue seamlessly.
+* **One shared plan cache.** The parent owns the cluster-wide
+  :class:`~repro.service.plan_cache.PlanCache`; workers reach it through the
+  command channel via :class:`RemotePlanCache` (read-through: lookup, compute
+  on miss, publish). A canonical shape still pays its scheduling cost once
+  per *cluster*, not once per process.
+* **Lossless telemetry.** Each ``run_batch``/``step`` reply carries the
+  worker registry's delta since the last reply (the worker swaps in a fresh
+  registry after shipping), and the parent folds it into its own registry
+  with :meth:`~repro.obs.MetricsRegistry.merge_from` — counters add,
+  histograms absorb bucket-wise, nothing is lost. Worker-side *trace spans*
+  stay in the worker's ring and are dropped; metrics are the roll-up
+  contract.
+
+Protocol: the parent sends ``(op, args, kwargs)`` and then receives until a
+terminal ``("ok", result)`` or ``("err", exception)`` arrives; any
+``("plancache", request)`` received in between is a nested upcall from the
+worker (plan-cache read-through mid-dispatch) that the *blocked parent
+thread itself* services and answers. Messages strictly alternate per pipe
+and each proxy serializes callers on its own lock, so the channel never
+carries two requests at once and a hung worker is detected by liveness
+polling rather than a silent stall.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.adaptive.policy import AdaptivePolicy
+from repro.cluster.partition import TreeLike, stream_weight_vector
+from repro.cluster.shard import ShardServer
+from repro.core.heuristics.base import Scheduler
+from repro.engine.executor import ExecutionResult, LeafOracle
+from repro.errors import AdmissionError, StreamError
+from repro.obs import MetricsRegistry, Telemetry
+from repro.service.metrics import ServiceMetrics
+from repro.service.plan_cache import CachedPlan, PlanCache
+from repro.service.server import BatchReport, QueryServer, QuerySnapshot
+from repro.streams.registry import StreamRegistry
+
+__all__ = ["WorkerConfig", "ShardWorkerProxy", "RemotePlanCache"]
+
+#: Seconds between liveness checks while a parent thread waits on a worker.
+_POLL_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a spawned worker needs to rebuild its shard from scratch."""
+
+    shard_id: int
+    registry: StreamRegistry
+    scheduler: str | Scheduler
+    shared_plan: bool
+    warmup: int
+    adaptive: AdaptivePolicy | None
+    use_plan_cache: bool
+    telemetry_enabled: bool
+    telemetry_detail: bool
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class RemotePlanCache(PlanCache):
+    """Worker-side stub of the parent-owned cluster plan cache.
+
+    Subclasses :class:`PlanCache` so :class:`QueryServer` accepts it
+    unchanged, but holds no plans of its own: :meth:`plan` is read-through
+    over the command channel (lookup; on miss compute locally and publish),
+    and :meth:`invalidate` forwards. Hit/miss counters are kept *locally* so
+    the server's per-round ``hit_rate`` reads never touch the pipe; the
+    parent cache keeps its own counters from the lookup/publish traffic, so
+    both sides observe consistent read-through semantics.
+    """
+
+    def __init__(self, conn) -> None:
+        super().__init__(capacity=1)
+        self._conn = conn
+
+    def _rpc(self, request):
+        self._conn.send(("plancache", request))
+        return self._conn.recv()
+
+    def plan(self, form, scheduler: Scheduler) -> CachedPlan:
+        cached = self._rpc(("get", (form.key, scheduler.name)))
+        if cached is not None:
+            with self._lock:
+                self.hits += 1
+            return cached
+        schedule = scheduler.schedule(form.tree)
+        from repro.core.cost import dnf_schedule_cost
+
+        plan = CachedPlan(
+            key=form.key,
+            scheduler_name=scheduler.name,
+            schedule=tuple(schedule),
+            cost=dnf_schedule_cost(form.tree, schedule, validate=True),
+        )
+        winner, inserted = self._rpc(("put", plan))
+        with self._lock:
+            if inserted:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return winner
+
+    def invalidate(self, key: str) -> int:
+        return self._rpc(("invalidate", key))
+
+
+def _dispatch(shard: ShardServer, telemetry: Telemetry | None, op: str, args, kwargs):
+    """Execute one parent command against the worker's shard."""
+    if op == "run_batch":
+        report = shard.run_batch(*args, **kwargs)
+        return report, shard.last_batch_seconds, _ship_registry(telemetry)
+    if op == "step":
+        return shard.step(), _ship_registry(telemetry)
+    if op == "register":
+        shard.register(*args, **kwargs)
+        return None
+    if op == "deregister":
+        shard.deregister(*args)
+        return None
+    if op == "admit_migrated":
+        shard.admit_migrated(*args)
+        return None
+    if op == "export_query":
+        return shard.server.export_query(*args)
+    if op == "query":
+        return shard.server.query(*args)
+    if op == "reorder":
+        shard.server.reorder(*args)
+        return None
+    if op == "sync_round_clock":
+        shard.server.sync_round_clock(*args)
+        return None
+    if op == "rounds_served":
+        return shard.server.rounds_served
+    if op == "metrics":
+        return shard.server.metrics
+    if op == "export_stream_state":
+        return shard.server.cache.export_stream_state(*args)
+    if op == "adopt_stream_state":
+        shard.server.cache.adopt_stream_state(*args)
+        return None
+    raise StreamError(f"unknown shard worker op {op!r}")
+
+
+def _ship_registry(telemetry: Telemetry | None) -> MetricsRegistry | None:
+    """Detach and return the worker's metrics delta (None when disabled).
+
+    Recording sites always reach cells through ``telemetry.registry`` (the
+    hot-path contract bans caching cells across rounds), so swapping in a
+    fresh registry cleanly closes the delta: every observation lands either
+    in the shipped registry or the next one, never both.
+    """
+    if telemetry is None:
+        return None
+    delta = telemetry.registry
+    telemetry.registry = MetricsRegistry()
+    return delta
+
+
+def _shard_worker_main(conn, config: WorkerConfig) -> None:
+    """Entry point of one spawned shard worker (module-level: spawn-picklable)."""
+    faulthandler.enable()  # a stuck worker dumps tracebacks on SIGABRT et al.
+    telemetry = (
+        Telemetry(enabled=True, detail=config.telemetry_detail)
+        if config.telemetry_enabled
+        else None
+    )
+    plan_cache = RemotePlanCache(conn) if config.use_plan_cache else None
+    server = QueryServer(
+        config.registry,
+        scheduler=config.scheduler,
+        plan_cache=plan_cache,
+        shared_plan=config.shared_plan,
+        warmup=config.warmup,
+        adaptive=config.adaptive,
+        telemetry=telemetry,
+    )
+    shard = ShardServer(config.shard_id, server, config.registry.cost_table())
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away; nothing left to serve
+        op, args, kwargs = message
+        if op == "shutdown":
+            conn.send(("ok", None))
+            return
+        try:
+            result = _dispatch(shard, telemetry, op, args, kwargs)
+            conn.send(("ok", result))
+        except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                # The exception itself would not pickle; ship a plain one.
+                conn.send(
+                    ("err", StreamError(f"shard worker {op} failed: {exc!r}"))
+                )
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _RemoteCacheFacade:
+    """The slice of ``DataItemCache`` migrations touch, forwarded over RPC."""
+
+    def __init__(self, proxy: "ShardWorkerProxy") -> None:
+        self._proxy = proxy
+
+    def export_stream_state(self, streams):
+        return self._proxy._call("export_stream_state", set(streams))
+
+    def adopt_stream_state(self, donor_now, stores) -> None:
+        self._proxy._call("adopt_stream_state", donor_now, stores)
+
+
+class _RemoteServerFacade:
+    """The slice of ``QueryServer`` the cluster drives, forwarded over RPC.
+
+    Population membership and order are answered from the proxy's local
+    mirror (every mutation flows through the proxy, so the mirror is
+    authoritative); state-bearing calls cross the pipe.
+    """
+
+    def __init__(self, proxy: "ShardWorkerProxy") -> None:
+        self._proxy = proxy
+        self.cache = _RemoteCacheFacade(proxy)
+
+    def __len__(self) -> int:
+        return len(self._proxy)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._proxy
+
+    @property
+    def registered(self) -> tuple[str, ...]:
+        return self._proxy.names
+
+    @property
+    def rounds_served(self) -> int:
+        return self._proxy._call("rounds_served")
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self._proxy._call("metrics")
+
+    def query(self, name: str):
+        return self._proxy._call("query", name)
+
+    def export_query(self, name: str) -> QuerySnapshot:
+        snapshot = self._proxy._call("export_query", name)
+        self._proxy._forget(name)
+        return snapshot
+
+    def reorder(self, names: Sequence[str]) -> None:
+        names = list(names)
+        self._proxy._call("reorder", names)
+        self._proxy._names = names
+
+    def sync_round_clock(self, rounds: int) -> None:
+        self._proxy._call("sync_round_clock", rounds)
+
+
+class ShardWorkerProxy:
+    """Parent-side handle on one spawned shard worker.
+
+    Duck-types :class:`~repro.cluster.shard.ShardServer`: the router and the
+    cluster's control plane read ``shard_id`` / ``signature`` / ``names`` /
+    ``len`` / ``in`` from a locally maintained mirror (zero RPC — every
+    mutation flows through this proxy, so the mirror cannot drift), while
+    execution and migration calls are forwarded to the worker. Metrics
+    deltas riding on batch/step replies are folded into ``registry_sink``.
+    """
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        *,
+        plan_cache: PlanCache | None,
+        registry_sink: MetricsRegistry | None,
+        costs: Mapping[str, float],
+    ) -> None:
+        self.shard_id = config.shard_id
+        self._costs = dict(costs)
+        self._plan_cache = plan_cache
+        self._sink = registry_sink
+        self.signature: dict[str, float] = {}
+        self.last_batch_seconds: float = 0.0
+        self._names: list[str] = []
+        self._trees: dict[str, TreeLike] = {}
+        self._lock = threading.RLock()
+        context = multiprocessing.get_context("spawn")
+        self._conn, child_conn = context.Pipe()
+        self._proc = context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, config),
+            name=f"repro-shard-{config.shard_id}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()  # the worker holds its own copy
+        self.server = _RemoteServerFacade(self)
+
+    # -- transport -------------------------------------------------------
+
+    def _call(self, op: str, *args, **kwargs):
+        with self._lock:
+            if self._proc is None:
+                raise StreamError(
+                    f"shard {self.shard_id} worker is closed; cannot run {op!r}"
+                )
+            try:
+                self._conn.send((op, args, kwargs))
+                while True:
+                    while not self._conn.poll(_POLL_SECONDS):
+                        if not self._proc.is_alive():
+                            raise StreamError(
+                                f"shard {self.shard_id} worker died while "
+                                f"serving {op!r} (exit code "
+                                f"{self._proc.exitcode})"
+                            )
+                    kind, payload = self._conn.recv()
+                    if kind == "plancache":
+                        # Nested upcall: the worker needs the cluster plan
+                        # cache mid-dispatch; this (blocked) thread serves it.
+                        self._conn.send(self._serve_plan_cache(payload))
+                        continue
+                    if kind == "ok":
+                        return payload
+                    raise payload
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise StreamError(
+                    f"shard {self.shard_id} worker connection failed during "
+                    f"{op!r}: {exc!r}"
+                ) from exc
+
+    def _serve_plan_cache(self, request):
+        cache = self._plan_cache
+        if cache is None:  # defensive: workers only upcall when configured
+            raise StreamError("worker requested a plan cache the cluster lacks")
+        kind, payload = request
+        if kind == "get":
+            key, scheduler_name = payload
+            return cache.lookup(key, scheduler_name)
+        if kind == "put":
+            return cache.publish(payload)
+        if kind == "invalidate":
+            return cache.invalidate(payload)
+        raise StreamError(f"unknown plan-cache request {kind!r}")
+
+    def _merge_delta(self, delta: MetricsRegistry | None) -> None:
+        if delta is not None and self._sink is not None:
+            self._sink.merge_from(delta)
+
+    def _forget(self, name: str) -> None:
+        self._names.remove(name)
+        self._trees.pop(name, None)
+
+    def _grow_signature(self, tree: TreeLike) -> None:
+        for stream, weight in stream_weight_vector(tree, self._costs).items():
+            if weight > self.signature.get(stream, 0.0):
+                self.signature[stream] = weight
+
+    # -- population mirror ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._trees
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    @property
+    def streams(self) -> frozenset[str]:
+        return frozenset(self.signature)
+
+    def register(
+        self,
+        name: str,
+        tree: TreeLike,
+        *,
+        oracle: LeafOracle | None = None,
+        scheduler: str | None = None,
+    ) -> None:
+        self._call("register", name, tree, oracle=oracle, scheduler=scheduler)
+        self._names.append(name)
+        self._trees[name] = tree
+        self._grow_signature(tree)
+
+    def deregister(self, name: str) -> None:
+        if name not in self._trees:
+            raise AdmissionError(
+                f"query {name!r} is not resident on shard {self.shard_id}"
+            )
+        self._call("deregister", name)
+        self._forget(name)
+        self.rebuild_signature()
+
+    def admit_migrated(self, snapshot: QuerySnapshot) -> None:
+        self._call("admit_migrated", snapshot)
+        self._names.append(snapshot.query.name)
+        self._trees[snapshot.query.name] = snapshot.query.tree
+        self._grow_signature(snapshot.query.tree)
+
+    def rebuild_signature(self) -> None:
+        self.signature = {}
+        for tree in self._trees.values():
+            self._grow_signature(tree)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> dict[str, ExecutionResult]:
+        results, delta = self._call("step")
+        self._merge_delta(delta)
+        return results
+
+    def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
+        report, seconds, delta = self._call("run_batch", rounds, engine=engine)
+        self.last_batch_seconds = seconds
+        self._merge_delta(delta)
+        return report
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker down; idempotent, tolerates a dead worker."""
+        with self._lock:
+            if self._proc is None:
+                return
+            proc, conn = self._proc, self._conn
+            self._proc = None
+            try:
+                if proc.is_alive():
+                    conn.send(("shutdown", (), {}))
+                    if conn.poll(5.0):
+                        conn.recv()  # the shutdown ack
+            except (EOFError, BrokenPipeError, OSError):
+                pass  # already gone; join/terminate below still apply
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            conn.close()
+
+    def __del__(self) -> None:  # best effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass

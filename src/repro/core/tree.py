@@ -368,6 +368,16 @@ class _OperatorNode(Node):
     def __setattr__(self, name: str, value: object) -> None:  # immutability
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    # Slots + a raising __setattr__ break default unpickling (it restores
+    # slot state via setattr); rebuild through the same object.__setattr__
+    # escape hatch the constructor uses. Query trees cross process
+    # boundaries inside QuerySnapshot payloads in the process-mode cluster.
+    def __getstate__(self) -> tuple:
+        return self.children
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "children", state)
+
     def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.children == other.children  # type: ignore[attr-defined]
 

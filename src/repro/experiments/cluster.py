@@ -185,6 +185,7 @@ def run_cluster_compare(
     rounds: int = 10,
     cross_cluster_prob: float = 0.0,
     workers: int | None = None,
+    executor: str = "thread",
     scheduler: str = DEFAULT_SCHEDULER,
     engine: str = "scalar",
     warmup: int = 64,
@@ -226,6 +227,10 @@ def run_cluster_compare(
             registry,
             n_shards=width,
             workers=mode_workers,
+            # The single-shard baseline stays in-process even under
+            # executor="process": it is the unsharded reference, and one
+            # worker process would only add pipe overhead to it.
+            executor=executor if label != "single" else "thread",
             scheduler=scheduler,
             warmup=warmup,
             seed=seed,
@@ -233,6 +238,7 @@ def run_cluster_compare(
         )
         partition = cluster.register_population(population, method=method)
         report = cluster.run_batch(rounds, engine=engine)
+        cluster.close()
         results.append(
             ClusterModeResult(
                 label=label,
@@ -267,6 +273,7 @@ def verify_cluster_parity(
     streams_per_cluster: int = 4,
     rounds: int = 8,
     engine: str = "scalar",
+    executor: str = "thread",
     seed: int = 0,
     atol: float = 1e-9,
 ) -> dict[str, float]:
@@ -288,9 +295,12 @@ def verify_cluster_parity(
         cross_cluster_prob=0.0,
         seed=seed + 1,
     )
-    cluster = ClusterServer(registry, n_shards=n_clusters, seed=seed + 2)
+    cluster = ClusterServer(
+        registry, n_shards=n_clusters, executor=executor, seed=seed + 2
+    )
     cluster.register_population(population)
     cluster_report = cluster.run_batch(rounds, engine=engine)
+    cluster.close()
 
     single = QueryServer(registry)
     factory = default_oracle_factory(seed + 2)
@@ -327,6 +337,7 @@ def verify_elastic_parity(
     streams_per_cluster: int = 3,
     rounds: int = 4,
     engine: str = "scalar",
+    executor: str = "thread",
     seed: int = 0,
     elastic: ElasticPolicy | None = None,
     atol: float = 0.0,
@@ -355,7 +366,7 @@ def verify_elastic_parity(
         seed=seed + 1,
     )
     cluster = ClusterServer(
-        registry, n_shards=2, seed=seed + 2, elastic=elastic
+        registry, n_shards=2, executor=executor, seed=seed + 2, elastic=elastic
     )
     cluster.register_population(population)
     single = QueryServer(registry)
@@ -391,6 +402,7 @@ def verify_elastic_parity(
     run_phase()
     cluster.resize(2)
     run_phase()
+    cluster.close()
 
     deltas: dict[str, float] = {}
     for name in single_cost:
@@ -488,6 +500,7 @@ def run_elastic_sim(
     policy: ElasticPolicy | None = None,
     start_shards: int = 2,
     workers: int | None = None,
+    executor: str = "thread",
     scheduler: str = DEFAULT_SCHEDULER,
     engine: str = "scalar",
     warmup: int = 64,
@@ -526,6 +539,7 @@ def run_elastic_sim(
         registry,
         n_shards=start_shards,
         workers=workers,
+        executor=executor,
         scheduler=scheduler,
         warmup=warmup,
         elastic=policy,
@@ -567,4 +581,5 @@ def run_elastic_sim(
     report.rebalances = len(cluster.rebalances)
     if len(cluster):
         report.final_partition = cluster.partition_report()
+    cluster.close()
     return report

@@ -249,6 +249,27 @@ class Histogram:
                 lock.release()
         return merged
 
+    def absorb(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram in place.
+
+        The in-place counterpart of :meth:`merge`, used when rolling worker
+        registry deltas up into the parent registry: the parent cell must
+        *accumulate* (callers hold references to it), not be replaced.
+        """
+        if self.bounds != other.bounds:
+            raise TelemetryError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        if other is self:
+            raise TelemetryError("cannot absorb a histogram into itself")
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+            self.count += other.count
+            self.total += other.total
+            self.vmin = min(self.vmin, other.vmin)
+            self.vmax = max(self.vmax, other.vmax)
+
     # -- snapshots ------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -403,6 +424,37 @@ class MetricsRegistry:
                 record["labels"] = labels
                 histograms.append(record)
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    # -- merging --------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's cells into this one losslessly.
+
+        The process-mode cluster's roll-up: each worker ships a pickled
+        registry *delta* (its cells since the last ship) and the parent
+        absorbs it here. Counters add (two deltas commute), gauges take the
+        incoming value (last writer wins — gauges are set-to-current by
+        contract), histograms absorb bucket-wise (exactly associative).
+        Cells new to this registry are created on demand; a name registered
+        with a different metric type raises
+        :class:`~repro.errors.TelemetryError`, same as direct use.
+        """
+        if other is self:
+            raise TelemetryError("cannot merge a registry into itself")
+        with other._lock:
+            incoming = list(other._metrics.items())
+        for (name, label_items), metric in incoming:
+            if isinstance(metric, Counter):
+                mine = self._get_or_create((name, label_items), Counter, Counter)
+                mine.inc(metric.snapshot())
+            elif isinstance(metric, Gauge):
+                mine = self._get_or_create((name, label_items), Gauge, Gauge)
+                mine.set(metric.snapshot())
+            else:
+                mine = self._get_or_create(
+                    (name, label_items), Histogram, lambda m=metric: Histogram(m.bounds)
+                )
+                mine.absorb(metric)
 
     # The cells rehydrate their own locks on unpickle; the registry only
     # needs to hand over the cell table and rebuild its table lock.

@@ -12,6 +12,7 @@ item via :func:`spawn_seeds`), so results are identical for any worker count.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -59,6 +60,13 @@ def pmap(
     -----
     ``fn`` and the items must be picklable when ``workers > 1`` (module-level
     functions and dataclasses are; closures are not).
+
+    The pool is pinned to the ``spawn`` start method on every platform:
+    fork (the Linux default before 3.14) copies the parent mid-flight, so a
+    lock held by any parent thread — the cluster's shard pool and telemetry
+    both hold locks routinely — is cloned in the locked state and the child
+    deadlocks on first acquire. Spawn starts from a fresh interpreter, which
+    also keeps Linux results byte-identical with macOS/Windows.
     """
     items = list(items)
     if workers is None:
@@ -67,5 +75,6 @@ def pmap(
         return [fn(item) for item in items]
     if chunksize is None:
         chunksize = max(1, -(-len(items) // (8 * workers)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))

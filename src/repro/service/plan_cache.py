@@ -56,6 +56,17 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
 
+    def __getstate__(self) -> dict:
+        # Drop the lock (process-local) so a cache snapshot can cross a
+        # process boundary; counters and the LRU order pickle as-is.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def __len__(self) -> int:
         return len(self._plans)
 
@@ -127,6 +138,46 @@ class PlanCache:
                 self._plans.popitem(last=False)
                 self.evictions += 1
         return plan
+
+    def lookup(self, key: str, scheduler_name: str) -> CachedPlan | None:
+        """Counted read half of the read-through protocol.
+
+        Unlike :meth:`get` this *does* count a hit, because a remote worker
+        that calls ``lookup`` and finds a plan will not follow up with
+        :meth:`publish` — the pair (``lookup`` hit) or (``lookup`` miss +
+        ``publish`` insert) mirrors exactly what one :meth:`plan` call would
+        have recorded. A lookup miss is deliberately *not* counted here: the
+        miss belongs to the insert (see :meth:`plan`'s race note), so two
+        workers racing on the same key settle as one miss and one hit.
+        """
+        with self._lock:
+            plan = self._plans.get((key, scheduler_name))
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end((key, scheduler_name))
+            return plan
+
+    def publish(self, plan: CachedPlan) -> tuple[CachedPlan, bool]:
+        """Counted write half of the read-through protocol.
+
+        Inserts ``plan`` computed elsewhere (a worker process) and returns
+        ``(winner, inserted)``: on a racing insert of the same key the
+        existing entry wins and the caller is served a hit, identical to the
+        in-process :meth:`plan` race semantics.
+        """
+        cache_key = (plan.key, plan.scheduler_name)
+        with self._lock:
+            existing = self._plans.get(cache_key)
+            if existing is not None:
+                self.hits += 1
+                self._plans.move_to_end(cache_key)
+                return existing, False
+            self.misses += 1
+            self._plans[cache_key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+            return plan, True
 
     def invalidate(self, key: str) -> int:
         """Drop every cached plan for canonical tree ``key``; returns count dropped."""

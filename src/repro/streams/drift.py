@@ -206,6 +206,28 @@ class DriftingSource(Source):
         self._values: list[float] = []
         self._extend_lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # Same contract as _SequentialSource: the lock is process-local, the
+        # RNG + memoized prefix are the tape and travel intact.
+        state = self.__dict__.copy()
+        del state["_extend_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._extend_lock = threading.Lock()
+
+    def window(self, end_tau: int, count: int) -> np.ndarray:
+        """Extend once under the lock and slice (see ``Source.window``)."""
+        start = end_tau - count + 1
+        if start < 0:
+            raise StreamError(
+                f"window of {count} items ending at tau={end_tau} precedes the tape start"
+            )
+        if end_tau >= len(self._values):
+            self.value_at(end_tau)
+        return np.array(self._values[start : end_tau + 1])
+
     def value_at(self, tau: int) -> float:
         if tau < 0:
             raise StreamError(f"production index must be >= 0, got {tau}")

@@ -49,6 +49,17 @@ class DropoutSource(Source):
         self._draw_lock = threading.Lock()
         self.drop_count = 0
 
+    def __getstate__(self) -> dict:
+        # The draw lock is process-local; the RNG and memoized drop map are
+        # the deterministic tape state and must cross the boundary intact.
+        state = self.__dict__.copy()
+        del state["_draw_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._draw_lock = threading.Lock()
+
     def _is_dropped(self, tau: int) -> bool:
         if tau not in self._dropped:
             # Draw lazily but memoize (locked: one tape may back several
@@ -90,6 +101,15 @@ class FailingSource(Source):
         self._failed: dict[int, bool] = {}
         self._draw_lock = threading.Lock()
         self.failure_count = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_draw_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._draw_lock = threading.Lock()
 
     def value_at(self, tau: int) -> float:
         if tau < 0:

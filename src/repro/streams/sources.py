@@ -72,18 +72,53 @@ class _SequentialSource(Source):
         self._values: list[float] = []
         self._extend_lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # The extend lock is process-local synchronization state, not tape
+        # state: drop it so tapes can cross a process boundary (spawned
+        # cluster shard workers pickle the whole stream registry). The RNG
+        # and memoized prefix pickle as-is, so the copy continues the exact
+        # same value sequence from where the donor stopped.
+        state = self.__dict__.copy()
+        del state["_extend_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._extend_lock = threading.Lock()
+
     @abc.abstractmethod
     def _next(self, tau: int, rng: np.random.Generator) -> float:
         """Generate the item at index ``tau`` (called in strictly increasing order)."""
 
+    def _extend_to(self, tau: int) -> None:
+        """Materialize the tape through ``tau`` under one lock acquisition."""
+        if tau < len(self._values):
+            return
+        with self._extend_lock:
+            while len(self._values) <= tau:
+                self._values.append(float(self._next(len(self._values), self._rng)))
+
     def value_at(self, tau: int) -> float:
         if tau < 0:
             raise StreamError(f"production index must be >= 0, got {tau}")
-        if tau >= len(self._values):
-            with self._extend_lock:
-                while len(self._values) <= tau:
-                    self._values.append(float(self._next(len(self._values), self._rng)))
+        self._extend_to(tau)
         return self._values[tau]
+
+    def window(self, end_tau: int, count: int) -> np.ndarray:
+        """Single-lock override: extend the tape once, then slice the prefix.
+
+        The base implementation calls :meth:`value_at` per item, paying one
+        lock acquisition per element; a window is one contiguous stretch of
+        the append-only tape, so one extension and a slice give the same
+        values at a fraction of the locking traffic.
+        """
+        start = end_tau - count + 1
+        if start < 0:
+            raise StreamError(
+                f"window of {count} items ending at tau={end_tau} precedes the tape start"
+            )
+        self._extend_to(end_tau)
+        return np.array(self._values[start : end_tau + 1])
 
 
 class UniformSource(_SequentialSource):

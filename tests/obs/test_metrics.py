@@ -219,3 +219,75 @@ class TestMetricsRegistry:
             thread.join(timeout=30)
             assert not thread.is_alive(), "merge deadlocked"
         assert all(merged.count == 200 for merged in results)
+
+
+class TestDeltaRollup:
+    """In-place accumulation used by the process-mode cluster roll-up.
+
+    Workers ship pickled registry *deltas*; the parent folds them in with
+    :meth:`MetricsRegistry.merge_from` / :meth:`Histogram.absorb`. The parent
+    cell must accumulate in place (report code holds references to it), and
+    the fold must be lossless: the merged registry equals the registry a
+    single-process run would have produced.
+    """
+
+    def test_absorb_accumulates_in_place(self):
+        sink, delta = fill([1.0, 10.0]), fill([2.0, 200.0])
+        sink.absorb(delta)
+        assert sink.count == 4
+        assert sink.total == pytest.approx(213.0)
+        assert (sink.vmin, sink.vmax) == (1.0, 200.0)
+        # The delta is untouched; absorbing is one-directional.
+        assert delta.count == 2
+
+    def test_absorb_rejects_mismatched_bounds_and_self(self):
+        with pytest.raises(TelemetryError):
+            Histogram([1.0, 2.0]).absorb(Histogram([1.0, 3.0]))
+        hist = fill([1.0])
+        with pytest.raises(TelemetryError):
+            hist.absorb(hist)
+
+    def test_merge_from_matches_single_registry_run(self):
+        # Reference: every observation lands in one registry.
+        reference = MetricsRegistry()
+        # Split: the same observations spread over two worker deltas.
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for reg in (reference, parent):
+            reg.counter("rounds").inc(3)
+            reg.gauge("width", shard="0").set(2)
+            reg.histogram("lat", shard="0").observe(0.5)
+        for reg in (reference, worker):
+            reg.counter("rounds").inc(4)
+            reg.gauge("width", shard="0").set(5)
+            reg.histogram("lat", shard="0").observe(1.5)
+            reg.histogram("lat", shard="1").observe(9.0)
+
+        shipped = pickle.loads(pickle.dumps(worker))  # cross the boundary
+        parent.merge_from(shipped)
+        assert parent.snapshot() == reference.snapshot()
+
+    def test_merge_from_creates_missing_cells(self):
+        parent, delta = MetricsRegistry(), MetricsRegistry()
+        delta.counter("new_counter", shard="3").inc(7)
+        parent.merge_from(delta)
+        assert parent.value("new_counter", shard="3") == 7.0
+
+    def test_merge_from_rejects_self_and_kind_collisions(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.merge_from(reg)
+        parent, delta = MetricsRegistry(), MetricsRegistry()
+        parent.counter("x").inc()
+        delta.gauge("x").set(1)
+        with pytest.raises(TelemetryError):
+            parent.merge_from(delta)
+
+    def test_parent_references_survive_merge(self):
+        parent, delta = MetricsRegistry(), MetricsRegistry()
+        held = parent.histogram("lat")
+        held.observe(1.0)
+        delta.histogram("lat").observe(2.0)
+        parent.merge_from(delta)
+        # Same cell object, now carrying both observations.
+        assert parent.histogram("lat") is held
+        assert held.count == 2

@@ -166,3 +166,66 @@ class TestPlanCacheConcurrency:
         assert loser is winner  # insert-time check found the existing entry
         assert cache.stats()["misses"] == 1.0  # still single-counted
         assert cache.stats()["hits"] == 1.0  # the loser settled as a hit
+
+
+class TestReadThroughProtocol:
+    """``lookup``/``publish``: the split halves of ``plan`` used by process
+    workers over the command channel. The accounting invariant: any
+    interleaving of (lookup miss -> compute -> publish) pairs records exactly
+    what the same sequence of in-process ``plan`` calls would have."""
+
+    def test_lookup_miss_counts_nothing(self, scheduler):
+        cache = PlanCache(capacity=4)
+        form = canonicalize(make_tree(0.4))
+        assert cache.lookup(form.key, scheduler.name) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_publish_then_lookup_matches_plan_accounting(self, scheduler):
+        split = PlanCache(capacity=4)
+        fused = PlanCache(capacity=4)
+        form = canonicalize(make_tree(0.4))
+
+        computed = fused.plan(form, scheduler)  # reference: one plan() miss
+        assert split.lookup(form.key, scheduler.name) is None
+        winner, inserted = split.publish(computed)
+        assert inserted and winner is computed
+        # reference: one plan() hit
+        fused.plan(form, scheduler)
+        hit = split.lookup(form.key, scheduler.name)
+        assert hit is computed
+        assert split.stats() == fused.stats()
+
+    def test_publish_race_serves_existing_entry_as_hit(self, scheduler):
+        cache = PlanCache(capacity=4)
+        form = canonicalize(make_tree(0.4))
+        first = cache.plan(form, scheduler)
+        # A worker that lost the race publishes its own computation of the
+        # same shape; the resident entry wins and the publish settles as a
+        # hit — identical to plan()'s insert-time re-check.
+        rival = cache.plan(canonicalize(make_tree(0.4)), scheduler)
+        assert rival is first
+        winner, inserted = cache.publish(first)
+        assert winner is first and not inserted
+        assert cache.stats()["misses"] == 1.0
+
+    def test_publish_respects_capacity(self, scheduler):
+        cache = PlanCache(capacity=2)
+        plans = [
+            PlanCache(capacity=1).plan(canonicalize(make_tree(p)), scheduler)
+            for p in (0.2, 0.4, 0.6)
+        ]
+        for plan in plans:
+            cache.publish(plan)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert (plans[0].key, scheduler.name) not in cache
+
+    def test_lookup_refreshes_lru_position(self, scheduler):
+        cache = PlanCache(capacity=2)
+        forms = [canonicalize(make_tree(p)) for p in (0.2, 0.4, 0.6)]
+        cache.plan(forms[0], scheduler)
+        cache.plan(forms[1], scheduler)
+        cache.lookup(forms[0].key, scheduler.name)  # refresh 0 -> 1 is LRU
+        cache.plan(forms[2], scheduler)
+        assert (forms[0].key, scheduler.name) in cache
+        assert (forms[1].key, scheduler.name) not in cache

@@ -1,0 +1,214 @@
+"""Pickle round-trips for stream sources and the plan cache.
+
+Process-mode cluster workers receive their shard's stream registry and
+serving state over a spawn boundary, so every tape-bearing source must
+survive ``pickle`` with its *deterministic* state intact: the memoized
+prefix, the RNG continuation and any lazy draw maps. The thread locks are
+process-local synchronization, not tape state — they are dropped on
+pickling and recreated fresh on unpickling.
+
+Regression context: before the ``__getstate__``/``__setstate__`` pairs,
+``pickle.dumps`` of any source (or of a :class:`PlanCache`) raised
+``TypeError: cannot pickle '_thread.lock' object``, which blocked the
+process executor entirely.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import get_scheduler
+from repro.errors import StreamError
+from repro.service import PlanCache, canonicalize
+from repro.streams import (
+    DriftingSource,
+    DriftSchedule,
+    DropoutSource,
+    FailingSource,
+    GaussianSource,
+    MarkovChainSource,
+    PeriodicSource,
+    RandomWalkSource,
+    StepDrift,
+    UniformSource,
+)
+
+
+def _lock_type():
+    return type(threading.Lock())
+
+
+SEQUENTIAL_FACTORIES = [
+    pytest.param(lambda: UniformSource(seed=11), id="uniform"),
+    pytest.param(lambda: GaussianSource(mean=2.0, std=0.5, seed=11), id="gaussian"),
+    pytest.param(
+        lambda: RandomWalkSource(start=60.0, step_std=2.0, seed=11, low=40.0, high=180.0),
+        id="random-walk",
+    ),
+    pytest.param(
+        lambda: PeriodicSource(amplitude=2.0, period=7.0, noise_std=0.3, seed=11),
+        id="periodic",
+    ),
+    pytest.param(
+        lambda: MarkovChainSource(
+            [0.0, 1.0, 2.0],
+            [[0.6, 0.3, 0.1], [0.2, 0.6, 0.2], [0.1, 0.3, 0.6]],
+            seed=11,
+        ),
+        id="markov",
+    ),
+]
+
+
+class TestSequentialSourcePickle:
+    @pytest.mark.parametrize("factory", SEQUENTIAL_FACTORIES)
+    def test_round_trip_preserves_prefix_and_rng_continuation(self, factory):
+        donor = factory()
+        prefix = [donor.value_at(tau) for tau in range(20)]
+        copy = pickle.loads(pickle.dumps(donor))
+
+        # The memoized tape prefix crossed intact...
+        assert copy._values == donor._values == prefix
+        # ...and both continue with the *same* draws: the RNG state at item
+        # 20 travelled with the pickle, so donor and copy stay one tape.
+        donor_cont = [donor.value_at(tau) for tau in range(20, 40)]
+        copy_cont = [copy.value_at(tau) for tau in range(20, 40)]
+        assert copy_cont == donor_cont
+
+    @pytest.mark.parametrize("factory", SEQUENTIAL_FACTORIES)
+    def test_round_trip_recreates_a_fresh_lock(self, factory):
+        donor = factory()
+        donor.value_at(5)
+        copy = pickle.loads(pickle.dumps(donor))
+        assert isinstance(copy._extend_lock, _lock_type())
+        assert copy._extend_lock is not donor._extend_lock
+
+    def test_unpickled_copy_is_independent(self):
+        donor = UniformSource(seed=3)
+        donor.value_at(9)
+        copy = pickle.loads(pickle.dumps(donor))
+        donor.value_at(30)  # extending the donor must not touch the copy
+        assert len(copy._values) == 10
+
+
+class TestDriftingSourcePickle:
+    def _source(self) -> DriftingSource:
+        schedule = DriftSchedule([0.3], [StepDrift(at=8, targets={0: 0.9})])
+        return DriftingSource(schedule, seed=13)
+
+    def test_round_trip_preserves_tape_and_schedule(self):
+        donor = self._source()
+        prefix = [donor.value_at(tau) for tau in range(12)]
+        copy = pickle.loads(pickle.dumps(donor))
+        assert copy._values == prefix
+        assert copy.schedule.probs_at(10)[0] == donor.schedule.probs_at(10)[0]
+        # Continuation draws item-by-item with each index's own probability.
+        assert [copy.value_at(t) for t in range(12, 30)] == [
+            donor.value_at(t) for t in range(12, 30)
+        ]
+        assert isinstance(copy._extend_lock, _lock_type())
+
+
+class TestFailureSourcePickle:
+    def test_dropout_round_trip_preserves_drop_map(self):
+        donor = DropoutSource(UniformSource(seed=5), 0.4, seed=21)
+        donor_values = [donor.value_at(tau) for tau in range(15)]
+        copy = pickle.loads(pickle.dumps(donor))
+
+        assert copy._dropped == donor._dropped
+        assert copy.drop_count == donor.drop_count
+        # Already-drawn items replay identically; fresh indices (read in the
+        # same order) continue the same RNG stream.
+        assert [copy.value_at(tau) for tau in range(15)] == donor_values
+        assert [copy.value_at(tau) for tau in range(15, 25)] == [
+            donor.value_at(tau) for tau in range(15, 25)
+        ]
+        assert isinstance(copy._draw_lock, _lock_type())
+
+    def test_failing_round_trip_preserves_outage_map(self):
+        donor = FailingSource(UniformSource(seed=5), 0.5, seed=33)
+        donor_outcomes = []
+        for tau in range(15):
+            try:
+                donor_outcomes.append(("ok", donor.value_at(tau)))
+            except StreamError:
+                donor_outcomes.append(("fail", None))
+        copy = pickle.loads(pickle.dumps(donor))
+
+        assert copy._failed == donor._failed
+        copy_outcomes = []
+        for tau in range(15):
+            try:
+                copy_outcomes.append(("ok", copy.value_at(tau)))
+            except StreamError:
+                copy_outcomes.append(("fail", None))
+        assert copy_outcomes == donor_outcomes
+        assert isinstance(copy._draw_lock, _lock_type())
+
+
+class TestWindowSingleLock:
+    """The single-extension ``window`` must return exactly the per-item values."""
+
+    @pytest.mark.parametrize("factory", SEQUENTIAL_FACTORIES)
+    def test_window_matches_value_at(self, factory):
+        windowed = factory()
+        itemized = factory()
+        got = windowed.window(29, 10)
+        want = np.array([itemized.value_at(tau) for tau in range(20, 30)])
+        np.testing.assert_array_equal(got, want)
+        # Both tapes materialized the identical prefix.
+        assert windowed._values == itemized._values
+
+    def test_window_on_cold_tape_extends_once(self):
+        source = UniformSource(seed=2)
+        window = source.window(14, 15)
+        assert len(window) == 15
+        assert len(source._values) == 15
+
+    def test_window_still_rejects_pre_start_reach(self):
+        source = UniformSource(seed=2)
+        with pytest.raises(StreamError):
+            source.window(4, 6)
+
+    def test_drifting_window_matches_value_at(self):
+        schedule = DriftSchedule([0.5], [StepDrift(at=10, targets={0: 0.1})])
+        windowed = DriftingSource(schedule, seed=7)
+        itemized = DriftingSource(schedule, seed=7)
+        got = windowed.window(19, 8)
+        want = np.array([itemized.value_at(tau) for tau in range(12, 20)])
+        np.testing.assert_array_equal(got, want)
+
+
+class TestPlanCachePickle:
+    def test_round_trip_preserves_entries_and_stats_exactly(self):
+        scheduler = get_scheduler("and-inc-c-over-p-dynamic")
+        cache = PlanCache(capacity=4)
+        from repro import DnfTree, Leaf
+
+        forms = [
+            canonicalize(
+                DnfTree(
+                    [[Leaf("A", 2, p), Leaf("B", 1, 0.5)]],
+                    costs={"A": 1.0, "B": 2.0},
+                )
+            )
+            for p in (0.2, 0.4)
+        ]
+        for form in forms:
+            cache.plan(form, scheduler)
+        cache.plan(forms[0], scheduler)  # one hit
+
+        copy = pickle.loads(pickle.dumps(cache))
+        assert copy.stats() == cache.stats()
+        assert len(copy) == len(cache)
+        for form in forms:
+            assert (form.key, scheduler.name) in copy
+        # The recreated lock still guards the hot path.
+        assert isinstance(copy._lock, _lock_type())
+        before = copy.stats()["hits"]
+        copy.plan(forms[1], scheduler)
+        assert copy.stats()["hits"] == before + 1

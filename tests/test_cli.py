@@ -187,6 +187,21 @@ class TestClusterSim:
         )
         assert "evals/s" in capsys.readouterr().out
 
+    def test_process_executor_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-sim", "--queries", "18", "--clusters", "3",
+                    "--streams-per-cluster", "3", "--rounds", "3",
+                    "--executor", "process", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parity:" in out
+        assert "max cost delta 0" in out
+
     def test_elastic_churn_sim(self, capsys):
         assert (
             main(

@@ -33,6 +33,41 @@ class TestPmap:
         assert pmap(_square, range(20), workers=2, chunksize=3) == [x * x for x in range(20)]
 
 
+class TestSpawnContext:
+    """The pool must be pinned to spawn (fork clones held locks -> deadlock)."""
+
+    def test_pool_uses_spawn_start_method(self, monkeypatch):
+        import repro.parallel as parallel_mod
+
+        captured = {}
+
+        class FakePool:
+            def __init__(self, max_workers=None, mp_context=None):
+                captured["workers"] = max_workers
+                captured["ctx"] = mp_context
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                return map(fn, items)
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", FakePool)
+        assert pmap(_square, range(6), workers=2) == [x * x for x in range(6)]
+        assert captured["workers"] == 2
+        assert captured["ctx"].get_start_method() == "spawn"
+
+    def test_results_identical_across_worker_counts(self):
+        # Seeds are split before the map, so fan-out must not change results
+        # even though spawn workers start from a fresh interpreter.
+        serial = pmap(_square, range(24), workers=1)
+        spawned = pmap(_square, range(24), workers=2)
+        assert spawned == serial
+
+
 class TestSeeds:
     def test_spawn_seeds_independent(self):
         seeds = spawn_seeds(42, 4)
