@@ -1,0 +1,125 @@
+"""RPR005 — no hidden entropy or wall-clock logic in determinism hot paths.
+
+The differential harnesses (scalar-vs-vectorized, sharded-vs-unsharded,
+thread-vs-process) only prove anything because a seed pins every outcome
+bit-for-bit. One call into the process-global RNG — or one branch on the
+wall clock — and "parity" becomes "parity on the machine where we ran it".
+
+In modules under ``config.determinism_scope`` we flag:
+
+* calls through the *global* ``random`` module (``random.random()``,
+  ``random.shuffle()``, even ``random.seed()`` — seeding shared global
+  state is still shared global state);
+* the legacy global numpy RNG (``numpy.random.rand``, ``numpy.random.seed``
+  and friends);
+* *unseeded* construction of the blessed RNG types —
+  ``random.Random()``, ``numpy.random.default_rng()``,
+  ``numpy.random.SeedSequence()`` etc. with no arguments draw OS entropy;
+* wall-clock reads that can steer logic: ``time.time``/``time.time_ns``,
+  ``datetime.datetime.now``/``utcnow``, ``datetime.date.today``.
+
+Explicitly allowed: seeded RNG instances (``default_rng(seed)``,
+``Random(seed)``, ``SeedSequence(seed)``) and the monotonic timers
+(``time.perf_counter``/``monotonic``/``process_time``), which feed
+telemetry but never outcomes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, Finding, ModuleInfo
+
+__all__ = ["DeterminismChecker"]
+
+# Constructors that are fine *when given an explicit seed argument*.
+_SEEDABLE = {
+    "random.Random",
+    "random.SystemRandom",  # never acceptable, but flagged via the seeded check below
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+# numpy.random attributes that are types/helpers, not global-RNG draws.
+_NUMPY_NON_DRAWS = {
+    "numpy.random.Generator",
+    "numpy.random.BitGenerator",
+} | _SEEDABLE
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+# SystemRandom is OS entropy by definition; a seed argument does not help.
+_NEVER = {"random.SystemRandom"}
+
+
+class DeterminismChecker(Checker):
+    rule = "RPR005"
+    title = "unseeded randomness / wall-clock logic in a hot path"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_scope(self.config.determinism_scope):
+            return
+        for node in module.nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.imports.resolve(node.func)
+            if target is None:
+                continue
+            finding = self._classify(module, node, target)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, module: ModuleInfo, node: ast.Call, target: str
+    ) -> Finding | None:
+        if target in _NEVER:
+            return module.finding(
+                self.rule,
+                node,
+                f"{target} draws OS entropy and can never reproduce; use "
+                "random.Random(seed) or numpy.random.default_rng(seed)",
+            )
+        if target in _SEEDABLE:
+            if not node.args and not node.keywords:
+                return module.finding(
+                    self.rule,
+                    node,
+                    f"{target}() without a seed draws fresh OS entropy; pass "
+                    "an explicit seed so runs reproduce",
+                )
+            return None
+        if target in _WALL_CLOCK:
+            return module.finding(
+                self.rule,
+                node,
+                f"{target}() reads the wall clock in a determinism hot path; "
+                "thread round-clocks/seeds through arguments, or use "
+                "time.perf_counter() for telemetry-only timing",
+            )
+        if target.startswith("random.") and target.count(".") == 1:
+            return module.finding(
+                self.rule,
+                node,
+                f"{target}() uses the process-global RNG; hot paths must "
+                "draw from an explicitly seeded random.Random or "
+                "numpy Generator instance",
+            )
+        if target.startswith("numpy.random.") and target not in _NUMPY_NON_DRAWS:
+            return module.finding(
+                self.rule,
+                node,
+                f"{target}() uses numpy's legacy global RNG; hot paths must "
+                "draw from an explicitly seeded numpy.random.default_rng "
+                "Generator",
+            )
+        return None

@@ -1,0 +1,78 @@
+"""RPR006 — no bare ``except`` / silently swallowed exceptions in hot loops.
+
+A worker command loop that swallows an exception turns a crashed shard into
+a hung cluster: the parent waits forever for a reply that died in a
+``pass``. Elastic actions are worse — a half-applied split that swallows
+its failure leaves the topology inconsistent with the router's picture of
+it. Two patterns are flagged:
+
+* **Bare ``except:``** — everywhere. It catches ``KeyboardInterrupt`` and
+  ``SystemExit``, making workers unkillable; there is no scope where that
+  is acceptable.
+* **Swallowed broad handlers** — ``except Exception:`` (or
+  ``BaseException``, alone or in a tuple) whose body does nothing but
+  ``pass``/``continue``/``...``, in modules under ``config.except_scope``
+  (default: everywhere linted). Catching broadly to *translate, log or
+  ship* the error is fine; catching broadly to discard it is not. The one
+  legitimate discard (``__del__`` during interpreter shutdown) carries an
+  inline ``# repro-lint: disable=RPR006`` pragma instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, Finding, ModuleInfo
+
+__all__ = ["ExceptionHygieneChecker"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler_type: ast.expr | None) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+def _is_swallow(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / `...`
+        return False
+    return True
+
+
+class ExceptionHygieneChecker(Checker):
+    rule = "RPR006"
+    title = "bare except / swallowed broad exception handler"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        in_scope = module.in_scope(self.config.except_scope)
+        for node in module.nodes:
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self.rule,
+                    node,
+                    "bare except: catches KeyboardInterrupt/SystemExit and "
+                    "makes the worker unkillable; name the exceptions "
+                    "(except Exception at the broadest)",
+                )
+            elif in_scope and _is_broad(node.type) and _is_swallow(node.body):
+                yield module.finding(
+                    self.rule,
+                    node,
+                    "broad exception handler silently swallows the error; a "
+                    "failed command or elastic action must surface "
+                    "(translate, log or re-raise) or the cluster hangs on a "
+                    "silent shard",
+                )

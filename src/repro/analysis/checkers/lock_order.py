@@ -1,0 +1,114 @@
+"""RPR003 — multi-lock acquisition only via the blessed id-ordered helpers.
+
+Holding two locks at once is how the telemetry layer deadlocked in
+development: ``Histogram.merge(a, b)`` racing ``merge(b, a)`` acquired the
+same pair in opposite orders. The fix was the id-ordered idiom — order the
+pair by ``id()`` before acquiring — and the project rule is that *only*
+functions written in that idiom (by convention ``merge``/``absorb``/
+``merge_from``, configurable) may hold more than one lock.
+
+Statically we flag, outside those blessed functions:
+
+* a single ``with`` statement acquiring two lock-like context managers
+  (``with a._lock, b._lock:``), and
+* a ``with <lock>`` nested anywhere inside the body of another
+  ``with <lock>`` in the same function.
+
+"Lock-like" is a naming heuristic: the final attribute/name component
+contains ``lock``, ``mutex`` or ``sem`` — which matches this codebase's
+universal ``self._lock`` convention. Cross-function nesting (method A
+calling method B under A's lock) is invisible to the AST; the RLock
+convention plus the runtime chaos tests cover that half.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, Finding, ModuleInfo, dotted_name
+
+__all__ = ["LockOrderChecker", "is_lockish"]
+
+_LOCKISH_FRAGMENTS = ("lock", "mutex", "sem")
+
+
+def is_lockish(expr: ast.expr) -> bool:
+    """Heuristic: does this context-manager expression look like a lock?"""
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return any(fragment in tail for fragment in _LOCKISH_FRAGMENTS)
+
+
+class LockOrderChecker(Checker):
+    rule = "RPR003"
+    title = "nested multi-lock acquisition outside the id-ordered helpers"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Cheap pre-scan on the flat node list: a module with at most one
+        # lock-like `with` (and no multi-item one) cannot nest acquisitions,
+        # so the per-function recursion below never needs to run.
+        lockish_withs = 0
+        for node in module.nodes:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                count = sum(1 for item in node.items if is_lockish(item.context_expr))
+                lockish_withs += count
+                if count >= 2:
+                    break
+        else:
+            if lockish_withs < 2:
+                return
+        blessed = set(self.config.blessed_multilock)
+        for node in module.nodes:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in blessed:
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, held: int) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+                return  # nested defs are their own scope (checked separately)
+            acquiring = 0
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                locks = [item for item in node.items if is_lockish(item.context_expr)]
+                acquiring = len(locks)
+                if acquiring >= 2:
+                    names = ", ".join(
+                        dotted_name(item.context_expr) or "?" for item in locks
+                    )
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            node,
+                            f"{func.name} acquires {acquiring} locks in one "
+                            f"with statement ({names}); multi-lock acquisition "
+                            "must use the id-ordered idiom inside a blessed "
+                            f"helper ({', '.join(sorted(self.config.blessed_multilock))})",
+                        )
+                    )
+                elif acquiring == 1 and held > 0:
+                    name = dotted_name(locks[0].context_expr) or "?"
+                    findings.append(
+                        module.finding(
+                            self.rule,
+                            node,
+                            f"{func.name} acquires {name} while already "
+                            "holding a lock; nested acquisition risks "
+                            "lock-order inversion — use the id-ordered idiom "
+                            "in a blessed helper "
+                            f"({', '.join(sorted(self.config.blessed_multilock))})",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held + acquiring)
+
+        visit(func, 0)
+        yield from findings

@@ -1,0 +1,207 @@
+"""RPR004 — explicit spawn contexts, and import-clean worker dependencies.
+
+Two statically checkable halves of the same hazard:
+
+**(a) No fork-default multiprocessing.** ``fork`` clones the parent's
+memory — including locks currently held by *other* threads, which stay
+locked forever in the child (the ``pmap`` deadlock fixed in PR 7). Every
+process/pool creation must go through an explicit spawn context::
+
+    ctx = multiprocessing.get_context("spawn")
+    ctx.Process(...)                      # ok
+    ProcessPoolExecutor(mp_context=ctx)   # ok
+
+Flagged: ``multiprocessing.Process/Pool/Manager(...)`` on the bare module,
+``get_context()`` with no or a non-spawn argument, ``set_start_method``
+with anything but ``"spawn"``, ``os.fork``, and a ``ProcessPoolExecutor``
+without an ``mp_context=`` keyword.
+
+**(b) No import-time side effects below the worker.** A spawned worker
+re-imports every module the worker module depends on; module-scope code
+that creates threads, locks or pools runs *once per worker process*, and
+anything stateful it builds silently diverges from the parent's copy.
+Module-level (or class-body) creation of threads/locks/executors in any
+module transitively imported by ``config.worker_root`` is flagged.
+``if __name__ == "__main__"`` and ``if TYPE_CHECKING`` blocks are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    ProjectInfo,
+    dotted_name,
+)
+from repro.analysis.checkers.pickle_locks import LOCK_CONSTRUCTORS
+
+__all__ = ["SpawnSafetyChecker"]
+
+_BARE_PROCESS_CREATORS = {
+    "multiprocessing.Process",
+    "multiprocessing.Pool",
+    "multiprocessing.Manager",
+}
+_SIDE_EFFECT_CONSTRUCTORS = LOCK_CONSTRUCTORS | {
+    "threading.Thread",
+    "threading.Timer",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Process",
+    "multiprocessing.Pool",
+    "multiprocessing.Manager",
+    "multiprocessing.Queue",
+    "multiprocessing.Pipe",
+}
+
+
+def _literal_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class SpawnSafetyChecker(Checker):
+    rule = "RPR004"
+    title = "fork-default multiprocessing / import-time side effects"
+
+    # -- half (a): per-module spawn discipline ---------------------------
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.imports.resolve(node.func)
+            if target is None:
+                continue
+            if target in _BARE_PROCESS_CREATORS:
+                yield module.finding(
+                    self.rule,
+                    node,
+                    f"{target.rsplit('.', 1)[-1]} created on the bare "
+                    "multiprocessing module uses the platform default start "
+                    'method; use multiprocessing.get_context("spawn") — fork '
+                    "clones held locks into the child",
+                )
+            elif target in ("multiprocessing.get_context", "multiprocessing.context.get_context"):
+                method = _literal_str(node.args[0]) if node.args else None
+                if method != "spawn":
+                    yield module.finding(
+                        self.rule,
+                        node,
+                        f"get_context({method!r}) does not pin the spawn "
+                        'start method; use get_context("spawn")',
+                    )
+            elif target == "multiprocessing.set_start_method":
+                method = _literal_str(node.args[0]) if node.args else None
+                if method != "spawn":
+                    yield module.finding(
+                        self.rule,
+                        node,
+                        f"set_start_method({method!r}) selects a fork-family "
+                        'start method; only "spawn" is fork-safe here',
+                    )
+            elif target == "os.fork":
+                yield module.finding(
+                    self.rule,
+                    node,
+                    "os.fork() clones held locks into the child; use a "
+                    "spawn-context multiprocessing primitive",
+                )
+            elif target == "concurrent.futures.ProcessPoolExecutor":
+                keywords = {kw.arg for kw in node.keywords}
+                if "mp_context" not in keywords:
+                    yield module.finding(
+                        self.rule,
+                        node,
+                        "ProcessPoolExecutor without mp_context= uses the "
+                        "platform default start method; pass "
+                        'mp_context=multiprocessing.get_context("spawn")',
+                    )
+
+    # -- half (b): import-reachability side-effect scan ------------------
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        root = self.config.worker_root
+        reachable = project.reachable_from(root)
+        for name in sorted(reachable):
+            module = project.by_name[name]
+            yield from self._module_side_effects(module, root)
+
+    def _module_side_effects(
+        self, module: ModuleInfo, root: str
+    ) -> Iterator[Finding]:
+        for stmt in self._import_time_statements(module.tree, module):
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = module.imports.resolve(node.func)
+                if target in _SIDE_EFFECT_CONSTRUCTORS:
+                    yield module.finding(
+                        self.rule,
+                        node,
+                        f"import-time {target} in a module imported by "
+                        f"{root}: every spawned worker re-runs this at "
+                        "import and builds its own divergent copy; create "
+                        "it lazily inside a function or method",
+                    )
+
+    def _import_time_statements(
+        self, tree: ast.Module, module: ModuleInfo
+    ) -> Iterator[ast.AST]:
+        """AST regions that execute when the module is imported.
+
+        Module scope plus class bodies (which run at import), skipping
+        function/method bodies, ``if __name__ == "__main__"`` guards and
+        ``if TYPE_CHECKING`` blocks. Compound statements contribute their
+        executed expression parts (the ``if`` test, ``with`` items) and
+        their inner bodies — but never statements nested inside a function
+        they happen to contain.
+        """
+
+        def walk(body: list[ast.stmt]) -> Iterator[ast.AST]:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(stmt, ast.ClassDef):
+                    yield from walk(stmt.body)
+                    continue
+                if isinstance(stmt, ast.If):
+                    if self._is_exempt_guard(stmt, module):
+                        continue
+                    yield stmt.test
+                    for body_list in self._inner_bodies(stmt):
+                        yield from walk(body_list)
+                    continue
+                if isinstance(stmt, (ast.Try, ast.With, ast.AsyncWith)):
+                    for item in getattr(stmt, "items", ()):
+                        yield item.context_expr
+                    for body_list in self._inner_bodies(stmt):
+                        yield from walk(body_list)
+                    continue
+                yield stmt
+
+        yield from walk(tree.body)
+
+    @staticmethod
+    def _inner_bodies(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+        for field_name in ("body", "orelse", "finalbody"):
+            body = getattr(stmt, field_name, None)
+            if body:
+                yield body
+        for handler in getattr(stmt, "handlers", ()):
+            yield handler.body
+
+    @staticmethod
+    def _is_exempt_guard(stmt: ast.If, module: ModuleInfo) -> bool:
+        test = stmt.test
+        if isinstance(test, ast.Compare):
+            left = dotted_name(test.left)
+            if left == "__name__":
+                return True
+        resolved = module.imports.resolve(test) if isinstance(test, (ast.Name, ast.Attribute)) else None
+        return resolved == "typing.TYPE_CHECKING" or dotted_name(test) == "TYPE_CHECKING"

@@ -1,0 +1,242 @@
+"""The lint engine: discovery, parsing, suppression, rendering.
+
+Entry points:
+
+* :func:`lint_paths` — lint files/directories on disk (what ``repro lint``
+  calls).
+* :func:`lint_sources` — lint in-memory ``{path: source}`` mappings; the
+  self-test corpus and the ``PlanCache`` mutation check use this to lint
+  code that never touches disk.
+
+Suppression is inline and per-line::
+
+    self._rng = np.random.default_rng()  # repro-lint: disable=RPR005
+    risky()  # repro-lint: disable=RPR003,RPR005
+    legacy()  # repro-lint: disable=all
+
+Suppressed findings are not dropped silently: they are collected on
+:attr:`LintResult.suppressed` and counted in both output formats, so a
+``disable=`` creeping into a diff is visible in CI logs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.base import Checker, Finding, ModuleInfo, ProjectInfo
+from repro.analysis.checkers import REGISTRY, checker_classes
+from repro.analysis.config import LintConfig
+from repro.errors import AnalysisError
+
+__all__ = ["LintResult", "lint_paths", "lint_sources", "module_name_for"]
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    files: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean: no findings and no unparseable files."""
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def rules_fired(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def render_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        for path, message in self.errors:
+            lines.append(f"{path}: error: {message}")
+        summary = (
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} "
+            f"suppressed, {self.files} file(s) in {self.elapsed * 1000:.0f} ms"
+        )
+        lines.append(summary if lines else f"clean: {summary}")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [finding.to_json() for finding in self.suppressed],
+            "errors": [
+                {"path": path, "message": message} for path, message in self.errors
+            ],
+            "files": self.files,
+            "elapsed_seconds": self.elapsed,
+            "rules_fired": self.rules_fired(),
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, walking up through ``__init__.py``.
+
+    ``src/repro/cluster/worker.py`` -> ``repro.cluster.worker`` because
+    ``src/repro/__init__.py`` exists but ``src/__init__.py`` does not. A
+    file outside any package is its own bare module name; underivable
+    paths yield ``""``.
+    """
+    path = Path(path)
+    if path.suffix != ".py":
+        return ""
+    parts = [path.stem] if path.stem != "__init__" else []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not parts:
+        parts = [path.parent.name or path.stem]
+    return ".".join(reversed(parts))
+
+
+def _discover(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Line number -> rule ids disabled on that line ({"all"} disables all)."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = {
+            token.strip().upper() if token.strip().lower() != "all" else "all"
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        if rules:
+            out[lineno] = rules
+    return out
+
+
+def _run(
+    sources: Mapping[str, tuple[str, str]], config: LintConfig
+) -> LintResult:
+    """Core pass over ``{path: (module_name, source)}``."""
+    start = time.perf_counter()
+    result = LintResult()
+    modules: list[ModuleInfo] = []
+    suppression_maps: dict[str, dict[int, set[str]]] = {}
+    for path, (name, source) in sources.items():
+        result.files += 1
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            result.errors.append(
+                (path, f"cannot parse: {exc.msg} (line {exc.lineno})")
+            )
+            continue
+        modules.append(ModuleInfo(path=path, name=name, source=source, tree=tree))
+        suppression_maps[path] = _suppressions(source)
+
+    project = ProjectInfo(modules)
+    checkers: list[Checker] = [
+        cls(config) for cls in checker_classes(config.enabled_rules())
+    ]
+
+    def emit(findings: Iterator[Finding]) -> None:
+        for finding in findings:
+            disabled = suppression_maps.get(finding.path, {}).get(finding.line, set())
+            if "all" in disabled or finding.rule in disabled:
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+
+    for checker in checkers:
+        for module in modules:
+            emit(checker.check_module(module))
+        emit(checker.check_project(project))
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.errors.sort()
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    config = config if config is not None else LintConfig()
+    files = _discover(paths)
+    sources: dict[str, tuple[str, str]] = {}
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {file}: {exc}") from None
+        sources[str(file)] = (module_name_for(file), text)
+    return _run(sources, config)
+
+
+def lint_sources(
+    sources: Mapping[str, str],
+    config: LintConfig | None = None,
+    module_names: Mapping[str, str] | None = None,
+) -> LintResult:
+    """Lint in-memory sources: ``{path: source_text}``.
+
+    Module names derive from each path exactly as on-disk linting would
+    (so a mutated copy of a real file keeps its real module name);
+    ``module_names`` overrides per path for fully virtual files.
+    """
+    config = config if config is not None else LintConfig()
+    prepared: dict[str, tuple[str, str]] = {}
+    for path, text in sources.items():
+        if module_names is not None and path in module_names:
+            name = module_names[path]
+        else:
+            name = module_name_for(Path(path))
+        prepared[path] = (name, text)
+    return _run(prepared, config)
+
+
+def rule_listing() -> str:
+    """One line per registered rule, for ``repro lint --list-rules``."""
+    lines = []
+    for rule, cls in sorted(REGISTRY.items()):
+        lines.append(f"{rule}  {cls.title}")
+    return "\n".join(lines)
+
+
+__all__.append("rule_listing")

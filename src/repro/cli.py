@@ -44,6 +44,12 @@ Commands
     or ``cluster-sim``) into a metrics report: span/event counts, counters,
     gauges and histogram percentiles — or the raw snapshot as Prometheus
     text exposition (``--format prometheus``) / JSON (``--format json``).
+``lint``
+    AST-based invariant linter (:mod:`repro.analysis`): checks the
+    concurrency/determinism rules RPR001-RPR006 (lock pickling, slots
+    state hooks, id-ordered multi-lock acquisition, spawn safety, seeded
+    randomness, exception hygiene) over source trees. Exits 1 on findings;
+    ``--format json`` emits a machine-readable report.
 
 Examples
 --------
@@ -61,6 +67,7 @@ Examples
     python -m repro cluster-sim --queries 300 --clusters 8 --rounds 10 --verify
     python -m repro cluster-sim --elastic --telemetry out.jsonl
     python -m repro metrics out.jsonl --format prometheus
+    python -m repro lint src --format json
 """
 
 from __future__ import annotations
@@ -80,7 +87,7 @@ from repro.core.heuristics import (
     paper_heuristic_names,
 )
 from repro.core.montecarlo import monte_carlo_cost
-from repro.core.tree import DnfTree
+from repro.core.tree import AndTree, DnfTree
 from repro.errors import ReproError
 from repro.experiments import ascii_table, run_fig4, run_fig5, run_fig6, write_csv
 from repro.lang import parse_query, tree_from_json
@@ -95,9 +102,9 @@ def _load_tree(spec: str) -> DnfTree:
         tree = tree_from_json(path.read_text())
         if isinstance(tree, DnfTree):
             return tree
-        if hasattr(tree, "to_dnf"):
-            return tree.to_dnf()  # type: ignore[union-attr]
-        return tree.as_dnf()  # type: ignore[union-attr]
+        if isinstance(tree, AndTree):
+            return tree.to_dnf()
+        return tree.as_dnf()
     return parse_query(spec).as_dnf()
 
 
@@ -509,6 +516,31 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        LintConfig,
+        lint_paths,
+        load_pyproject_config,
+        rule_listing,
+    )
+
+    if args.list_rules:
+        print(rule_listing())
+        return 0
+    config = LintConfig(
+        select=tuple(args.select.split(",")) if args.select else (),
+        ignore=tuple(args.ignore.split(",")) if args.ignore else (),
+    )
+    if not args.no_config:
+        config = load_pyproject_config(args.paths[0] if args.paths else None, config)
+    result = lint_paths(args.paths or ["src"], config)
+    if args.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text())
+    return result.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -739,6 +771,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="summary table (default), Prometheus text exposition, or raw JSON",
     )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_lint = sub.add_parser(
+        "lint", help="AST-based invariant linter (rules RPR001-RPR006)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    p_lint.add_argument(
+        "--no-config",
+        action="store_true",
+        help="skip [tool.repro-lint] discovery in pyproject.toml",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

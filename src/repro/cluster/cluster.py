@@ -418,6 +418,17 @@ class ClusterServer:
         # and run_batch -> _auto_elastic -> split/drain/rebalance nest.
         self._lock = threading.RLock()
 
+    def __getstate__(self) -> dict:
+        # RPR001: explicit pickle contract. A cluster owns live shards —
+        # possibly whole worker processes — plus an RLock and a thread
+        # pool; none of that can cross a process boundary. Reconstruct a
+        # cluster from its registry/population instead.
+        raise TypeError(
+            "ClusterServer is process-local (live shards, worker processes, "
+            "RLock); rebuild one from the registry and population rather "
+            "than pickling it"
+        )
+
     def _new_shard(self, shard_id: int) -> ShardServer:
         if self.executor == "process":
             from repro.cluster.worker import ShardWorkerProxy, WorkerConfig

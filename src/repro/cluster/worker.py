@@ -106,6 +106,15 @@ class RemotePlanCache(PlanCache):
         super().__init__(capacity=1)
         self._conn = conn
 
+    def __getstate__(self) -> dict:
+        # Not lock-bearing itself (the lock lives in PlanCache, whose hooks
+        # we would otherwise inherit), but the inherited state would drag
+        # the live pipe connection along; make the contract explicit.
+        raise TypeError(
+            "RemotePlanCache wraps a live worker pipe; workers receive a "
+            "fresh stub from WorkerConfig, it is never pickled"
+        )
+
     def _rpc(self, request):
         self._conn.send(("plancache", request))
         return self._conn.recv()
@@ -336,6 +345,14 @@ class ShardWorkerProxy:
         child_conn.close()  # the worker holds its own copy
         self.server = _RemoteServerFacade(self)
 
+    def __getstate__(self) -> dict:
+        # RPR001: explicit pickle contract. The proxy owns a live worker
+        # process and its pipe; there is nothing meaningful to transplant.
+        raise TypeError(
+            "ShardWorkerProxy is process-local (owns a worker process and "
+            "its pipe); spawn a new worker instead of pickling the proxy"
+        )
+
     # -- transport -------------------------------------------------------
 
     def _call(self, op: str, *args, **kwargs):
@@ -483,5 +500,8 @@ class ShardWorkerProxy:
     def __del__(self) -> None:  # best effort; close() is the real API
         try:
             self.close()
-        except Exception:
+        # Swallowing is legitimate only here: __del__ may run during
+        # interpreter shutdown when the pipe module is already torn down,
+        # and raising from a finalizer just prints noise we cannot act on.
+        except Exception:  # repro-lint: disable=RPR006
             pass

@@ -62,7 +62,7 @@ class ScheduleExplanation:
 
     def dominant_stream(self) -> str:
         """The stream expected to cost the most under this schedule."""
-        return max(self.stream_cost, key=self.stream_cost.get)  # type: ignore[arg-type]
+        return max(self.stream_cost, key=lambda name: self.stream_cost[name])
 
 
 def explain_schedule(tree: DnfTree, schedule: Sequence[int]) -> ScheduleExplanation:

@@ -23,7 +23,7 @@ from typing import Union
 from repro.core.exact import exact_schedule_cost
 from repro.core.schedule import Schedule
 from repro.core.tree import AndNode, AndTree, DnfTree, LeafNode, Node, OrNode, QueryTree
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, InvalidTreeError
 
 __all__ = ["recursive_ratio_order", "optimal_general"]
 
@@ -64,7 +64,9 @@ def recursive_ratio_order(tree: Union[QueryTree, AndTree, DnfTree]) -> Schedule:
             index = next(leaf_counter)
             leaf = node.leaf
             return leaf.items * costs[leaf.stream], leaf.prob, [index]
-        children = [visit(child) for child in node.children]  # type: ignore[attr-defined]
+        if not isinstance(node, (AndNode, OrNode)):
+            raise InvalidTreeError(f"unexpected node of type {type(node).__name__}")
+        children = [visit(child) for child in node.children]
         if isinstance(node, AndNode):
             children.sort(key=lambda entry: ratio(entry[0], 1.0 - entry[1]))
             cost = 0.0

@@ -182,6 +182,10 @@ class DnfTree:
 
     ands: tuple[tuple[Leaf, ...], ...]
     costs: Mapping[str, float] = field(default_factory=dict)
+    # Flattened-addressing caches, filled by __init__ via object.__setattr__.
+    _flat: tuple[Leaf, ...] = field(init=False, repr=False, compare=False)
+    _refs: tuple[tuple[int, int], ...] = field(init=False, repr=False, compare=False)
+    _starts: tuple[int, ...] = field(init=False, repr=False, compare=False)
 
     def __init__(
         self,
@@ -220,7 +224,7 @@ class DnfTree:
     @property
     def leaves(self) -> tuple[Leaf, ...]:
         """All leaves flattened in (AND index, position) order."""
-        return self._flat  # type: ignore[attr-defined]
+        return self._flat
 
     @property
     def size(self) -> int:
@@ -242,7 +246,7 @@ class DnfTree:
 
     def ref(self, gindex: int) -> tuple[int, int]:
         """Global leaf index -> ``(and_index, position_within_and)``."""
-        return self._refs[gindex]  # type: ignore[attr-defined]
+        return self._refs[gindex]
 
     def gindex(self, and_index: int, position: int) -> int:
         """``(and_index, position_within_and)`` -> global leaf index."""
@@ -250,7 +254,7 @@ class DnfTree:
             raise InvalidTreeError(f"AND index {and_index} out of range")
         if not 0 <= position < len(self.ands[and_index]):
             raise InvalidTreeError(f"leaf position {position} out of range in AND {and_index}")
-        return self._starts[and_index] + position  # type: ignore[attr-defined]
+        return self._starts[and_index] + position
 
     def and_of(self, gindex: int) -> int:
         """AND node index owning global leaf ``gindex``."""
@@ -262,7 +266,7 @@ class DnfTree:
 
     def and_leaf_gindices(self, and_index: int) -> range:
         """Global indices of the leaves of AND node ``and_index``."""
-        start = self._starts[and_index]  # type: ignore[attr-defined]
+        start = self._starts[and_index]
         return range(start, start + len(self.ands[and_index]))
 
     # -- shape / statistics ---------------------------------------------
@@ -355,6 +359,7 @@ class LeafNode(Node):
 
 class _OperatorNode(Node):
     __slots__ = ("children",)
+    children: tuple[Node, ...]
     symbol = "?"
 
     def __init__(self, children: Sequence[Node]) -> None:
@@ -379,7 +384,9 @@ class _OperatorNode(Node):
         object.__setattr__(self, "children", state)
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.children == other.children  # type: ignore[attr-defined]
+        if not isinstance(other, _OperatorNode):
+            return NotImplemented
+        return type(self) is type(other) and self.children == other.children
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.children))
@@ -395,8 +402,8 @@ class _OperatorNode(Node):
         flat: list[Node] = []
         for child in self.children:
             child = child.simplified()
-            if type(child) is type(self):
-                flat.extend(child.children)  # type: ignore[attr-defined]
+            if isinstance(child, _OperatorNode) and type(child) is type(self):
+                flat.extend(child.children)
             else:
                 flat.append(child)
         if len(flat) == 1:
@@ -418,6 +425,18 @@ class OrNode(_OperatorNode):
     symbol = "OR"
 
 
+def _leaf_children(node: _OperatorNode) -> list[Leaf]:
+    """The leaves of an operator whose children are all leaf nodes."""
+    leaves: list[Leaf] = []
+    for child in node.children:
+        if not isinstance(child, LeafNode):
+            raise InvalidTreeError(
+                f"expected a leaf child, got {type(child).__name__}"
+            )
+        leaves.append(child.leaf)
+    return leaves
+
+
 TreeLike = Union["QueryTree", AndTree, DnfTree]
 
 
@@ -432,6 +451,8 @@ class QueryTree:
 
     root: Node
     costs: Mapping[str, float] = field(default_factory=dict)
+    # Depth-first leaf cache, filled by __init__ via object.__setattr__.
+    _leaves: tuple[Leaf, ...] = field(init=False, repr=False, compare=False)
 
     def __init__(
         self,
@@ -453,7 +474,7 @@ class QueryTree:
     @property
     def leaves(self) -> tuple[Leaf, ...]:
         """Leaves in depth-first left-to-right order (global index order)."""
-        return self._leaves  # type: ignore[attr-defined]
+        return self._leaves
 
     @property
     def size(self) -> int:
@@ -478,9 +499,9 @@ class QueryTree:
         """Number of operator levels (a bare leaf has depth 0)."""
 
         def rec(node: Node) -> int:
-            if isinstance(node, LeafNode):
+            if not isinstance(node, _OperatorNode):
                 return 0
-            return 1 + max(rec(child) for child in node.children)  # type: ignore[attr-defined]
+            return 1 + max(rec(child) for child in node.children)
 
         return rec(self.root)
 
@@ -489,9 +510,9 @@ class QueryTree:
         """Total node count (operators + leaves)."""
 
         def rec(node: Node) -> int:
-            if isinstance(node, LeafNode):
+            if not isinstance(node, _OperatorNode):
                 return 1
-            return 1 + sum(rec(child) for child in node.children)  # type: ignore[attr-defined]
+            return 1 + sum(rec(child) for child in node.children)
 
         return rec(self.root)
 
@@ -513,6 +534,8 @@ class QueryTree:
             return True
         if isinstance(root, AndNode):
             return all(isinstance(child, LeafNode) for child in root.children)
+        if not isinstance(root, OrNode):
+            return False
         for child in root.children:
             if isinstance(child, LeafNode):
                 continue
@@ -537,13 +560,17 @@ class QueryTree:
         if isinstance(root, LeafNode):
             return DnfTree([[root.leaf]], self.costs)
         if isinstance(root, AndNode):
-            return DnfTree([[child.leaf for child in root.children]], self.costs)  # type: ignore[attr-defined]
+            return DnfTree([_leaf_children(root)], self.costs)
+        if not isinstance(root, OrNode):
+            raise InvalidTreeError(f"unexpected root node {type(root).__name__}")
         groups: list[list[Leaf]] = []
         for child in root.children:
             if isinstance(child, LeafNode):
                 groups.append([child.leaf])
+            elif isinstance(child, AndNode):
+                groups.append(_leaf_children(child))
             else:
-                groups.append([sub.leaf for sub in child.children])  # type: ignore[attr-defined]
+                raise InvalidTreeError(f"unexpected DNF child {type(child).__name__}")
         return DnfTree(groups, self.costs)
 
     def expand_to_dnf(self, *, max_terms: int = 4096) -> DnfTree:
@@ -563,7 +590,9 @@ class QueryTree:
         def rec(node: Node) -> list[tuple[Leaf, ...]]:
             if isinstance(node, LeafNode):
                 return [(node.leaf,)]
-            child_terms = [rec(child) for child in node.children]  # type: ignore[attr-defined]
+            if not isinstance(node, _OperatorNode):
+                raise InvalidTreeError(f"unexpected node {type(node).__name__}")
+            child_terms = [rec(child) for child in node.children]
             if isinstance(node, OrNode):
                 merged = [term for terms in child_terms for term in terms]
                 if len(merged) > max_terms:
@@ -588,6 +617,8 @@ class QueryTree:
         def rec(node: Node) -> float:
             if isinstance(node, LeafNode):
                 return node.leaf.prob
+            if not isinstance(node, _OperatorNode):
+                raise InvalidTreeError(f"unexpected node {type(node).__name__}")
             if isinstance(node, AndNode):
                 out = 1.0
                 for child in node.children:
@@ -607,9 +638,9 @@ class QueryTree:
             pad = "  " * indent
             if isinstance(node, LeafNode):
                 lines.append(f"{pad}- {node.leaf.describe()}")
-            else:
-                lines.append(f"{pad}{node.symbol}")  # type: ignore[attr-defined]
-                for child in node.children:  # type: ignore[attr-defined]
+            elif isinstance(node, _OperatorNode):
+                lines.append(f"{pad}{node.symbol}")
+                for child in node.children:
                     rec(child, indent + 1)
 
         rec(self.root, 1)

@@ -115,9 +115,12 @@ class ContinuousQuerySession:
         self._max_windows = self._per_stream_windows(tree)
         now = warmup if warmup is not None else max(64, max_window)
         self.cache = registry.build_cache(now=now)
-        self.oracle: LeafOracle = (
-            PredicateOracle(predicates) if predicates is not None else oracle  # type: ignore[arg-type]
-        )
+        if predicates is not None:
+            self.oracle: LeafOracle = PredicateOracle(predicates)
+        elif oracle is not None:
+            self.oracle = oracle
+        else:  # unreachable: guarded at the top of __init__
+            raise StreamError("need either bound predicates or an explicit oracle")
         self.executor = ScheduleExecutor(tree, self.cache, self.oracle)
         self._schedule: Schedule = validate_schedule(tree, scheduler.schedule(tree))
         self._round = 0

@@ -18,6 +18,7 @@ __all__ = [
     "StreamError",
     "AdmissionError",
     "TelemetryError",
+    "AnalysisError",
 ]
 
 
@@ -55,3 +56,7 @@ class AdmissionError(ReproError, RuntimeError):
 
 class TelemetryError(ReproError, ValueError):
     """An observability operation was misused (metric type clash, bad bucket bounds, ...)."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """The static-analysis engine was misconfigured (unknown rule, bad path, ...)."""

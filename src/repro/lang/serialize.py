@@ -54,8 +54,10 @@ def leaf_from_dict(data: dict[str, Any]) -> Leaf:
 def _node_to_dict(node: Node) -> dict[str, Any]:
     if isinstance(node, LeafNode):
         return {"leaf": leaf_to_dict(node.leaf)}
+    if not isinstance(node, (AndNode, OrNode)):
+        raise ParseError(f"cannot serialize node of type {type(node).__name__}")
     op = "and" if isinstance(node, AndNode) else "or"
-    return {"op": op, "children": [_node_to_dict(child) for child in node.children]}  # type: ignore[attr-defined]
+    return {"op": op, "children": [_node_to_dict(child) for child in node.children]}
 
 
 def _node_from_dict(data: dict[str, Any]) -> Node:
@@ -162,9 +164,13 @@ def tree_to_canonical_json(tree: TreeLike) -> str:
         def node_key(node: Node) -> Any:
             if isinstance(node, LeafNode):
                 return ["leaf", list(_leaf_sort_key(node.leaf))]
+            if not isinstance(node, (AndNode, OrNode)):
+                raise ParseError(
+                    f"cannot canonicalize node of type {type(node).__name__}"
+                )
             op = "and" if isinstance(node, AndNode) else "or"
             children = sorted(
-                (node_key(child) for child in node.children),  # type: ignore[attr-defined]
+                (node_key(child) for child in node.children),
                 key=lambda key: json.dumps(key, sort_keys=True),
             )
             return [op, children]

@@ -65,6 +65,17 @@ class Tracer:
         elif sink is not None:
             self._sink = sink
 
+    def __getstate__(self) -> dict:
+        # RPR001: explicit pickle contract. A tracer is process-local by
+        # design — it holds a live lock and (possibly) an open sink file.
+        # Workers ship their *records* (JSONL) and registry deltas, never
+        # the tracer object itself; fail loudly at pickle time instead of
+        # cryptically at send time.
+        raise TypeError(
+            "Tracer is process-local (live lock + open sink); ship its "
+            "records via the JSONL sink or read_jsonl(), not the tracer"
+        )
+
     # -- recording ------------------------------------------------------
 
     def _record(self, record: dict) -> None:

@@ -264,6 +264,18 @@ class QueryServer:
         # Reentrant because run_batch -> step -> replan_canonical nest.
         self._lock = threading.RLock()
 
+    def __getstate__(self) -> dict:
+        # RPR001: explicit pickle contract. A server is process-local by
+        # design (live RLock, per-query oracle state, vectorized executor
+        # caches); cross-process migration goes through export_query() /
+        # QuerySnapshot, which pickles cleanly. Fail at pickle time with
+        # the right pointer instead of at pipe-send time with a lock error.
+        raise TypeError(
+            "QueryServer is process-local (live RLock and executor state); "
+            "migrate queries with export_query()/admit_migrated() instead "
+            "of pickling the server"
+        )
+
     # -- population management -----------------------------------------
 
     @property
@@ -932,10 +944,17 @@ class QueryServer:
         if isinstance(oracle, BernoulliOracle):
             probs = np.array([leaf.prob for leaf in leaves])
             return oracle.rng.random((rounds, len(leaves))) < probs
+        outcomes = getattr(oracle, "outcomes", None)
+        if outcomes is None:
+            raise StreamError(
+                f"query {query.name!r} has an oracle of type "
+                f"{type(oracle).__name__} without precomputed outcomes; the "
+                "vectorized round loop cannot batch it"
+            )
         row = np.empty(len(leaves), dtype=bool)
         for g in range(len(leaves)):
             try:
-                row[g] = bool(oracle.outcomes[g])  # type: ignore[attr-defined]
+                row[g] = bool(outcomes[g])
             except (KeyError, IndexError):
                 # A partial PrecomputedOracle (legal on the scalar path, where
                 # short-circuited leaves are never queried) cannot be batched.

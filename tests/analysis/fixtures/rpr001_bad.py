@@ -1,0 +1,29 @@
+"""Known-bad twin for RPR001: lock-bearing classes without pickle hooks.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import threading
+from threading import RLock
+
+
+class BadCache:
+    """Stores a Lock assigned in __init__ and defines no pickle hooks."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._items[key] = value
+
+
+class BadCounter:
+    """Lock imported by name, assigned outside __init__ — still caught."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def enable_threading(self) -> None:
+        self._guard_lock = RLock()

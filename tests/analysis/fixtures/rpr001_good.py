@@ -1,0 +1,56 @@
+"""Known-good twin for RPR001: every lock-bearing class controls pickling.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import threading
+from threading import RLock
+
+
+class GoodCache:
+    """Drop-and-recreate hooks: the canonical picklable lock holder."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._items[key] = value
+
+
+class GoodProcessLocal:
+    """Deliberately unpicklable: a raising __getstate__ satisfies the rule."""
+
+    def __init__(self) -> None:
+        self._guard_lock = RLock()
+
+    def __getstate__(self) -> dict:
+        raise TypeError("GoodProcessLocal is process-local; do not pickle it")
+
+
+class GoodReduced:
+    """__reduce__ also counts as an explicit pickle contract."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._lock = threading.Lock()
+
+    def __reduce__(self):
+        return (type(self), (self.size,))
+
+
+class NoLocksAtAll:
+    """Control: plain state, no hooks needed."""
+
+    def __init__(self) -> None:
+        self.value = 0

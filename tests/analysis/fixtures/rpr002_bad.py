@@ -1,0 +1,21 @@
+"""Known-bad twin for RPR002: frozen __slots__ class without pickle hooks.
+
+Never imported — this file exists only as a lint target.
+"""
+
+
+class FrozenPoint:
+    """__slots__ + raising __setattr__ and no explicit pickle state hooks.
+
+    Default unpickling calls __setattr__ per slot, so this class explodes
+    at load time unless it defines __getstate__/__setstate__ or __reduce__.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FrozenPoint is immutable")

@@ -1,0 +1,43 @@
+"""Known-good twin for RPR002: frozen __slots__ classes that pickle cleanly.
+
+Never imported — this file exists only as a lint target.
+"""
+
+from dataclasses import dataclass
+
+
+class FrozenPoint:
+    """Same shape as the bad twin, plus explicit pickle state hooks."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FrozenPoint is immutable")
+
+    def __getstate__(self) -> tuple:
+        return (self.x, self.y)
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "x", state[0])
+        object.__setattr__(self, "y", state[1])
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenRecord:
+    """Dataclasses generate correct slot pickling; exempt from the rule."""
+
+    x: float
+    y: float
+
+
+class PlainSlots:
+    """Control: __slots__ without a guarded __setattr__ pickles fine."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value

@@ -1,0 +1,34 @@
+"""Known-bad twin for RPR003: unordered multi-lock acquisition.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import threading
+
+
+class Cell:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+def transfer(a: Cell, b: Cell, amount: int) -> None:
+    with a._lock, b._lock:  # two locks in one with, outside a blessed helper
+        a.value -= amount
+        b.value += amount
+
+
+def drain(a: Cell, b: Cell) -> None:
+    with a._lock:
+        with b._lock:  # nested acquisition while a._lock is held
+            b.value += a.value
+            a.value = 0

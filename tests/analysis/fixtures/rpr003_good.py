@@ -1,0 +1,39 @@
+"""Known-good twin for RPR003: single-lock code plus a blessed merge helper.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import threading
+
+
+class Cell:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def add(self, amount: int) -> None:
+        with self._lock:
+            self.value += amount
+
+    def merge(self, other: "Cell") -> None:
+        # Blessed helper: acquires both locks in id() order, so nested
+        # acquisition here is the sanctioned deadlock-free idiom.
+        first, second = sorted((self, other), key=id)
+        with first._lock:
+            with second._lock:
+                self.value += other.value
+                other.value = 0
+
+
+def read(a: Cell) -> int:
+    with a._lock:
+        return a.value

@@ -1,0 +1,33 @@
+"""Known-bad twin for RPR004: multiprocessing without an explicit spawn pin.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_pool(fn, items):
+    with multiprocessing.Pool(4) as pool:  # inherits the platform default
+        return pool.map(fn, items)
+
+
+def run_default_context(fn, item):
+    ctx = multiprocessing.get_context()  # no method argument: fork on Linux
+    proc = ctx.Process(target=fn, args=(item,))
+    proc.start()
+    proc.join()
+
+
+def pin_fork():
+    multiprocessing.set_start_method("fork")  # explicitly wrong
+
+
+def run_executor(fn, items):
+    with ProcessPoolExecutor(max_workers=2) as pool:  # no mp_context=
+        return list(pool.map(fn, items))
+
+
+def raw_fork():
+    return os.fork()

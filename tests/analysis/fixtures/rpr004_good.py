@@ -1,0 +1,30 @@
+"""Known-good twin for RPR004: every process boundary pins spawn.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_pool(fn, items):
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(4) as pool:
+        return pool.map(fn, items)
+
+
+def run_process(fn, item):
+    ctx = multiprocessing.get_context("spawn")
+    proc = ctx.Process(target=fn, args=(item,))
+    proc.start()
+    proc.join()
+
+
+def pin_spawn():
+    multiprocessing.set_start_method("spawn", force=True)
+
+
+def run_executor(fn, items):
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=2, mp_context=ctx) as pool:
+        return list(pool.map(fn, items))

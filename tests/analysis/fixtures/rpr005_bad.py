@@ -1,0 +1,33 @@
+"""Known-bad twin for RPR005: unseeded randomness and wall-clock reads.
+
+Never imported — this file exists only as a lint target. The determinism
+checker only looks at modules inside its configured scope, so the corpus
+tests lint this file with determinism_scope=() (= everything in scope).
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() * 0.1  # global, unseeded RNG
+
+
+def sample(n: int):
+    rng = np.random.default_rng()  # seedable constructor called unseeded
+    return rng.random(n)
+
+
+def legacy(n: int):
+    return np.random.rand(n)  # numpy global RNG
+
+
+def stamp() -> float:
+    return time.time()  # wall clock in a hot path
+
+
+def today():
+    return datetime.now()  # wall clock in a hot path

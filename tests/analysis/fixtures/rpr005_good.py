@@ -1,0 +1,28 @@
+"""Known-good twin for RPR005: seeded RNG instances and monotonic clocks.
+
+Never imported — this file exists only as a lint target.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random() * 0.1
+
+
+def sample(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def spawn_streams(seed: int, k: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(k)]
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start  # monotonic: telemetry-safe

@@ -1,0 +1,30 @@
+"""Known-bad twin for RPR006: bare and swallowed exception handlers.
+
+Never imported — this file exists only as a lint target. The broad-handler
+half of the rule is scoped, so corpus tests lint this file with
+except_scope=() (= everything in scope).
+"""
+
+
+def handle(op):
+    raise NotImplementedError
+
+
+def command_loop(conn) -> None:
+    while True:
+        try:
+            op = conn.recv()
+        except:  # bare except: catches KeyboardInterrupt/SystemExit too
+            return
+        try:
+            handle(op)
+        except Exception:  # swallowed: the caller never learns it failed
+            pass
+
+
+def best_effort(actions) -> None:
+    for action in actions:
+        try:
+            action()
+        except (Exception, OSError):  # broad tuple, body is just continue
+            continue

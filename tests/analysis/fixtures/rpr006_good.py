@@ -1,0 +1,30 @@
+"""Known-good twin for RPR006: narrow handlers, and broad ones that report.
+
+Never imported — this file exists only as a lint target.
+"""
+
+
+def handle(op):
+    raise NotImplementedError
+
+
+def command_loop(conn) -> None:
+    while True:
+        try:
+            op = conn.recv()
+        except (EOFError, OSError):  # narrow: only the expected pipe errors
+            return
+        try:
+            result = handle(op)
+        except Exception as exc:  # broad, but reported to the caller
+            conn.send(("error", repr(exc)))
+        else:
+            conn.send(("ok", result))
+
+
+def best_effort(actions, log) -> None:
+    for action in actions:
+        try:
+            action()
+        except ValueError as exc:
+            log(exc)

@@ -1,0 +1,5 @@
+"""Mini package for the RPR004 import-graph half of the corpus.
+
+Never imported — lint target only. Corpus tests lint this directory with
+worker_root="spawnpkg.worker" so the reachability walk starts at worker.py.
+"""

@@ -1,0 +1,25 @@
+"""Known-good: lazy lock creation keeps import side-effect free."""
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from threading import Lock
+
+_POOL_LOCK: "Lock | None" = None
+
+
+def _lock() -> threading.Lock:
+    global _POOL_LOCK
+    if _POOL_LOCK is None:
+        _POOL_LOCK = threading.Lock()  # created on first use, not at import
+    return _POOL_LOCK
+
+
+def touch() -> None:
+    with _lock():
+        pass
+
+
+if __name__ == "__main__":  # exempt guard: never runs on worker import
+    holder = threading.Lock()

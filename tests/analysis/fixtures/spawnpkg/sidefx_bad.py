@@ -1,0 +1,16 @@
+"""Known-bad: creates a lock and a thread at import time.
+
+Any module reachable from the worker entry point must not run side effects
+at import: every spawned worker re-imports it before doing useful work.
+"""
+
+import threading
+
+_POOL_LOCK = threading.Lock()  # runs at import in every spawned worker
+
+_WATCHER = threading.Thread(target=lambda: None, daemon=True)
+
+
+def touch() -> None:
+    with _POOL_LOCK:
+        pass

@@ -1,0 +1,8 @@
+"""Entry module of the spawned worker process (fixture)."""
+
+from spawnpkg import clean_good, sidefx_bad
+
+
+def run() -> None:
+    sidefx_bad.touch()
+    clean_good.touch()

@@ -1,0 +1,24 @@
+"""Fixture exercising inline suppression pragmas.
+
+Every violation here carries a pragma, so a lint run reports zero findings
+but a nonzero suppressed count.
+"""
+
+import random
+import threading
+
+
+class KnownUnpicklable:  # repro-lint: disable=RPR001
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+def noisy() -> float:
+    return random.random()  # repro-lint: disable=RPR005
+
+
+def ignore_everything(action) -> None:
+    try:
+        action()
+    except:  # repro-lint: disable=all
+        pass

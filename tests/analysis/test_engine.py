@@ -1,0 +1,200 @@
+"""Engine-level tests: suppression accounting, select/ignore, rendering,
+module-name derivation, pyproject config loading and error handling."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    LintConfig,
+    lint_paths,
+    lint_sources,
+    load_pyproject_config,
+    module_name_for,
+    rule_listing,
+)
+from repro.errors import AnalysisError, ReproError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+WIDE = LintConfig(determinism_scope=(), except_scope=())
+
+
+class TestSuppression:
+    def test_pragmas_suppress_but_are_counted(self) -> None:
+        result = lint_paths([FIXTURES / "suppressed.py"], WIDE)
+        assert result.ok
+        assert not result.findings
+        # One RPR001 (class), one RPR005 (random.random), one RPR006 (bare
+        # except, via disable=all) — suppressed, never silently dropped.
+        assert {f.rule for f in result.suppressed} == {"RPR001", "RPR005", "RPR006"}
+        assert len(result.suppressed) == 3
+
+    def test_pragma_only_disables_named_rule(self) -> None:
+        source = (
+            "import random\n"
+            "def f():\n"
+            "    return random.random()  # repro-lint: disable=RPR001\n"
+        )
+        result = lint_sources({"virt/mod.py": source}, WIDE)
+        assert result.rules_fired() == {"RPR005": 1}
+        assert not result.suppressed
+
+    def test_disable_all_pragma(self) -> None:
+        source = (
+            "import random\n"
+            "def f():\n"
+            "    return random.random()  # repro-lint: disable=all\n"
+        )
+        result = lint_sources({"virt/mod.py": source}, WIDE)
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RPR005"]
+
+    def test_suppressed_count_in_text_output(self) -> None:
+        result = lint_paths([FIXTURES / "suppressed.py"], WIDE)
+        assert "3 suppressed" in result.render_text()
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self) -> None:
+        bad = [FIXTURES / f"{rule.lower()}_bad.py" for rule in ALL_RULES]
+        config = LintConfig(
+            select=("RPR001", "RPR006"), determinism_scope=(), except_scope=()
+        )
+        result = lint_paths(bad, config)
+        assert set(result.rules_fired()) == {"RPR001", "RPR006"}
+
+    def test_ignore_drops_named_rules(self) -> None:
+        bad = [FIXTURES / f"{rule.lower()}_bad.py" for rule in ALL_RULES]
+        config = LintConfig(ignore=("RPR005",), determinism_scope=(), except_scope=())
+        result = lint_paths(bad, config)
+        assert "RPR005" not in result.rules_fired()
+        assert "RPR001" in result.rules_fired()
+
+    def test_unknown_rule_raises(self) -> None:
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            LintConfig(select=("RPR999",))
+        with pytest.raises(ReproError):  # part of the repo error hierarchy
+            LintConfig(ignore=("nope",))
+
+
+class TestRendering:
+    def test_json_output_shape(self) -> None:
+        result = lint_paths([FIXTURES / "rpr001_bad.py"], WIDE)
+        payload = json.loads(result.render_json())
+        assert payload["ok"] is False
+        assert payload["rules_fired"] == {"RPR001": 2}
+        assert payload["files"] == 1
+        first = payload["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+        assert payload["errors"] == []
+
+    def test_text_output_clean_summary(self) -> None:
+        result = lint_paths([FIXTURES / "rpr001_good.py"], WIDE)
+        text = result.render_text()
+        assert text.startswith("clean: 0 finding(s)")
+        assert result.exit_code() == 0
+
+    def test_text_output_lists_findings_sorted(self) -> None:
+        result = lint_paths(
+            [FIXTURES / "rpr001_bad.py", FIXTURES / "rpr002_bad.py"], WIDE
+        )
+        lines = result.render_text().splitlines()
+        assert len(lines) == len(result.findings) + 1  # findings + summary
+        assert lines == sorted(lines[:-1]) + [lines[-1]]
+        assert result.exit_code() == 1
+
+    def test_rule_listing_covers_all_rules(self) -> None:
+        listing = rule_listing()
+        for rule in ALL_RULES:
+            assert rule in listing
+
+
+class TestErrors:
+    def test_syntax_error_is_reported_not_raised(self) -> None:
+        result = lint_sources({"broken.py": "def f(:\n    pass\n"}, WIDE)
+        assert result.errors and "cannot parse" in result.errors[0][1]
+        assert result.exit_code() == 1
+        assert "error:" in result.render_text()
+
+    def test_missing_path_raises(self) -> None:
+        with pytest.raises(AnalysisError, match="no such file"):
+            lint_paths([FIXTURES / "does_not_exist.py"])
+
+
+class TestModuleNames:
+    def test_package_module(self) -> None:
+        import repro
+
+        src = Path(repro.__file__).parent
+        assert module_name_for(src / "cluster" / "worker.py") == "repro.cluster.worker"
+        assert module_name_for(src / "__init__.py") == "repro"
+
+    def test_bare_module(self) -> None:
+        assert module_name_for(FIXTURES / "rpr001_bad.py") == "rpr001_bad"
+
+    def test_fixture_package(self) -> None:
+        path = FIXTURES / "spawnpkg" / "worker.py"
+        assert module_name_for(path) == "spawnpkg.worker"
+
+    def test_non_python_path(self) -> None:
+        assert module_name_for(Path("README.md")) == ""
+
+    def test_lint_sources_derives_names_from_paths(self) -> None:
+        # A virtual file at a real package path gets the real module name:
+        # the PlanCache mutation test in test_repo_clean.py depends on this.
+        import repro
+
+        path = str(Path(repro.__file__).parent / "service" / "plan_cache.py")
+        source = "import random\nx = random.random()\n"
+        result = lint_sources({path: source})  # default (repro.*) scopes
+        assert result.rules_fired() == {"RPR005": 1}
+
+
+class TestPyprojectConfig:
+    def test_missing_table_returns_base(self, tmp_path: Path) -> None:
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+        config = load_pyproject_config(tmp_path)
+        assert config == LintConfig()
+
+    def test_table_overrides_fields(self, tmp_path: Path) -> None:
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\n"
+            'ignore = ["RPR005"]\n'
+            'blessed-multilock = ["merge"]\n'
+            'worker-root = "spawnpkg.worker"\n'
+        )
+        config = load_pyproject_config(tmp_path)
+        assert config.ignore == ("RPR005",)
+        assert config.blessed_multilock == ("merge",)
+        assert config.worker_root == "spawnpkg.worker"
+        assert "RPR005" not in config.enabled_rules()
+
+    def test_search_walks_up_from_subdirectory(self, tmp_path: Path) -> None:
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nselect = ["RPR001"]\n'
+        )
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        config = load_pyproject_config(nested)
+        assert config.select == ("RPR001",)
+
+    def test_unknown_key_raises(self, tmp_path: Path) -> None:
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\nselct = [\"RPR001\"]\n"
+        )
+        with pytest.raises(AnalysisError, match="unknown \\[tool.repro-lint\\] key"):
+            load_pyproject_config(tmp_path)
+
+    def test_bad_value_type_raises(self, tmp_path: Path) -> None:
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\nworker-root = 7\n"
+        )
+        with pytest.raises(AnalysisError, match="must be a string"):
+            load_pyproject_config(tmp_path)
+
+    def test_with_overrides_rejects_unknown_field(self) -> None:
+        with pytest.raises(AnalysisError, match="unknown lint config key"):
+            LintConfig().with_overrides({"not_a_field": 1})

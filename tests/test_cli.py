@@ -417,3 +417,61 @@ class TestMetricsCommand:
         path.write_text('{"type": "event", "name": "tick"}\n')
         assert main(["metrics", str(path)]) == 2
         assert "no metrics snapshot" in capsys.readouterr().err
+
+
+class TestLint:
+    FIXTURES = "tests/analysis/fixtures"
+
+    @pytest.fixture()
+    def src_dir(self):
+        import pathlib
+
+        import repro
+
+        return str(pathlib.Path(repro.__file__).parent)
+
+    @pytest.fixture()
+    def bad_file(self):
+        import pathlib
+
+        return str(
+            pathlib.Path(__file__).parent / "analysis" / "fixtures" / "rpr001_bad.py"
+        )
+
+    def test_src_tree_is_clean(self, src_dir, capsys):
+        assert main(["lint", src_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("clean: 0 finding(s)")
+
+    def test_findings_exit_nonzero(self, bad_file, capsys):
+        assert main(["lint", bad_file, "--no-config"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "BadCache" in out
+        assert f"{bad_file}:" in out  # file:line:col prefix
+
+    def test_json_format(self, bad_file, capsys):
+        assert main(["lint", bad_file, "--no-config", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["rules_fired"]["RPR001"] == 2
+
+    def test_select_narrows_rules(self, bad_file, capsys):
+        assert main(["lint", bad_file, "--no-config", "--select", "RPR002"]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_ignore_drops_rule(self, bad_file, capsys):
+        assert main(["lint", bad_file, "--no-config", "--ignore", "RPR001"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+            assert rule in out
+
+    def test_unknown_rule_fails_cleanly(self, bad_file, capsys):
+        assert main(["lint", bad_file, "--select", "RPR999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_fails_cleanly(self, capsys):
+        assert main(["lint", "no/such/path.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
