@@ -22,7 +22,13 @@ from conftest import RESULTS_DIR, emit_json, emit_report, full_scale
 
 from repro.engine import BernoulliOracle
 from repro.experiments import ascii_table
-from repro.obs import Telemetry, latest_snapshot, read_jsonl
+from repro.obs import (
+    Telemetry,
+    attribute,
+    build_forest,
+    latest_snapshot,
+    read_jsonl,
+)
 from repro.service import QueryServer, synthetic_population, synthetic_registry
 
 BATCHES = 6
@@ -77,6 +83,22 @@ def run_churn_workload(rate: int, sink_path) -> dict:
     snapshot = latest_snapshot(records)
     assert snapshot is not None and "metrics" in snapshot
 
+    # Acceptance gate for the attribution pipeline: on this workload the
+    # batch spans' phase accounting must explain >= 95% of measured batch
+    # wall time — i.e. ``repro trace --format critical-path`` over this
+    # sink attributes the batch almost entirely to named buckets.
+    forest = build_forest(records)
+    batch_roots = forest.batch_roots()
+    assert len(batch_roots) == BATCHES
+    assert forest.orphans == []
+    wall = sum(root.dur for root in batch_roots)
+    busy = sum(attribute(root).busy_seconds for root in batch_roots)
+    attribution_coverage = busy / wall
+    assert attribution_coverage >= 0.95, (
+        f"phase attribution explains only {attribution_coverage:.1%} of "
+        f"batch wall time at churn rate {rate} (need >= 95%)"
+    )
+
     evals = n_base * total_rounds
     point = {
         "rate": rate,
@@ -93,6 +115,7 @@ def run_churn_workload(rate: int, sink_path) -> dict:
         "churned_queries": rate * BATCHES,
         "telemetry_records": telemetry.tracer.emitted,
         "telemetry_sink": sink_path.name,
+        "attribution_coverage": attribution_coverage,
     }
     assert point["p99_round_seconds"] >= point["p50_round_seconds"] > 0.0
     return point
@@ -116,6 +139,7 @@ class TestSloCapacity:
                 f"{point['p99_round_seconds'] * 1e6:.1f}",
                 f"{point['p99_round_cost']:.5g}",
                 point["telemetry_records"],
+                f"{point['attribution_coverage']:.1%}",
             )
             for point in curve
         ]
@@ -128,6 +152,7 @@ class TestSloCapacity:
                 "p99 round us",
                 "p99 round cost",
                 "trace records",
+                "attributed",
             ),
             rows,
         )

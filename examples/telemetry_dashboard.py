@@ -14,6 +14,10 @@ given) and renders what an operator would want on one screen:
   buckets merge exactly);
 * the **cluster timeline** — every elastic action and migration span in
   sequence order, with durations;
+* the **slowest batch, attributed** — the causal trace's worst batch-like
+  root span, its wall time bucketed into acquisition / evaluation /
+  plan_cache / migration / elastic / telemetry / residue, and the
+  critical path (the chain of latest-finishing spans) through it;
 * the **tail of the workload** — per-query p50/p99 round cost for the
   costliest queries, straight from the final snapshot.
 
@@ -27,7 +31,15 @@ import tempfile
 from pathlib import Path
 
 from repro.experiments import ascii_table
-from repro.obs import Histogram, latest_snapshot, read_jsonl
+from repro.obs import (
+    Histogram,
+    attribute,
+    build_forest,
+    critical_path,
+    latest_snapshot,
+    read_jsonl,
+)
+from repro.obs.analyze import ATTRIBUTION_BUCKETS
 
 
 def generate_demo_sink(path: Path) -> None:
@@ -115,6 +127,29 @@ def timeline(records: list[dict]) -> list[str]:
     return lines
 
 
+def slowest_batch_attribution(records: list[dict]) -> list[str]:
+    """Attribution + critical path for the trace's worst batch root."""
+    forest = build_forest(records)
+    roots = forest.batch_roots()
+    if not roots:
+        return []
+    slowest = max(roots, key=lambda root: root.dur)
+    att = attribute(slowest)
+    lines = [
+        f"  {slowest.name} (pid {slowest.pid}): wall "
+        f"{slowest.dur * 1e3:.3f} ms, {att.coverage:.1%} attributed"
+    ]
+    for bucket in ATTRIBUTION_BUCKETS:
+        seconds = att.residue if bucket == "residue" else att.buckets[bucket]
+        if seconds > 0.0:
+            lines.append(f"    {bucket:<12} {seconds * 1e3:9.3f} ms")
+    chain = " -> ".join(
+        f"{node.name}[{node.dur * 1e3:.2f} ms]" for node in critical_path(slowest)
+    )
+    lines.append(f"    critical path: {chain}")
+    return lines
+
+
 def costliest_queries(snapshot: dict, top: int = 8) -> str:
     cells = [
         cell
@@ -155,6 +190,10 @@ def main() -> int:
     if events:
         print("\ncluster timeline (elastic actions and migrations)")
         print("\n".join(events))
+    attribution = slowest_batch_attribution(records)
+    if attribution:
+        print("\nslowest batch, attributed (see also: repro trace --format critical-path)")
+        print("\n".join(attribution))
     print("\ncostliest queries (per-round cost distribution)")
     print(costliest_queries(snapshot))
     return 0

@@ -44,6 +44,13 @@ Commands
     or ``cluster-sim``) into a metrics report: span/event counts, counters,
     gauges and histogram percentiles — or the raw snapshot as Prometheus
     text exposition (``--format prometheus``) / JSON (``--format json``).
+``trace``
+    Causal trace analysis of a ``--telemetry`` JSONL file: reconstruct the
+    span forest (``summary``), attribute each batch root's wall time into
+    acquisition / evaluation / plan-cache / migration / elastic / telemetry
+    buckets and print its critical path (``--format critical-path``), or
+    export Chrome ``trace_event`` JSON for chrome://tracing / Perfetto
+    (``--format chrome [--out FILE]``).
 ``lint``
     AST-based invariant linter (:mod:`repro.analysis`): checks the
     concurrency/determinism rules RPR001-RPR006 (lock pickling, slots
@@ -67,6 +74,8 @@ Examples
     python -m repro cluster-sim --queries 300 --clusters 8 --rounds 10 --verify
     python -m repro cluster-sim --elastic --telemetry out.jsonl
     python -m repro metrics out.jsonl --format prometheus
+    python -m repro trace out.jsonl --format critical-path
+    python -m repro trace out.jsonl --format chrome --out trace.json
     python -m repro lint src --format json
 """
 
@@ -516,6 +525,102 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        attribute,
+        build_forest,
+        critical_path,
+        read_jsonl,
+        to_chrome_trace,
+    )
+    from repro.obs.analyze import ATTRIBUTION_BUCKETS
+
+    try:
+        records = read_jsonl(args.path)
+    except OSError as exc:
+        raise ReproError(f"cannot read telemetry file: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"not a JSONL telemetry file: {exc}") from None
+    if args.format == "chrome":
+        payload = json.dumps(to_chrome_trace(records), indent=2, sort_keys=True)
+        if args.out is not None:
+            args.out.write_text(payload + "\n")
+            print(
+                f"chrome trace written to {args.out} "
+                "(load in chrome://tracing or https://ui.perfetto.dev)"
+            )
+        else:
+            print(payload)
+        return 0
+    forest = build_forest(records)
+    if not forest.roots:
+        raise ReproError(
+            f"{args.path} holds no spans; re-run the producing command "
+            "with --telemetry"
+        )
+    if args.format == "critical-path":
+        batches = forest.batch_roots()
+        if not batches:
+            raise ReproError(
+                "no batch-like root spans (cluster-batch / shard-batch / "
+                "batch) in the trace"
+            )
+        for root in batches:
+            att = attribute(root)
+            print(f"{root.name} (pid {root.pid}, wall {root.dur * 1e3:.4g} ms)")
+            rows = []
+            for bucket in ATTRIBUTION_BUCKETS:
+                seconds = att.residue if bucket == "residue" else att.buckets[bucket]
+                share = seconds / att.wall_seconds if att.wall_seconds > 0 else 0.0
+                rows.append((bucket, f"{seconds * 1e3:.4g}", f"{share:.1%}"))
+            print(ascii_table(("bucket", "ms", "share of wall"), rows))
+            print(f"  coverage (busy/wall): {att.coverage:.1%}")
+            chain = " -> ".join(
+                f"{node.name}[pid {node.pid}, {node.dur * 1e3:.4g} ms]"
+                for node in critical_path(root)
+            )
+            print(f"  critical path: {chain}")
+        return 0
+    # summary: forest shape, then per-name span statistics.
+    pids = sorted({node.pid for root in forest.roots for node in root.walk()})
+    print(
+        f"{args.path}: {forest.n_records} records, "
+        f"{len(forest.trace_ids)} traces, {len(forest.roots)} roots, "
+        f"{len(forest.orphans)} orphans, pids {','.join(map(str, pids))}"
+    )
+    stats: dict[str, list[float]] = {}
+    n_events: dict[str, int] = {}
+    for root in forest.roots:
+        for node in root.walk():
+            stats.setdefault(node.name, []).append(node.dur)
+            for event in node.events:
+                name = str(event.get("name", "event"))
+                n_events[name] = n_events.get(name, 0) + 1
+    rows = [
+        (
+            name,
+            str(len(durs)),
+            f"{sum(durs) * 1e3:.4g}",
+            f"{sum(durs) / len(durs) * 1e3:.4g}",
+            f"{max(durs) * 1e3:.4g}",
+        )
+        for name, durs in sorted(stats.items())
+    ]
+    print(ascii_table(("span", "count", "total ms", "mean ms", "max ms"), rows))
+    if n_events:
+        print(
+            "  events: "
+            + ", ".join(f"{k} x{v}" for k, v in sorted(n_events.items()))
+        )
+    if forest.orphans:
+        names = sorted({str(r.get("name", "?")) for r in forest.orphans})
+        print(
+            f"  warning: {len(forest.orphans)} orphaned records "
+            f"(parent_id missing from file): {', '.join(names)}"
+        )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         LintConfig,
@@ -771,6 +876,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="summary table (default), Prometheus text exposition, or raw JSON",
     )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace", help="causal trace analysis of a --telemetry JSONL file"
+    )
+    p_trace.add_argument("path", type=Path, help="JSONL file written by --telemetry")
+    p_trace.add_argument(
+        "--format",
+        choices=("summary", "critical-path", "chrome"),
+        default="summary",
+        help="span forest summary (default), per-batch latency attribution "
+        "with the critical path, or Chrome trace_event JSON for Perfetto",
+    )
+    p_trace.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="with --format chrome: write the JSON here instead of stdout",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_lint = sub.add_parser(
         "lint", help="AST-based invariant linter (rules RPR001-RPR006)"

@@ -68,6 +68,8 @@ from repro.core.heuristics.base import Scheduler
 from repro.engine.executor import BernoulliOracle, ExecutionResult, LeafOracle
 from repro.errors import AdmissionError, StreamError
 from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.slo import SloMonitor, SloObjective, SloStatus
+from repro.obs.trace import attach_context, current_context
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import PlanCache
 from repro.service.server import DEFAULT_SCHEDULER, BatchReport, QueryServer
@@ -208,6 +210,9 @@ class ClusterReport:
     items_fetched: int = 0
     items_saved: int = 0
     replans: int = 0
+    #: Latency-objective verdicts from the cluster's SloMonitor, evaluated
+    #: right after the batch (empty when no monitor is configured).
+    slo_statuses: tuple[SloStatus, ...] = ()
 
     # -- aggregates ------------------------------------------------------
 
@@ -257,6 +262,8 @@ class ClusterReport:
         ]
         for action in self.elastic_actions:
             lines.append(f"  elastic: {action}")
+        for status in self.slo_statuses:
+            lines.append(f"  slo: {status.describe()}")
         for shard_id in sorted(self.shard_reports):
             report = self.shard_reports[shard_id]
             lines.append(
@@ -327,6 +334,16 @@ class ClusterServer:
         histograms. ``None`` (default) records nothing — the cluster still
         keeps a private registry so :class:`ClusterReport` aggregates stay
         registry-derived, but it is touched once per batch, never per round.
+        In process mode, worker-side spans roll up into the parent tracer
+        (causally linked under the dispatching cluster-batch span), so the
+        sink holds one merged distributed trace.
+    slo:
+        Latency objectives to monitor: an :class:`~repro.obs.SloMonitor`,
+        or a sequence of :class:`~repro.obs.SloObjective` (wrapped in a
+        monitor with default burn windows). Evaluated against the metrics
+        registry after every batch; verdicts land on
+        :attr:`ClusterReport.slo_statuses` and, as gauges, in every
+        snapshot/Prometheus export. ``None`` (default) monitors nothing.
     """
 
     def __init__(
@@ -346,6 +363,7 @@ class ClusterServer:
         elastic: ElasticPolicy | None = None,
         seed: int = 0,
         telemetry: Telemetry | None = None,
+        slo: SloMonitor | Sequence[SloObjective] | None = None,
     ) -> None:
         if n_shards < 1:
             raise AdmissionError(f"need at least one shard, got {n_shards}")
@@ -382,6 +400,10 @@ class ClusterServer:
             oracle_factory if oracle_factory is not None else default_oracle_factory(seed)
         )
         self.telemetry = telemetry
+        if slo is None or isinstance(slo, SloMonitor):
+            self.slo: SloMonitor | None = slo
+        else:
+            self.slo = SloMonitor(tuple(slo))
         # Batch aggregates flow registry -> report even without telemetry:
         # the private registry makes the derivation unconditional (one source
         # of truth), at the cost of a handful of counter ops per *batch*.
@@ -444,12 +466,16 @@ class ClusterServer:
                 use_plan_cache=self.plan_cache is not None,
                 telemetry_enabled=telemetry_on,
                 telemetry_detail=telemetry_on and self.telemetry.detail,
+                trace_capacity=(
+                    self.telemetry.tracer.capacity if telemetry_on else 4096
+                ),
             )
             return ShardWorkerProxy(
                 config,
                 plan_cache=self.plan_cache,
                 registry_sink=self._registry,
                 costs=self.registry.cost_table(),
+                trace_sink=self.telemetry.tracer if telemetry_on else None,
             )
         server = QueryServer(
             self.registry,
@@ -618,8 +644,17 @@ class ClusterServer:
         if workers == 1 or len(active) == 1:
             round_results = [shard.step() for shard in active]
         else:
+            # Pool threads start with an empty contextvar context; carry the
+            # caller's span context over so shard spans (and the context the
+            # worker pipe forwards) stay parented under any enclosing span.
+            ctx = current_context()
+
+            def step_shard(shard: ShardServer) -> dict[str, ExecutionResult]:
+                with attach_context(ctx):
+                    return shard.step()
+
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                round_results = list(pool.map(lambda shard: shard.step(), active))
+                round_results = list(pool.map(step_shard, active))
         self._rounds_served += 1
         merged: dict[str, ExecutionResult] = {}
         for results in round_results:
@@ -659,10 +694,17 @@ class ClusterServer:
         if workers == 1 or len(active) == 1:
             reports = [shard.run_batch(rounds, engine=engine) for shard in active]
         else:
+            # Re-attach the cluster-batch span context inside each pool
+            # thread: thread-mode shard spans parent under it directly, and
+            # process-mode proxies forward it down the worker pipe.
+            ctx = current_context()
+
+            def batch_shard(shard: ShardServer) -> BatchReport:
+                with attach_context(ctx):
+                    return shard.run_batch(rounds, engine=engine)
+
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                reports = list(
-                    pool.map(lambda shard: shard.run_batch(rounds, engine=engine), active)
-                )
+                reports = list(pool.map(batch_shard, active))
         wall = time.perf_counter() - start
         self._rounds_served += rounds
         shard_reports = {
@@ -670,7 +712,18 @@ class ClusterServer:
         }
         shard_seconds = {shard.shard_id: shard.last_batch_seconds for shard in active}
         shard_sizes = {shard.shard_id: len(shard) for shard in active}
-        auto = self._auto_elastic() if self.elastic is not None else []
+        auto: list[ElasticEvent] = []
+        if self.elastic is not None:
+            tel = self.telemetry
+            if tel is not None and tel.enabled:
+                # One span over the whole policy evaluation, so attribution
+                # can separate elastic reshaping from the batch proper (the
+                # per-action events and migration spans nest under it).
+                with tel.span("elastic") as elastic_attrs:
+                    auto = self._auto_elastic()
+                    elastic_attrs["actions"] = len(auto)
+            else:
+                auto = self._auto_elastic()
         # Registry first, report second: the batch totals are recorded as
         # counter increments, and the report's aggregate fields are the
         # resulting *deltas* — so the dataclass and an exported snapshot can
@@ -710,6 +763,12 @@ class ClusterServer:
         reg.gauge("repro_cluster_shards").set(self.n_shards)
         reg.gauge("repro_cluster_queries").set(len(self))
         reg.histogram("repro_cluster_batch_seconds").observe(wall)
+        # SLO verdicts come last so this batch's own latency observations
+        # (shard histograms merged in above) are part of the checkpoint;
+        # check() also writes the burn-rate gauges into the same registry.
+        slo_statuses: tuple[SloStatus, ...] = ()
+        if self.slo is not None:
+            slo_statuses = tuple(self.slo.check(reg))
         report = ClusterReport(
             rounds=rounds,
             workers=workers,
@@ -748,6 +807,7 @@ class ClusterServer:
                 reg.value("repro_cluster_replans_total")
                 - befores["repro_cluster_replans_total"]
             ),
+            slo_statuses=slo_statuses,
         )
         return report
 

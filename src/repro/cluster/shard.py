@@ -127,7 +127,11 @@ class ShardServer:
             ) as attrs:
                 report = self.server.run_batch(rounds, engine=engine)
                 attrs["total_cost"] = report.total_cost
-            self.last_batch_seconds = time.perf_counter() - start
+                # Close the timing inside the span so the recorded wall
+                # seconds ride the span's attrs (trace analysis reads them
+                # without consulting the histogram).
+                self.last_batch_seconds = time.perf_counter() - start
+                attrs["wall_seconds"] = self.last_batch_seconds
             tel.registry.histogram(
                 "repro_shard_batch_seconds", shard=str(self.shard_id)
             ).observe(self.last_batch_seconds)

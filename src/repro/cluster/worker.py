@@ -30,12 +30,20 @@ Design constraints, in order:
   worker registry's delta since the last reply (the worker swaps in a fresh
   registry after shipping), and the parent folds it into its own registry
   with :meth:`~repro.obs.MetricsRegistry.merge_from` — counters add,
-  histograms absorb bucket-wise, nothing is lost. Worker-side *trace spans*
-  stay in the worker's ring and are dropped; metrics are the roll-up
-  contract.
+  histograms absorb bucket-wise, nothing is lost. Worker-side *trace
+  records* roll up the same way: the reply also carries the worker
+  tracer's drained ring (:meth:`~repro.obs.Tracer.take_records`), which
+  the parent re-records into its own tracer/sink
+  (:meth:`~repro.obs.Tracer.ingest`) — causal ids, timestamps and pids
+  preserved, so the merged sink holds one well-formed distributed trace.
+* **Causal trace context.** Every command carries the parent's current
+  :class:`~repro.obs.SpanContext` (or ``None``); the worker re-attaches it
+  around dispatch, so spans opened inside the worker — the shard batch,
+  plan-cache upcalls — parent under the cluster-side span that issued the
+  command, across the process boundary.
 
-Protocol: the parent sends ``(op, args, kwargs)`` and then receives until a
-terminal ``("ok", result)`` or ``("err", exception)`` arrives; any
+Protocol: the parent sends ``(op, args, kwargs, ctx)`` and then receives
+until a terminal ``("ok", result)`` or ``("err", exception)`` arrives; any
 ``("plancache", request)`` received in between is a nested upcall from the
 worker (plan-cache read-through mid-dispatch) that the *blocked parent
 thread itself* services and answers. Messages strictly alternate per pipe
@@ -58,7 +66,8 @@ from repro.cluster.shard import ShardServer
 from repro.core.heuristics.base import Scheduler
 from repro.engine.executor import ExecutionResult, LeafOracle
 from repro.errors import AdmissionError, StreamError
-from repro.obs import MetricsRegistry, Telemetry
+from repro.obs import MetricsRegistry, Telemetry, Tracer
+from repro.obs.trace import attach_context, current_context
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import CachedPlan, PlanCache
 from repro.service.server import BatchReport, QueryServer, QuerySnapshot
@@ -83,6 +92,10 @@ class WorkerConfig:
     use_plan_cache: bool
     telemetry_enabled: bool
     telemetry_detail: bool
+    #: Worker trace-ring size; sized to the parent's ring so a batch's
+    #: records survive until the reply ships them (drain-on-reply means
+    #: overflow only matters within a single batch).
+    trace_capacity: int = 4096
 
 
 # ---------------------------------------------------------------------------
@@ -100,11 +113,17 @@ class RemotePlanCache(PlanCache):
     the server's per-round ``hit_rate`` reads never touch the pipe; the
     parent cache keeps its own counters from the lookup/publish traffic, so
     both sides observe consistent read-through semantics.
+
+    When the worker is traced, each :meth:`plan` wraps itself in a
+    ``plan-cache-upcall`` span — the pipe round-trips are the one place a
+    worker blocks on the parent mid-batch, which is exactly what latency
+    attribution needs to see.
     """
 
-    def __init__(self, conn) -> None:
+    def __init__(self, conn, tracer: Tracer | None = None) -> None:
         super().__init__(capacity=1)
         self._conn = conn
+        self._tracer = tracer
 
     def __getstate__(self) -> dict:
         # Not lock-bearing itself (the lock lives in PlanCache, whose hooks
@@ -120,11 +139,22 @@ class RemotePlanCache(PlanCache):
         return self._conn.recv()
 
     def plan(self, form, scheduler: Scheduler) -> CachedPlan:
+        if self._tracer is None:
+            winner, _ = self._plan_impl(form, scheduler)
+            return winner
+        with self._tracer.span(
+            "plan-cache-upcall", key=form.key, scheduler=scheduler.name
+        ) as attrs:
+            winner, hit = self._plan_impl(form, scheduler)
+            attrs["hit"] = hit
+        return winner
+
+    def _plan_impl(self, form, scheduler: Scheduler) -> tuple[CachedPlan, bool]:
         cached = self._rpc(("get", (form.key, scheduler.name)))
         if cached is not None:
             with self._lock:
                 self.hits += 1
-            return cached
+            return cached, True
         schedule = scheduler.schedule(form.tree)
         from repro.core.cost import dnf_schedule_cost
 
@@ -140,7 +170,7 @@ class RemotePlanCache(PlanCache):
                 self.misses += 1
             else:
                 self.hits += 1
-        return winner
+        return winner, not inserted
 
     def invalidate(self, key: str) -> int:
         return self._rpc(("invalidate", key))
@@ -150,9 +180,14 @@ def _dispatch(shard: ShardServer, telemetry: Telemetry | None, op: str, args, kw
     """Execute one parent command against the worker's shard."""
     if op == "run_batch":
         report = shard.run_batch(*args, **kwargs)
-        return report, shard.last_batch_seconds, _ship_registry(telemetry)
+        return (
+            report,
+            shard.last_batch_seconds,
+            _ship_registry(telemetry),
+            _ship_trace(telemetry),
+        )
     if op == "step":
-        return shard.step(), _ship_registry(telemetry)
+        return shard.step(), _ship_registry(telemetry), _ship_trace(telemetry)
     if op == "register":
         shard.register(*args, **kwargs)
         return None
@@ -194,20 +229,44 @@ def _ship_registry(telemetry: Telemetry | None) -> MetricsRegistry | None:
     """
     if telemetry is None:
         return None
+    # Ring-overflow drops ride the delta as counter increments (the synced
+    # watermark lives on the Telemetry, so swapping registries stays exact).
+    telemetry.sync_trace_drops()
     delta = telemetry.registry
     telemetry.registry = MetricsRegistry()
     return delta
+
+
+def _ship_trace(telemetry: Telemetry | None) -> list[dict] | None:
+    """Drain and return the worker tracer's ring (None when disabled).
+
+    The worker-side half of trace roll-up: spans recorded since the last
+    reply — the shard batch, its nested server batch, plan-cache upcalls —
+    travel to the parent, which re-records them next to its own spans.
+    Causal ids are preserved, so the merged trace stays one tree.
+    """
+    if telemetry is None:
+        return None
+    return telemetry.tracer.take_records()
 
 
 def _shard_worker_main(conn, config: WorkerConfig) -> None:
     """Entry point of one spawned shard worker (module-level: spawn-picklable)."""
     faulthandler.enable()  # a stuck worker dumps tracebacks on SIGABRT et al.
     telemetry = (
-        Telemetry(enabled=True, detail=config.telemetry_detail)
+        Telemetry(
+            enabled=True,
+            detail=config.telemetry_detail,
+            capacity=config.trace_capacity,
+        )
         if config.telemetry_enabled
         else None
     )
-    plan_cache = RemotePlanCache(conn) if config.use_plan_cache else None
+    plan_cache = (
+        RemotePlanCache(conn, telemetry.tracer if telemetry is not None else None)
+        if config.use_plan_cache
+        else None
+    )
     server = QueryServer(
         config.registry,
         scheduler=config.scheduler,
@@ -223,12 +282,16 @@ def _shard_worker_main(conn, config: WorkerConfig) -> None:
             message = conn.recv()
         except (EOFError, OSError):
             return  # parent went away; nothing left to serve
-        op, args, kwargs = message
+        op, args, kwargs, ctx = message
         if op == "shutdown":
             conn.send(("ok", None))
             return
         try:
-            result = _dispatch(shard, telemetry, op, args, kwargs)
+            # Re-attach the parent's span context so spans opened during
+            # dispatch parent under the cluster-side span that sent the
+            # command (a fresh process has an empty contextvar context).
+            with attach_context(ctx):
+                result = _dispatch(shard, telemetry, op, args, kwargs)
             conn.send(("ok", result))
         except BaseException as exc:  # noqa: BLE001 - must cross the pipe
             try:
@@ -313,7 +376,9 @@ class ShardWorkerProxy:
     ``len`` / ``in`` from a locally maintained mirror (zero RPC — every
     mutation flows through this proxy, so the mirror cannot drift), while
     execution and migration calls are forwarded to the worker. Metrics
-    deltas riding on batch/step replies are folded into ``registry_sink``.
+    deltas riding on batch/step replies are folded into ``registry_sink``;
+    trace deltas are re-recorded into ``trace_sink`` (the parent tracer),
+    so the parent's ring/JSONL holds the merged distributed trace.
     """
 
     def __init__(
@@ -323,11 +388,13 @@ class ShardWorkerProxy:
         plan_cache: PlanCache | None,
         registry_sink: MetricsRegistry | None,
         costs: Mapping[str, float],
+        trace_sink: Tracer | None = None,
     ) -> None:
         self.shard_id = config.shard_id
         self._costs = dict(costs)
         self._plan_cache = plan_cache
         self._sink = registry_sink
+        self._trace_sink = trace_sink
         self.signature: dict[str, float] = {}
         self.last_batch_seconds: float = 0.0
         self._names: list[str] = []
@@ -362,7 +429,9 @@ class ShardWorkerProxy:
                     f"shard {self.shard_id} worker is closed; cannot run {op!r}"
                 )
             try:
-                self._conn.send((op, args, kwargs))
+                # The caller's span context rides along so worker-side spans
+                # parent under the span dispatching this command.
+                self._conn.send((op, args, kwargs, current_context()))
                 while True:
                     while not self._conn.poll(_POLL_SECONDS):
                         if not self._proc.is_alive():
@@ -403,6 +472,10 @@ class ShardWorkerProxy:
     def _merge_delta(self, delta: MetricsRegistry | None) -> None:
         if delta is not None and self._sink is not None:
             self._sink.merge_from(delta)
+
+    def _merge_trace(self, records: list[dict] | None) -> None:
+        if records and self._trace_sink is not None:
+            self._trace_sink.ingest(records)
 
     def _forget(self, name: str) -> None:
         self._names.remove(name)
@@ -465,14 +538,18 @@ class ShardWorkerProxy:
     # -- execution -------------------------------------------------------
 
     def step(self) -> dict[str, ExecutionResult]:
-        results, delta = self._call("step")
+        results, delta, trace = self._call("step")
         self._merge_delta(delta)
+        self._merge_trace(trace)
         return results
 
     def run_batch(self, rounds: int, *, engine: str = "scalar") -> BatchReport:
-        report, seconds, delta = self._call("run_batch", rounds, engine=engine)
+        report, seconds, delta, trace = self._call(
+            "run_batch", rounds, engine=engine
+        )
         self.last_batch_seconds = seconds
         self._merge_delta(delta)
+        self._merge_trace(trace)
         return report
 
     # -- lifecycle -------------------------------------------------------
@@ -486,7 +563,7 @@ class ShardWorkerProxy:
             self._proc = None
             try:
                 if proc.is_alive():
-                    conn.send(("shutdown", (), {}))
+                    conn.send(("shutdown", (), {}, None))
                     if conn.poll(5.0):
                         conn.recv()  # the shutdown ack
             except (EOFError, BrokenPipeError, OSError):

@@ -1,20 +1,39 @@
-"""Zero-dependency observability: metrics, tracing, and exporters.
+"""Zero-dependency observability: metrics, tracing, analysis, and SLOs.
 
-The package has three layers, each usable on its own:
+The package has five layers, each usable on its own:
 
 * :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
   counters, gauges, and fixed-bucket mergeable histograms (percentiles by
-  bucket interpolation, exact merge across shards);
-* :mod:`repro.obs.trace` — a :class:`Tracer` recording spans and events
-  into a bounded ring and an optional JSON-lines sink;
+  bucket interpolation, exact merge across shards), with a per-name label
+  cardinality cap;
+* :mod:`repro.obs.trace` — a :class:`Tracer` recording causally linked
+  spans (``trace_id``/``span_id``/``parent_id``) and events into a bounded
+  ring and an optional JSON-lines sink; :class:`SpanContext` +
+  :func:`current_context`/:func:`attach_context` carry the causal chain
+  across threads and worker processes;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the serving
   stack passes around, with an ``enabled`` switch that makes every entry
-  point a no-op (the hot paths guard on it so disabled telemetry is free).
+  point a no-op (the hot paths guard on it so disabled telemetry is free);
+* :mod:`repro.obs.analyze` — span-tree reconstruction, critical-path
+  extraction, latency attribution, and a Chrome/Perfetto exporter over any
+  recorded sink (``repro trace``);
+* :mod:`repro.obs.slo` — declared latency objectives evaluated against the
+  registry histograms with multi-window burn rates
+  (:class:`SloMonitor`), surfaced in ``ClusterReport`` and the exports.
 
 :mod:`repro.obs.export` renders snapshots as Prometheus exposition text and
 replays JSONL sinks (``repro metrics``).
 """
 
+from repro.obs.analyze import (
+    Attribution,
+    SpanNode,
+    TraceForest,
+    attribute,
+    build_forest,
+    critical_path,
+    to_chrome_trace,
+)
 from repro.obs.export import latest_snapshot, render_prometheus
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -24,17 +43,36 @@ from repro.obs.metrics import (
     MetricsRegistry,
     exponential_buckets,
 )
+from repro.obs.slo import SloMonitor, SloObjective, SloStatus
 from repro.obs.telemetry import Telemetry
-from repro.obs.trace import Tracer, read_jsonl
+from repro.obs.trace import (
+    SpanContext,
+    Tracer,
+    attach_context,
+    current_context,
+    read_jsonl,
+)
 
 __all__ = [
+    "Attribution",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SloMonitor",
+    "SloObjective",
+    "SloStatus",
+    "SpanContext",
+    "SpanNode",
     "Telemetry",
+    "TraceForest",
     "Tracer",
+    "attach_context",
+    "attribute",
+    "build_forest",
+    "critical_path",
+    "current_context",
     "exponential_buckets",
     "latest_snapshot",
     "read_jsonl",

@@ -21,6 +21,7 @@ same cell), and the registry serializes get-or-create.
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Iterator, Mapping, Sequence, Union
 
@@ -33,6 +34,8 @@ __all__ = [
     "MetricsRegistry",
     "MetricKey",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_CELLS_PER_NAME",
+    "OVERFLOW_LABEL_VALUE",
     "exponential_buckets",
 ]
 
@@ -60,6 +63,20 @@ DEFAULT_BUCKETS = exponential_buckets(1e-6, 10.0 ** 0.2, 61)
 
 #: A metric cell's identity: (name, sorted (label, value) pairs).
 MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+#: Default per-name cap on distinct label-sets. Generous for legitimate
+#: dimensions (shards, schedulers) while bounding per-query metrics — at
+#: millions of registered queries an uncapped ``{query=...}`` label would
+#: otherwise grow the registry (and every snapshot/export) without limit.
+DEFAULT_MAX_CELLS_PER_NAME = 1024
+
+#: Label value that every dimension collapses to once a name is at its cap.
+OVERFLOW_LABEL_VALUE = "overflow"
+
+#: Counter (labelled ``{metric=<name>}``) bumped whenever an observation is
+#: redirected into the overflow cell — the operator-visible signal that a
+#: label dimension blew past the cap.
+OVERFLOW_COUNTER = "repro_metric_label_overflow_total"
 
 
 class Counter:
@@ -147,15 +164,9 @@ class Histogram:
     # -- recording ------------------------------------------------------
 
     def _bucket_index(self, value: float) -> int:
-        # Binary search over the (short, fixed) bounds tuple.
-        lo, hi = 0, len(self.bounds)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if value <= self.bounds[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        return lo
+        # First bound >= value (the overflow bucket when none is). C-level
+        # bisect keeps observe() cheap enough for per-round hot paths.
+        return bisect.bisect_left(self.bounds, value)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -210,6 +221,40 @@ class Histogram:
                     return min(max(value, self.vmin), self.vmax)
                 cumulative += bucket_count
             return self.vmax  # pragma: no cover - cumulative always covers
+
+    def count_below(self, value: float) -> float:
+        """Estimated number of observations ``<= value``.
+
+        The dual of :meth:`percentile`, and the primitive SLO evaluation
+        needs: "how many rounds met the latency objective?". Counts whole
+        buckets below the covering bucket exactly, then linearly
+        interpolates inside it (between the bucket's edges, with the
+        observed min/max standing in for the open outer edges) — accurate
+        to one bucket width, same contract as the percentiles.
+        """
+        with self._lock:
+            if not self.count:
+                return 0.0
+            if value >= self.vmax:
+                return float(self.count)
+            if value < self.vmin:
+                return 0.0
+            index = self._bucket_index(value)
+            below = float(sum(self.counts[:index]))
+            bucket_count = self.counts[index]
+            if not bucket_count:
+                return min(below, float(self.count))
+            lo = max(self.vmin if index == 0 else self.bounds[index - 1], self.vmin)
+            hi = (
+                self.vmax
+                if index == len(self.bounds)
+                else min(self.bounds[index], self.vmax)
+            )
+            if hi <= lo:
+                fraction = 1.0 if value >= hi else 0.0
+            else:
+                fraction = min(1.0, max(0.0, (value - lo) / (hi - lo)))
+            return min(below + fraction * bucket_count, float(self.count))
 
     def quantiles(self) -> dict[str, float]:
         """The standard serving-team trio (plus mean), JSON-ready."""
@@ -317,11 +362,31 @@ class MetricsRegistry:
     :class:`~repro.errors.TelemetryError` (one name, one type). All methods
     are thread-safe; the returned cells carry their own locks, so hot paths
     may cache them and record without touching the registry again.
+
+    **Label cardinality is capped.** Each metric name may hold at most
+    ``max_cells_per_name`` distinct label-sets (default
+    :data:`DEFAULT_MAX_CELLS_PER_NAME`; ``None`` disables the cap). Once a
+    name is full, requests for *new* label-sets are redirected to a
+    catch-all cell whose every label value is
+    :data:`OVERFLOW_LABEL_VALUE`, and the
+    ``repro_metric_label_overflow_total{metric=<name>}`` counter is bumped
+    — observations are never silently dropped, they just lose per-label
+    resolution past the cap. Existing cells keep working; unlabelled cells
+    are never capped. Reads (:meth:`value`, :meth:`get_histogram`) of a
+    redirected label-set report the absent original cell, by design.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, max_cells_per_name: int | None = DEFAULT_MAX_CELLS_PER_NAME
+    ) -> None:
+        if max_cells_per_name is not None and max_cells_per_name < 1:
+            raise TelemetryError(
+                f"max_cells_per_name must be >= 1 or None, got {max_cells_per_name}"
+            )
         self._lock = threading.Lock()
         self._metrics: dict[MetricKey, Metric] = {}
+        self._max_cells_per_name = max_cells_per_name
+        self._cells_per_name: dict[str, int] = {}
 
     @staticmethod
     def _key(name: str, labels: Mapping[str, str]) -> MetricKey:
@@ -333,14 +398,58 @@ class MetricsRegistry:
         with self._lock:
             metric = self._metrics.get(key)
             if metric is None:
+                key = self._admit(key)
+                metric = self._metrics.get(key)
+            if metric is None:
                 metric = factory()
                 self._metrics[key] = metric
+                name = key[0]
+                self._cells_per_name[name] = self._cells_per_name.get(name, 0) + 1
             elif not isinstance(metric, kind):
                 raise TelemetryError(
                     f"metric {key[0]!r} already registered as "
                     f"{type(metric).__name__}, not {kind.__name__}"
                 )
             return metric
+
+    def _admit(self, key: MetricKey) -> MetricKey:
+        """Decide the cell key for a not-yet-existing label-set (lock held).
+
+        Returns ``key`` unchanged while the name is under its cap (or the
+        set is unlabelled, or the cap is off); past the cap, redirects to
+        the overflow catch-all key and records the collapse. The catch-all
+        itself is always admitted, one slot past the cap.
+        """
+        name, label_items = key
+        cap = self._max_cells_per_name
+        if cap is None or not label_items:
+            return key
+        if self._cells_per_name.get(name, 0) < cap:
+            return key
+        overflow_key: MetricKey = (
+            name,
+            tuple((label, OVERFLOW_LABEL_VALUE) for label, _ in label_items),
+        )
+        if overflow_key == key:
+            return key
+        # The warning counter is maintained inline (the registry lock is
+        # already held); its own label space is bounded by the number of
+        # metric *names*, so it cannot itself overflow meaningfully.
+        warn_key: MetricKey = (OVERFLOW_COUNTER, (("metric", name),))
+        warn = self._metrics.get(warn_key)
+        if warn is None:
+            warn = Counter()
+            self._metrics[warn_key] = warn
+            self._cells_per_name[OVERFLOW_COUNTER] = (
+                self._cells_per_name.get(OVERFLOW_COUNTER, 0) + 1
+            )
+        elif not isinstance(warn, Counter):
+            raise TelemetryError(
+                f"{OVERFLOW_COUNTER!r} is reserved for the cardinality-cap "
+                f"warning counter but is registered as {type(warn).__name__}"
+            )
+        warn.inc()
+        return overflow_key
 
     def counter(self, name: str, **labels: str) -> Counter:
         return self._get_or_create(self._key(name, labels), Counter, Counter)
@@ -457,7 +566,10 @@ class MetricsRegistry:
                 mine.absorb(metric)
 
     # The cells rehydrate their own locks on unpickle; the registry only
-    # needs to hand over the cell table and rebuild its table lock.
+    # needs to hand over the cell table and rebuild its table lock plus the
+    # per-name cardinality bookkeeping. The cap itself intentionally resets
+    # to the default: a worker's shipped delta is data, and the *receiving*
+    # registry's cap governs admission during merge_from.
     def __getstate__(self) -> dict:
         with self._lock:
             return {"metrics": dict(self._metrics)}
@@ -465,3 +577,7 @@ class MetricsRegistry:
     def __setstate__(self, state: dict) -> None:
         self._lock = threading.Lock()
         self._metrics = dict(state["metrics"])
+        self._max_cells_per_name = DEFAULT_MAX_CELLS_PER_NAME
+        self._cells_per_name = {}
+        for name, _ in self._metrics:
+            self._cells_per_name[name] = self._cells_per_name.get(name, 0) + 1

@@ -1,0 +1,271 @@
+"""SLO burn-rate monitoring over the registry's mergeable histograms.
+
+An :class:`SloObjective` declares a latency target against a histogram
+metric: "``objective`` of observations complete within ``threshold``
+seconds" (e.g. 99% of shard batches under 250 ms). The
+:class:`SloMonitor` evaluates a set of objectives against a
+:class:`~repro.obs.metrics.MetricsRegistry` at checkpoints (one per
+cluster batch, typically) and derives **burn rates** the way production
+alerting does (the Google SRE workbook's multi-window scheme):
+
+* the *error budget* is ``1 - objective`` — the tolerable bad fraction;
+* the *burn rate* over a window is ``bad_fraction / error_budget`` —
+  1.0 means spending the budget exactly as fast as allowed, 14.4 means
+  a 30-day budget gone in ~2 days;
+* a breach requires **both** the fast window (recent, catches active
+  incidents) and the slow window (sustained, filters blips) to exceed
+  their thresholds — the standard page condition.
+
+Cumulative good/total counts come from
+:meth:`~repro.obs.metrics.Histogram.count_below` on the merged histogram,
+so windowed rates are exact checkpoint deltas — no sampling, no separate
+bookkeeping on the hot path. Each check writes its verdicts back into the
+registry as gauges (``repro_slo_burn_rate{slo=,window=}``,
+``repro_slo_good_fraction{slo=}``, ``repro_slo_breached{slo=}``), which
+puts them in every snapshot and the Prometheus export for free; they also
+surface on :class:`~repro.cluster.cluster.ClusterReport`.
+
+The monitor is not internally locked: callers evaluate it from one place
+(the cluster's batch path, under the cluster lock).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Sequence
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SloMonitor",
+    "SloObjective",
+    "SloStatus",
+]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """A latency objective against one histogram metric.
+
+    ``metric`` names a histogram in the registry (all labelled cells are
+    merged before evaluation); an observation is *good* when it is at most
+    ``threshold``; ``objective`` is the target good fraction.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TelemetryError("SLO objective needs a non-empty name")
+        if not self.metric:
+            raise TelemetryError(f"SLO {self.name!r} needs a metric name")
+        if self.threshold <= 0.0:
+            raise TelemetryError(
+                f"SLO {self.name!r} threshold must be > 0, got {self.threshold}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise TelemetryError(
+                f"SLO {self.name!r} objective must be in (0, 1), got {self.objective}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One objective's verdict at one checkpoint."""
+
+    objective: SloObjective
+    total: float
+    good: float
+    fast_burn: float
+    slow_burn: float
+    breached: bool
+
+    @property
+    def good_fraction(self) -> float:
+        """Lifetime good fraction (1.0 while there are no observations)."""
+        if self.total <= 0.0:
+            return 1.0
+        return self.good / self.total
+
+    def describe(self) -> str:
+        state = "BREACH" if self.breached else "ok"
+        return (
+            f"{self.objective.name}: {state} "
+            f"good={self.good_fraction * 100.0:.2f}% "
+            f"(target {self.objective.objective * 100.0:.2f}% "
+            f"<= {self.objective.threshold:g}s) "
+            f"burn fast={self.fast_burn:.2f} slow={self.slow_burn:.2f}"
+        )
+
+
+#: One cumulative checkpoint: (monotonic seconds, good count, total count).
+_Checkpoint = tuple[float, float, float]
+
+
+@dataclass
+class _History:
+    points: Deque[_Checkpoint] = field(default_factory=deque)
+
+
+class SloMonitor:
+    """Multi-window burn-rate evaluation of latency objectives.
+
+    Parameters
+    ----------
+    objectives:
+        The latency objectives to track.
+    fast_window, slow_window:
+        Lookback horizons in seconds (defaults 300 / 3600 — the classic
+        5-minute / 1-hour pair, scaled down for simulation workloads via
+        the constructor).
+    fast_burn_threshold, slow_burn_threshold:
+        Burn rates both windows must exceed to report a breach. The
+        defaults (14.4 / 6.0) are the SRE-workbook page thresholds for a
+        30-day budget.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective],
+        *,
+        fast_window: float = 300.0,
+        slow_window: float = 3600.0,
+        fast_burn_threshold: float = 14.4,
+        slow_burn_threshold: float = 6.0,
+    ) -> None:
+        if not objectives:
+            raise TelemetryError("SloMonitor needs at least one objective")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise TelemetryError(f"duplicate SLO objective names: {names}")
+        if fast_window <= 0.0 or slow_window <= 0.0:
+            raise TelemetryError("SLO windows must be > 0 seconds")
+        if fast_window > slow_window:
+            raise TelemetryError(
+                f"fast window ({fast_window}s) must not exceed "
+                f"slow window ({slow_window}s)"
+            )
+        if fast_burn_threshold <= 0.0 or slow_burn_threshold <= 0.0:
+            raise TelemetryError("burn thresholds must be > 0")
+        self.objectives = tuple(objectives)
+        self.fast_window = float(fast_window)
+        self.slow_window = float(slow_window)
+        self.fast_burn_threshold = float(fast_burn_threshold)
+        self.slow_burn_threshold = float(slow_burn_threshold)
+        self._histories: dict[str, _History] = {
+            objective.name: _History() for objective in self.objectives
+        }
+
+    def check(
+        self,
+        registry: MetricsRegistry,
+        *,
+        now: float | None = None,
+        record: bool = True,
+    ) -> list[SloStatus]:
+        """Evaluate every objective at a new checkpoint.
+
+        ``now`` overrides the monotonic clock (tests, replay). When
+        ``record`` is true (the default) the verdicts are written back
+        into ``registry`` as gauges, flowing into snapshots and the
+        Prometheus export.
+        """
+        timestamp = time.monotonic() if now is None else float(now)
+        statuses: list[SloStatus] = []
+        for objective in self.objectives:
+            merged = registry.merged_histogram(objective.metric)
+            if merged is None:
+                good, total = 0.0, 0.0
+            else:
+                good = merged.count_below(objective.threshold)
+                total = float(merged.count)
+            history = self._histories[objective.name]
+            self._append(history, (timestamp, good, total))
+            fast = self._burn(history, timestamp, self.fast_window, objective)
+            slow = self._burn(history, timestamp, self.slow_window, objective)
+            breached = (
+                fast >= self.fast_burn_threshold and slow >= self.slow_burn_threshold
+            )
+            status = SloStatus(
+                objective=objective,
+                total=total,
+                good=good,
+                fast_burn=fast,
+                slow_burn=slow,
+                breached=breached,
+            )
+            statuses.append(status)
+            if record:
+                self._record(registry, status)
+        return statuses
+
+    def _append(self, history: _History, point: _Checkpoint) -> None:
+        points = history.points
+        if points and point[0] < points[-1][0]:
+            raise TelemetryError(
+                f"SLO checkpoints must not go back in time: "
+                f"{point[0]} < {points[-1][0]}"
+            )
+        points.append(point)
+        # Keep one point at-or-before the slow-window edge as the baseline
+        # for the oldest delta, drop everything staler.
+        horizon = point[0] - self.slow_window
+        while len(points) >= 2 and points[1][0] <= horizon:
+            points.popleft()
+
+    def _burn(
+        self,
+        history: _History,
+        now: float,
+        window: float,
+        objective: SloObjective,
+    ) -> float:
+        """Burn rate over ``[now - window, now]`` from checkpoint deltas.
+
+        The baseline is the newest checkpoint at or before the window
+        start; if the whole history is younger than the window, counts
+        are taken from zero (everything observed so far is in-window).
+        """
+        points = history.points
+        if not points:
+            return 0.0
+        horizon = now - window
+        base_good = 0.0
+        base_total = 0.0
+        for timestamp, good, total in points:
+            if timestamp <= horizon:
+                base_good, base_total = good, total
+            else:
+                break
+        _, latest_good, latest_total = points[-1]
+        delta_total = latest_total - base_total
+        if delta_total <= 0.0:
+            return 0.0
+        delta_bad = delta_total - (latest_good - base_good)
+        bad_fraction = min(1.0, max(0.0, delta_bad / delta_total))
+        return bad_fraction / objective.error_budget
+
+    def _record(self, registry: MetricsRegistry, status: SloStatus) -> None:
+        name = status.objective.name
+        registry.gauge("repro_slo_good_fraction", slo=name).set(status.good_fraction)
+        registry.gauge("repro_slo_burn_rate", slo=name, window="fast").set(
+            status.fast_burn
+        )
+        registry.gauge("repro_slo_burn_rate", slo=name, window="slow").set(
+            status.slow_burn
+        )
+        registry.gauge("repro_slo_breached", slo=name).set(
+            1.0 if status.breached else 0.0
+        )
+        if status.breached:
+            registry.counter("repro_slo_breach_checks_total", slo=name).inc()

@@ -63,6 +63,7 @@ class Telemetry:
         self.tracer = tracer if tracer is not None else Tracer(capacity, sink)
         self.enabled = enabled
         self.detail = detail
+        self._trace_drops_synced = 0
 
     # -- tracing --------------------------------------------------------
 
@@ -86,10 +87,34 @@ class Telemetry:
     def histogram(self, name: str, **labels: str):
         return self.registry.histogram(name, **labels)
 
+    def sync_trace_drops(self) -> int:
+        """Mirror the tracer's ring-drop count into the metrics registry.
+
+        Tracks the lifetime count already synced and increments
+        ``repro_trace_dropped_total`` by the delta, so the call is
+        idempotent per drop and stays correct even when the registry is
+        swapped out between calls (the worker delta-shipping pattern —
+        each registry receives exactly the drops that happened on its
+        watch). The counter cell is created eagerly so ``repro metrics``
+        always shows the drop count, zero included. Returns the tracer's
+        lifetime drop count.
+        """
+        dropped = self.tracer.dropped
+        if not self.enabled and not dropped:
+            # A disabled telemetry records nothing — don't create cells.
+            return dropped
+        cell = self.registry.counter("repro_trace_dropped_total")
+        delta = dropped - self._trace_drops_synced
+        if delta > 0:
+            cell.inc(delta)
+            self._trace_drops_synced = dropped
+        return dropped
+
     # -- snapshots / lifecycle ------------------------------------------
 
     def snapshot(self) -> dict:
         """JSON-ready snapshot record of every metric cell."""
+        self.sync_trace_drops()
         return {"type": "snapshot", "metrics": self.registry.snapshot()}
 
     def write_snapshot(self) -> dict:

@@ -1,4 +1,4 @@
-"""Lightweight tracing: spans and events into a bounded ring + JSONL sink.
+"""Causal tracing: linked spans and events into a bounded ring + JSONL sink.
 
 A :class:`Tracer` records two kinds of structured records:
 
@@ -10,29 +10,99 @@ A :class:`Tracer` records two kinds of structured records:
   zero-duration marks for discrete happenings (re-plans, migrations,
   elastic actions).
 
+Every span carries a causal identity — ``trace_id``/``span_id``/
+``parent_id`` — propagated through a :mod:`contextvars` variable so nesting
+is automatic within a thread: a span opened while another span is running
+records the enclosing span as its parent and inherits its trace. Events
+attach to the enclosing span the same way. Crossing an execution boundary
+(a pool thread, a spawned worker process) requires carrying the
+:class:`SpanContext` explicitly: capture it with :func:`current_context`
+on the near side and re-establish it with :func:`attach_context` on the
+far side. ``SpanContext`` is a frozen picklable dataclass precisely so it
+can ride the cluster worker pipe protocol.
+
 Records land in a bounded in-memory ring (a ``deque(maxlen=...)``, so a
 long-running server never grows without bound) and, when a sink is
 configured, are appended to a JSON-lines file as they complete — one JSON
-object per line, replayable by ``repro metrics`` and
-``examples/telemetry_dashboard.py``. All entry points are thread-safe: the
-ring and the sink share one lock, so concurrent shard threads can never
-interleave partial lines.
+object per line, replayable by ``repro metrics`` / ``repro trace`` and
+``examples/telemetry_dashboard.py``. Ring overflow is counted (``dropped``)
+rather than silent. All entry points are thread-safe: the ring and the sink
+share one lock, so concurrent shard threads can never interleave partial
+lines.
 """
 
 from __future__ import annotations
 
 import io
+import itertools
 import json
+import os
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterator, Union
+from typing import IO, Any, Iterable, Iterator, Union
 
-__all__ = ["Tracer", "read_jsonl"]
+__all__ = [
+    "SpanContext",
+    "Tracer",
+    "attach_context",
+    "current_context",
+    "read_jsonl",
+]
 
 SinkLike = Union[str, Path, IO[str], None]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Causal position of an open span: which trace, which span.
+
+    Frozen and picklable on purpose — this is the token that crosses
+    thread pools and the cluster worker pipe so remote spans parent
+    correctly under the span that dispatched them.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+_CURRENT_SPAN: ContextVar[SpanContext | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+# Process-unique id source. itertools.count.__next__ is atomic in CPython,
+# and prefixing the pid keeps ids unique across spawned workers without
+# reaching for RNG or wall-clock entropy.
+_IDS = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{os.getpid():x}-{next(_IDS):x}"
+
+
+def current_context() -> SpanContext | None:
+    """The innermost open span's context in this execution context."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def attach_context(ctx: SpanContext | None) -> Iterator[None]:
+    """Re-establish a captured :class:`SpanContext` across a boundary.
+
+    New threads and spawned processes start with a fresh contextvar
+    context, so spans opened there would begin new traces; wrapping the
+    far-side work in ``attach_context(ctx)`` parents them under the
+    near-side span instead.
+    """
+    token = _CURRENT_SPAN.set(ctx)
+    try:
+        yield
+    finally:
+        _CURRENT_SPAN.reset(token)
 
 
 class Tracer:
@@ -42,7 +112,8 @@ class Tracer:
     ----------
     capacity:
         Ring size: only the most recent ``capacity`` records stay in memory
-        (the sink, when set, still receives every record).
+        (the sink, when set, still receives every record). Evictions are
+        counted in :attr:`dropped`.
     sink:
         ``None`` (in-memory only), a path (opened for writing, owned and
         closed by the tracer) or an open text file object (borrowed).
@@ -57,6 +128,7 @@ class Tracer:
         self._ring: deque[dict] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._seq = 0
+        self._dropped = 0
         self._owns_sink = False
         self._sink: IO[str] | None = None
         if isinstance(sink, (str, Path)):
@@ -68,12 +140,13 @@ class Tracer:
     def __getstate__(self) -> dict:
         # RPR001: explicit pickle contract. A tracer is process-local by
         # design — it holds a live lock and (possibly) an open sink file.
-        # Workers ship their *records* (JSONL) and registry deltas, never
-        # the tracer object itself; fail loudly at pickle time instead of
-        # cryptically at send time.
+        # Workers ship their *records* (take_records() over the pipe, or
+        # the JSONL sink) and registry deltas, never the tracer object
+        # itself; fail loudly at pickle time instead of cryptically at
+        # send time.
         raise TypeError(
             "Tracer is process-local (live lock + open sink); ship its "
-            "records via the JSONL sink or read_jsonl(), not the tracer"
+            "records via take_records()/the JSONL sink, not the tracer"
         )
 
     # -- recording ------------------------------------------------------
@@ -82,18 +155,30 @@ class Tracer:
         with self._lock:
             self._seq += 1
             record["seq"] = self._seq
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
             self._ring.append(record)
             if self._sink is not None:
                 self._sink.write(json.dumps(record, default=str) + "\n")
 
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[dict]:
-        """Time a region; yields the mutable attribute dict."""
+    def span(self, name: str, **attrs: Any) -> Iterator[dict]:
+        """Time a region; yields the mutable attribute dict.
+
+        The span inherits the enclosing span's trace (or starts a new
+        trace at a root) and becomes the current context for its body, so
+        spans and events opened inside parent to it automatically.
+        """
+        parent = _CURRENT_SPAN.get()
+        trace_id = parent.trace_id if parent is not None else _new_id()
+        span_id = _new_id()
+        token = _CURRENT_SPAN.set(SpanContext(trace_id=trace_id, span_id=span_id))
         wall = time.time()
         start = time.perf_counter()
         try:
             yield attrs
         finally:
+            _CURRENT_SPAN.reset(token)
             self._record(
                 {
                     "type": "span",
@@ -101,12 +186,17 @@ class Tracer:
                     "ts": wall,
                     "dur": time.perf_counter() - start,
                     "thread": threading.get_ident(),
+                    "pid": os.getpid(),
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "parent_id": parent.span_id if parent is not None else None,
                     "attrs": attrs,
                 }
             )
 
-    def event(self, name: str, **attrs) -> None:
-        """Record a zero-duration mark."""
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration mark, attached to the enclosing span."""
+        ctx = _CURRENT_SPAN.get()
         self._record(
             {
                 "type": "event",
@@ -114,6 +204,9 @@ class Tracer:
                 "ts": time.time(),
                 "dur": 0.0,
                 "thread": threading.get_ident(),
+                "pid": os.getpid(),
+                "trace_id": ctx.trace_id if ctx is not None else None,
+                "parent_id": ctx.span_id if ctx is not None else None,
                 "attrs": attrs,
             }
         )
@@ -122,12 +215,37 @@ class Tracer:
         """Append an arbitrary record (e.g. a final metrics snapshot)."""
         self._record(dict(record))
 
+    def ingest(self, records: Iterable[dict]) -> None:
+        """Re-record foreign records (e.g. a worker's trace delta).
+
+        Each record gets a fresh local ``seq`` (so a merged sink stays
+        monotone) but keeps its causal ids, timestamps and pid — the
+        parent's sink ends up holding one merged, well-formed trace.
+        """
+        for record in records:
+            merged = dict(record)
+            merged.pop("seq", None)
+            self._record(merged)
+
     # -- reading / lifecycle --------------------------------------------
 
     def records(self) -> list[dict]:
         """Snapshot of the ring, oldest first."""
         with self._lock:
             return list(self._ring)
+
+    def take_records(self) -> list[dict]:
+        """Drain the ring, returning its records oldest first.
+
+        This is the worker-side half of trace roll-up: each batch/step
+        reply ships the records accumulated since the previous drain, so
+        nothing is lost to ring eviction between replies as long as a
+        batch emits fewer than ``capacity`` records.
+        """
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+            return records
 
     def spans(self, name: str | None = None) -> list[dict]:
         return [
@@ -148,6 +266,12 @@ class Tracer:
         """Lifetime record count (the ring keeps only the newest)."""
         with self._lock:
             return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Lifetime count of records evicted from the ring by overflow."""
+        with self._lock:
+            return self._dropped
 
     def flush(self) -> None:
         with self._lock:

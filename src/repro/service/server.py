@@ -44,7 +44,7 @@ from repro.engine.executor import (
 from repro.engine.vectorized import BatchResult, VectorizedExecutor
 from repro.engine.workload import compute_max_windows
 from repro.errors import AdmissionError, StreamError
-from repro.obs import Telemetry
+from repro.obs import Counter, Histogram, MetricsRegistry, Telemetry
 from repro.service.canonical import CanonicalForm, _as_dnf, canonicalize
 from repro.service.metrics import QueryStats, ServiceMetrics
 from repro.service.plan_cache import CachedPlan, PlanCache
@@ -253,6 +253,22 @@ class QueryServer:
             )
         self.replan_log: list[ReplanEvent] = []
         self.telemetry = telemetry
+        # Cumulative busy-seconds per execution phase, maintained by the
+        # round loops only while telemetry is enabled. run_batch snapshots
+        # before/after deltas onto the batch span (``phase_seconds``), which
+        # is what repro.obs.analyze buckets wall time with — paired
+        # perf_counter reads per round are cheap enough to survive
+        # microsecond vectorized rounds where per-round spans would not be.
+        self._phase_seconds = {"acquisition": 0.0, "evaluation": 0.0, "telemetry": 0.0}
+        # Memoized metric cell references for _record_round_telemetry, keyed
+        # on registry identity: worker shards swap in a fresh registry after
+        # shipping each delta, which must invalidate the cache (``is`` check
+        # per round), while within one registry epoch the per-round name/label
+        # lookups collapse to attribute loads and one dict.get per query.
+        self._metric_cells: (
+            tuple[MetricsRegistry, tuple[Counter, ...], tuple[Histogram, ...], dict[str, Histogram]]
+            | None
+        ) = None
         self._queries: dict[str, RegisteredQuery] = {}
         self._max_windows: dict[str, int] = {}
         self._plan: SharedPlan | None = None
@@ -796,15 +812,41 @@ class QueryServer:
         the instrumented hot paths stay allocation-free between rounds.
         """
         reg = tel.registry
-        reg.counter("repro_rounds_total").inc()
-        reg.counter("repro_probes_total").inc(stats.probes)
-        reg.counter("repro_free_probes_total").inc(stats.free_probes)
-        reg.counter("repro_items_fetched_total").inc(stats.items_fetched)
-        reg.counter("repro_items_saved_total").inc(stats.items_saved)
-        reg.histogram("repro_round_cost").observe(stats.cost)
-        reg.histogram("repro_round_seconds").observe(wall_seconds)
+        cached = self._metric_cells
+        if cached is None or cached[0] is not reg:
+            cached = (
+                reg,
+                (
+                    reg.counter("repro_rounds_total"),
+                    reg.counter("repro_probes_total"),
+                    reg.counter("repro_free_probes_total"),
+                    reg.counter("repro_items_fetched_total"),
+                    reg.counter("repro_items_saved_total"),
+                ),
+                (
+                    reg.histogram("repro_round_cost"),
+                    reg.histogram("repro_round_seconds"),
+                ),
+                {},
+            )
+            self._metric_cells = cached
+        rounds_c, probes_c, free_c, fetched_c, saved_c = cached[1]
+        round_cost_h, round_seconds_h = cached[2]
+        rounds_c.inc()
+        probes_c.inc(stats.probes)
+        free_c.inc(stats.free_probes)
+        fetched_c.inc(stats.items_fetched)
+        saved_c.inc(stats.items_saved)
+        round_cost_h.observe(stats.cost)
+        round_seconds_h.observe(wall_seconds)
+        query_cells = cached[3]
         for name, cost in per_query_cost.items():
-            reg.histogram("repro_query_round_cost", query=name).observe(cost)
+            cell = query_cells.get(name)
+            if cell is None:
+                cell = query_cells[name] = reg.histogram(
+                    "repro_query_round_cost", query=name
+                )
+            cell.observe(cost)
 
     @_synchronized
     def step(self) -> dict[str, ExecutionResult]:
@@ -815,6 +857,11 @@ class QueryServer:
         recording = tel is not None and tel.enabled
         wall_start = time.perf_counter() if recording else 0.0
         self.cache.advance(1, max_windows=self._max_windows)
+        # Phase split: advancing the cache acquires the round's new window
+        # state; everything through adaptivity below is evaluation (the
+        # scalar execute_round interleaves its fetches with short-circuit
+        # decisions, so its fetch time is credited to evaluation by design).
+        acquired_at = time.perf_counter() if recording else 0.0
         plan = self.shared_plan() if self.shared_plan_enabled else self._blocked_probes()
         results, stats = execute_round(
             plan,
@@ -845,11 +892,12 @@ class QueryServer:
             self._maybe_replan()
         self._advance_drifting_oracles(1)
         if recording:
+            evaluated_at = time.perf_counter()
             self._record_round_telemetry(
                 tel,
                 stats,
                 {name: result.cost for name, result in results.items()},
-                time.perf_counter() - wall_start,
+                evaluated_at - wall_start,
             )
             if tel.detail:
                 for name, result in results.items():
@@ -861,6 +909,10 @@ class QueryServer:
                         value=bool(result.value),
                         probes=result.n_evaluated,
                     )
+            phases = self._phase_seconds
+            phases["acquisition"] += acquired_at - wall_start
+            phases["evaluation"] += evaluated_at - acquired_at
+            phases["telemetry"] += time.perf_counter() - evaluated_at
         return results
 
     @_synchronized
@@ -893,10 +945,17 @@ class QueryServer:
         with tel.span(
             "batch", engine=engine, rounds=rounds, queries=len(self._queries)
         ) as attrs:
+            marks = dict(self._phase_seconds)
             report = runner(rounds)
             attrs["total_cost"] = report.total_cost
             attrs["probes"] = report.probes
             attrs["replans"] = report.replans
+            # This batch's share of the cumulative phase accounting; the
+            # attribution report (repro trace --format critical-path)
+            # buckets the span's wall time with exactly these numbers.
+            attrs["phase_seconds"] = {
+                phase: self._phase_seconds[phase] - marks[phase] for phase in marks
+            }
         return report
 
     def _run_batch_scalar(self, rounds: int) -> BatchReport:
@@ -1006,12 +1065,17 @@ class QueryServer:
         # First batch row each query's current BatchResult corresponds to
         # (advances past re-plans, which re-resolve the remaining rows).
         offsets: dict[str, int] = {}
+        # The bulk resolution below is the vectorized engine's *evaluation*
+        # work hoisted out of the round loop — credit it to that phase.
+        prelude_start = time.perf_counter() if recording else 0.0
         for name, query in self._queries.items():
             outcome_matrices[name] = self._draw_round_outcomes(query, rounds)
             batches[name] = self._vector_executor(query).run_batch(
                 query.schedule, outcomes=outcome_matrices[name]
             )
             offsets[name] = 0
+        if recording:
+            self._phase_seconds["evaluation"] += time.perf_counter() - prelude_start
         leaves_of = {name: query.tree.leaves for name, query in self._queries.items()}
         shared = self.shared_plan_enabled
         per_query_cost: dict[str, float] = {name: 0.0 for name in self._queries}
@@ -1045,6 +1109,11 @@ class QueryServer:
                 query_cost[probe.query] += cost
                 query_probes[probe.query] += 1
                 stats.record_probe(probe.query, leaf.items, cost, fetched_items)
+            # Phase split: the window advance, shared-plan probe list and
+            # the fetch replay above are this round's *acquisition* (the
+            # boolean evaluation happened in the bulk prelude); the
+            # accounting and adaptivity below are evaluation.
+            acquired_at = time.perf_counter() if recording else 0.0
             self._round += 1
             self.metrics.record_round(stats.cost)
             self.metrics.total_probes += stats.probes
@@ -1101,8 +1170,9 @@ class QueryServer:
                         )
                         offsets[name] = r + 1
             if recording:
+                evaluated_at = time.perf_counter()
                 self._record_round_telemetry(
-                    tel, stats, query_cost, time.perf_counter() - wall_start
+                    tel, stats, query_cost, evaluated_at - wall_start
                 )
                 if tel.detail:
                     for name in self._queries:
@@ -1114,6 +1184,10 @@ class QueryServer:
                             value=round_values[name],
                             probes=query_probes[name],
                         )
+                phases = self._phase_seconds
+                phases["acquisition"] += acquired_at - wall_start
+                phases["evaluation"] += evaluated_at - acquired_at
+                phases["telemetry"] += time.perf_counter() - evaluated_at
         return BatchReport(
             rounds=rounds,
             total_cost=sum(round_costs),

@@ -283,3 +283,85 @@ class TestCompareHarness:
         # the unsharded run; per-query parity is asserted bitwise elsewhere.
         assert sharded.total_cost == pytest.approx(single.total_cost)
         assert sharded.evals == single.evals
+
+
+class TestTraceRollup:
+    """Worker trace deltas merge into one causal tree on the parent."""
+
+    def test_process_mode_yields_one_merged_trace_with_zero_orphans(self):
+        import os
+
+        from repro.obs import build_forest
+
+        registry, population = small_environment()
+        tel = Telemetry()
+        with ClusterServer(
+            registry, n_shards=2, executor="process", telemetry=tel
+        ) as cluster:
+            cluster.register_population(population)
+            cluster.run_batch(3, engine="vectorized")
+            cluster.run_batch(2, engine="scalar")
+        records = tel.tracer.records()
+        forest = build_forest(records)
+        # The acceptance bar: every record that names a parent can resolve
+        # it locally — nothing was lost crossing the process boundary.
+        assert forest.orphans == []
+
+        # Every worker-side shard-batch span parents under one of the
+        # parent-side cluster-batch spans, in the same trace.
+        cluster_spans = {
+            r["span_id"]: r for r in records if r.get("name") == "cluster-batch"
+        }
+        shard_spans = [r for r in records if r.get("name") == "shard-batch"]
+        assert len(cluster_spans) == 2
+        assert len(shard_spans) == 2 * 2  # two batches x two shards
+        for span in shard_spans:
+            parent = cluster_spans[span["parent_id"]]
+            assert span["trace_id"] == parent["trace_id"]
+
+        # The shard spans really were recorded in other processes.
+        worker_pids = {span["pid"] for span in shard_spans}
+        assert os.getpid() not in worker_pids
+        assert all(
+            cluster_spans[s]["pid"] == os.getpid() for s in cluster_spans
+        )
+
+        # Server-level batch spans nest under their shard-batch span.
+        shard_ids = {span["span_id"] for span in shard_spans}
+        batch_spans = [r for r in records if r.get("name") == "batch"]
+        assert batch_spans
+        assert {span["parent_id"] for span in batch_spans} <= shard_ids
+
+    def test_worker_step_rollup_and_plan_upcall_spans(self):
+        registry, population = small_environment()
+        tel = Telemetry()
+        with ClusterServer(
+            registry, n_shards=2, executor="process", telemetry=tel
+        ) as cluster:
+            cluster.register_population(population)
+            cluster.step()
+        # Registration-time plan upcalls roll up from the workers: they
+        # carry the worker pid and the shared-plan cache key.
+        upcalls = tel.tracer.spans("plan-cache-upcall")
+        assert upcalls
+        assert {s["pid"] for s in upcalls}.isdisjoint({__import__("os").getpid()})
+        assert all("key" in s["attrs"] and "hit" in s["attrs"] for s in upcalls)
+
+    def test_rollup_preserves_report_parity_with_thread_mode(self):
+        registry, population = small_environment()
+
+        def run(executor: str):
+            tel = Telemetry()
+            with ClusterServer(
+                registry, n_shards=2, executor=executor, telemetry=tel
+            ) as cluster:
+                cluster.register_population(population)
+                return cluster.run_batch(4), tel
+
+        threaded, _ = run("thread")
+        processed, tel = run("process")
+        assert threaded.total_cost == processed.total_cost
+        assert threaded.per_query_cost == processed.per_query_cost
+        # The roll-up also delivered the shard histograms to the parent.
+        merged = tel.registry.merged_histogram("repro_shard_batch_seconds")
+        assert merged is not None and merged.count == 2

@@ -291,3 +291,138 @@ class TestDeltaRollup:
         # Same cell object, now carrying both observations.
         assert parent.histogram("lat") is held
         assert held.count == 2
+
+
+class TestCountBelow:
+    def test_empty_histogram_counts_nothing(self):
+        assert Histogram().count_below(5.0) == 0.0
+
+    def test_all_below_and_all_above(self):
+        hist = fill([1.0, 2.0, 3.0])
+        assert hist.count_below(3.0) == 3.0
+        assert hist.count_below(0.5) == 0.0
+
+    def test_whole_buckets_counted_exactly(self):
+        hist = Histogram([1.0, 2.0, 4.0])
+        for v in (0.5, 0.5, 1.5, 3.0):
+            hist.observe(v)
+        # 2.0 is a bucket edge: both sub-1.0 values and the 1.5 are below.
+        assert hist.count_below(2.0) == 3.0
+
+    def test_interpolates_inside_the_covering_bucket(self):
+        hist = Histogram([1.0, 2.0])
+        hist.observe(1.2)
+        hist.observe(1.8)
+        partial = hist.count_below(1.5)
+        assert 0.0 < partial < 2.0
+
+    @given(samples, values)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_monotone(self, vals, cut):
+        hist = fill(vals)
+        below = hist.count_below(cut)
+        assert 0.0 <= below <= hist.count
+        assert hist.count_below(cut * 2 + 1.0) >= below
+
+    def test_duals_with_percentile(self):
+        hist = fill([float(i) for i in range(1, 101)])
+        p50 = hist.percentile(50.0)
+        assert hist.count_below(p50) == pytest.approx(50.0, rel=0.2)
+
+
+class TestCardinalityCap:
+    def test_cap_validated(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry(max_cells_per_name=0)
+
+    def test_under_cap_labels_pass_through(self):
+        reg = MetricsRegistry(max_cells_per_name=4)
+        for i in range(4):
+            reg.counter("c", query=f"q{i}").inc()
+        assert reg.value("c", query="q0") == 1.0
+        assert reg.value("repro_metric_label_overflow_total", metric="c") == 0.0
+
+    def test_overflow_collapses_to_catch_all_cell(self):
+        from repro.obs.metrics import OVERFLOW_LABEL_VALUE
+
+        reg = MetricsRegistry(max_cells_per_name=2)
+        for i in range(5):
+            reg.counter("c", query=f"q{i}").inc()
+        # Two real cells, the rest pooled into {query="overflow"}.
+        assert reg.value("c", query="q0") == 1.0
+        assert reg.value("c", query="q1") == 1.0
+        assert reg.value("c", query="q4") == 0.0
+        assert reg.value("c", query=OVERFLOW_LABEL_VALUE) == 3.0
+
+    def test_overflow_warning_counter_tracks_redirects(self):
+        reg = MetricsRegistry(max_cells_per_name=1)
+        for i in range(4):
+            reg.counter("c", shard=str(i)).inc()
+        assert reg.value("repro_metric_label_overflow_total", metric="c") == 3.0
+
+    def test_unlabelled_cells_are_never_capped(self):
+        reg = MetricsRegistry(max_cells_per_name=1)
+        reg.counter("a").inc()
+        reg.counter("b").inc()
+        reg.counter("c").inc()
+        assert reg.value("a") == reg.value("b") == reg.value("c") == 1.0
+
+    def test_cap_is_per_name_not_global(self):
+        reg = MetricsRegistry(max_cells_per_name=2)
+        for name in ("x", "y"):
+            for i in range(2):
+                reg.histogram(name, shard=str(i)).observe(1.0)
+        # Both names stayed under their own cap: no overflow anywhere.
+        assert reg.get_histogram("x", shard="1") is not None
+        assert reg.get_histogram("y", shard="1") is not None
+        assert reg.value("repro_metric_label_overflow_total", metric="x") == 0.0
+
+    def test_uncapped_registry_admits_everything(self):
+        reg = MetricsRegistry(max_cells_per_name=None)
+        for i in range(2000):
+            reg.counter("c", query=f"q{i}").inc()
+        assert reg.value("c", query="q1999") == 1.0
+
+    def test_existing_cells_keep_working_at_cap(self):
+        reg = MetricsRegistry(max_cells_per_name=1)
+        reg.counter("c", shard="0").inc()
+        reg.counter("c", shard="1").inc()  # overflow
+        reg.counter("c", shard="0").inc()  # existing cell: untouched path
+        assert reg.value("c", shard="0") == 2.0
+
+    def test_histogram_overflow_merges_observations(self):
+        reg = MetricsRegistry(max_cells_per_name=1)
+        reg.histogram("lat", query="a").observe(1.0)
+        reg.histogram("lat", query="b").observe(2.0)
+        reg.histogram("lat", query="c").observe(3.0)
+        from repro.obs.metrics import OVERFLOW_LABEL_VALUE
+
+        pooled = reg.get_histogram("lat", query=OVERFLOW_LABEL_VALUE)
+        assert pooled is not None and pooled.count == 2
+
+    def test_regression_per_query_blowup_is_bounded(self):
+        # The regression this cap exists for: an unbounded per-query label
+        # dimension must not grow the registry without limit.
+        reg = MetricsRegistry(max_cells_per_name=8)
+        for i in range(10_000):
+            reg.histogram("repro_query_round_cost", query=f"q{i}").observe(0.5)
+        cells = [
+            cell for cell in reg.snapshot()["histograms"]
+            if cell["name"] == "repro_query_round_cost"
+        ]
+        assert len(cells) == 9  # 8 admitted + 1 overflow catch-all
+        assert (
+            reg.value("repro_metric_label_overflow_total",
+                      metric="repro_query_round_cost")
+            == 10_000 - 8
+        )
+
+    def test_shipped_delta_rebuilds_counts_under_receiver_cap(self):
+        delta = MetricsRegistry(max_cells_per_name=None)
+        for i in range(4):
+            delta.counter("c", shard=str(i)).inc()
+        shipped = pickle.loads(pickle.dumps(delta))
+        # The receiving side's cap governs admission of *new* cells; the
+        # shipped registry itself rebuilt its per-name counts on unpickle.
+        shipped.counter("c", shard="new").inc()
+        assert shipped.value("c", shard="new") == 1.0

@@ -1,0 +1,177 @@
+"""SLO burn-rate monitor: objectives, windowed burn math, breach logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import MetricsRegistry, SloMonitor, SloObjective
+
+
+def objective(**overrides) -> SloObjective:
+    spec = dict(name="lat", metric="lat_seconds", threshold=1.0, objective=0.9)
+    spec.update(overrides)
+    return SloObjective(**spec)
+
+
+def observe(registry: MetricsRegistry, *values: float) -> None:
+    for value in values:
+        registry.histogram("lat_seconds").observe(value)
+
+
+class TestObjective:
+    def test_error_budget_is_one_minus_objective(self):
+        assert objective(objective=0.99).error_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"metric": ""},
+            {"threshold": 0.0},
+            {"threshold": -1.0},
+            {"objective": 0.0},
+            {"objective": 1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, overrides):
+        with pytest.raises(TelemetryError):
+            objective(**overrides)
+
+
+class TestMonitorConstruction:
+    def test_needs_at_least_one_objective(self):
+        with pytest.raises(TelemetryError):
+            SloMonitor([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(TelemetryError):
+            SloMonitor([objective(), objective()])
+
+    def test_rejects_fast_window_longer_than_slow(self):
+        with pytest.raises(TelemetryError):
+            SloMonitor([objective()], fast_window=100.0, slow_window=10.0)
+
+
+class TestBurnRates:
+    def make(self, **kwargs) -> SloMonitor:
+        defaults = dict(
+            fast_window=10.0,
+            slow_window=100.0,
+            fast_burn_threshold=14.4,
+            slow_burn_threshold=6.0,
+        )
+        defaults.update(kwargs)
+        return SloMonitor([objective()], **defaults)
+
+    def test_no_observations_is_healthy(self):
+        monitor = self.make()
+        (status,) = monitor.check(MetricsRegistry(), now=0.0, record=False)
+        assert status.good_fraction == 1.0
+        assert status.fast_burn == 0.0
+        assert not status.breached
+
+    def test_all_good_burns_nothing(self):
+        registry = MetricsRegistry()
+        observe(registry, 0.1, 0.2, 0.3)
+        monitor = self.make()
+        (status,) = monitor.check(registry, now=0.0, record=False)
+        assert status.good_fraction == 1.0
+        assert status.fast_burn == 0.0
+
+    def test_all_bad_burns_at_inverse_budget(self):
+        # bad_fraction 1.0 against a 0.1 budget: burn rate 10.
+        registry = MetricsRegistry()
+        observe(registry, 50.0, 60.0)
+        monitor = self.make()
+        (status,) = monitor.check(registry, now=0.0, record=False)
+        assert status.fast_burn == pytest.approx(10.0)
+        assert status.slow_burn == pytest.approx(10.0)
+
+    def test_burn_is_windowed_not_lifetime(self):
+        registry = MetricsRegistry()
+        observe(registry, 50.0, 60.0)  # two bad observations early on
+        monitor = self.make()
+        monitor.check(registry, now=0.0, record=False)
+        # Much later, a burst of good observations: the fast window sees
+        # only the good delta while the slow window still carries the bad.
+        observe(registry, 0.1, 0.1, 0.1, 0.1)
+        (status,) = monitor.check(registry, now=50.0, record=False)
+        assert status.fast_burn == 0.0
+        assert status.slow_burn > 0.0
+
+    def test_breach_requires_both_windows(self):
+        registry = MetricsRegistry()
+        monitor = self.make(fast_burn_threshold=5.0, slow_burn_threshold=5.0)
+        observe(registry, 50.0)
+        (status,) = monitor.check(registry, now=0.0, record=False)
+        # One checkpoint: both windows see the same all-bad delta.
+        assert status.breached
+        # Fast recovery: the fast window goes quiet, so no breach even
+        # though the slow window still burns.
+        observe(registry, *([0.1] * 20))
+        monitor.check(registry, now=20.0, record=False)
+        observe(registry, 0.1)
+        (recovered,) = monitor.check(registry, now=40.0, record=False)
+        assert recovered.slow_burn > 0.0
+        assert not recovered.breached
+
+    def test_checkpoints_must_move_forward(self):
+        monitor = self.make()
+        registry = MetricsRegistry()
+        monitor.check(registry, now=5.0, record=False)
+        with pytest.raises(TelemetryError):
+            monitor.check(registry, now=1.0, record=False)
+
+    def test_history_is_pruned_to_the_slow_window(self):
+        monitor = self.make(fast_window=1.0, slow_window=5.0)
+        registry = MetricsRegistry()
+        for t in range(20):
+            monitor.check(registry, now=float(t), record=False)
+        points = monitor._histories["lat"].points
+        # One baseline at-or-before the horizon plus the in-window points.
+        assert len(points) <= 7
+
+    def test_describe_mentions_state_and_numbers(self):
+        registry = MetricsRegistry()
+        observe(registry, 0.1)
+        (status,) = self.make().check(registry, now=0.0, record=False)
+        text = status.describe()
+        assert "lat:" in text and "ok" in text and "good=100.00%" in text
+
+
+class TestRegistryRecording:
+    def test_verdict_gauges_written_back(self):
+        registry = MetricsRegistry()
+        observe(registry, 0.1, 50.0)
+        monitor = SloMonitor([objective()], fast_window=10.0, slow_window=100.0)
+        (status,) = monitor.check(registry, now=0.0)
+        assert registry.value(
+            "repro_slo_good_fraction", slo="lat"
+        ) == pytest.approx(status.good_fraction)
+        assert registry.value(
+            "repro_slo_burn_rate", slo="lat", window="fast"
+        ) == pytest.approx(status.fast_burn)
+        assert registry.value("repro_slo_breached", slo="lat") == 0.0
+
+    def test_breach_counter_increments_only_on_breach(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(
+            [objective()],
+            fast_window=10.0,
+            slow_window=100.0,
+            fast_burn_threshold=1.0,
+            slow_burn_threshold=1.0,
+        )
+        observe(registry, 50.0, 60.0)
+        monitor.check(registry, now=0.0)
+        assert registry.value("repro_slo_breach_checks_total", slo="lat") == 1.0
+        assert registry.value("repro_slo_breached", slo="lat") == 1.0
+
+    def test_recorded_gauges_survive_snapshot_roundtrip(self):
+        registry = MetricsRegistry()
+        observe(registry, 0.2)
+        SloMonitor([objective()]).check(registry, now=0.0)
+        names = {cell["name"] for cell in registry.snapshot()["gauges"]}
+        assert "repro_slo_good_fraction" in names
+        assert "repro_slo_burn_rate" in names

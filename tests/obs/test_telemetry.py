@@ -229,3 +229,105 @@ class TestClusterIntegration:
             tel.tracer.events("migration-out")
         )
         assert tel.tracer.spans("migration")
+
+
+class TestTraceDropAccounting:
+    def test_ring_drops_surface_as_a_counter(self):
+        tel = Telemetry(capacity=2)
+        for i in range(5):
+            tel.event("tick", i=i)
+        assert tel.sync_trace_drops() == 3
+        assert tel.registry.value("repro_trace_dropped_total") == 3.0
+
+    def test_sync_is_idempotent_per_drop(self):
+        tel = Telemetry(capacity=1)
+        tel.event("a")
+        tel.event("b")  # evicts "a"
+        tel.sync_trace_drops()
+        tel.sync_trace_drops()
+        assert tel.registry.value("repro_trace_dropped_total") == 1.0
+        tel.event("c")  # evicts "b"
+        tel.sync_trace_drops()
+        assert tel.registry.value("repro_trace_dropped_total") == 2.0
+
+    def test_snapshot_includes_the_drop_counter(self):
+        tel = Telemetry(capacity=1)
+        tel.event("a")
+        snapshot = tel.snapshot()
+        names = {cell["name"] for cell in snapshot["metrics"]["counters"]}
+        # Created eagerly at zero, so dashboards always see the series.
+        assert "repro_trace_dropped_total" in names
+        assert tel.registry.value("repro_trace_dropped_total") == 0.0
+
+    def test_registry_swap_attributes_drops_to_the_watching_registry(self):
+        # The worker delta pattern: each shipped registry carries exactly
+        # the drops that happened on its watch.
+        from repro.obs import MetricsRegistry
+
+        tel = Telemetry(capacity=1)
+        tel.event("a")
+        tel.event("b")  # drop 1 on the first registry's watch
+        tel.sync_trace_drops()
+        first = tel.registry
+        tel.registry = MetricsRegistry()
+        tel.event("c")
+        tel.event("d")  # drops 2..4 land on the second registry
+        tel.event("e")
+        tel.sync_trace_drops()
+        assert first.value("repro_trace_dropped_total") == 1.0
+        assert tel.registry.value("repro_trace_dropped_total") == 3.0
+
+    def test_disabled_telemetry_still_records_nothing(self):
+        tel = Telemetry(enabled=False)
+        tel.sync_trace_drops()
+        assert len(tel.registry) == 0
+
+
+class TestSloOnClusterReport:
+    def make_slo_cluster(self, threshold: float):
+        from repro.obs import SloObjective
+
+        registry = clustered_registry(3, 3, seed=41)
+        population = overlap_clustered_population(18, registry, 3, 3, seed=42)
+        cluster = ClusterServer(
+            registry,
+            n_shards=2,
+            seed=43,
+            telemetry=Telemetry(),
+            slo=[
+                SloObjective(
+                    name="shard-p99",
+                    metric="repro_shard_batch_seconds",
+                    threshold=threshold,
+                )
+            ],
+        )
+        cluster.register_population(population)
+        return cluster
+
+    def test_healthy_objective_reports_ok(self):
+        cluster = self.make_slo_cluster(threshold=60.0)
+        report = cluster.run_batch(3)
+        (status,) = report.slo_statuses
+        assert status.objective.name == "shard-p99"
+        assert not status.breached
+        assert status.good_fraction == 1.0
+        assert "shard-p99: ok" in report.summary()
+
+    def test_impossible_objective_breaches_and_exports(self):
+        cluster = self.make_slo_cluster(threshold=1e-12)
+        report = cluster.run_batch(3)
+        cluster.run_batch(3)
+        (status,) = report.slo_statuses
+        assert status.good_fraction < 1.0
+        reg = cluster.telemetry.registry
+        assert reg.value("repro_slo_breached", slo="shard-p99") == 1.0
+        assert reg.value("repro_slo_breach_checks_total", slo="shard-p99") >= 1.0
+        from repro.obs import render_prometheus
+
+        text = render_prometheus(cluster.telemetry.snapshot())
+        assert 'repro_slo_burn_rate{slo="shard-p99",window="fast"}' in text
+
+    def test_no_slo_configured_means_empty_statuses(self):
+        report = make_cluster(Telemetry()).run_batch(2)
+        assert report.slo_statuses == ()

@@ -1,0 +1,285 @@
+"""Causal span propagation: nesting, cross-boundary attach, roll-up, replay.
+
+The first half exercises the contextvar plumbing (``SpanContext``,
+``current_context``/``attach_context``) that makes spans causal; the second
+half is the sink story: concurrent writers never tear a JSONL file, and a
+merged parent+worker sink replays into one well-formed span tree.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    SpanContext,
+    Tracer,
+    attach_context,
+    build_forest,
+    current_context,
+    read_jsonl,
+)
+
+
+class TestCausalIds:
+    def test_root_span_starts_a_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        (span,) = tracer.spans("root")
+        assert span["parent_id"] is None
+        assert span["trace_id"] and span["span_id"]
+
+    def test_nested_span_parents_and_inherits_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (inner,) = tracer.spans("inner")
+        (outer,) = tracer.spans("outer")
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["trace_id"] == outer["trace_id"]
+
+    def test_sibling_spans_share_parent_but_not_identity(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (outer,) = tracer.spans("outer")
+        (a,), (b,) = tracer.spans("a"), tracer.spans("b")
+        assert a["parent_id"] == b["parent_id"] == outer["span_id"]
+        assert a["span_id"] != b["span_id"]
+
+    def test_event_attaches_to_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("tick")
+        (event,) = tracer.events("tick")
+        (outer,) = tracer.spans("outer")
+        assert event["parent_id"] == outer["span_id"]
+        assert event["trace_id"] == outer["trace_id"]
+
+    def test_event_outside_any_span_is_unparented(self):
+        tracer = Tracer()
+        tracer.event("tick")
+        (event,) = tracer.events("tick")
+        assert event["parent_id"] is None
+        assert event["trace_id"] is None
+
+    def test_context_restored_after_span_exits(self):
+        tracer = Tracer()
+        assert current_context() is None
+        with tracer.span("outer"):
+            outer_ctx = current_context()
+            assert outer_ctx is not None
+            with tracer.span("inner"):
+                assert current_context() != outer_ctx
+            assert current_context() == outer_ctx
+        assert current_context() is None
+
+    def test_context_restored_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        assert current_context() is None
+
+    def test_two_tracers_share_one_causal_context(self):
+        # The context is execution-scoped, not tracer-scoped: a span on a
+        # worker-side tracer parents under the enclosing parent-side span.
+        parent, worker = Tracer(), Tracer()
+        with parent.span("dispatch"):
+            with worker.span("work"):
+                pass
+        (work,) = worker.spans("work")
+        (dispatch,) = parent.spans("dispatch")
+        assert work["parent_id"] == dispatch["span_id"]
+
+
+class TestAttachContext:
+    def test_attach_none_is_a_noop(self):
+        tracer = Tracer()
+        with attach_context(None):
+            with tracer.span("root"):
+                pass
+        assert tracer.spans("root")[0]["parent_id"] is None
+
+    def test_attach_parents_spans_opened_in_a_fresh_thread(self):
+        tracer = Tracer()
+        with tracer.span("dispatch"):
+            ctx = current_context()
+
+            def far_side() -> None:
+                # A fresh thread starts with an empty context: without the
+                # attach, this span would begin a brand-new trace.
+                assert current_context() is None
+                with attach_context(ctx):
+                    with tracer.span("remote"):
+                        pass
+
+            thread = threading.Thread(target=far_side)
+            thread.start()
+            thread.join()
+        (remote,) = tracer.spans("remote")
+        (dispatch,) = tracer.spans("dispatch")
+        assert remote["parent_id"] == dispatch["span_id"]
+        assert remote["trace_id"] == dispatch["trace_id"]
+
+    def test_attach_resets_on_exit(self):
+        ctx = SpanContext(trace_id="t", span_id="s")
+        with attach_context(ctx):
+            assert current_context() == ctx
+        assert current_context() is None
+
+    def test_span_context_is_picklable(self):
+        ctx = SpanContext(trace_id="t-1", span_id="s-2")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_tracer_refuses_to_pickle(self):
+        with pytest.raises(TypeError, match="take_records"):
+            pickle.dumps(Tracer())
+
+
+class TestRollup:
+    def test_take_records_drains_the_ring(self):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.event("b")
+        taken = tracer.take_records()
+        assert [r["name"] for r in taken] == ["a", "b"]
+        assert tracer.records() == []
+        # Lifetime counters are unaffected by the drain.
+        assert tracer.emitted == 2
+
+    def test_successive_drains_ship_disjoint_deltas(self):
+        tracer = Tracer()
+        tracer.event("a")
+        first = tracer.take_records()
+        tracer.event("b")
+        second = tracer.take_records()
+        assert [r["name"] for r in first] == ["a"]
+        assert [r["name"] for r in second] == ["b"]
+
+    def test_ingest_keeps_causal_ids_and_reassigns_seq(self):
+        worker = Tracer()
+        with worker.span("work"):
+            pass
+        delta = worker.take_records()
+        parent = Tracer()
+        parent.event("local")
+        parent.ingest(delta)
+        records = parent.records()
+        assert [r["seq"] for r in records] == [1, 2]
+        merged = records[1]
+        original = delta[0]
+        for key in ("trace_id", "span_id", "parent_id", "ts", "pid"):
+            assert merged[key] == original[key]
+
+    def test_dropped_counts_ring_evictions(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.event("tick", i=i)
+        assert tracer.dropped == 3
+        assert tracer.emitted == 5
+        assert len(tracer.records()) == 2
+
+    def test_rollup_reconstructs_one_tree_across_tracers(self):
+        # The full worker protocol in miniature: the parent dispatches
+        # under a span, the worker records under the attached context,
+        # ships its delta back, and the parent ingests it.
+        parent, worker = Tracer(), Tracer()
+        with parent.span("cluster-batch"):
+            ctx = current_context()
+
+            def worker_side() -> None:
+                with attach_context(ctx):
+                    with worker.span("shard-batch"):
+                        with worker.span("batch"):
+                            pass
+
+            thread = threading.Thread(target=worker_side)
+            thread.start()
+            thread.join()
+            parent.ingest(worker.take_records())
+        forest = build_forest(parent.records())
+        assert len(forest.roots) == 1
+        assert forest.orphans == []
+        (root,) = forest.roots
+        assert [n.name for n in root.walk()] == [
+            "cluster-batch",
+            "shard-batch",
+            "batch",
+        ]
+
+
+class TestSinkConcurrencyAndReplay:
+    def test_concurrent_writers_emit_seq_in_file_order(self, tmp_path):
+        # One lock covers seq assignment and the sink write, so the file
+        # is totally ordered by seq even under heavy thread interleaving.
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(capacity=16, sink=path)
+        n_threads, per_thread = 8, 150
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                with tracer.span("work", tid=tid) as attrs:
+                    attrs["i"] = i
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tracer.close()
+
+        records = read_jsonl(path)
+        seqs = [r["seq"] for r in records]
+        assert seqs == list(range(1, n_threads * per_thread + 1))
+        # The ring only kept the newest 16, but the sink kept everything.
+        assert len(records) == n_threads * per_thread
+
+    def test_merged_parent_and_worker_sinks_replay_to_one_tree(self, tmp_path):
+        parent_path = tmp_path / "parent.jsonl"
+        worker_path = tmp_path / "worker.jsonl"
+        parent = Tracer(sink=parent_path)
+        worker = Tracer(sink=worker_path)
+        with parent.span("cluster-batch", shards=1):
+            ctx = current_context()
+            with attach_context(ctx):
+                with worker.span("shard-batch", shard=0):
+                    worker.event("replan", key="k")
+        parent.close()
+        worker.close()
+
+        merged = read_jsonl(parent_path) + read_jsonl(worker_path)
+        forest = build_forest(merged)
+        assert forest.orphans == []
+        assert len(forest.roots) == 1
+        (root,) = forest.roots
+        assert root.name == "cluster-batch"
+        (shard,) = root.children
+        assert shard.name == "shard-batch"
+        assert [e["name"] for e in shard.events] == ["replan"]
+        # Every record that names a parent can resolve it in the merge.
+        span_ids = {r["span_id"] for r in merged if r.get("type") == "span"}
+        named_parents = {
+            r["parent_id"] for r in merged if r.get("parent_id") is not None
+        }
+        assert named_parents <= span_ids
+
+    def test_string_sink_replay_roundtrips_causal_ids(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        replayed = read_jsonl(io.StringIO(sink.getvalue()))
+        by_name = {r["name"]: r for r in replayed}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]

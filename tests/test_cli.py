@@ -475,3 +475,66 @@ class TestLint:
     def test_missing_path_fails_cleanly(self, capsys):
         assert main(["lint", "no/such/path.py"]) == 2
         assert "no such file" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def make_sink(self, tmp_path, capsys, argv=None) -> str:
+        path = tmp_path / "out.jsonl"
+        base = argv or ["cluster-sim", "--queries", "30", "--clusters", "3",
+                        "--rounds", "3"]
+        assert main(base + ["--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_summary_shows_forest_shape_and_span_stats(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        assert main(["trace", sink]) == 0
+        out = capsys.readouterr().out
+        assert "0 orphans" in out
+        assert "cluster-batch" in out and "shard-batch" in out
+        assert "mean ms" in out
+
+    def test_critical_path_attributes_batch_roots(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        assert main(["trace", sink, "--format", "critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster-batch" in out
+        for bucket in ("acquisition", "evaluation", "plan_cache", "residue"):
+            assert bucket in out
+        assert "critical path:" in out
+        assert "coverage" in out
+
+    def test_chrome_export_to_stdout_parses(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        assert main(["trace", sink, "--format", "chrome"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert "X" in phases
+
+    def test_chrome_export_to_file(self, tmp_path, capsys):
+        sink = self.make_sink(tmp_path, capsys)
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", sink, "--format", "chrome", "--out",
+                     str(out_path)]) == 0
+        assert "written to" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "cluster-batch" in names
+
+    def test_serve_sim_sink_has_batch_root(self, tmp_path, capsys):
+        sink = self.make_sink(
+            tmp_path, capsys, ["serve-sim", "--queries", "10", "--rounds", "4"]
+        )
+        assert main(["trace", sink, "--format", "critical-path"]) == 0
+        assert "batch" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read telemetry file" in capsys.readouterr().err
+
+    def test_spanless_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bare.jsonl"
+        path.write_text('{"type": "snapshot", "metrics": {}}\n')
+        assert main(["trace", str(path)]) == 2
+        assert "no spans" in capsys.readouterr().err
