@@ -1,0 +1,175 @@
+"""Sub-tree sharing: clause-level plan reuse where whole-tree caching is blind.
+
+The population is the whole-tree cache's worst case and the clause tier's
+best case: every query is a *distinct* 3-combination of a shared 12-clause
+pool, so no two whole-tree canonical keys ever collide while every AND
+clause recurs across many queries. The bench records both hit rates (the
+acceptance invariant: subtree strictly exceeds whole-tree, which stays at
+zero), the store's bounded footprint (interned trees/clauses/leaves), the
+admission-time effect of clause reuse, and cost parity across unsharded,
+thread-sharded and process-sharded serving.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+import numpy as np
+from conftest import emit_json, emit_report, full_scale
+
+from repro.cluster import ClusterServer, default_oracle_factory
+from repro.core.leaf import Leaf
+from repro.core.tree import DnfTree
+from repro.engine import BernoulliOracle
+from repro.experiments import ascii_table
+from repro.service import QueryServer, SubtreeStore, synthetic_registry
+
+ROUNDS = 10
+POOL_CLAUSES = 12
+CLAUSES_PER_QUERY = 3
+
+
+def subtree_population(registry, n_queries: int, seed: int):
+    """``n_queries`` distinct clause combinations over one shared pool."""
+    rng = np.random.default_rng(seed)
+    names = list(registry.names)
+    costs = registry.cost_table()
+    pool = []
+    for _ in range(POOL_CLAUSES):
+        clause = [
+            Leaf(
+                names[int(rng.integers(len(names)))],
+                int(rng.integers(1, 5)),
+                float(rng.uniform(0.1, 0.9)),
+            )
+            for _ in range(int(rng.integers(2, 4)))
+        ]
+        pool.append(clause)
+    combos = list(combinations(range(POOL_CLAUSES), CLAUSES_PER_QUERY))[:n_queries]
+    population = []
+    for q, combo in enumerate(combos):
+        groups = [list(pool[i]) for i in combo]
+        used = {leaf.stream for group in groups for leaf in group}
+        tree = DnfTree(groups, {stream: costs[stream] for stream in used})
+        population.append((f"q{q:03d}", tree))
+    return population
+
+
+def serve(n_queries: int, *, substore: bool, seed: int = 7):
+    registry = synthetic_registry(8, seed=seed)
+    population = subtree_population(registry, n_queries, seed + 1)
+    server = QueryServer(
+        registry,
+        BernoulliOracle(seed=9),
+        plan_cache=256,
+        substore=SubtreeStore() if substore else False,
+    )
+    admit_start = time.perf_counter()
+    for name, tree in population:
+        server.register(name, tree)
+    admit_seconds = time.perf_counter() - admit_start
+    report = server.run_batch(ROUNDS)
+    return server, report, admit_seconds
+
+
+class TestSubtreeSharing:
+    def test_subtree_hit_rate_beats_whole_tree(self):
+        n_queries = 120 if full_scale() else 40
+        rows, records = [], []
+        baseline_cost = None
+        for substore in (False, True):
+            server, report, admit_s = serve(n_queries, substore=substore)
+            stats = server.plan_cache.stats()
+            store_stats = server.substore.stats() if server.substore else {}
+            rows.append(
+                (
+                    "on" if substore else "off",
+                    n_queries,
+                    f"{admit_s * 1e3:.1f}",
+                    f"{stats['hit_rate']:.0%}",
+                    f"{stats['subtree_hit_rate']:.0%}",
+                    f"{store_stats.get('trees', 0):.0f}",
+                    f"{store_stats.get('clauses', 0):.0f}",
+                    f"{store_stats.get('leaves', 0):.0f}",
+                    f"{report.total_cost:.6g}",
+                )
+            )
+            records.append(
+                {
+                    "substore": substore,
+                    "n_queries": n_queries,
+                    "rounds": ROUNDS,
+                    "admit_seconds": admit_s,
+                    "hit_rate": stats["hit_rate"],
+                    "subtree_hit_rate": stats["subtree_hit_rate"],
+                    "clause_hits": stats["clause_hits"],
+                    "clause_misses": stats["clause_misses"],
+                    "total_cost": report.total_cost,
+                    **{f"store_{k}": v for k, v in store_stats.items()},
+                }
+            )
+            # Zero whole-tree isomorphs by construction: every admission is a
+            # whole-tree miss regardless of the store.
+            assert stats["hit_rate"] == 0.0
+            if substore:
+                # The acceptance invariant: partial sharing fires where
+                # whole-tree sharing cannot.
+                assert stats["subtree_hit_rate"] > stats["hit_rate"]
+                # Memory bound: one interned tree per distinct shape, one
+                # clause per distinct pool clause — not per registered query.
+                assert store_stats["trees"] == float(n_queries)
+                assert store_stats["clauses"] == float(POOL_CLAUSES)
+            else:
+                assert stats["subtree_hit_rate"] == 0.0
+            # Interning is semantically invisible: identical costs either way.
+            if baseline_cost is None:
+                baseline_cost = report.total_cost
+            else:
+                assert report.total_cost == baseline_cost
+        table = ascii_table(
+            (
+                "substore",
+                "queries",
+                "admit ms",
+                "tree hits",
+                "clause hits",
+                "trees",
+                "clauses",
+                "leaves",
+                "total cost",
+            ),
+            rows,
+        )
+        emit_report("subtree_sharing", table)
+        emit_json("subtree_sharing", {"cells": records})
+
+    def test_cluster_cost_parity_with_clause_sharing(self):
+        n_queries, rounds, seed = 15, 3, 11
+        totals = {}
+        for mode in ("unsharded", "thread", "process"):
+            registry = synthetic_registry(8, seed=seed)
+            population = subtree_population(registry, n_queries, seed + 1)
+            if mode == "unsharded":
+                server = QueryServer(registry)
+                factory = default_oracle_factory(seed)
+                for name, tree in population:
+                    server.register(name, tree, oracle=factory(name))
+                totals[mode] = server.run_batch(rounds).total_cost
+            else:
+                cluster = ClusterServer(
+                    registry, n_shards=2, executor=mode, seed=seed
+                )
+                try:
+                    cluster.register_population(population)
+                    totals[mode] = cluster.run_batch(rounds).total_cost
+                    stats = cluster.plan_cache.stats()
+                    assert stats["subtree_hit_rate"] > stats["hit_rate"]
+                finally:
+                    cluster.close()
+        assert totals["thread"] == totals["unsharded"]
+        assert totals["process"] == totals["unsharded"]
+        emit_json(
+            "subtree_cluster_parity",
+            {"n_queries": n_queries, "rounds": rounds, "totals": totals},
+        )

@@ -1,0 +1,139 @@
+"""RPR007 — interned canonical nodes are immutable outside their store.
+
+Hash-consing (:mod:`repro.service.substore`) only works if interned nodes
+never change after construction: pointer equality *is* canonical identity,
+``_hash`` is precomputed, and every holder of a node shares the one
+instance. A mutation anywhere corrupts every query that interned the same
+structure — silently, because the node still compares equal to itself.
+
+The interned classes freeze themselves with a raising ``__setattr__``, so a
+plain ``leaf.prob = x`` fails loudly at runtime. This rule catches the two
+escapes the runtime guard cannot: ``object.__setattr__(node, ...)`` /
+``setattr(node, ...)``, which bypass the guard entirely, and attribute
+writes on values the code merely *annotates* as interned (caught before any
+test exercises the path). Binding is inferred statically: a name is
+"interned-bound" when it is assigned from an interned-class constructor or
+annotated with an interned class (variable annotations and function
+parameters alike).
+
+The store module itself (``interned_store_modules``) is exempt — it is the
+one place allowed to touch slots, via ``object.__setattr__`` during
+``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import Checker, Finding, ModuleInfo, dotted_name
+
+__all__ = ["ImmutableInternedChecker"]
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class ImmutableInternedChecker(Checker):
+    rule = "RPR007"
+    title = "interned canonical nodes mutated outside the store"
+
+    def _terminal_matches(self, node: ast.expr | None) -> str | None:
+        """The configured interned class ``node`` refers to, or ``None``.
+
+        Matches on the terminal name (``InternedLeaf``,
+        ``substore.InternedLeaf``) so the rule is import-style agnostic, and
+        scans string annotations word-wise so ``"InternedTree | None"``
+        counts too.
+        """
+        if node is None:
+            return None
+        classes = set(self.config.interned_classes)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            for word in _WORD.findall(node.value):
+                if word in classes:
+                    return word
+            return None
+        if isinstance(node, ast.BinOp):  # InternedTree | None
+            return self._terminal_matches(node.left) or self._terminal_matches(
+                node.right
+            )
+        if isinstance(node, ast.Subscript):  # Optional[InternedTree]
+            return self._terminal_matches(node.slice)
+        name = dotted_name(node)
+        if name is None:
+            return None
+        terminal = name.rsplit(".", 1)[-1]
+        return terminal if terminal in classes else None
+
+    def _bound_names(self, module: ModuleInfo) -> dict[str, str]:
+        """name -> interned class, for every statically inferable binding."""
+        bound: dict[str, str] = {}
+        for node in module.nodes:
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                cls = self._terminal_matches(node.value.func)
+                if cls is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            bound[target.id] = cls
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                cls = self._terminal_matches(node.annotation)
+                if cls is not None:
+                    bound[node.target.id] = cls
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    *filter(None, (args.vararg, args.kwarg)),
+                ):
+                    cls = self._terminal_matches(arg.annotation)
+                    if cls is not None:
+                        bound[arg.arg] = cls
+        return bound
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        store_modules = self.config.interned_store_modules
+        if store_modules and module.in_scope(store_modules):
+            return  # the store is the one sanctioned mutation site
+        bound = self._bound_names(module)
+        if not bound:
+            return
+        for node in module.nodes:
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in bound
+                    ):
+                        yield module.finding(
+                            self.rule,
+                            node,
+                            f"attribute write to {target.value.id!r} "
+                            f"(interned {bound[target.value.id]}); interned "
+                            "nodes are shared canonical identity — build a "
+                            "new node through the store instead of mutating",
+                        )
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee not in ("object.__setattr__", "setattr"):
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if isinstance(first, ast.Name) and first.id in bound:
+                    yield module.finding(
+                        self.rule,
+                        node,
+                        f"{callee} on {first.id!r} (interned "
+                        f"{bound[first.id]}) bypasses the immutability "
+                        "guard; only the store module may touch interned "
+                        "slots",
+                    )

@@ -73,6 +73,7 @@ from repro.obs.trace import attach_context, current_context
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import PlanCache
 from repro.service.server import DEFAULT_SCHEDULER, BatchReport, QueryServer
+from repro.service.substore import SubtreeStore, default_store
 from repro.streams.registry import StreamRegistry
 
 __all__ = [
@@ -355,6 +356,7 @@ class ClusterServer:
         executor: str = "thread",
         scheduler: str | Scheduler = DEFAULT_SCHEDULER,
         plan_cache: PlanCache | int | None = 256,
+        substore: SubtreeStore | bool | None = True,
         shared_plan: bool = True,
         warmup: int = 64,
         adaptive: AdaptivePolicy | None = None,
@@ -396,6 +398,16 @@ class ClusterServer:
             self.plan_cache = PlanCache(capacity=int(plan_cache))
         else:
             self.plan_cache = None
+        # Hash-consed canonical node store shared by the parent and every
+        # thread-mode shard (worker processes grow their own). Feeds the
+        # partitioner/router memoized overlap weights and thread shards
+        # interned admission identity.
+        if isinstance(substore, SubtreeStore):
+            self.substore: SubtreeStore | None = substore
+        elif substore:
+            self.substore = default_store()
+        else:
+            self.substore = None
         self.oracle_factory = (
             oracle_factory if oracle_factory is not None else default_oracle_factory(seed)
         )
@@ -464,6 +476,7 @@ class ClusterServer:
                 warmup=self._warmup,
                 adaptive=self._adaptive,
                 use_plan_cache=self.plan_cache is not None,
+                use_substore=self.substore is not None,
                 telemetry_enabled=telemetry_on,
                 telemetry_detail=telemetry_on and self.telemetry.detail,
                 trace_capacity=(
@@ -476,11 +489,13 @@ class ClusterServer:
                 registry_sink=self._registry,
                 costs=self.registry.cost_table(),
                 trace_sink=self.telemetry.tracer if telemetry_on else None,
+                substore=self.substore,
             )
         server = QueryServer(
             self.registry,
             scheduler=self._scheduler,
             plan_cache=self.plan_cache,
+            substore=self.substore if self.substore is not None else False,
             shared_plan=self._shared_plan,
             warmup=self._warmup,
             adaptive=self._adaptive,
@@ -554,9 +569,7 @@ class ClusterServer:
         self._assignment[name] = decision.shard_id
         self._order.append(name)
         self._churn += 1
-        self._absorb_overlapping(
-            decision.shard_id, stream_weight_vector(tree, self.registry.cost_table())
-        )
+        self._absorb_overlapping(decision.shard_id, self._weight_vector(tree))
         return decision.shard_id
 
     @_synchronized
@@ -813,6 +826,18 @@ class ClusterServer:
 
     # -- migration -------------------------------------------------------
 
+    def _weight_vector(self, tree: TreeLike) -> dict[str, float]:
+        """Per-stream acquisition weights for ``tree``, memoized by the store.
+
+        Value-identical to :func:`stream_weight_vector` (the weights are
+        invariant under canonicalization); with a substore the vector is
+        computed once per canonical identity instead of once per call.
+        """
+        costs = self.registry.cost_table()
+        if self.substore is not None:
+            return dict(self.substore.stream_weights(tree, costs))
+        return stream_weight_vector(tree, costs)
+
     def _absorb_overlapping(self, home_id: int, weights: dict[str, float]) -> None:
         """Keep stream-sharing queries co-resident after an admission.
 
@@ -835,7 +860,9 @@ class ClusterServer:
             population = [
                 (name, other.server.query(name).tree) for name in other.names
             ]
-            graph = build_overlap_graph(population, self.registry.cost_table())
+            graph = build_overlap_graph(
+                population, self.registry.cost_table(), store=self.substore
+            )
             order = {name: index for index, name in enumerate(other.names)}
             for component in graph.components():
                 component_streams: set[str] = set()
@@ -950,7 +977,9 @@ class ClusterServer:
             return None
         op_start = time.perf_counter()
         population = [(name, shard.server.query(name).tree) for name in shard.names]
-        graph = build_overlap_graph(population, self.registry.cost_table())
+        graph = build_overlap_graph(
+            population, self.registry.cost_table(), store=self.substore
+        )
         pieces = shard_split_pieces(graph, allow_cut=allow_cut)
         if len(pieces) <= 1:
             return None
@@ -1008,7 +1037,9 @@ class ClusterServer:
         moves = 0
         if len(shard):
             population = [(name, shard.server.query(name).tree) for name in shard.names]
-            graph = build_overlap_graph(population, self.registry.cost_table())
+            graph = build_overlap_graph(
+                population, self.registry.cost_table(), store=self.substore
+            )
             order = {name: index for index, name in enumerate(shard.names)}
             try:
                 for component in graph.components():
@@ -1112,7 +1143,9 @@ class ClusterServer:
         population = self._live_population()
         if not population:
             raise StreamError("no queries registered in any shard")
-        graph = build_overlap_graph(population, self.registry.cost_table())
+        graph = build_overlap_graph(
+            population, self.registry.cost_table(), store=self.substore
+        )
         shards = [shard.names for shard in self.shards.values() if len(shard)]
         return partition_report(graph, shards, method="current")
 
@@ -1142,7 +1175,9 @@ class ClusterServer:
         op_start = time.perf_counter()
         # One overlap graph serves both the current placement's score and
         # the candidate partition.
-        graph = build_overlap_graph(population, self.registry.cost_table())
+        graph = build_overlap_graph(
+            population, self.registry.cost_table(), store=self.substore
+        )
         old_report = partition_report(
             graph,
             [shard.names for shard in self.shards.values() if len(shard)],

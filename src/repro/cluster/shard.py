@@ -36,6 +36,17 @@ class ShardServer:
         self.signature: dict[str, float] = {}
         self.last_batch_seconds: float = 0.0
 
+    def _weights(self, tree: TreeLike) -> Mapping[str, float]:
+        """Per-stream weights for ``tree``, through the server's store memo.
+
+        Value-identical to :func:`stream_weight_vector`; the store computes
+        it once per canonical identity instead of once per admission.
+        """
+        store = self.server.substore
+        if store is not None:
+            return store.stream_weights(tree, self._costs)
+        return stream_weight_vector(tree, self._costs)
+
     # -- population ------------------------------------------------------
 
     def __len__(self) -> int:
@@ -61,7 +72,7 @@ class ShardServer:
         scheduler: str | None = None,
     ) -> None:
         self.server.register(name, tree, oracle=oracle, scheduler=scheduler)
-        for stream, weight in stream_weight_vector(tree, self._costs).items():
+        for stream, weight in self._weights(tree).items():
             if weight > self.signature.get(stream, 0.0):
                 self.signature[stream] = weight
 
@@ -78,9 +89,7 @@ class ShardServer:
     def admit_migrated(self, snapshot: QuerySnapshot) -> None:
         """Adopt a migrated query verbatim; grows the signature incrementally."""
         self.server.admit_migrated(snapshot)
-        for stream, weight in stream_weight_vector(
-            snapshot.query.tree, self._costs
-        ).items():
+        for stream, weight in self._weights(snapshot.query.tree).items():
             if weight > self.signature.get(stream, 0.0):
                 self.signature[stream] = weight
 
@@ -88,7 +97,7 @@ class ShardServer:
         self.signature = {}
         for name in self.server.registered:
             tree: DnfTree = self.server.query(name).tree
-            for stream, weight in stream_weight_vector(tree, self._costs).items():
+            for stream, weight in self._weights(tree).items():
                 if weight > self.signature.get(stream, 0.0):
                     self.signature[stream] = weight
 

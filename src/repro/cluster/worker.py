@@ -25,7 +25,8 @@ Design constraints, in order:
   :class:`~repro.service.plan_cache.PlanCache`; workers reach it through the
   command channel via :class:`RemotePlanCache` (read-through: lookup, compute
   on miss, publish). A canonical shape still pays its scheduling cost once
-  per *cluster*, not once per process.
+  per *cluster*, not once per process — and so does each interned AND
+  clause, whose plan tier reads through the same channel.
 * **Lossless telemetry.** Each ``run_batch``/``step`` reply carries the
   worker registry's delta since the last reply (the worker swaps in a fresh
   registry after shipping), and the parent folds it into its own registry
@@ -71,6 +72,7 @@ from repro.obs.trace import attach_context, current_context
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import CachedPlan, PlanCache
 from repro.service.server import BatchReport, QueryServer, QuerySnapshot
+from repro.service.substore import SubtreeStore
 from repro.streams.registry import StreamRegistry
 
 __all__ = ["WorkerConfig", "ShardWorkerProxy", "RemotePlanCache"]
@@ -92,6 +94,10 @@ class WorkerConfig:
     use_plan_cache: bool
     telemetry_enabled: bool
     telemetry_detail: bool
+    #: Build the worker's QueryServer on the worker-process-wide substore
+    #: (interned canonical identity + admission memo). Identity is
+    #: per-process; interned nodes arriving in snapshots re-intern here.
+    use_substore: bool = True
     #: Worker trace-ring size; sized to the parent's ring so a batch's
     #: records survive until the reply ships them (drain-on-reply means
     #: overflow only matters within a single batch).
@@ -121,6 +127,8 @@ class RemotePlanCache(PlanCache):
     """
 
     def __init__(self, conn, tracer: Tracer | None = None) -> None:
+        # All plans live in the parent; capacity 1 is a dummy (the local
+        # OrderedDicts stay empty — every tier reads through the pipe).
         super().__init__(capacity=1)
         self._conn = conn
         self._tracer = tracer
@@ -155,7 +163,13 @@ class RemotePlanCache(PlanCache):
             with self._lock:
                 self.hits += 1
             return cached, True
-        schedule = scheduler.schedule(form.tree)
+        # Local compute on a cluster-wide miss still reuses cached clause
+        # plans (partial sharing below the whole-tree key): clause lookups
+        # read through to the parent too, so a clause first planned on any
+        # worker is reused by every worker. The pipe traffic is bounded —
+        # clause activity only happens here, on a whole-tree miss, which the
+        # parent cache already makes once-per-shape cluster-wide.
+        schedule = self._schedule_canonical(form, scheduler)
         from repro.core.cost import dnf_schedule_cost
 
         plan = CachedPlan(
@@ -174,6 +188,12 @@ class RemotePlanCache(PlanCache):
 
     def invalidate(self, key: str) -> int:
         return self._rpc(("invalidate", key))
+
+    def clause_lookup(self, clause_key: str):
+        return self._rpc(("clause_get", clause_key))
+
+    def clause_publish(self, clause_key: str, entry):
+        return self._rpc(("clause_put", (clause_key, entry)))
 
 
 def _dispatch(shard: ShardServer, telemetry: Telemetry | None, op: str, args, kwargs):
@@ -271,6 +291,7 @@ def _shard_worker_main(conn, config: WorkerConfig) -> None:
         config.registry,
         scheduler=config.scheduler,
         plan_cache=plan_cache,
+        substore=config.use_substore,
         shared_plan=config.shared_plan,
         warmup=config.warmup,
         adaptive=config.adaptive,
@@ -389,10 +410,14 @@ class ShardWorkerProxy:
         registry_sink: MetricsRegistry | None,
         costs: Mapping[str, float],
         trace_sink: Tracer | None = None,
+        substore: SubtreeStore | None = None,
     ) -> None:
         self.shard_id = config.shard_id
         self._costs = dict(costs)
         self._plan_cache = plan_cache
+        # Parent-side store for signature weights (the worker process grows
+        # its own store independently for admission-side interning).
+        self._substore = substore
         self._sink = registry_sink
         self._trace_sink = trace_sink
         self.signature: dict[str, float] = {}
@@ -467,6 +492,11 @@ class ShardWorkerProxy:
             return cache.publish(payload)
         if kind == "invalidate":
             return cache.invalidate(payload)
+        if kind == "clause_get":
+            return cache.clause_lookup(payload)
+        if kind == "clause_put":
+            clause_key, entry = payload
+            return cache.clause_publish(clause_key, entry)
         raise StreamError(f"unknown plan-cache request {kind!r}")
 
     def _merge_delta(self, delta: MetricsRegistry | None) -> None:
@@ -482,7 +512,11 @@ class ShardWorkerProxy:
         self._trees.pop(name, None)
 
     def _grow_signature(self, tree: TreeLike) -> None:
-        for stream, weight in stream_weight_vector(tree, self._costs).items():
+        if self._substore is not None:
+            weights = self._substore.stream_weights(tree, self._costs)
+        else:
+            weights = stream_weight_vector(tree, self._costs)
+        for stream, weight in weights.items():
             if weight > self.signature.get(stream, 0.0):
                 self.signature[stream] = weight
 

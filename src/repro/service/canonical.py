@@ -30,9 +30,9 @@ tree transfers to every isomorphic original via :meth:`CanonicalForm.expand_sche
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Sequence, Union
+from typing import TYPE_CHECKING, Sequence, Union
 
 from repro.core.leaf import Leaf
 from repro.core.schedule import Schedule, validate_schedule
@@ -40,7 +40,23 @@ from repro.core.tree import AndTree, DnfTree, QueryTree
 from repro.errors import InvalidTreeError
 from repro.lang.serialize import tree_to_canonical_json
 
-__all__ = ["CanonicalForm", "canonicalize", "canonical_key"]
+if TYPE_CHECKING:
+    from repro.service.substore import InternedTree
+
+__all__ = ["CanonicalForm", "canonicalize", "canonical_key", "quantize_prob"]
+
+#: Probabilities are compared and keyed at this precision. Float arithmetic
+#: on the way into a query (parsers, belief updates, ``p**k`` folds) leaves
+#: ~1e-16 noise on semantically identical probabilities; comparing them with
+#: exact ``==`` silently splits isomorphic queries into distinct canonical
+#: keys and defeats the plan cache. 12 decimals is far below any meaningful
+#: selectivity difference and far above accumulated rounding noise.
+_PROB_DECIMALS = 12
+
+
+def quantize_prob(prob: float) -> float:
+    """``prob`` rounded to the canonical comparison precision (12 decimals)."""
+    return round(float(prob), _PROB_DECIMALS)
 
 TreeLike = Union[AndTree, DnfTree, QueryTree]
 
@@ -63,12 +79,20 @@ class CanonicalForm:
         folded).
     original_size:
         Leaf count of the original tree (for schedule validation).
+    interned:
+        The hash-consed :class:`~repro.service.substore.InternedTree` for
+        this identity, when the form was produced through a
+        :class:`~repro.service.substore.SubtreeStore` (None on the plain
+        :func:`canonicalize` path). Carries per-AND-clause identities so the
+        plan cache can share scheduling state below whole-tree granularity;
+        excluded from equality, and pickling it re-interns on arrival.
     """
 
     key: str
     tree: DnfTree
     leaf_map: tuple[tuple[int, ...], ...]
     original_size: int
+    interned: "InternedTree | None" = field(default=None, compare=False, repr=False)
 
     @property
     def deduped(self) -> bool:
@@ -179,7 +203,7 @@ def canonicalize(tree: TreeLike) -> CanonicalForm:
     for a, group in enumerate(dnf.ands):
         order = sorted(
             range(len(group)),
-            key=lambda j: (group[j].stream, group[j].items, group[j].prob),
+            key=lambda j: (group[j].stream, group[j].items, quantize_prob(group[j].prob)),
         )
         leaves: list[Leaf] = []
         covered: list[tuple[int, ...]] = []
@@ -204,7 +228,8 @@ def canonicalize(tree: TreeLike) -> CanonicalForm:
     group_order = sorted(
         range(len(canon_groups)),
         key=lambda i: tuple(
-            (leaf.stream, leaf.items, leaf.prob) for leaf in canon_groups[i][0]
+            (leaf.stream, leaf.items, quantize_prob(leaf.prob))
+            for leaf in canon_groups[i][0]
         ),
     )
     ands = [list(canon_groups[i][0]) for i in group_order]
@@ -214,7 +239,14 @@ def canonicalize(tree: TreeLike) -> CanonicalForm:
     used = {leaf.stream for group in ands for leaf in group}
     costs = {name: dnf.costs[name] for name in sorted(used)}
     canon_tree = DnfTree(ands, costs)
-    payload = tree_to_canonical_json(canon_tree)
+    # The key payload quantizes probabilities to the same precision as the
+    # fold/sort comparisons above, so isomorphs whose probs differ only by
+    # float-arithmetic noise land on one key. The canonical *tree* keeps the
+    # exact probabilities (schedulers and re-planning see unrounded values).
+    payload_tree = _with_leaf_probs(
+        canon_tree, [quantize_prob(leaf.prob) for leaf in canon_tree.leaves]
+    )
+    payload = tree_to_canonical_json(payload_tree)
     key = hashlib.sha256(payload.encode("utf-8")).hexdigest()
     return CanonicalForm(
         key=key,
@@ -229,9 +261,12 @@ def _same_base_prob(covered: tuple[int, ...], dnf: DnfTree, leaf: Leaf) -> bool:
 
     The folded pseudo-leaf carries the *product* probability, so comparing
     against it directly would never match; compare against the original run.
+    Probabilities are compared quantized (:func:`quantize_prob`): exact
+    float ``==`` split isomorphs differing by arithmetic noise into
+    distinct canonical keys.
     """
     first = dnf.leaves[covered[0]]
-    return first.prob == leaf.prob
+    return quantize_prob(first.prob) == quantize_prob(leaf.prob)
 
 
 def canonical_key(tree: TreeLike) -> str:

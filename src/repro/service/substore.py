@@ -1,0 +1,477 @@
+"""Hash-consed canonical node store: sub-tree identity for multi-query sharing.
+
+Whole-tree canonical keys (:mod:`repro.service.canonical`) only earn sharing
+when two queries are isomorphic end to end. The MQO literature (Roy et al.;
+Kathuria & Sudarshan — PAPERS.md) shows the larger win is sharing *common
+subexpressions*: two different queries that contain the same AND clause, or
+probe the same ``(stream, items, prob)`` leaf, should reuse each other's
+scheduling state and selectivity beliefs even though their whole-tree keys
+differ.
+
+This module interns every canonical leaf, AND clause and DNF tree in a
+:class:`SubtreeStore` — hash-consing in the classic sense:
+
+* each distinct structure exists **once** per store, so isomorphism checks
+  collapse to pointer equality (``a is b``) and memory stays bounded by the
+  number of *distinct* shapes, not registered queries;
+* interned nodes are immutable (``__slots__``, no ``__dict__``, raising
+  ``__setattr__``) — enforced repo-wide by lint rule RPR007 outside this
+  module;
+* intern tables hold nodes through a :class:`weakref.WeakValueDictionary`,
+  so shapes no registered query references any more are reclaimed instead
+  of pinned forever;
+* pickling an interned node ships its *structure* and re-interns on arrival
+  (``__reduce__``), so identity semantics survive the worker pipe: a
+  :class:`~repro.service.canonical.CanonicalForm` that crosses to a spawned
+  shard re-lands in that process's default store.
+
+The store also subsumes two hot-path memos: a bounded canonicalization memo
+(admissions of an already-seen tree skip :func:`repro.service.canonical.canonicalize`
+entirely) and a per-tree stream-weight memo the cluster partitioner reads
+instead of recomputing stream-set intersections per placement decision.
+
+The store itself is deliberately process-local (it holds an ``RLock`` and
+identity is per-process by construction); workers each grow their own via
+:func:`default_store`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Iterator, Mapping
+from weakref import WeakValueDictionary
+
+from repro.core.tree import DnfTree
+from repro.errors import ReproError
+from repro.service.canonical import (
+    CanonicalForm,
+    TreeLike,
+    _as_dnf,
+    canonicalize,
+    quantize_prob,
+)
+
+__all__ = [
+    "InternedLeaf",
+    "InternedClause",
+    "InternedTree",
+    "SubtreeStore",
+    "default_store",
+]
+
+#: ``(stream, items, prob)`` — the structural identity of one canonical leaf.
+LeafSpec = tuple[str, int, float]
+#: The leaves of one canonical AND clause, in canonical order.
+ClauseSpec = tuple[LeafSpec, ...]
+#: ``((stream, cost), ...)`` sorted by stream name.
+CostSpec = tuple[tuple[str, float], ...]
+
+_IMMUTABLE = "{0} is interned and immutable; build a new node via the store"
+
+
+class InternedLeaf:
+    """One hash-consed canonical leaf. Exactly one instance per identity."""
+
+    __slots__ = ("stream", "items", "prob", "_hash", "__weakref__")
+
+    stream: str
+    items: int
+    prob: float
+    _hash: int
+
+    def __init__(self, stream: str, items: int, prob: float) -> None:
+        object.__setattr__(self, "stream", str(stream))
+        object.__setattr__(self, "items", int(items))
+        object.__setattr__(self, "prob", float(prob))
+        object.__setattr__(self, "_hash", hash((self.stream, self.items, self.prob)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(_IMMUTABLE.format(type(self).__name__))
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(_IMMUTABLE.format(type(self).__name__))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"InternedLeaf({self.stream!r}, {self.items}, {self.prob})"
+
+    @property
+    def spec(self) -> LeafSpec:
+        return (self.stream, self.items, self.prob)
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        # Ship structure, re-intern in the receiving process's default
+        # store: identity semantics (pointer equality) survive the pipe.
+        return (_reintern_leaf, self.spec)
+
+
+class InternedClause:
+    """One hash-consed canonical AND clause: a tuple of interned leaves.
+
+    ``key`` is a stable digest of the clause's leaves plus the cost-table
+    slice its streams use — the unit of *partial* plan sharing: two trees
+    with different whole-tree keys but one clause key in common reuse the
+    clause's Algorithm-1 order, isolated cost and success probability.
+    """
+
+    __slots__ = ("leaves", "costs", "key", "_hash", "__weakref__")
+
+    leaves: tuple[InternedLeaf, ...]
+    costs: CostSpec
+    key: str
+    _hash: int
+
+    def __init__(
+        self, leaves: tuple[InternedLeaf, ...], costs: CostSpec, key: str
+    ) -> None:
+        object.__setattr__(self, "leaves", tuple(leaves))
+        object.__setattr__(self, "costs", tuple(costs))
+        object.__setattr__(self, "key", str(key))
+        object.__setattr__(self, "_hash", hash(self.key))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(_IMMUTABLE.format(type(self).__name__))
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(_IMMUTABLE.format(type(self).__name__))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def __iter__(self) -> Iterator[InternedLeaf]:
+        return iter(self.leaves)
+
+    def __repr__(self) -> str:
+        return f"InternedClause({len(self.leaves)} leaves, key={self.key[:12]}...)"
+
+    @property
+    def spec(self) -> ClauseSpec:
+        return tuple(leaf.spec for leaf in self.leaves)
+
+    @property
+    def streams(self) -> frozenset[str]:
+        return frozenset(leaf.stream for leaf in self.leaves)
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (_reintern_clause, (self.spec, self.costs))
+
+
+class InternedTree:
+    """One hash-consed canonical DNF tree: a tuple of interned clauses.
+
+    ``key`` is the whole-tree canonical key (the same digest
+    :func:`repro.service.canonical.canonicalize` computes), carried verbatim
+    so store-produced identities are interchangeable with plain canonical
+    keys everywhere — plan cache, adaptive controller, migration snapshots.
+    """
+
+    __slots__ = ("clauses", "costs", "key", "_hash", "__weakref__")
+
+    clauses: tuple[InternedClause, ...]
+    costs: CostSpec
+    key: str
+    _hash: int
+
+    def __init__(
+        self, clauses: tuple[InternedClause, ...], costs: CostSpec, key: str
+    ) -> None:
+        object.__setattr__(self, "clauses", tuple(clauses))
+        object.__setattr__(self, "costs", tuple(costs))
+        object.__setattr__(self, "key", str(key))
+        object.__setattr__(self, "_hash", hash(self.key))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(_IMMUTABLE.format(type(self).__name__))
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(_IMMUTABLE.format(type(self).__name__))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[InternedClause]:
+        return iter(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"InternedTree({len(self.clauses)} clauses, key={self.key[:12]}...)"
+
+    @property
+    def clause_keys(self) -> tuple[str, ...]:
+        return tuple(clause.key for clause in self.clauses)
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (
+            _reintern_tree,
+            (tuple(clause.spec for clause in self.clauses), self.costs, self.key),
+        )
+
+
+def _clause_key(spec: ClauseSpec, costs: CostSpec) -> str:
+    """Stable digest of one canonical AND clause (leaves + cost slice)."""
+    payload = json.dumps(
+        {
+            "leaves": [[s, i, quantize_prob(p)] for s, i, p in spec],
+            "costs": [[s, c] for s, c in costs],
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SubtreeStore:
+    """Process-wide hash-consing store for canonical query structure.
+
+    Thread-safe behind one reentrant lock (intern operations nest:
+    interning a tree interns its clauses, which intern their leaves).
+    Intern tables are weak-valued — nodes live exactly as long as something
+    outside the store (a registered query's :class:`CanonicalForm`, a plan
+    cache entry's planner closure) keeps them alive.
+
+    Parameters
+    ----------
+    memo_capacity:
+        Bound on the canonicalization memo and the stream-weight memo
+        (LRU; structural fingerprint -> :class:`CanonicalForm`).
+    """
+
+    def __init__(self, memo_capacity: int = 4096) -> None:
+        if memo_capacity < 1:
+            raise ReproError(
+                f"substore memo capacity must be >= 1, got {memo_capacity}"
+            )
+        self.memo_capacity = memo_capacity
+        self._lock = threading.RLock()
+        self._leaves: WeakValueDictionary[LeafSpec, InternedLeaf] = WeakValueDictionary()
+        self._clauses: WeakValueDictionary[tuple[ClauseSpec, CostSpec], InternedClause] = (
+            WeakValueDictionary()
+        )
+        self._trees: WeakValueDictionary[str, InternedTree] = WeakValueDictionary()
+        #: structural fingerprint of the *original* tree -> interned CanonicalForm.
+        self._memo: OrderedDict[Any, CanonicalForm] = OrderedDict()
+        #: (tree key, cost signature) -> stream weight vector.
+        self._weights: OrderedDict[tuple[str, CostSpec], dict[str, float]] = OrderedDict()
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def __getstate__(self) -> dict:
+        raise TypeError(
+            "SubtreeStore is process-local: interned identity is per-process "
+            "by construction. Pickle the interned nodes themselves (they "
+            "re-intern on arrival) and build a fresh store in the worker."
+        )
+
+    # -- interning ---------------------------------------------------------
+
+    def leaf(self, stream: str, items: int, prob: float) -> InternedLeaf:
+        """The unique :class:`InternedLeaf` for ``(stream, items, prob)``."""
+        spec = (str(stream), int(items), float(prob))
+        with self._lock:
+            node = self._leaves.get(spec)
+            if node is None:
+                node = InternedLeaf(*spec)
+                self._leaves[spec] = node
+            return node
+
+    def clause(self, spec: ClauseSpec, costs: CostSpec) -> InternedClause:
+        """The unique :class:`InternedClause` for ``spec`` under ``costs``."""
+        spec = tuple((str(s), int(i), float(p)) for s, i, p in spec)
+        costs = tuple((str(s), float(c)) for s, c in costs)
+        with self._lock:
+            node = self._clauses.get((spec, costs))
+            if node is None:
+                leaves = tuple(self.leaf(*leaf_spec) for leaf_spec in spec)
+                node = InternedClause(leaves, costs, _clause_key(spec, costs))
+                self._clauses[(spec, costs)] = node
+            return node
+
+    def tree(
+        self, clause_specs: tuple[ClauseSpec, ...], costs: CostSpec, key: str
+    ) -> InternedTree:
+        """The unique :class:`InternedTree` for whole-tree canonical ``key``.
+
+        Clause cost slices are re-derived by restricting ``costs`` to each
+        clause's streams — the same restriction :meth:`intern_form` applies,
+        so a node rebuilt from its pickled spec lands on identical clause
+        keys.
+        """
+        costs = tuple((str(s), float(c)) for s, c in costs)
+        with self._lock:
+            node = self._trees.get(key)
+            if node is None:
+                clauses = []
+                for spec in clause_specs:
+                    used = {s for s, _, _ in spec}
+                    slice_ = tuple((s, c) for s, c in costs if s in used)
+                    clauses.append(self.clause(spec, slice_))
+                node = InternedTree(tuple(clauses), costs, key)
+                self._trees[key] = node
+            return node
+
+    def intern_form(self, form: CanonicalForm) -> CanonicalForm:
+        """``form`` with its :attr:`~CanonicalForm.interned` node attached."""
+        if form.interned is not None:
+            return form
+        costs = tuple(sorted(form.tree.costs.items()))
+        clause_specs = tuple(
+            tuple((leaf.stream, leaf.items, leaf.prob) for leaf in group)
+            for group in form.tree.ands
+        )
+        return dataclasses.replace(
+            form, interned=self.tree(clause_specs, costs, form.key)
+        )
+
+    # -- canonicalization memo --------------------------------------------
+
+    def canonicalize(self, tree: TreeLike) -> CanonicalForm:
+        """Memoized :func:`repro.service.canonical.canonicalize` + interning.
+
+        The memo key is the *original* tree's structural fingerprint (exact
+        leaf tuples per AND plus the cost table), so byte-identical
+        re-registrations skip sorting/folding/hashing entirely; distinct
+        isomorphs still converge on the same interned nodes through the
+        intern tables.
+        """
+        dnf = _as_dnf(tree)
+        fingerprint = self._fingerprint(dnf)
+        with self._lock:
+            cached = self._memo.get(fingerprint)
+            if cached is not None:
+                self.memo_hits += 1
+                self._memo.move_to_end(fingerprint)
+                return cached
+        form = self.intern_form(canonicalize(dnf))
+        with self._lock:
+            cached = self._memo.get(fingerprint)
+            if cached is not None:
+                self.memo_hits += 1
+                self._memo.move_to_end(fingerprint)
+                return cached
+            self.memo_misses += 1
+            self._memo[fingerprint] = form
+            while len(self._memo) > self.memo_capacity:
+                self._memo.popitem(last=False)
+        return form
+
+    @staticmethod
+    def _fingerprint(dnf: DnfTree) -> tuple[Any, ...]:
+        return (
+            tuple(
+                tuple((leaf.stream, leaf.items, leaf.prob) for leaf in group)
+                for group in dnf.ands
+            ),
+            tuple(sorted(dnf.costs.items())),
+        )
+
+    # -- partitioner weights ----------------------------------------------
+
+    def stream_weights(self, tree: TreeLike, costs: Mapping[str, float]) -> dict[str, float]:
+        """Per-stream max acquisition weight, memoized by canonical identity.
+
+        Value-identical to :func:`repro.cluster.partition.stream_weight_vector`
+        (weights depend only on streams/items/costs; canonical leaf folding
+        drops exact duplicates, which cannot change a per-stream max), but
+        computed once per *canonical* tree instead of once per registered
+        query — the partitioner and shard signatures read this.
+        """
+        form = self.canonicalize(tree)
+        interned = form.interned
+        if interned is None:  # pragma: no cover - canonicalize always interns
+            interned = self.intern_form(form).interned
+            assert interned is not None
+        return self.interned_weights(interned, costs)
+
+    def interned_weights(
+        self, node: InternedTree, costs: Mapping[str, float]
+    ) -> dict[str, float]:
+        """Stream weight vector of an interned tree under a cost table."""
+        signature = tuple(sorted((str(s), float(c)) for s, c in costs.items()))
+        memo_key = (node.key, signature)
+        with self._lock:
+            cached = self._weights.get(memo_key)
+            if cached is not None:
+                self._weights.move_to_end(memo_key)
+                return dict(cached)
+        weights: dict[str, float] = {}
+        table = dict(signature)
+        for clause in node.clauses:
+            for leaf in clause.leaves:
+                weight = leaf.items * table.get(leaf.stream, 1.0)
+                if weight > weights.get(leaf.stream, 0.0):
+                    weights[leaf.stream] = weight
+        with self._lock:
+            self._weights[memo_key] = weights
+            while len(self._weights) > self.memo_capacity:
+                self._weights.popitem(last=False)
+        return dict(weights)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._trees)
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot: live node counts plus memo behaviour."""
+        with self._lock:
+            hits, misses = self.memo_hits, self.memo_misses
+            total = hits + misses
+            return {
+                "leaves": float(len(self._leaves)),
+                "clauses": float(len(self._clauses)),
+                "trees": float(len(self._trees)),
+                "memo_size": float(len(self._memo)),
+                "memo_capacity": float(self.memo_capacity),
+                "memo_hits": float(hits),
+                "memo_misses": float(misses),
+                "memo_hit_rate": hits / total if total else 0.0,
+            }
+
+    def clear_memo(self) -> None:
+        """Drop the canonicalization and weight memos (intern tables stay)."""
+        with self._lock:
+            self._memo.clear()
+            self._weights.clear()
+
+
+# One store per process, created lazily on first use. A plain dict with
+# atomic ``setdefault`` (no module-level lock: spawned workers re-import this
+# module, and import-time synchronization primitives are exactly what lint
+# rule RPR004 exists to keep out of the worker's import closure).
+_SINGLETON: dict[str, SubtreeStore] = {}
+
+
+def default_store() -> SubtreeStore:
+    """The process-wide default :class:`SubtreeStore` (created on first call)."""
+    store = _SINGLETON.get("store")
+    if store is None:
+        store = _SINGLETON.setdefault("store", SubtreeStore())
+    return store
+
+
+def _reintern_leaf(stream: str, items: int, prob: float) -> InternedLeaf:
+    """Unpickle hook: re-intern in the receiving process's default store."""
+    return default_store().leaf(stream, items, prob)
+
+
+def _reintern_clause(spec: ClauseSpec, costs: CostSpec) -> InternedClause:
+    """Unpickle hook: re-intern in the receiving process's default store."""
+    return default_store().clause(spec, costs)
+
+
+def _reintern_tree(
+    clause_specs: tuple[ClauseSpec, ...], costs: CostSpec, key: str
+) -> InternedTree:
+    """Unpickle hook: re-intern in the receiving process's default store."""
+    return default_store().tree(clause_specs, costs, key)

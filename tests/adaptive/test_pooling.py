@@ -1,0 +1,130 @@
+"""Cross-shape belief pooling: SharedLeafPool + controller warm starts.
+
+Pooling moves selectivity evidence down from canonical-shape granularity to
+interned-leaf granularity: a new shape containing a leaf some *other* shape
+already observed starts from the pooled posterior instead of the prior.
+Off by default (``AdaptivePolicy.share_leaf_beliefs``) because it makes a
+shape's drift clock depend on which other shapes are co-resident.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import AdaptiveController, AdaptivePolicy, SharedLeafPool
+from repro.errors import StreamError
+from repro.service import SubtreeStore
+
+
+class TestSharedLeafPool:
+    def test_warm_start_unseen_returns_none(self):
+        pool = SharedLeafPool()
+        assert pool.warm_start(("A", 1, 0.5)) is None
+
+    def test_warm_start_clones_evidence(self):
+        pool = SharedLeafPool()
+        leaf_id = ("A", 1, 0.5)
+        for outcome in (True, True, False, True):
+            pool.observe(leaf_id, outcome)
+        clone = pool.warm_start(leaf_id)
+        assert clone is not None
+        assert clone.trials == 4
+        assert clone.successes == 3
+        clone.observe(False)  # mutating the clone must not touch the pool
+        assert pool.warm_start(leaf_id).trials == 4
+
+    def test_interned_leaves_are_valid_keys(self):
+        store = SubtreeStore()
+        pool = SharedLeafPool()
+        pool.observe(store.leaf("A", 2, 0.3), True)
+        # The same identity from a second intern call reads the same slot.
+        assert store.leaf("A", 2, 0.3) in pool
+        assert pool.warm_start(store.leaf("A", 2, 0.3)).trials == 1
+
+    def test_capacity_is_enforced_lru(self):
+        pool = SharedLeafPool(capacity=2)
+        pool.observe("a", True)
+        pool.observe("b", True)
+        pool.observe("a", False)  # refresh a -> b is now LRU
+        pool.observe("c", True)  # evicts b
+        assert "a" in pool and "c" in pool and "b" not in pool
+        assert len(pool) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StreamError):
+            SharedLeafPool(capacity=0)
+
+
+class TestControllerPooling:
+    def leaf_ids(self, store: SubtreeStore):
+        return (store.leaf("A", 2, 0.3), store.leaf("B", 1, 0.6))
+
+    def test_pool_exists_only_when_policy_opts_in(self):
+        assert AdaptiveController(AdaptivePolicy()).pool is None
+        on = AdaptiveController(AdaptivePolicy(share_leaf_beliefs=True))
+        assert on.pool is not None
+
+    def test_observations_mirror_into_the_pool(self):
+        store = SubtreeStore()
+        controller = AdaptiveController(AdaptivePolicy(share_leaf_beliefs=True))
+        ids = self.leaf_ids(store)
+        controller.admit("shape-1", (0.3, 0.6), (1, 1), leaf_ids=ids)
+        for outcome in (True, False, True):
+            controller.observe("shape-1", 0, outcome)
+        controller.observe("shape-1", 1, True)
+        assert controller.pool.warm_start(ids[0]).trials == 3
+        assert controller.pool.warm_start(ids[1]).trials == 1
+
+    def test_new_shape_warm_starts_from_shared_leaf(self):
+        store = SubtreeStore()
+        controller = AdaptiveController(AdaptivePolicy(share_leaf_beliefs=True))
+        shared = store.leaf("A", 2, 0.3)
+        controller.admit("shape-1", (0.3,), (1,), leaf_ids=(shared,))
+        for _ in range(6):
+            controller.observe("shape-1", 0, True)
+        # shape-2 differs as a whole tree but contains the same leaf.
+        controller.admit(
+            "shape-2", (0.3, 0.7), (1, 1), leaf_ids=(shared, store.leaf("C", 1, 0.7))
+        )
+        warmed = controller.tracker.get(("shape-2", 0))
+        assert warmed is not None and warmed.trials == 6
+        # The unshared leaf starts cold.
+        assert controller.tracker.get(("shape-2", 1)) is None
+
+    def test_warm_start_does_not_entangle_shapes(self):
+        store = SubtreeStore()
+        controller = AdaptiveController(AdaptivePolicy(share_leaf_beliefs=True))
+        shared = store.leaf("A", 2, 0.3)
+        controller.admit("shape-1", (0.3,), (1,), leaf_ids=(shared,))
+        controller.observe("shape-1", 0, True)
+        controller.admit("shape-2", (0.3,), (1,), leaf_ids=(shared,))
+        controller.observe("shape-2", 0, False)
+        one = controller.tracker.get(("shape-1", 0))
+        two = controller.tracker.get(("shape-2", 0))
+        assert one is not two
+        assert one.trials == 1  # shape-2's outcome went to its own clone
+        assert two.trials == 2  # warm-started copy plus its own outcome
+
+    def test_retire_keeps_pooled_evidence(self):
+        store = SubtreeStore()
+        controller = AdaptiveController(AdaptivePolicy(share_leaf_beliefs=True))
+        shared = store.leaf("A", 2, 0.3)
+        controller.admit("shape-1", (0.3,), (1,), leaf_ids=(shared,))
+        for _ in range(4):
+            controller.observe("shape-1", 0, True)
+        controller.retire("shape-1")
+        assert controller.tracker.get(("shape-1", 0)) is None
+        controller.admit("shape-3", (0.3,), (1,), leaf_ids=(shared,))
+        assert controller.tracker.get(("shape-3", 0)).trials == 4
+
+    def test_leaf_id_length_mismatch_rejected(self):
+        controller = AdaptiveController(AdaptivePolicy(share_leaf_beliefs=True))
+        with pytest.raises(StreamError):
+            controller.admit("shape-1", (0.3, 0.6), (1, 1), leaf_ids=("only-one",))
+
+    def test_pooling_off_ignores_leaf_ids(self):
+        controller = AdaptiveController(AdaptivePolicy())
+        controller.admit("shape-1", (0.3,), (1,), leaf_ids=(("A", 2, 0.3),))
+        controller.observe("shape-1", 0, True)
+        assert controller.pool is None
+        assert controller.tracker.get(("shape-1", 0)).trials == 1

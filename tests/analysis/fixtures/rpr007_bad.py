@@ -1,0 +1,22 @@
+"""Known-bad twin for RPR007: mutating interned nodes outside the store.
+
+Never imported — a lint target only, so the undefined ``substore`` module
+is fine. Three findings: a plain attribute write, an ``object.__setattr__``
+bypass, and an augmented assignment.
+"""
+
+from substore import InternedLeaf, InternedTree
+
+
+def retag(leaf: InternedLeaf) -> None:
+    leaf.prob = 0.5  # shared canonical identity, silently corrupted
+
+
+def forge(tree: InternedTree) -> None:
+    object.__setattr__(tree, "key", "forged")  # bypasses the runtime guard
+
+
+def bump() -> int:
+    node = InternedLeaf("alpha", 4, 0.25)
+    node.items += 1  # AugAssign is a write too
+    return node.items

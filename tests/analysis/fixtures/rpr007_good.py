@@ -1,0 +1,25 @@
+"""Known-good twin for RPR007: interned nodes are read, never written.
+
+Ordinary objects stay mutable; rebuilding through the store is the
+sanctioned way to get a "changed" interned node.
+"""
+
+from substore import InternedLeaf
+
+
+def expected_cost(leaf: InternedLeaf, cost: float) -> float:
+    return leaf.items * cost / leaf.prob
+
+
+class Tally:
+    """A plain mutable object: attribute writes here are fine."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def bump(self) -> None:
+        self.count += 1
+
+
+def reprice(leaf: InternedLeaf, store, prob: float) -> InternedLeaf:
+    return store.leaf(leaf.stream, leaf.items, prob)

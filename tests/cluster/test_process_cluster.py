@@ -130,6 +130,66 @@ class TestProcessParity:
         assert max(deltas.values()) == 0.0
 
 
+class TestClauseSharingParity:
+    """Sub-tree plan sharing must be invisible to costs in every executor.
+
+    The population is adversarial for whole-tree caching: trees are distinct
+    2-clause combinations drawn from a 4-clause pool, so whole-tree keys
+    never repeat while every AND clause recurs across trees. Clause-tier
+    reuse fires (asserted via the cluster cache's stats), yet unsharded,
+    thread-sharded and process-sharded serving all land on identical costs.
+    """
+
+    @staticmethod
+    def clause_population(registry):
+        from itertools import combinations
+
+        from repro.core.leaf import Leaf
+        from repro.core.tree import DnfTree
+
+        names = list(registry.names)[:6]
+        costs = registry.cost_table()
+        pool = [
+            [Leaf(names[0], 2, 0.3), Leaf(names[1], 1, 0.6)],
+            [Leaf(names[2], 3, 0.2), Leaf(names[3], 1, 0.7)],
+            [Leaf(names[4], 1, 0.4), Leaf(names[5], 2, 0.5)],
+            [Leaf(names[0], 1, 0.8), Leaf(names[2], 2, 0.35)],
+        ]
+        population = []
+        for q, (i, j) in enumerate(combinations(range(len(pool)), 2)):
+            groups = [list(pool[i]), list(pool[j])]
+            used = {leaf.stream for group in groups for leaf in group}
+            tree = DnfTree(groups, {stream: costs[stream] for stream in used})
+            population.append((f"q{q}", tree))
+        return population
+
+    def test_cost_parity_with_subtree_sharing(self):
+        totals = {}
+        for mode in ("unsharded", "thread", "process"):
+            registry = clustered_registry(3, 3, seed=33)
+            population = self.clause_population(registry)
+            if mode == "unsharded":
+                server = QueryServer(registry)
+                factory = default_oracle_factory(7)
+                for name, tree in population:
+                    server.register(name, tree, oracle=factory(name))
+                totals[mode] = server.run_batch(4).total_cost
+            else:
+                cluster = ClusterServer(
+                    registry, n_shards=2, executor=mode, seed=7
+                )
+                try:
+                    cluster.register_population(population)
+                    totals[mode] = cluster.run_batch(4).total_cost
+                    stats = cluster.plan_cache.stats()
+                    assert stats["hit_rate"] == 0.0  # no whole-tree isomorphs
+                    assert stats["subtree_hit_rate"] > 0.0  # clauses shared
+                finally:
+                    cluster.close()
+        assert totals["thread"] == totals["unsharded"]
+        assert totals["process"] == totals["unsharded"]
+
+
 class TestMigrationPayloads:
     """Pickled migration payloads must be equivalent to in-memory handoff."""
 

@@ -1,0 +1,389 @@
+"""Hash-consed subtree store: identity, immutability, partial plan sharing.
+
+Covers the substore itself (interning, weak reclamation, pickle re-intern,
+canonicalization memo), the canonical-identity quantization fix, the plan
+cache's indexed invalidate and clause tier, and the end-to-end invariant
+that interning is semantically invisible (store-on and store-off servers
+produce bit-identical keys, schedules and costs).
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+import threading
+from collections import OrderedDict
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DnfTree, Leaf
+from repro.core.heuristics import get_scheduler
+from repro.engine.executor import BernoulliOracle
+from repro.errors import ReproError
+from repro.service import (
+    PlanCache,
+    QueryServer,
+    SubtreeStore,
+    canonicalize,
+    default_store,
+    quantize_prob,
+    shuffled_isomorph,
+    synthetic_population,
+    synthetic_registry,
+)
+
+COSTS = {"A": 1.0, "B": 2.0, "C": 0.5, "D": 1.5, "E": 0.8, "F": 2.5}
+
+#: Four distinct AND clauses over the shared cost table. Trees below are
+#: built from 2-clause *combinations*, so every whole-tree key is unique
+#: while every clause recurs across trees — the partial-sharing regime.
+CLAUSE_POOL = [
+    [Leaf("A", 2, 0.3), Leaf("B", 1, 0.6)],
+    [Leaf("C", 3, 0.2), Leaf("D", 1, 0.7)],
+    [Leaf("E", 1, 0.4), Leaf("F", 2, 0.5)],
+    [Leaf("A", 1, 0.8), Leaf("C", 2, 0.35)],
+]
+
+
+def clause_sharing_population() -> list[DnfTree]:
+    trees = []
+    for first, second in combinations(range(len(CLAUSE_POOL)), 2):
+        groups = [list(CLAUSE_POOL[first]), list(CLAUSE_POOL[second])]
+        used = {leaf.stream for group in groups for leaf in group}
+        trees.append(DnfTree(groups, {s: COSTS[s] for s in used}))
+    return trees
+
+
+def make_tree(prob: float = 0.4) -> DnfTree:
+    return DnfTree(
+        [[Leaf("A", 2, prob), Leaf("B", 1, 0.5)], [Leaf("C", 1, 0.3)]],
+        costs={"A": 1.0, "B": 2.0, "C": 0.5},
+    )
+
+
+@pytest.fixture
+def store() -> SubtreeStore:
+    return SubtreeStore()
+
+
+@pytest.fixture
+def scheduler():
+    return get_scheduler("and-inc-c-over-p-dynamic")
+
+
+class TestInterning:
+    def test_leaf_identity(self, store):
+        assert store.leaf("A", 2, 0.3) is store.leaf("A", 2, 0.3)
+        assert store.leaf("A", 2, 0.3) is not store.leaf("A", 2, 0.31)
+
+    def test_clause_identity(self, store):
+        spec = (("A", 2, 0.3), ("B", 1, 0.6))
+        costs = (("A", 1.0), ("B", 2.0))
+        clause = store.clause(spec, costs)
+        assert clause is store.clause(spec, costs)
+        assert clause.leaves[0] is store.leaf("A", 2, 0.3)
+
+    def test_isomorphs_intern_to_the_same_tree(self, store):
+        tree = make_tree()
+        form = store.canonicalize(tree)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            other = store.canonicalize(shuffled_isomorph(tree, rng))
+            assert other.key == form.key
+            assert other.interned is form.interned
+
+    def test_shared_clauses_intern_once_across_trees(self, store):
+        forms = [store.canonicalize(tree) for tree in clause_sharing_population()]
+        keys = {form.key for form in forms}
+        assert len(keys) == len(forms)  # zero whole-tree isomorphs
+        distinct_clauses = {
+            clause for form in forms for clause in form.interned.clauses
+        }
+        assert len(distinct_clauses) == len(CLAUSE_POOL)
+
+    def test_immutability_is_enforced(self, store):
+        form = store.canonicalize(make_tree())
+        leaf = form.interned.clauses[0].leaves[0]
+        for node in (leaf, form.interned.clauses[0], form.interned):
+            with pytest.raises(AttributeError, match="interned and immutable"):
+                node.key = "forged"  # type: ignore[union-attr]
+            with pytest.raises(AttributeError, match="interned and immutable"):
+                del node.costs  # type: ignore[union-attr]
+
+    def test_interned_nodes_have_no_dict(self, store):
+        assert not hasattr(store.leaf("A", 1, 0.5), "__dict__")
+
+    def test_unreferenced_nodes_are_reclaimed(self, store):
+        node = store.leaf("A", 2, 0.3)
+        assert store.stats()["leaves"] == 1.0
+        del node
+        gc.collect()
+        assert store.stats()["leaves"] == 0.0
+
+    def test_memo_capacity_must_be_positive(self):
+        with pytest.raises(ReproError):
+            SubtreeStore(memo_capacity=0)
+
+
+class TestPickleReintern:
+    def test_nodes_reintern_into_the_default_store(self, store):
+        form = store.canonicalize(make_tree())
+        copy = pickle.loads(pickle.dumps(form.interned))
+        expected = default_store().canonicalize(make_tree()).interned
+        assert copy is expected
+        assert copy is not form.interned  # distinct stores, distinct identity
+
+    def test_canonical_form_round_trips_with_identity(self):
+        form = default_store().canonicalize(make_tree())
+        copy = pickle.loads(pickle.dumps(form))
+        assert copy.key == form.key
+        assert copy.interned is form.interned
+
+    def test_store_itself_refuses_to_pickle(self, store):
+        with pytest.raises(TypeError, match="process-local"):
+            pickle.dumps(store)
+
+    def test_default_store_is_a_singleton(self):
+        assert default_store() is default_store()
+
+
+class TestCanonicalizeMemo:
+    def test_repeat_admissions_hit_the_memo(self, store):
+        tree = make_tree()
+        first = store.canonicalize(tree)
+        second = store.canonicalize(make_tree())  # byte-identical rebuild
+        assert second is first
+        stats = store.stats()
+        assert stats["memo_hits"] == 1.0
+        assert stats["memo_misses"] == 1.0
+
+    def test_isomorphs_miss_the_memo_but_share_identity(self, store):
+        tree = make_tree()
+        form = store.canonicalize(tree)
+        other = store.canonicalize(shuffled_isomorph(tree, np.random.default_rng(5)))
+        if other is not form:  # the shuffle changed syntactic order
+            assert store.stats()["memo_misses"] == 2.0
+        assert other.interned is form.interned
+
+    def test_memo_is_bounded(self):
+        store = SubtreeStore(memo_capacity=4)
+        for i in range(10):
+            store.canonicalize(make_tree(0.05 + i * 0.07))
+        assert store.stats()["memo_size"] == 4.0
+
+    def test_clear_memo_keeps_interned_identity(self, store):
+        form = store.canonicalize(make_tree())
+        store.clear_memo()
+        again = store.canonicalize(make_tree())
+        assert again is not form
+        assert again.interned is form.interned
+
+
+class TestQuantizedIdentity:
+    """The exact-float ``==`` fold/key bug: sub-quantum noise must not split
+    canonical identity, and genuinely different probabilities must."""
+
+    def test_quantize_prob_rounds_at_twelve_decimals(self):
+        assert quantize_prob(0.3 + 1e-15) == quantize_prob(0.3)
+        assert quantize_prob(0.3 + 1e-9) != quantize_prob(0.3)
+
+    def test_noise_perturbed_isomorphs_share_a_key(self, store):
+        tree = make_tree()
+        noisy = DnfTree(
+            [
+                [Leaf("C", 1, 0.3 + 1e-15)],
+                [Leaf("B", 1, 0.5), Leaf("A", 2, 0.4 + 2e-16)],
+            ],
+            costs=tree.costs,
+        )
+        exact = store.canonicalize(tree)
+        perturbed = store.canonicalize(noisy)
+        assert perturbed.key == exact.key
+        assert perturbed.interned is exact.interned
+
+    def test_duplicate_leaves_fold_despite_noise(self):
+        base, noisy = 0.5, 0.5 + 1e-14
+        tree = DnfTree(
+            [[Leaf("A", 2, base), Leaf("A", 2, noisy), Leaf("B", 1, 0.9)]],
+            costs={"A": 1.0, "B": 3.0},
+        )
+        form = canonicalize(tree)
+        assert form.deduped
+        assert form.tree.size == 2
+
+    def test_distinct_probabilities_still_split_keys(self, store):
+        assert (
+            store.canonicalize(make_tree(0.4)).key
+            != store.canonicalize(make_tree(0.41)).key
+        )
+
+
+class _NoIteration(OrderedDict):
+    """An OrderedDict that forbids whole-dict scans — the invalidate
+    regression guard: the old implementation collected matching keys with a
+    full ``for key in self._plans`` sweep under the lock."""
+
+    def __iter__(self):
+        raise AssertionError("invalidate must not scan the whole plan cache")
+
+    def keys(self):
+        raise AssertionError("invalidate must not scan the whole plan cache")
+
+
+class TestIndexedInvalidate:
+    def test_invalidate_does_not_scan_the_cache(self, scheduler):
+        cache = PlanCache(capacity=64)
+        forms = [canonicalize(make_tree(0.1 + i * 0.08)) for i in range(8)]
+        for form in forms:
+            cache.plan(form, scheduler)
+        cache._plans = _NoIteration(cache._plans.items())
+        assert cache.invalidate(forms[3].key) == 1
+        assert cache.invalidate(forms[3].key) == 0  # already gone, still no scan
+
+    def test_index_survives_eviction(self, scheduler):
+        cache = PlanCache(capacity=2)
+        forms = [canonicalize(make_tree(p)) for p in (0.2, 0.4, 0.6)]
+        for form in forms:
+            cache.plan(form, scheduler)
+        # forms[0] was evicted; its index entry must be gone too.
+        assert cache.invalidate(forms[0].key) == 0
+        assert cache.invalidate(forms[1].key) == 1
+        assert cache.invalidate(forms[2].key) == 1
+
+    def test_index_tracks_scheduler_variants(self, scheduler):
+        cache = PlanCache(capacity=8)
+        form = canonicalize(make_tree())
+        cache.plan(form, scheduler)
+        cache.plan(form, get_scheduler("leaf-inc-c"))
+        assert cache.invalidate(form.key) == 2
+        assert len(cache) == 0
+
+    def test_concurrent_invalidate_keeps_index_consistent(self, scheduler):
+        cache = PlanCache(capacity=128)
+        forms = [canonicalize(make_tree(0.05 + i * 0.06)) for i in range(12)]
+        barrier = threading.Barrier(6)
+        errors: list[Exception] = []
+
+        def churn(thread_index: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(60):
+                    form = forms[(thread_index + i) % len(forms)]
+                    if i % 5 == 4:
+                        cache.invalidate(form.key)
+                    else:
+                        cache.plan(form, scheduler)
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        indexed = {
+            (key, name)
+            for key, names in cache._by_key.items()
+            for name in names
+        }
+        assert indexed == set(cache._plans)
+
+
+class TestClauseSharing:
+    """The tentpole's acceptance invariant at the plan-cache level: a
+    population with shared AND clauses but zero whole-tree isomorphs earns a
+    strictly positive subtree hit rate at zero whole-tree hit rate, with
+    schedules bit-identical to the store-off path."""
+
+    def test_subtree_hits_exceed_whole_tree_hits(self, store, scheduler):
+        cache = PlanCache(capacity=64)
+        for tree in clause_sharing_population():
+            cache.plan(store.canonicalize(tree), scheduler)
+        stats = cache.stats()
+        assert stats["hit_rate"] == 0.0
+        assert stats["subtree_hit_rate"] > 0.0
+        assert stats["clause_misses"] == float(len(CLAUSE_POOL))
+        n_requests = 2 * len(clause_sharing_population())
+        assert stats["clause_hits"] == float(n_requests - len(CLAUSE_POOL))
+
+    def test_clause_reuse_is_bit_identical(self, store, scheduler):
+        cached = PlanCache(capacity=64)
+        plain = PlanCache(capacity=64)
+        for tree in clause_sharing_population():
+            with_store = cached.plan(store.canonicalize(tree), scheduler)
+            without = plain.plan(canonicalize(tree), scheduler)
+            assert with_store.schedule == without.schedule
+            assert with_store.cost == without.cost  # exact, not approx
+            assert with_store.schedule == tuple(
+                scheduler.schedule(canonicalize(tree).tree)
+            )
+        assert plain.stats()["clause_hits"] == 0.0  # no interned identity
+
+    def test_clause_plans_survive_invalidate(self, store, scheduler):
+        cache = PlanCache(capacity=64)
+        form = store.canonicalize(clause_sharing_population()[0])
+        cache.plan(form, scheduler)
+        cache.invalidate(form.key)
+        assert cache.stats()["clause_size"] > 0.0  # pure structure, never stale
+
+
+class TestStoreIsSemanticallyInvisible:
+    """Differential: interning must never change an observable outcome."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_server_outcomes_identical_store_on_and_off(self, seed):
+        registry = synthetic_registry(6, seed=seed)
+        population = synthetic_population(14, registry, seed=seed + 1)
+        outcomes = {}
+        for flag in (True, False):
+            server = QueryServer(
+                registry,
+                plan_cache=PlanCache(capacity=64),
+                substore=SubtreeStore() if flag else False,
+            )
+            for index, (name, tree) in enumerate(population):
+                server.register(
+                    name, tree, oracle=BernoulliOracle(seed=seed * 131 + index)
+                )
+            report = server.run_batch(6)
+            outcomes[flag] = (
+                tuple(server.query(name).schedule for name, _ in population),
+                report.total_cost,
+            )
+        assert outcomes[True] == outcomes[False]
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_store_canonicalize_matches_plain(self, seed):
+        registry = synthetic_registry(5, seed=seed)
+        store = SubtreeStore()
+        for _, tree in synthetic_population(10, registry, seed=seed + 1):
+            memoized = store.canonicalize(tree)
+            plain = canonicalize(tree)
+            assert memoized.key == plain.key
+            assert memoized.tree == plain.tree
+            assert memoized.leaf_map == plain.leaf_map
+
+
+class TestStreamWeights:
+    def test_matches_unmemoized_vector(self, store):
+        from repro.cluster.partition import stream_weight_vector
+
+        for tree in clause_sharing_population():
+            assert store.stream_weights(tree, COSTS) == stream_weight_vector(
+                tree, COSTS
+            )
+
+    def test_memo_returns_independent_copies(self, store):
+        tree = clause_sharing_population()[0]
+        first = store.stream_weights(tree, COSTS)
+        first["A"] = -1.0
+        assert store.stream_weights(tree, COSTS) != first

@@ -465,7 +465,9 @@ class TestLint:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        for rule in (
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"
+        ):
             assert rule in out
 
     def test_unknown_rule_fails_cleanly(self, bad_file, capsys):
